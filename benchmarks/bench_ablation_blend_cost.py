@@ -1,0 +1,124 @@
+"""Ablation (Section 4.5) — blending comparators vs fragment programs.
+
+The paper's core architectural claim: a comparator evaluated with MIN/MAX
+blending costs 6-7 GPU cycles per pixel, while the prior fragment-program
+bitonic sort spends "at least 53 instructions per pixel" per stage —
+hence the near-order-of-magnitude gap between the two GPU sorters, and
+the sensitivity of that gap to the per-pixel cost is quantified here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import Table, predicted_gpu_sort_time
+from repro.bench.models import predict_pbsn_counters
+from repro.gpu.timing import BitonicFragmentProgramModel, GpuCostModel
+from repro.gpu.presets import GEFORCE_6800_ULTRA, GpuSpec
+from repro.sorting import GpuSorter, network_comparison_count
+
+from conftest import emit
+
+
+def spec_with_blend_cycles(cycles: float) -> GpuSpec:
+    return GpuSpec(**(GEFORCE_6800_ULTRA.__dict__
+                      | {"cycles_per_blend": cycles}))
+
+
+class TestBlendCostAblation:
+    @pytest.fixture(scope="class")
+    def table(self):
+        n = 1 << 23
+        table = Table(
+            title="Ablation — per-pixel comparator cost (n = 8M)",
+            columns=["cycles_per_pixel", "implementation", "seconds",
+                     "vs_paper"],
+            caption="The paper's blend costs 6-7 cycles; Purcell et al.'s "
+                    "fragment program needs >= 53 instructions.",
+        )
+        base = None
+        for cycles in (6.0, 6.5, 7.0, 13.0, 26.0):
+            model = GpuCostModel(spec_with_blend_cycles(cycles))
+            seconds = model.breakdown(predict_pbsn_counters(n)).total
+            if base is None:
+                base = seconds
+            table.add_row(cycles, "pbsn-blend", seconds, seconds / base)
+        bitonic = BitonicFragmentProgramModel().time(n)
+        table.add_row(53.0, "bitonic-fragment-program", bitonic,
+                      bitonic / base)
+        emit(table)
+        return table
+
+    def test_blend_cost_drives_total(self, table):
+        seconds = [row[2] for row in table.rows if row[1] == "pbsn-blend"]
+        # quadrupling the per-pixel cost should clearly show up
+        assert seconds[-1] > 2 * seconds[0]
+
+    def test_fragment_program_an_order_of_magnitude(self, table):
+        pbsn = table.rows[0][2]
+        bitonic = table.rows[-1][2]
+        assert bitonic / pbsn > 8
+
+
+class TestMeasuredInstructionCounts:
+    """The shader interpreter measures what the paper asserted."""
+
+    def test_shader_instruction_tally_matches_program_length(self, rng):
+        from repro.sorting import (GpuSorter, measured_instructions_per_pixel)
+        sorter = GpuSorter(network="bitonic")
+        n = 1 << 10
+        sorter.sort(rng.random(n).astype(np.float32))
+        counts = sorter.last_counters.pass_breakdown
+        stages = counts["bitonic_stage"]
+        per_pixel = measured_instructions_per_pixel()
+        pixels = (n // 4)
+        assert counts["bitonic_stage:instructions"] == \
+            stages * per_pixel * pixels
+
+    def test_idealised_shader_cheaper_than_published(self):
+        from repro.sorting import (INSTRUCTIONS_PER_PIXEL,
+                                   measured_instructions_per_pixel)
+        # Our ISA has free swizzles and native SLT/CMP; the NV30-era
+        # shader the paper measured needed >= 53 instructions.  Even the
+        # idealised count keeps the blend approach ~4x cheaper per pixel.
+        measured = measured_instructions_per_pixel()
+        assert measured < INSTRUCTIONS_PER_PIXEL
+        assert measured / 6.0 > 3.5  # vs cycles-per-blend
+
+
+class TestComparatorCounts:
+    def test_pbsn_does_fewer_passes_but_more_comparisons(self):
+        # PBSN runs log^2 n steps vs bitonic's (log^2 n + log n)/2: the
+        # network itself does ~2x the comparisons, and still wins because
+        # each comparison is ~8x cheaper.  Exactly the paper's trade-off.
+        n = 1 << 20
+        pbsn = network_comparison_count(n, "pbsn")
+        bitonic = network_comparison_count(n, "bitonic")
+        assert 1.5 < pbsn / bitonic < 2.5
+
+    def test_blend_ops_match_network_size(self, rng):
+        n = 1 << 12
+        sorter = GpuSorter()
+        sorter.sort(rng.random(n).astype(np.float32))
+        per_channel = n // 4
+        log_n = per_channel.bit_length() - 1
+        # each comparator stores two results (a min pixel and a max pixel)
+        expected = 2 * network_comparison_count(per_channel, "pbsn")
+        assert sorter.last_counters.blend_ops == expected
+        assert log_n * log_n * per_channel == expected
+
+
+class TestBenchmarkKernel:
+    def test_blend_pass_throughput(self, benchmark, rng):
+        """Raw throughput of one full-texture blended pass."""
+        from repro.gpu import BlendOp, GpuDevice
+        device = GpuDevice()
+        data = rng.random((256, 256, 4)).astype(np.float32)
+        tex = device.upload_texture(data)
+        device.bind_framebuffer(256, 256)
+        device.copy_texture_to_framebuffer(tex)
+        device.set_blend(BlendOp.MIN)
+
+        def one_pass():
+            device.draw_quad(tex, (0, 0, 256, 128), (256, 256, 0, 128))
+
+        benchmark(one_pass)

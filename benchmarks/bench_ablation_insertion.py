@@ -1,0 +1,103 @@
+"""Ablation (Section 3.2) — window-based vs single-element insertion.
+
+"The window-based algorithms usually perform better in practice as fewer
+number of elements are inserted into the summary data structure", at the
+price of a slightly larger memory footprint.  This ablation feeds the
+same stream to the classic single-element GK summary and to the
+window-based pipeline and compares work done and space used at equal
+accuracy.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import Table
+from repro.core import GKSummary, StreamingQuantiles
+from repro.streams import uniform_stream
+
+from conftest import SCALE, emit, rank_error
+
+
+class TestInsertionModelAblation:
+    @pytest.fixture(scope="class")
+    def table(self):
+        eps = 0.01
+        n = 60_000 * SCALE
+        data = uniform_stream(n, seed=17)
+        reference = np.sort(data)
+        table = Table(
+            title=f"Ablation — insertion model at eps={eps}, N={n:,}",
+            columns=["model", "wall_s", "summary_entries",
+                     "worst_rank_err", "bound"],
+            caption="Window-based insertion batches the expensive per-"
+                    "element work into one sort per window (GPU-"
+                    "accelerable); single-element GK pays a structure "
+                    "update per arrival.",
+        )
+
+        start = time.perf_counter()
+        gk = GKSummary(eps)
+        for value in data:
+            gk.insert(float(value))
+        gk_wall = time.perf_counter() - start
+
+        start = time.perf_counter()
+        windowed = StreamingQuantiles(eps, window_size=4096,
+                                      stream_length_hint=n)
+        for chunk_start in range(0, n, 4096):
+            windowed.add_window(data[chunk_start:chunk_start + 4096])
+        windowed_wall = time.perf_counter() - start
+
+        def worst(quantile_fn):
+            worst_err = 0
+            for phi in np.linspace(0.0, 1.0, 21):
+                target = max(1, int(np.ceil(phi * n)))
+                worst_err = max(worst_err, rank_error(
+                    reference, quantile_fn(phi), target))
+            return worst_err
+
+        table.add_row("single-element-gk", gk_wall, len(gk),
+                      worst(gk.quantile), int(eps * n))
+        table.add_row("window-based", windowed_wall, windowed.space(),
+                      worst(windowed.quantile), int(eps * n))
+        emit(table)
+        return table
+
+    def test_both_meet_the_guarantee(self, table):
+        for row in table.rows:
+            assert row[3] <= row[4], f"{row[0]} exceeded eps*N"
+
+    def test_windowed_is_faster(self, table):
+        # the paper's claim: batching beats per-element insertion
+        wall = {row[0]: row[1] for row in table.rows}
+        assert wall["window-based"] < wall["single-element-gk"]
+
+    def test_windowed_uses_more_space(self, table):
+        # the acknowledged trade-off (Section 3.2)
+        space = {row[0]: row[2] for row in table.rows}
+        assert space["window-based"] >= space["single-element-gk"]
+
+
+class TestInsertionKernels:
+    def test_single_element_insert(self, benchmark, rng):
+        data = rng.random(2000)
+        summary = GKSummary(0.01)
+
+        def insert_all():
+            for value in data:
+                summary.insert(float(value))
+
+        benchmark(insert_all)
+        summary.check_invariant()
+
+    def test_window_insert(self, benchmark, rng):
+        data = rng.random(8192).astype(np.float32)
+        windowed = StreamingQuantiles(0.01, window_size=2048)
+
+        def insert_windows():
+            for start in range(0, data.size, 2048):
+                windowed.add_window(data[start:start + 2048])
+
+        benchmark(insert_windows)

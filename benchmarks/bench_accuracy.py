@@ -1,0 +1,101 @@
+"""Accuracy validation (reconstructed; the paper's trailing pages are
+missing from the source text).
+
+Verifies, across epsilon values and workloads, that every estimator's
+deterministic guarantee holds end-to-end through the GPU pipeline:
+quantile rank error <= eps*N, frequency undercount <= eps*N with no false
+negatives, and the summary space bounds.  Also compares the four
+frequency baselines' accuracy at equal space.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.bench import Table, accuracy_series
+from repro.core import (LossyCounting, MisraGries, SpaceSaving,
+                        StickySampling)
+from repro.streams import zipf_stream
+
+from conftest import SCALE, emit
+
+
+class TestAccuracyTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        table = accuracy_series(run_elements=60_000 * SCALE)
+        emit(table)
+        return table
+
+    def test_all_errors_within_bounds(self, table):
+        for err, bound in zip(table.column("worst_observed"),
+                              table.column("bound")):
+            assert err <= bound
+
+    def test_space_grows_with_precision(self, table):
+        quantile_rows = [row for row in table.rows if row[1] == "quantile"]
+        spaces = [row[5] for row in quantile_rows]
+        assert spaces[-1] >= spaces[0]  # eps shrinks across rows
+
+
+class TestBaselineComparison:
+    @pytest.fixture(scope="class")
+    def table(self):
+        eps, support = 0.001, 0.01
+        data = zipf_stream(100_000 * SCALE, alpha=1.2, universe=20_000,
+                           seed=99)
+        n = data.size
+        true = Counter(data.tolist())
+        heavy = {v for v, c in true.items() if c >= support * n}
+        table = Table(
+            title=(f"Frequency baselines at eps={eps} on zipf(1.2), "
+                   f"N={n:,}"),
+            columns=["algorithm", "entries", "false_neg", "max_abs_err",
+                     "bound"],
+            caption="All deterministic algorithms must have zero false "
+                    "negatives and error below eps*N.",
+        )
+        estimators = [
+            ("lossy-counting", LossyCounting(eps)),
+            ("misra-gries", MisraGries(eps)),
+            ("space-saving", SpaceSaving(eps)),
+            ("sticky-sampling", StickySampling(support, eps, seed=7)),
+        ]
+        for name, estimator in estimators:
+            estimator.update(data)
+            reported = {v for v, _ in estimator.frequent_items(support)}
+            false_neg = len(heavy - reported)
+            max_err = max(abs(estimator.estimate(v) - true[v])
+                          for v in heavy) if heavy else 0
+            table.add_row(name, len(estimator), false_neg, max_err,
+                          int(eps * n))
+        emit(table)
+        return table
+
+    def test_no_false_negatives(self, table):
+        for row in table.rows:
+            assert row[2] == 0, f"{row[0]} has false negatives"
+
+    def test_errors_bounded(self, table):
+        for row in table.rows:
+            assert row[3] <= row[4], f"{row[0]} exceeds eps*N"
+
+    def test_counter_algorithms_use_bounded_space(self, table):
+        for row in table.rows:
+            if row[0] in ("misra-gries", "space-saving"):
+                assert row[1] <= 1000  # ceil(1/eps)
+
+
+class TestAccuracyKernels:
+    def test_lossy_counting_update_throughput(self, benchmark):
+        data = zipf_stream(50_000 * SCALE, alpha=1.3, universe=5000,
+                           seed=100)
+
+        def run():
+            lc = LossyCounting(0.001)
+            lc.update(data)
+            return lc
+
+        lc = benchmark(run)
+        assert lc.count + lc.pending == data.size

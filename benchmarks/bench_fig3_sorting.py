@@ -1,0 +1,88 @@
+"""Figure 3 — sorting performance: GPU PBSN vs GPU bitonic vs CPU quicksort.
+
+The paper's headline sorting result: the rasterization-based PBSN sorter
+outperforms the prior GPU bitonic sort by nearly an order of magnitude
+and is comparable to the Intel-compiled Quicksort on a Pentium IV at
+large n, while losing to the CPU below ~16K elements because of constant
+setup costs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import figure3_series
+from repro.gpu.timing import (CPU_MODEL_INTEL, CPU_MODEL_MSVC,
+                              BitonicFragmentProgramModel)
+from repro.bench.models import predicted_gpu_sort_time
+from repro.sorting import GpuSorter, optimized_sort
+
+from conftest import SCALE, emit
+
+
+class TestFigure3Shape:
+    """Assert the figure's qualitative claims from the modelled series."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        table = figure3_series(wall_limit=(1 << 14) * SCALE)
+        emit(table)
+        return table
+
+    def test_gpu_beats_msvc_at_8m(self, table):
+        idx = table.column("n").index(1 << 23)
+        assert table.column("gpu_pbsn")[idx] < table.column("cpu_msvc")[idx]
+
+    def test_gpu_comparable_to_intel_at_8m(self, table):
+        idx = table.column("n").index(1 << 23)
+        ratio = table.column("gpu_pbsn")[idx] / table.column("cpu_intel")[idx]
+        assert 0.5 < ratio < 2.0
+
+    def test_gpu_about_3x_slower_below_16k(self, table):
+        idx = table.column("n").index(1 << 13)
+        ratio = table.column("gpu_pbsn")[idx] / table.column("cpu_msvc")[idx]
+        assert 1.5 < ratio < 8.0
+
+    def test_bitonic_order_of_magnitude_slower(self, table):
+        idx = table.column("n").index(1 << 23)
+        ratio = (table.column("gpu_bitonic")[idx]
+                 / table.column("gpu_pbsn")[idx])
+        assert ratio > 8
+
+    def test_crossover_exists(self, table):
+        """The GPU curve crosses under the MSVC curve somewhere."""
+        gpu = table.column("gpu_pbsn")
+        msvc = table.column("cpu_msvc")
+        signs = [g < c for g, c in zip(gpu, msvc)]
+        assert not signs[0] and signs[-1]
+
+
+class TestFigure3Kernels:
+    """Wall-clock kernels behind the figure (pytest-benchmark)."""
+
+    def test_gpu_pbsn_sort(self, benchmark, rng):
+        data = rng.random(4096 * SCALE).astype(np.float32)
+        sorter = GpuSorter()
+        out = benchmark(sorter.sort, data)
+        assert np.array_equal(out, np.sort(data))
+
+    def test_gpu_bitonic_sort(self, benchmark, rng):
+        data = rng.random(4096 * SCALE).astype(np.float32)
+        sorter = GpuSorter(network="bitonic")
+        out = benchmark(sorter.sort, data)
+        assert np.array_equal(out, np.sort(data))
+
+    def test_cpu_reference_sort(self, benchmark, rng):
+        data = rng.random(4096 * SCALE).astype(np.float32)
+        out = benchmark(optimized_sort, data)
+        assert np.array_equal(out, np.sort(data))
+
+
+class TestModelConsistency:
+    def test_modelled_curves_monotone(self):
+        for model in (predicted_gpu_sort_time,):
+            times = [model(1 << k).total for k in range(12, 24)]
+            assert all(b > a for a, b in zip(times, times[1:]))
+        for model in (CPU_MODEL_MSVC, CPU_MODEL_INTEL,
+                      BitonicFragmentProgramModel()):
+            times = [model.time(1 << k) for k in range(12, 24)]
+            assert all(b > a for a, b in zip(times, times[1:]))

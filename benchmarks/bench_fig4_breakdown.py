@@ -1,0 +1,72 @@
+"""Figure 4 — GPU sorting breakdown: compute vs CPU-GPU data transfer.
+
+The paper's point: the AGP bus, despite being the slowest link, is *not*
+the bottleneck — sorting time dwarfs transfer time — and the sort time
+follows the O(n log^2 n) comparator count closely enough that an 8M base
+measurement predicts the other sizes "within a few milli-seconds".
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import figure4_series, predict_pbsn_counters
+from repro.sorting import GpuSorter
+
+from conftest import SCALE, emit
+
+
+class TestFigure4Shape:
+    @pytest.fixture(scope="class")
+    def table(self):
+        table = figure4_series()
+        emit(table)
+        return table
+
+    def test_transfer_never_dominates(self, table):
+        for n, sort, transfer in zip(table.column("n"), table.column("sort"),
+                                     table.column("transfer")):
+            if n >= 1 << 16:
+                assert transfer < sort, f"transfer dominates at n={n}"
+
+    def test_transfer_stays_minor_and_shrinks_asymptotically(self, table):
+        fractions = [t / s for s, t in zip(table.column("sort"),
+                                           table.column("transfer"))]
+        # never more than ~10% of the sort time anywhere in the range...
+        assert max(fractions) < 0.15
+        # ...and shrinking once the O(n log^2 n) sort term dominates the
+        # O(n) transfer (compare 1M against 8M).
+        large = [f for n, f in zip(table.column("n"), fractions)
+                 if n >= 1 << 20]
+        assert large[-1] < large[0]
+
+    def test_extrapolation_accuracy_at_scale(self, table):
+        # The paper's n log^2 n scaling from the 8M base point.
+        for n, sort, est in zip(table.column("n"), table.column("sort"),
+                                table.column("estimated_sort")):
+            if n >= 1 << 20:
+                assert abs(est - sort) / sort < 0.35
+
+
+class TestCounterValidation:
+    """The model rests on exact counters; re-validate a sample here."""
+
+    @pytest.mark.parametrize("n", [1 << 10, 1 << 14])
+    def test_simulator_matches_prediction(self, rng, n):
+        sorter = GpuSorter()
+        sorter.sort(rng.random(n).astype(np.float32))
+        predicted = predict_pbsn_counters(n)
+        assert predicted.passes == sorter.last_counters.passes
+        assert predicted.blend_ops == sorter.last_counters.blend_ops
+        assert predicted.bytes_uploaded == sorter.last_counters.bytes_uploaded
+
+
+class TestFigure4Kernels:
+    def test_upload_sort_readback_kernel(self, benchmark, rng):
+        data = rng.random(16384 * SCALE).astype(np.float32)
+        sorter = GpuSorter()
+
+        def pipeline():
+            return sorter.sort(data)
+
+        out = benchmark(pipeline)
+        assert out.size == data.size

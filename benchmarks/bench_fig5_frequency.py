@@ -1,0 +1,67 @@
+"""Figure 5 — frequency estimation over a 100M-element stream, GPU vs CPU.
+
+Paper claims reproduced here: the GPU pipeline "performs better than the
+optimized CPU implementation for large sized windows", incurs overhead
+for small windows, and its data-transfer time "remains constant and is
+significantly lower than the time taken to sort".
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import figure5_series
+from repro.core import StreamMiner
+from repro.streams import uniform_stream
+
+from conftest import SCALE, emit
+
+
+class TestFigure5Shape:
+    @pytest.fixture(scope="class")
+    def table(self):
+        table = figure5_series(run_elements=100_000 * SCALE)
+        emit(table)
+        return table
+
+    def test_cpu_wins_small_windows(self, table):
+        assert table.column("gpu_total")[0] > table.column("cpu_total")[0]
+
+    def test_gpu_wins_largest_windows(self, table):
+        assert table.column("gpu_total")[-1] < table.column("cpu_total")[-1]
+
+    def test_gpu_improves_monotonically_with_window(self, table):
+        gpu = table.column("gpu_total")
+        assert all(b < a for a, b in zip(gpu, gpu[1:]))
+
+    def test_transfer_small_and_flat(self, table):
+        transfers = table.column("gpu_transfer")[2:]  # large windows
+        totals = table.column("gpu_total")[2:]
+        for transfer, total in zip(transfers, totals):
+            assert transfer < 0.25 * total
+        assert max(transfers) / min(transfers) < 2.0
+
+
+class TestFigure5Kernels:
+    @pytest.mark.parametrize("backend", ["gpu", "cpu"])
+    def test_frequency_pipeline(self, benchmark, backend):
+        data = uniform_stream(20_000 * SCALE, seed=55)
+
+        def run():
+            miner = StreamMiner("frequency", eps=1e-3, backend=backend)
+            miner.process(data)
+            return miner
+
+        miner = benchmark(run)
+        assert miner.report.elements == data.size
+
+
+class TestCorrectnessUnderBenchLoad:
+    def test_results_identical_across_backends(self):
+        data = uniform_stream(30_000, seed=56)
+        miners = {}
+        for backend in ("gpu", "cpu"):
+            miner = StreamMiner("frequency", eps=1e-3, backend=backend)
+            miner.process(data)
+            miners[backend] = miner
+        assert miners["gpu"].frequent_items(0.01) == \
+            miners["cpu"].frequent_items(0.01)

@@ -1,0 +1,65 @@
+"""Figure 6 — cost of summary operations in the frequency pipeline.
+
+"The graph indicates that the majority of the computational time is
+spent in sorting the window values" — 80-90% per Section 5.1, with the
+merge the next largest share and compress small.
+"""
+
+import pytest
+
+from repro.bench import figure6_series
+from repro.core import StreamMiner
+from repro.streams import uniform_stream, zipf_stream
+
+from conftest import SCALE, emit
+
+
+class TestFigure6Shape:
+    @pytest.fixture(scope="class")
+    def table(self):
+        table = figure6_series([1e-2, 1e-3, 1e-4],
+                               run_elements=200_000 * SCALE)
+        emit(table)
+        return table
+
+    def test_sort_dominates_every_eps(self, table):
+        for eps, sort in zip(table.column("eps"), table.column("sort")):
+            assert sort > 0.6, f"sort share {sort} at eps={eps}"
+
+    def test_sort_share_grows_with_window(self, table):
+        # Larger windows: sorting is O(w log w) vs linear merge.
+        shares = table.column("sort")
+        assert shares[-1] > shares[0]
+
+    def test_merge_second_largest(self, table):
+        for row in table.rows:
+            _, _, sort, histogram, merge, compress = row
+            assert merge >= compress
+            assert sort >= merge
+
+    def test_shares_normalised(self, table):
+        for row in table.rows:
+            assert sum(row[2:]) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestSkewDoesNotChangeStory:
+    def test_zipf_stream_still_sort_dominated(self):
+        miner = StreamMiner("frequency", eps=1e-3, backend="cpu")
+        miner.process(zipf_stream(100_000 * SCALE, alpha=1.2,
+                                  universe=50_000, seed=66))
+        shares = miner.report.modelled_shares()
+        assert shares["sort"] > 0.5
+
+
+class TestFigure6Kernels:
+    def test_summary_op_accounting_overhead(self, benchmark):
+        """The instrumentation itself must stay cheap."""
+        data = uniform_stream(20_000 * SCALE, seed=67)
+
+        def run():
+            miner = StreamMiner("frequency", eps=1e-3, backend="cpu")
+            miner.process(data)
+            return miner.report.modelled_shares()
+
+        shares = benchmark(run)
+        assert 0.99 < sum(shares.values()) < 1.01

@@ -1,0 +1,84 @@
+"""Section 5.3 — epsilon-approximate queries over sliding windows.
+
+The paper applies its frequency and quantile estimators to fixed and
+variable-sized sliding windows (the surviving text ends mid-section, so
+the quantitative targets are the stated guarantees rather than a figure):
+deterministic eps*W error, bounded space, and the same GPU-vs-CPU cost
+structure as the history-mode pipeline.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.bench import sliding_window_series
+from repro.core import StreamMiner
+from repro.streams import uniform_stream, zipf_stream
+
+from conftest import SCALE, emit
+
+
+class TestSlidingShape:
+    @pytest.fixture(scope="class")
+    def table(self):
+        table = sliding_window_series([2_000, 10_000, 50_000],
+                                      run_elements=150_000 * SCALE)
+        emit(table)
+        return table
+
+    def test_error_within_deterministic_bound(self, table):
+        for err, bound in zip(table.column("worst_rank_err"),
+                              table.column("bound")):
+            assert err <= bound
+
+    def test_gpu_cost_improves_with_window(self, table):
+        gpu = table.column("gpu_total")
+        assert all(b < a for a, b in zip(gpu, gpu[1:]))
+
+    def test_space_bounded_by_window(self, table):
+        for window, space in zip(table.column("window"),
+                                 table.column("space_entries")):
+            assert space <= 2 * window
+
+
+class TestVariableWidthWindows:
+    def test_variable_queries_follow_suffix(self):
+        miner = StreamMiner("quantile", eps=0.05, backend="cpu",
+                            mode="sliding", sliding_window=8000,
+                            variable=True)
+        data = np.concatenate([
+            uniform_stream(20_000, low=0, high=1, seed=88),
+            uniform_stream(4_000, low=100, high=101, seed=89)])
+        miner.process(data)
+        # the narrow recent suffix is all high values
+        assert miner.quantile(0.5, width=2000) > 50
+        # the full window still mixes both regimes
+        assert miner.quantile(0.25) < 50
+
+    def test_sliding_frequencies_expire(self):
+        miner = StreamMiner("frequency", eps=0.01, backend="cpu",
+                            mode="sliding", sliding_window=5000)
+        old = np.full(20_000, 7.0, dtype=np.float32)
+        new = zipf_stream(6_000, alpha=1.5, universe=50, seed=90)
+        miner.process(np.concatenate([old, new]))
+        items = {v for v, _ in miner.frequent_items(0.2)}
+        assert 7.0 not in items
+        true = Counter(new[-5000:].tolist())
+        heavy = {v for v, c in true.items() if c >= 0.2 * 5000}
+        assert heavy <= items
+
+
+class TestSlidingKernels:
+    @pytest.mark.parametrize("backend", ["gpu", "cpu"])
+    def test_sliding_quantile_pipeline(self, benchmark, backend):
+        data = uniform_stream(30_000 * SCALE, seed=91)
+
+        def run():
+            miner = StreamMiner("quantile", eps=0.02, backend=backend,
+                                mode="sliding", sliding_window=10_000)
+            miner.process(data)
+            return miner.quantile(0.5)
+
+        median = benchmark(run)
+        assert 400 < median < 600  # uniform [0, 1000)

@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one of the paper's figures (or an ablation
+the text describes), prints the figure's data series as a table, and
+asserts the paper's qualitative claims.  pytest-benchmark times the
+representative kernel of each figure.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — multiplies the wall-clock workload sizes
+  (default 1; set to 4+ on a fast machine for tighter numbers).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+SCALE = max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2005)
+
+
+def emit(table) -> None:
+    """Print a figure table so it lands in the benchmark log."""
+    print()
+    print(table.render())
+
+
+def rank_error(sorted_reference: np.ndarray, estimate: float,
+               target_rank: int) -> int:
+    """Rank distance between ``estimate`` and ``target_rank``."""
+    lo = int(np.searchsorted(sorted_reference, estimate, "left")) + 1
+    hi = int(np.searchsorted(sorted_reference, estimate, "right"))
+    return max(lo - target_rank, target_rank - hi, 0)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quantile tracking over financial tick data (the paper's "finance
+logs" use case).
+
+A trading venue streams trade prices; risk systems continuously ask for
+the median and tail quantiles of the *recent* market — a sliding-window
+query — and for value-at-threshold style correlated aggregates ("how
+much volume traded below the 10th percentile price?").
+
+Run:  python examples/financial_latency_quantiles.py
+"""
+
+import numpy as np
+
+from repro import CorrelatedSum, StreamMiner, financial_tick_stream
+
+
+def sliding_price_quantiles(prices: np.ndarray) -> None:
+    print("=" * 64)
+    print("Sliding-window price quantiles (last 20,000 ticks)")
+    print("=" * 64)
+    miner = StreamMiner("quantile", eps=0.01, backend="gpu",
+                        mode="sliding", sliding_window=20_000,
+                        variable=True)
+    miner.process(prices)
+    window = prices[-20_000:]
+    for phi in (0.05, 0.5, 0.95):
+        est = miner.quantile(phi)
+        exact = float(np.quantile(window, phi))
+        print(f"  P{int(phi * 100):02d}: estimate {est:9.4f}   "
+              f"exact {exact:9.4f}   (|diff| {abs(est - exact):.4f})")
+
+    print("\nvariable-width: the same miner answers narrower suffixes")
+    for width in (2_000, 10_000):
+        est = miner.quantile(0.5, width=width)
+        exact = float(np.median(prices[-width:]))
+        print(f"  median of last {width:6,} ticks: estimate {est:9.4f}  "
+              f"exact {exact:9.4f}")
+    print()
+
+
+def entire_history_quantiles(prices: np.ndarray) -> None:
+    print("=" * 64)
+    print("Entire-history quantiles (exponential histogram of summaries)")
+    print("=" * 64)
+    miner = StreamMiner("quantile", eps=0.005, backend="gpu",
+                        window_size=8192, stream_length_hint=prices.size)
+    miner.process(prices)
+    estimator = miner.estimator
+    print(f"{prices.size:,} ticks in {estimator.num_buckets} buckets, "
+          f"{estimator.space():,} summary entries total")
+    for phi in (0.01, 0.5, 0.99):
+        print(f"  P{int(phi * 100):02d} over full history: "
+              f"{miner.quantile(phi):9.4f}")
+    print()
+
+
+def volume_below_price(prices: np.ndarray, rng: np.random.Generator) -> None:
+    print("=" * 64)
+    print("Correlated sum: volume traded below a price quantile")
+    print("=" * 64)
+    volumes = rng.lognormal(4.0, 1.0, prices.size).astype(np.float32)
+    cs = CorrelatedSum(eps=0.01, window_size=5_000)
+    cs.update(prices, volumes)
+    total = float(volumes.sum())
+    for phi in (0.1, 0.5, 0.9):
+        est = cs.query(phi)
+        threshold = float(np.quantile(prices, phi))
+        exact = float(volumes[prices <= threshold].sum())
+        print(f"  volume below P{int(phi * 100):02d} "
+              f"(price <= {threshold:8.4f}): estimate {est:14,.0f}  "
+              f"exact {exact:14,.0f}  ({abs(est - exact) / total:6.2%} "
+              f"of total volume)")
+    print()
+
+
+if __name__ == "__main__":
+    rng = np.random.default_rng(11)
+    prices = financial_tick_stream(150_000, start_price=100.0, seed=11)
+    sliding_price_quantiles(prices)
+    entire_history_quantiles(prices)
+    volume_below_price(prices, rng)
+    print("done.")

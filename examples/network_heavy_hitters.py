@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Heavy hitters on a high-speed network stream (the paper's motivating
+use case: "high-speed networking ... generate massive volumes of data").
+
+Simulates a router monitoring packet sizes, finds the dominant packet
+classes over the entire history AND over a sliding window of the most
+recent traffic, and demonstrates hierarchical heavy hitters — which size
+*bands* carry the traffic, not just which exact sizes.
+
+Run:  python examples/network_heavy_hitters.py
+"""
+
+import numpy as np
+
+from repro import (HierarchicalHeavyHitters, StreamMiner,
+                   network_trace_stream)
+
+
+def history_heavy_hitters(trace: np.ndarray) -> None:
+    print("=" * 64)
+    print("Entire-history heavy hitters (Manku-Motwani on the GPU engine)")
+    print("=" * 64)
+    miner = StreamMiner("frequency", eps=0.0005, backend="gpu")
+    miner.process(trace)
+    print(f"{trace.size:,} packets processed; summary holds "
+          f"{len(miner.estimator):,} entries "
+          f"(bound: {miner.estimator.space_bound():,})")
+    print("packet sizes above 1% of all traffic:")
+    for size, count in miner.frequent_items(0.01)[:10]:
+        share = count / trace.size
+        print(f"  {size:6.0f} bytes : {count:8,} packets  ({share:5.1%})")
+    print()
+
+
+def sliding_heavy_hitters(trace: np.ndarray) -> None:
+    print("=" * 64)
+    print("Sliding-window heavy hitters (last 50,000 packets)")
+    print("=" * 64)
+    miner = StreamMiner("frequency", eps=0.002, backend="gpu",
+                        mode="sliding", sliding_window=50_000)
+    # a traffic shift: inject a burst of 1200-byte packets at the end
+    burst = np.full(20_000, 1200.0, dtype=np.float32)
+    miner.process(np.concatenate([trace, burst]))
+    print("recent heavy hitters (the burst should appear):")
+    for size, count in miner.frequent_items(0.05)[:6]:
+        print(f"  {size:6.0f} bytes : ~{count:,} of the last 50k packets")
+    print()
+
+
+def hierarchical_bands(trace: np.ndarray) -> None:
+    print("=" * 64)
+    print("Hierarchical heavy hitters: which size bands dominate")
+    print("=" * 64)
+    hhh = HierarchicalHeavyHitters(eps=0.002, levels=12)
+    hhh.update(trace)
+    print("bands (level L groups 2^L consecutive sizes):")
+    for level, prefix, count in hhh.query(0.05):
+        low = prefix << level
+        high = ((prefix + 1) << level) - 1
+        label = f"{low}" if level == 0 else f"{low}-{high}"
+        print(f"  level {level:2d}  sizes {label:>11} bytes : "
+              f">= {count:8,} packets")
+    print()
+
+
+if __name__ == "__main__":
+    trace = network_trace_stream(200_000, seed=7)
+    history_heavy_hitters(trace)
+    sliding_heavy_hitters(trace)
+    hierarchical_bands(trace)
+    print("done.")

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Sensor-network quantile aggregation (Greenwald-Khanna 2004, the model
+the paper's Section 5.2 streaming algorithm is built on).
+
+A field of sensors reports temperature readings up a routing tree; each
+node forwards only a pruned epsilon-approximate summary instead of raw
+readings, and the base station answers quantile queries over *all*
+readings within the error budget — the communication-vs-accuracy
+trade-off that motivated GK04.
+
+Run:  python examples/sensor_network_aggregation.py
+"""
+
+import numpy as np
+
+from repro import SensorNode, aggregate
+
+
+def build_field(rng: np.random.Generator, fanout: int = 4,
+                depth: int = 3, readings: int = 500) -> SensorNode:
+    """A complete tree of sensors; deeper nodes sit in hotter terrain."""
+
+    def build(level: int, bias: float) -> SensorNode:
+        data = rng.normal(20.0 + bias, 3.0, readings)
+        if level == 0:
+            return SensorNode(data)
+        children = [build(level - 1, bias + rng.normal(0, 2.0))
+                    for _ in range(fanout)]
+        return SensorNode(data, children)
+
+    return build(depth, 0.0)
+
+
+def raw_readings(node: SensorNode) -> np.ndarray:
+    parts = [node.observations]
+    for child in node.children:
+        parts.append(raw_readings(child))
+    return np.concatenate(parts)
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    root = build_field(rng)
+    total = root.total_observations
+    print(f"sensor field: {total:,} readings across a depth-"
+          f"{root.height} tree")
+
+    for eps in (0.05, 0.01):
+        summary = aggregate(root, eps=eps)
+        reference = np.sort(raw_readings(root))
+        print(f"\neps = {eps}: root summary holds {len(summary)} entries "
+              f"(vs {total:,} raw readings, "
+              f"{len(summary) / total:.2%} of the data moved)")
+        worst = 0
+        for phi in (0.1, 0.5, 0.9):
+            est = summary.quantile(phi)
+            target = max(1, int(np.ceil(phi * total)))
+            lo = int(np.searchsorted(reference, est, "left")) + 1
+            hi = int(np.searchsorted(reference, est, "right"))
+            err = max(lo - target, target - hi, 0)
+            worst = max(worst, err)
+            print(f"  P{int(phi * 100):02d}: {est:7.3f} degC  "
+                  f"(rank error {err}, bound {eps * total:.0f})")
+        assert worst <= eps * total
+
+
+if __name__ == "__main__":
+    main()
+    print("\ndone.")

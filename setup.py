@@ -1,0 +1,5 @@
+"""Thin shim so `python setup.py develop` works in offline environments
+without the `wheel` package (all metadata lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,95 @@
+"""repro — GPU-accelerated approximate stream mining, reproduced.
+
+A full reimplementation of Govindaraju, Raghuvanshi & Manocha,
+*"Fast and Approximate Stream Mining of Quantiles and Frequencies Using
+Graphics Processors"* (SIGMOD 2005): the rasterization-based PBSN
+sorting algorithm, the epsilon-approximate quantile and frequency
+summaries it accelerates, sliding-window variants, and — since this
+library runs on commodity CPUs — a faithful software model of the
+GeForce-6800-class GPU the paper used, with exact operation counters
+and an analytic performance model.
+
+Quick start::
+
+    import numpy as np
+    from repro import StreamMiner, uniform_stream
+
+    miner = StreamMiner("quantile", eps=0.01, backend="gpu",
+                        window_size=4096)
+    miner.process(uniform_stream(100_000))
+    print(miner.quantile(0.5))
+
+See README.md for the architecture overview, DESIGN.md for the
+paper-to-module map, and EXPERIMENTS.md for the figure reproductions.
+"""
+
+from .core import (CorrelatedSum, DgimCounter, DgimSum, EngineReport,
+                   EquiDepthHistogram, FlajoletMartin, GKSummary,
+                   HierarchicalHeavyHitters, KMinValues, LossyCounting,
+                   MisraGries, QuantileSummary, SensorNode,
+                   SlidingWindowFrequencies, SlidingWindowQuantiles,
+                   SpaceSaving, StickySampling, StreamMiner,
+                   StreamingQuantiles, VOptimalHistogram,
+                   WindowHistogram, WindowedDistinctCounter, aggregate,
+                   histogram_from_sorted)
+from .errors import (BlendStateError, BusError, GpuError, InvariantViolation,
+                     QueryError, RasterizationError, ReproError, SortError,
+                     StreamError, SummaryError, TextureError,
+                     VideoMemoryError)
+from .gpu import GpuDevice
+from .sorting import GpuSorter, InstrumentedCpuSorter, optimized_sort, quicksort
+from .streams import (DataStream, financial_tick_stream,
+                      network_trace_stream, normal_stream, uniform_stream,
+                      zipf_stream)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlendStateError",
+    "BusError",
+    "CorrelatedSum",
+    "DataStream",
+    "DgimCounter",
+    "DgimSum",
+    "EngineReport",
+    "EquiDepthHistogram",
+    "FlajoletMartin",
+    "GKSummary",
+    "GpuDevice",
+    "GpuError",
+    "GpuSorter",
+    "HierarchicalHeavyHitters",
+    "InstrumentedCpuSorter",
+    "InvariantViolation",
+    "KMinValues",
+    "LossyCounting",
+    "MisraGries",
+    "QuantileSummary",
+    "QueryError",
+    "RasterizationError",
+    "ReproError",
+    "SensorNode",
+    "SlidingWindowFrequencies",
+    "SlidingWindowQuantiles",
+    "SortError",
+    "SpaceSaving",
+    "StickySampling",
+    "StreamError",
+    "StreamMiner",
+    "StreamingQuantiles",
+    "SummaryError",
+    "VOptimalHistogram",
+    "TextureError",
+    "VideoMemoryError",
+    "WindowHistogram",
+    "WindowedDistinctCounter",
+    "aggregate",
+    "financial_tick_stream",
+    "histogram_from_sorted",
+    "network_trace_stream",
+    "normal_stream",
+    "optimized_sort",
+    "quicksort",
+    "uniform_stream",
+    "zipf_stream",
+]

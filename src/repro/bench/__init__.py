@@ -1,0 +1,30 @@
+"""Benchmark support: figure-series builders, op-count models, tables."""
+
+from .calibration import Anchor, anchors, calibration_table
+from .harness import (WALL_CLOCK_LIMIT, accuracy_series, figure3_series,
+                      figure4_series, figure5_series, figure6_series,
+                      figure7_series, sliding_window_series)
+from .models import (pbsn_comparison_count, pbsn_texture_shape,
+                     predict_pbsn_counters, predicted_gpu_sort_time,
+                     streaming_modelled_time)
+from .reporting import Table
+
+__all__ = [
+    "Anchor",
+    "Table",
+    "WALL_CLOCK_LIMIT",
+    "accuracy_series",
+    "anchors",
+    "calibration_table",
+    "figure3_series",
+    "figure4_series",
+    "figure5_series",
+    "figure6_series",
+    "figure7_series",
+    "pbsn_comparison_count",
+    "pbsn_texture_shape",
+    "predict_pbsn_counters",
+    "predicted_gpu_sort_time",
+    "sliding_window_series",
+    "streaming_modelled_time",
+]

@@ -1,0 +1,159 @@
+"""Analytic op-count predictions for paper-scale extrapolation.
+
+The wall-clock benchmarks run the full simulated pipeline up to ~10^6
+elements.  The paper's figures extend to 8 million (sorting) and 100
+million (streaming) elements; re-running the simulator there would take
+hours without telling us anything new, because the PBSN pass structure is
+completely deterministic.  This module predicts the exact perf counters
+for any input size — the prediction is validated against the simulator's
+actual counters in the test suite — so the figure harnesses can extend
+their modelled-time series to the paper's scales.
+
+This mirrors the paper's own methodology: Figure 4 extrapolates the
+O(n log^2 n) behaviour from an 8M-element base measurement and finds the
+estimates "closely match the observed timings (within a few
+milli-seconds)".
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..gpu.counters import PerfCounters
+from ..gpu.presets import GEFORCE_6800_ULTRA, GpuSpec
+from ..gpu.texture import BYTES_PER_TEXEL, CHANNELS
+from ..gpu.timing import GpuCostModel, GpuTimeBreakdown
+from ..sorting.networks import next_power_of_two
+
+
+def pbsn_texture_shape(n: int, spec: GpuSpec = GEFORCE_6800_ULTRA,
+                       channels: int = CHANNELS) -> tuple[int, int]:
+    """Texture (width, height) the GPU sorter would pick for ``n`` values."""
+    chunk = -(-n // channels)
+    per_channel = next_power_of_two(max(chunk, 1))
+    log_n = max(0, per_channel.bit_length() - 1)
+    width = 1 << ((log_n + 1) // 2)
+    height = 1 << (log_n // 2)
+    return width, height
+
+
+def predict_pbsn_counters(n: int, spec: GpuSpec = GEFORCE_6800_ULTRA,
+                          channels: int = CHANNELS) -> PerfCounters:
+    """Exact perf counters of a GPU PBSN sort of ``n`` values.
+
+    Matches :meth:`repro.sorting.gpu_sorter.GpuSorter.sort` counter for
+    counter (verified by ``tests/sorting/test_prediction.py``).
+    """
+    counters = PerfCounters()
+    if n <= 0:
+        return counters
+    width, height = pbsn_texture_shape(n, spec, channels)
+    pixels = width * height
+    texture_bytes = pixels * BYTES_PER_TEXEL
+
+    counters.record_upload(texture_bytes)
+    counters.record_readback(texture_bytes)
+
+    if pixels < 2:
+        return counters
+
+    # Routine 4.1: one unblended full-texture copy.
+    counters.record_pass(pixels, blended=False,
+                         bytes_per_texel=BYTES_PER_TEXEL, label="copy")
+
+    log_n = pixels.bit_length() - 1
+    for _stage in range(log_n):
+        block = pixels
+        while block >= 2:
+            if block <= width:
+                quads = 2 * (width // block)
+                fragments_each = (block // 2) * height
+                labels = ("row_min", "row_max")
+            else:
+                quads = 2 * (pixels // block)
+                fragments_each = width * (block // width) // 2
+                labels = ("min", "max")
+            for i in range(quads):
+                counters.record_pass(fragments_each, blended=True,
+                                     bytes_per_texel=BYTES_PER_TEXEL,
+                                     label=labels[i % 2])
+            block //= 2
+    return counters
+
+
+def predicted_gpu_sort_time(n: int,
+                            model: GpuCostModel | None = None) -> GpuTimeBreakdown:
+    """Modelled GeForce-6800 time of a PBSN sort of ``n`` values."""
+    if model is None:
+        model = GpuCostModel()
+    return model.breakdown(predict_pbsn_counters(n, model.spec))
+
+
+def pbsn_comparison_count(n: int, channels: int = CHANNELS) -> int:
+    """Total comparisons of the paper's Section 4.5 analysis.
+
+    Four channels of ``n/4`` values cost ``4 * (n/4) * log^2(n/4)``
+    stored comparison results on the GPU plus ``n`` CPU merge
+    comparisons; the paper folds this to ``n + n log^2(n/4)``.
+    """
+    if n <= 0:
+        return 0
+    per_channel = next_power_of_two(-(-n // channels))
+    log_n = max(1, per_channel.bit_length() - 1)
+    return n + n * log_n * log_n
+
+
+def streaming_modelled_time(total_elements: int, window: int,
+                            backend: str,
+                            model: GpuCostModel | None = None,
+                            cpu_time_fn=None,
+                            merge_cycles: float = 40.0,
+                            compress_cycles: float = 10.0,
+                            histogram_cycles: float = 8.0,
+                            summary_size: int | None = None,
+                            cpu_clock_hz: float = 3.4e9) -> dict[str, float]:
+    """Modelled per-operation seconds of a whole streaming run.
+
+    Used by the Figure 5/7 harnesses to extend their series to the
+    paper's 100M-element streams: the engine's measured runs validate the
+    model at feasible sizes and this closed form extends it.
+
+    Parameters
+    ----------
+    total_elements:
+        Stream length ``N``.
+    window:
+        Window size (``ceil(1/eps)`` for frequencies).
+    backend:
+        ``"gpu"`` (four windows per sort) or ``"cpu"`` (one per sort).
+    cpu_time_fn:
+        Callable ``n -> seconds`` for the CPU sort model (required for
+        the cpu backend).
+    summary_size:
+        Average summary size scanned per compress; defaults to ``window``
+        (the uniform-random worst case where every value is distinct).
+    """
+    windows = math.ceil(total_elements / window)
+    times = {op: 0.0 for op in
+             ("sort", "transfer", "histogram", "merge", "compress")}
+    if backend == "gpu":
+        batches = math.ceil(windows / CHANNELS)
+        breakdown = predicted_gpu_sort_time(4 * window, model)
+        # In a continuous streaming loop the textures and buffers are
+        # allocated once and reused, so the per-sort setup cost is paid
+        # once for the whole run rather than per batch.
+        per_batch = breakdown.sort - breakdown.setup
+        times["sort"] = breakdown.setup + batches * per_batch
+        times["transfer"] = batches * breakdown.transfer
+    elif backend == "cpu":
+        if cpu_time_fn is None:
+            raise ValueError("cpu backend requires cpu_time_fn")
+        times["sort"] = windows * cpu_time_fn(window)
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+    if summary_size is None:
+        summary_size = window
+    times["histogram"] = windows * window * histogram_cycles / cpu_clock_hz
+    times["merge"] = windows * window * merge_cycles / cpu_clock_hz
+    times["compress"] = windows * summary_size * compress_cycles / cpu_clock_hz
+    return times

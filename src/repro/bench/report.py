@@ -1,0 +1,53 @@
+"""Print every figure reproduction in one run.
+
+Usage::
+
+    python -m repro.bench.report            # all figures, default sizes
+    python -m repro.bench.report --fast     # smaller wall-clock workloads
+    python -m repro.bench.report --markdown # Markdown tables (EXPERIMENTS.md)
+
+The output is the complete set of data series behind the paper's
+Figures 3-7, the Section 5.3 sliding-window study, and the reconstructed
+accuracy tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .harness import (accuracy_series, figure3_series, figure4_series,
+                      figure5_series, figure6_series, figure7_series,
+                      sliding_window_series)
+
+
+def build_all(fast: bool = False) -> list:
+    """Build every figure table (fast mode shrinks wall-clock workloads)."""
+    scale = 1 if fast else 4
+    return [
+        figure3_series(wall_limit=(1 << 12) * scale),
+        figure4_series(),
+        figure5_series(run_elements=25_000 * scale),
+        figure6_series(run_elements=50_000 * scale),
+        figure7_series(run_elements=25_000 * scale),
+        sliding_window_series(run_elements=40_000 * scale),
+        accuracy_series(run_elements=25_000 * scale),
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro.bench.report``."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate every figure of the paper's evaluation.")
+    parser.add_argument("--fast", action="store_true",
+                        help="smaller wall-clock workloads")
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit Markdown tables instead of plain text")
+    args = parser.parse_args(argv)
+    for table in build_all(args.fast):
+        print(table.render_markdown() if args.markdown else table.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,183 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro sort      --n 100000 --backend gpu
+    python -m repro quantiles --n 500000 --eps 0.01 --phi 0.5 0.9 0.99
+    python -m repro frequent  --n 500000 --eps 0.001 --support 0.01
+    python -m repro distinct  --n 500000 --universe 50000
+    python -m repro figures   --fast
+
+Each subcommand generates a synthetic stream (``--workload`` picks the
+generator), runs the corresponding pipeline, and prints results plus the
+modelled paper-hardware timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from .bench.report import build_all
+from .core.distinct import WindowedDistinctCounter
+from .core.engine import StreamMiner
+from .sorting.cpu import optimized_sort
+from .sorting.gpu_sorter import GpuSorter
+from .streams.generators import GENERATORS
+
+
+def _add_stream_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=100_000,
+                        help="stream length (default 100000)")
+    parser.add_argument("--workload", choices=sorted(GENERATORS),
+                        default="uniform", help="synthetic generator")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _make_stream(args: argparse.Namespace) -> np.ndarray:
+    return GENERATORS[args.workload](args.n, seed=args.seed)
+
+
+def cmd_sort(args: argparse.Namespace) -> int:
+    """``repro sort``: sort a synthetic stream, print counters + timing."""
+    data = _make_stream(args)
+    start = time.perf_counter()
+    if args.backend == "gpu":
+        sorter = GpuSorter(network=args.network)
+        out = sorter.sort(data)
+        wall = time.perf_counter() - start
+        counters = sorter.last_counters
+        breakdown = sorter.modelled_time()
+        print(f"sorted {data.size:,} values ({args.workload}) on the "
+              f"simulated GPU [{args.network}]")
+        print(f"  wall time (simulator)     : {wall:.3f} s")
+        print(f"  rendering passes          : {counters.passes:,}")
+        print(f"  blend ops                 : {counters.blend_ops:,}")
+        print(f"  modelled GeForce-6800 time: {breakdown.total * 1e3:.2f} ms")
+    else:
+        out = optimized_sort(data)
+        wall = time.perf_counter() - start
+        print(f"sorted {data.size:,} values ({args.workload}) on the CPU")
+        print(f"  wall time: {wall:.3f} s")
+    assert np.all(out[1:] >= out[:-1])
+    return 0
+
+
+def cmd_quantiles(args: argparse.Namespace) -> int:
+    """``repro quantiles``: streaming phi-quantiles over a synthetic stream."""
+    data = _make_stream(args)
+    miner = StreamMiner("quantile", eps=args.eps, backend=args.backend,
+                        window_size=args.window,
+                        stream_length_hint=args.n)
+    miner.process(data)
+    print(f"{args.n:,} elements ({args.workload}), eps={args.eps}, "
+          f"backend={miner.backend}")
+    for phi in args.phi:
+        print(f"  phi={phi:<6g} -> {miner.quantile(phi):.6g}")
+    _print_report(miner)
+    return 0
+
+
+def cmd_frequent(args: argparse.Namespace) -> int:
+    """``repro frequent``: heavy hitters over a synthetic stream."""
+    data = _make_stream(args)
+    miner = StreamMiner("frequency", eps=args.eps, backend=args.backend)
+    miner.process(data)
+    items = miner.frequent_items(args.support)
+    print(f"{args.n:,} elements ({args.workload}), eps={args.eps}, "
+          f"support={args.support}: {len(items)} frequent items")
+    for value, count in items[:args.top]:
+        print(f"  {value:>12g} : >= {count:,}")
+    _print_report(miner)
+    return 0
+
+
+def cmd_distinct(args: argparse.Namespace) -> int:
+    """``repro distinct``: KMV cardinality estimate vs the exact count."""
+    rng = np.random.default_rng(args.seed)
+    data = rng.integers(0, args.universe, args.n).astype(np.float32)
+    counter = WindowedDistinctCounter(k=args.k, window_size=args.window)
+    counter.update(data)
+    estimate = counter.estimate()
+    exact = len(np.unique(data))
+    print(f"{args.n:,} elements over a {args.universe:,}-value universe")
+    print(f"  KMV estimate : {estimate:,.0f}")
+    print(f"  exact        : {exact:,}")
+    print(f"  error        : {abs(estimate - exact) / max(exact, 1):.2%} "
+          f"(2-sigma bound {counter.error_bound():.2%})")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """``repro figures``: regenerate every figure of the paper."""
+    for table in build_all(fast=args.fast):
+        print(table.render())
+        print()
+    return 0
+
+
+def _print_report(miner: StreamMiner) -> None:
+    report = miner.report
+    shares = report.modelled_shares()
+    print(f"  modelled paper-hardware time: {report.modelled_total:.4f} s "
+          f"(sort {shares['sort']:.0%}, transfer {shares['transfer']:.0%}, "
+          f"merge {shares['merge']:.0%})")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPU-accelerated approximate stream mining "
+                    "(SIGMOD 2005 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("sort", help="sort a synthetic stream")
+    _add_stream_args(p)
+    p.add_argument("--backend", choices=["gpu", "cpu"], default="gpu")
+    p.add_argument("--network", choices=["pbsn", "bitonic"], default="pbsn")
+    p.set_defaults(func=cmd_sort)
+
+    p = sub.add_parser("quantiles", help="streaming quantile estimation")
+    _add_stream_args(p)
+    p.add_argument("--backend", choices=["gpu", "cpu"], default="gpu")
+    p.add_argument("--eps", type=float, default=0.01)
+    p.add_argument("--window", type=int, default=4096)
+    p.add_argument("--phi", type=float, nargs="+",
+                   default=[0.25, 0.5, 0.75, 0.99])
+    p.set_defaults(func=cmd_quantiles)
+
+    p = sub.add_parser("frequent", help="frequent-item estimation")
+    _add_stream_args(p)
+    p.add_argument("--backend", choices=["gpu", "cpu"], default="gpu")
+    p.add_argument("--eps", type=float, default=0.001)
+    p.add_argument("--support", type=float, default=0.01)
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_frequent)
+
+    p = sub.add_parser("distinct", help="distinct-count estimation")
+    p.add_argument("--n", type=int, default=100_000)
+    p.add_argument("--universe", type=int, default=50_000)
+    p.add_argument("--k", type=int, default=512)
+    p.add_argument("--window", type=int, default=4096)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_distinct)
+
+    p = sub.add_parser("figures", help="regenerate the paper's figures")
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(func=cmd_figures)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""The paper's primary contribution: epsilon-approximate stream mining.
+
+Quantile estimation (Greenwald-Khanna summaries in an exponential
+histogram), frequency estimation (Manku-Motwani lossy counting plus
+baselines), sliding-window variants of both, and the
+:class:`StreamMiner` engine that drives them off GPU-sorted windows.
+"""
+
+from .aggregates import CorrelatedSum
+from .distinct import (FlajoletMartin, KMinValues, WindowedDistinctCounter,
+                       hash_values)
+from .engine import EngineReport, StreamMiner
+from .frequencies import (HierarchicalHeavyHitters, LossyCounting,
+                          MisraGries, SpaceSaving, StickySampling)
+from .histogram import WindowHistogram, histogram_from_sorted
+from .histograms import (EquiDepthHistogram, HistogramBucket,
+                         VOptimalHistogram)
+from .quantiles import (GKSummary, QuantileSummary, RankedValue, SensorNode,
+                        aggregate)
+from .sliding import (DgimCounter, DgimSum, SlidingWindowFrequencies,
+                      SlidingWindowQuantiles, StreamingQuantiles)
+
+__all__ = [
+    "CorrelatedSum",
+    "DgimCounter",
+    "DgimSum",
+    "EquiDepthHistogram",
+    "FlajoletMartin",
+    "EngineReport",
+    "GKSummary",
+    "HierarchicalHeavyHitters",
+    "HistogramBucket",
+    "KMinValues",
+    "LossyCounting",
+    "MisraGries",
+    "QuantileSummary",
+    "RankedValue",
+    "SensorNode",
+    "SlidingWindowFrequencies",
+    "SlidingWindowQuantiles",
+    "SpaceSaving",
+    "StickySampling",
+    "StreamMiner",
+    "StreamingQuantiles",
+    "VOptimalHistogram",
+    "WindowHistogram",
+    "WindowedDistinctCounter",
+    "aggregate",
+    "hash_values",
+    "histogram_from_sorted",
+]

@@ -1,0 +1,5 @@
+"""Aggregate queries built on the quantile machinery (Section 1.2)."""
+
+from .correlated_sum import CorrelatedSum
+
+__all__ = ["CorrelatedSum"]

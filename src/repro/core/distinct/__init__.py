@@ -1,0 +1,12 @@
+"""Distinct-count sketches (the third fundamental stream statistic of
+the paper's Section 1)."""
+
+from .fm import FlajoletMartin
+from .kmv import KMinValues, WindowedDistinctCounter, hash_values
+
+__all__ = [
+    "FlajoletMartin",
+    "KMinValues",
+    "WindowedDistinctCounter",
+    "hash_values",
+]

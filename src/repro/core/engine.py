@@ -1,0 +1,343 @@
+"""The stream-mining engine: the paper's GPU co-processor loop (Section 5).
+
+:class:`StreamMiner` ties every substrate together the way the paper's
+implementation does:
+
+1. the stream is cut into windows (``ceil(1/eps)`` for frequencies, a
+   configurable width for quantiles, the ``eps W / 2`` sub-window for
+   sliding modes);
+2. **four windows are buffered** and packed into the RGBA channels of one
+   texture, then sorted in a single GPU pass (Section 4.1) — or sorted
+   one by one by the CPU baseline;
+3. each sorted window becomes a **histogram** (frequencies) or a sampled
+   **summary** (quantiles);
+4. the result is **merged** into the epsilon-approximate summary and the
+   summary is **compressed**.
+
+The engine measures the wall time of each operation on this machine and,
+in parallel, derives *modelled* times on the paper's hardware (GeForce
+6800 Ultra + AGP 8X for the GPU path, Pentium IV for the CPU path) from
+exact operation counts.  Figures 5-7 are regenerated from the modelled
+times; Figure 6's operation-share chart holds for both (the shares come
+from the same counts).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import QueryError, SummaryError
+from ..gpu.device import GpuDevice
+from ..gpu.presets import PENTIUM_IV_3_4GHZ
+from ..sorting.cpu import InstrumentedCpuSorter
+from ..sorting.gpu_sorter import GpuSorter
+from .distinct.kmv import KMinValues, hash_values
+from .frequencies.lossy_counting import LossyCounting
+from .histogram import histogram_from_sorted
+from .sliding.exponential_histogram import StreamingQuantiles
+from .sliding.window_query import (SlidingWindowFrequencies,
+                                   SlidingWindowQuantiles)
+
+#: Modelled Pentium-IV cycles per histogram entry for the summary merge
+#: (hash probe + counter update).  Calibrated so the operation shares
+#: match Figure 6's sort-dominated profile (Section 5.1: sorting is
+#: 80-90% of the frequency pipeline).
+MERGE_CYCLES_PER_ENTRY = 40.0
+
+#: Modelled cycles per summary entry scanned by the compress operation.
+COMPRESS_CYCLES_PER_ENTRY = 10.0
+
+#: Modelled cycles per window element for the run-length histogram scan.
+HISTOGRAM_CYCLES_PER_ELEMENT = 8.0
+
+OPERATIONS = ("sort", "transfer", "histogram", "merge", "compress")
+
+
+@dataclass
+class EngineReport:
+    """Per-operation accounting of one mining run."""
+
+    backend: str
+    statistic: str
+    elements: int = 0
+    windows: int = 0
+    #: wall seconds measured on this machine, per operation.
+    wall: dict[str, float] = field(
+        default_factory=lambda: {op: 0.0 for op in OPERATIONS})
+    #: modelled paper-hardware seconds, per operation.
+    modelled: dict[str, float] = field(
+        default_factory=lambda: {op: 0.0 for op in OPERATIONS})
+
+    @property
+    def wall_total(self) -> float:
+        """Total measured seconds."""
+        return sum(self.wall.values())
+
+    @property
+    def modelled_total(self) -> float:
+        """Total modelled seconds on the paper's hardware."""
+        return sum(self.modelled.values())
+
+    def modelled_shares(self) -> dict[str, float]:
+        """Fraction of modelled time per operation (Figure 6's quantity)."""
+        total = self.modelled_total
+        if total <= 0:
+            return {op: 0.0 for op in OPERATIONS}
+        return {op: t / total for op, t in self.modelled.items()}
+
+
+class StreamMiner:
+    """Epsilon-approximate quantile/frequency mining with a GPU co-processor.
+
+    Parameters
+    ----------
+    statistic:
+        ``"frequency"``, ``"quantile"`` or ``"distinct"``.
+    eps:
+        Approximation fraction.
+    backend:
+        ``"gpu"`` (PBSN on the simulated device), ``"cpu"`` (quicksort
+        baseline), or any object with ``sort_batch``.
+    mode:
+        ``"history"`` (queries over the entire past) or ``"sliding"``.
+    window_size:
+        Window width for history-mode quantiles (frequencies always use
+        ``ceil(1/eps)``); defaults to ``ceil(1/eps)``.
+    sliding_window:
+        Window width ``W`` for sliding mode.
+    variable:
+        Allow variable-width sliding queries.
+    device:
+        Optional shared :class:`GpuDevice` for the GPU backend.
+    cpu_speedup:
+        Constant factor applied to the modelled CPU sort times (1.0 =
+        the MSVC baseline, 1.5 = the paper's Intel build).
+    stream_length_hint:
+        Expected total stream length (the paper's known-``N`` assumption),
+        used by history-mode quantiles.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import StreamMiner
+    >>> miner = StreamMiner("quantile", eps=0.05, backend="cpu",
+    ...                     window_size=256)
+    >>> miner.process(np.random.default_rng(0).random(4096))
+    >>> 0.4 <= miner.quantile(0.5) <= 0.6
+    True
+    """
+
+    def __init__(self, statistic: str = "frequency", eps: float = 1e-3,
+                 backend: str = "gpu", mode: str = "history",
+                 window_size: int | None = None,
+                 sliding_window: int | None = None,
+                 variable: bool = False,
+                 device: GpuDevice | None = None,
+                 cpu_speedup: float = 1.5,
+                 stream_length_hint: int = 100_000_000):
+        if statistic not in ("frequency", "quantile", "distinct"):
+            raise SummaryError(f"unknown statistic {statistic!r}")
+        if statistic == "distinct" and mode == "sliding":
+            raise SummaryError("distinct counting supports history mode only")
+        if mode not in ("history", "sliding"):
+            raise SummaryError(f"unknown mode {mode!r}")
+        self.statistic = statistic
+        self.mode = mode
+        self.eps = float(eps)
+        self._cpu_spec = PENTIUM_IV_3_4GHZ
+
+        if isinstance(backend, str):
+            if backend == "gpu":
+                self.sorter = GpuSorter(device)
+            elif backend == "cpu":
+                self.sorter = InstrumentedCpuSorter(speedup=cpu_speedup)
+            else:
+                raise SummaryError(f"unknown backend {backend!r}")
+        else:
+            self.sorter = backend
+        self.backend = getattr(self.sorter, "name", "custom")
+
+        if mode == "sliding":
+            if sliding_window is None:
+                raise SummaryError("sliding mode requires sliding_window")
+            if statistic == "quantile":
+                self.estimator = SlidingWindowQuantiles(
+                    eps, sliding_window, variable=variable)
+            else:
+                self.estimator = SlidingWindowFrequencies(
+                    eps, sliding_window, variable=variable)
+            self.window_size = self.estimator.subwindow
+        elif statistic == "frequency":
+            self.estimator = LossyCounting(eps)
+            self.window_size = self.estimator.window_size
+        elif statistic == "distinct":
+            # KMV sketch size from the target error: rel. std. error of
+            # the estimator is ~1/sqrt(k-2).
+            k = max(16, math.ceil(1.0 / (eps * eps)) + 2)
+            self.estimator = KMinValues(k)
+            self.window_size = (int(window_size) if window_size
+                                else 4096)
+        else:
+            self.window_size = (int(window_size) if window_size
+                                else max(1, math.ceil(1.0 / eps)))
+            self.estimator = StreamingQuantiles(
+                eps, self.window_size, stream_length_hint)
+
+        self.report = EngineReport(self.backend, statistic)
+        self._pending_windows: list[np.ndarray] = []
+        self._buffer = np.empty(0, dtype=np.float32)
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def update(self, chunk: np.ndarray | list[float]) -> None:
+        """Feed stream elements; complete 4-window batches are processed."""
+        arr = np.asarray(chunk, dtype=np.float32).ravel()
+        if arr.size == 0:
+            return
+        if self.statistic == "distinct":
+            # the pipeline sorts *hashes* for distinct counting; the k
+            # smallest of each sorted window feed the KMV sketch.
+            self.estimator.count += int(arr.size)
+            arr = hash_values(arr, self.estimator.seed).astype(np.float32)
+        data = (np.concatenate([self._buffer, arr])
+                if self._buffer.size else arr)
+        w = self.window_size
+        full = (data.size // w) * w
+        for start in range(0, full, w):
+            self._pending_windows.append(data[start:start + w])
+            if len(self._pending_windows) == 4:
+                self._flush_batch()
+        self._buffer = data[full:].copy()
+
+    def process(self, stream: np.ndarray | Iterable) -> None:
+        """Consume an entire stream (array or iterable of chunks) and flush."""
+        if isinstance(stream, np.ndarray):
+            self.update(stream)
+        else:
+            for chunk in stream:
+                self.update(chunk)
+        self.flush()
+
+    def flush(self) -> None:
+        """Process buffered windows; in history mode also the partial tail."""
+        if self._buffer.size and self.mode == "history":
+            # Sliding estimators need exact sub-window sizes; history
+            # estimators accept a short final window.
+            self._pending_windows.append(self._buffer)
+            self._buffer = np.empty(0, dtype=np.float32)
+        if self._pending_windows:
+            self._flush_batch()
+
+    # ------------------------------------------------------------------
+    # the co-processor loop
+    # ------------------------------------------------------------------
+    def _flush_batch(self) -> None:
+        windows, self._pending_windows = self._pending_windows, []
+        clock = self._cpu_spec.clock_hz
+
+        start = time.perf_counter()
+        sorted_windows = self.sorter.sort_batch(windows)
+        sort_wall = time.perf_counter() - start
+
+        if isinstance(self.sorter, GpuSorter):
+            breakdown = self.sorter.modelled_time()
+            # Buffers are reused across batches in the streaming loop, so
+            # the per-sort setup cost is charged only on the first batch.
+            sort_time = breakdown.sort
+            if self.report.windows:
+                sort_time -= breakdown.setup
+            self.report.modelled["sort"] += sort_time
+            self.report.modelled["transfer"] += breakdown.transfer
+            # Wall time on the simulator includes the (free-in-model)
+            # transfers; attribute it all to sort.
+            self.report.wall["sort"] += sort_wall
+        else:
+            self.report.wall["sort"] += sort_wall
+            model = getattr(self.sorter, "cost_model", None)
+            if model is not None:
+                self.report.modelled["sort"] += sum(
+                    model.time(len(w)) for w in windows)
+
+        for window in sorted_windows:
+            self._ingest_sorted(window, clock)
+
+        self.report.windows += len(windows)
+        self.report.elements += sum(int(len(w)) for w in windows)
+
+    def _ingest_sorted(self, sorted_window: np.ndarray, clock: float) -> None:
+        start = time.perf_counter()
+        histogram = None
+        if self.statistic == "frequency":
+            histogram = histogram_from_sorted(sorted_window)
+        self.report.wall["histogram"] += time.perf_counter() - start
+        self.report.modelled["histogram"] += (
+            sorted_window.size * HISTOGRAM_CYCLES_PER_ELEMENT / clock)
+
+        start = time.perf_counter()
+        if self.mode == "sliding":
+            if self.statistic == "quantile":
+                self.estimator.add_sorted_subwindow(sorted_window)
+            else:
+                self.estimator.add_histogram(histogram)
+        elif self.statistic == "frequency":
+            self.estimator.update_histogram(histogram)
+        elif self.statistic == "distinct":
+            self.estimator.update_sorted_hashes(
+                sorted_window.astype(np.float64))
+        else:
+            self.estimator.add_sorted_window(sorted_window)
+        self.report.wall["merge"] += time.perf_counter() - start
+
+        merged_entries = (histogram.distinct if histogram is not None
+                          else sorted_window.size)
+        self.report.modelled["merge"] += (
+            merged_entries * MERGE_CYCLES_PER_ENTRY / clock)
+        # Compress scans the summary as it stood before deletions: the
+        # surviving entries plus everything this window just merged in.
+        scanned = self._summary_size() + merged_entries
+        self.report.modelled["compress"] += (
+            scanned * COMPRESS_CYCLES_PER_ENTRY / clock)
+
+    def _summary_size(self) -> int:
+        estimator = self.estimator
+        if hasattr(estimator, "space"):
+            return int(estimator.space())
+        return len(estimator)
+
+    # ------------------------------------------------------------------
+    # queries (delegated to the live estimator)
+    # ------------------------------------------------------------------
+    def quantile(self, phi: float, width: int | None = None) -> float:
+        """The phi-quantile (quantile statistic only)."""
+        if self.statistic != "quantile":
+            raise QueryError("this miner estimates frequencies")
+        if self.mode == "sliding":
+            return self.estimator.quantile(phi, width)
+        return self.estimator.quantile(phi)
+
+    def frequent_items(self, support: float,
+                       width: int | None = None) -> list[tuple[float, int]]:
+        """Heavy hitters above ``support`` (frequency statistic only)."""
+        if self.statistic != "frequency":
+            raise QueryError("this miner estimates quantiles")
+        if self.mode == "sliding":
+            return self.estimator.frequent_items(support, width)
+        return self.estimator.frequent_items(support)
+
+    def estimate(self, value: float) -> int:
+        """Estimated frequency of one value (frequency statistic only)."""
+        if self.statistic != "frequency":
+            raise QueryError("this miner estimates quantiles")
+        return self.estimator.estimate(value)
+
+    def distinct(self) -> float:
+        """Estimated distinct values seen (distinct statistic only)."""
+        if self.statistic != "distinct":
+            raise QueryError("this miner does not count distinct values")
+        return self.estimator.estimate()

@@ -1,0 +1,16 @@
+"""Epsilon-approximate frequency estimation (paper Sections 2.1 and 5.1)."""
+
+from .hierarchical import HierarchicalHeavyHitters
+from .lossy_counting import FrequencyEntry, LossyCounting
+from .misra_gries import MisraGries
+from .space_saving import SpaceSaving
+from .sticky_sampling import StickySampling
+
+__all__ = [
+    "FrequencyEntry",
+    "HierarchicalHeavyHitters",
+    "LossyCounting",
+    "MisraGries",
+    "SpaceSaving",
+    "StickySampling",
+]

@@ -1,0 +1,104 @@
+"""Hierarchical heavy hitters (paper Section 1.2's stated application).
+
+"Our approach is based on recent algorithms for quantile estimation [21]
+and frequency estimation [32] and is also applicable to hierarchical
+heavy hitter ... queries."  This module supplies that application: given
+values drawn from a domain with a natural dyadic hierarchy (e.g. IP
+prefixes, price bands), it finds every *prefix* whose frequency —
+discounted by the frequency of its already-reported descendants — exceeds
+the support threshold.
+
+The implementation maintains one :class:`~repro.core.frequencies.
+lossy_counting.LossyCounting` summary per hierarchy level, each fed the
+stream mapped to that level's granularity, and computes the discounted
+counts bottom-up at query time (the standard Cormode et al. construction
+on top of any eps-approximate counter).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...errors import QueryError, SummaryError
+from .lossy_counting import LossyCounting
+
+
+class HierarchicalHeavyHitters:
+    """Dyadic hierarchical heavy hitters over non-negative numeric values.
+
+    Values are integerised and aggregated into dyadic prefixes: level 0
+    is the value itself, level ``l`` is ``value >> l``.  A value's full
+    ancestry therefore has ``levels`` nodes.
+
+    Parameters
+    ----------
+    eps:
+        Per-level frequency error.
+    levels:
+        Number of hierarchy levels (e.g. 32 for IPv4-like domains;
+        keep small for numeric streams).
+    """
+
+    def __init__(self, eps: float, levels: int = 16):
+        if levels < 1:
+            raise SummaryError(f"levels must be >= 1, got {levels}")
+        self.eps = float(eps)
+        self.levels = int(levels)
+        self._summaries = [LossyCounting(eps) for _ in range(levels)]
+        self.count = 0
+
+    def update(self, values: np.ndarray | list[float]) -> None:
+        """Feed stream elements (non-negative, integerised by truncation)."""
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        if arr.size == 0:
+            return
+        if np.any(arr < 0) or np.any(~np.isfinite(arr)):
+            raise SummaryError("hierarchical heavy hitters require finite "
+                               "non-negative values")
+        ints = arr.astype(np.int64)
+        for level, summary in enumerate(self._summaries):
+            summary.update((ints >> level).astype(np.float32))
+        self.count += int(arr.size)
+
+    def query(self, support: float) -> list[tuple[int, int, int]]:
+        """Return hierarchical heavy hitters as ``(level, prefix, count)``.
+
+        A prefix is reported when its estimated frequency, minus the
+        estimated frequency already attributed to its reported
+        descendants, reaches ``(support - eps) * N``.  Results are ordered
+        bottom-up (level 0 first), so exact values precede the aggregates
+        that summarise their siblings.
+        """
+        if not self.eps <= support <= 1.0:
+            raise QueryError(
+                f"support must be in [{self.eps}, 1], got {support}")
+        total = self.count
+        threshold = (support - self.eps) * total
+        reported: list[tuple[int, int, int]] = []
+        # discounted[level] maps prefix -> count already attributed below.
+        discounted: dict[int, dict[int, int]] = {
+            level: {} for level in range(self.levels + 1)}
+        for level, summary in enumerate(self._summaries):
+            level_discount = discounted[level]
+            for value, est in summary.frequent_items(support):
+                prefix = int(value)
+                inherited = level_discount.get(prefix, 0)
+                adjusted = est - inherited
+                attributed = inherited
+                if adjusted >= threshold:
+                    reported.append((level, prefix, adjusted))
+                    attributed = est
+                # Ancestors are discounted by the mass already attributed
+                # to reported descendants (at any depth below), so they
+                # only surface when the *remainder* is heavy too.
+                if attributed:
+                    parent = prefix >> 1
+                    parent_map = discounted[level + 1]
+                    parent_map[parent] = parent_map.get(parent, 0) + attributed
+        return reported
+
+    def __len__(self) -> int:
+        """Total entries across all per-level summaries."""
+        return sum(len(s) for s in self._summaries)

@@ -1,0 +1,93 @@
+"""Misra-Gries / "Frequent" counter summary (paper Section 2.1).
+
+The earliest deterministic approximate frequency algorithm (Misra &
+Gries 1982), independently rediscovered by Demaine et al. [14] and Karp
+et al. [27] who reduced its worst-case processing time to O(1) per
+element.  It is the classic CPU-side, single-element-insertion baseline
+against which the paper's window-based pipeline is compared.
+
+With ``k = ceil(1/eps)`` counters:
+
+* estimates never overestimate and undercount by at most ``N / (k+1)
+  <= eps * N``;
+* every value with true frequency above ``eps * N`` has a counter.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...errors import QueryError, SummaryError
+
+
+class MisraGries:
+    """The k-counter Frequent algorithm.
+
+    Parameters
+    ----------
+    eps:
+        Error fraction; the summary keeps ``ceil(1/eps)`` counters.
+
+    Examples
+    --------
+    >>> from repro.core.frequencies import MisraGries
+    >>> mg = MisraGries(eps=0.25)
+    >>> mg.update([1.0, 1.0, 1.0, 2.0, 3.0, 1.0, 1.0, 2.0])
+    >>> mg.estimate(1.0) >= 8 * (5/8 - 0.25)
+    True
+    """
+
+    def __init__(self, eps: float):
+        if not 0.0 < eps < 1.0:
+            raise SummaryError(f"eps must be in (0, 1), got {eps}")
+        self.eps = float(eps)
+        self.capacity = max(1, math.ceil(1.0 / eps))
+        self.count = 0
+        self._counters: dict[float, int] = {}
+
+    def update(self, values: np.ndarray | list[float]) -> None:
+        """Process stream elements one by one (amortised O(1) each)."""
+        arr = np.asarray(values, dtype=np.float32).ravel()
+        counters = self._counters
+        capacity = self.capacity
+        for value in arr.tolist():
+            if value in counters:
+                counters[value] += 1
+            elif len(counters) < capacity:
+                counters[value] = 1
+            else:
+                # Decrement-all step; performed lazily in one sweep, which
+                # is the Demaine/Karp O(1)-amortised formulation.
+                doomed = []
+                for key in counters:
+                    counters[key] -= 1
+                    if counters[key] == 0:
+                        doomed.append(key)
+                for key in doomed:
+                    del counters[key]
+        self.count += int(arr.size)
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def estimate(self, value: float) -> int:
+        """Estimated frequency (never overestimates)."""
+        return self._counters.get(float(np.float32(value)), 0)
+
+    def frequent_items(self, support: float) -> list[tuple[float, int]]:
+        """Values whose estimate reaches ``(support - eps) * N``.
+
+        Contains every value with true frequency >= ``support * N``.
+        """
+        if not 0.0 <= support <= 1.0:
+            raise QueryError(f"support must be in [0, 1], got {support}")
+        if support < self.eps:
+            raise QueryError(
+                f"support {support} below eps {self.eps}")
+        threshold = (support - self.eps) * self.count
+        result = [(value, count) for value, count in self._counters.items()
+                  if count >= threshold]
+        result.sort(key=lambda pair: (-pair[1], pair[0]))
+        return result

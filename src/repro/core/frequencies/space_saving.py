@@ -1,0 +1,95 @@
+"""Space-Saving (Metwally et al. 2005) — the counter-based contemporary.
+
+Included as the third deterministic baseline in the accuracy benchmarks:
+unlike lossy counting and Misra-Gries (which undercount), Space-Saving
+*overcounts* by at most ``eps * N`` and additionally tracks a per-entry
+overestimation bound, allowing "guaranteed" heavy hitters to be reported.
+
+With ``k = ceil(1/eps)`` counters: when a monitored value arrives its
+counter increments; an unmonitored value replaces the entry with the
+minimum count ``m`` and starts at ``m + 1`` with error bound ``m``.
+"""
+
+from __future__ import annotations
+
+import math
+import heapq
+
+import numpy as np
+
+from ...errors import QueryError, SummaryError
+
+
+class SpaceSaving:
+    """The Space-Saving stream summary.
+
+    Parameters
+    ----------
+    eps:
+        Error fraction; the summary keeps ``ceil(1/eps)`` counters.
+    """
+
+    def __init__(self, eps: float):
+        if not 0.0 < eps < 1.0:
+            raise SummaryError(f"eps must be in (0, 1), got {eps}")
+        self.eps = float(eps)
+        self.capacity = max(1, math.ceil(1.0 / eps))
+        self.count = 0
+        self._counts: dict[float, int] = {}
+        self._errors: dict[float, int] = {}
+        # Lazy min-heap of (count, value); stale entries are skipped on pop.
+        self._heap: list[tuple[int, float]] = []
+
+    def update(self, values: np.ndarray | list[float]) -> None:
+        """Process stream elements one by one (O(log k) each)."""
+        arr = np.asarray(values, dtype=np.float32).ravel()
+        counts, errors, heap = self._counts, self._errors, self._heap
+        for value in arr.tolist():
+            if value in counts:
+                counts[value] += 1
+                heapq.heappush(heap, (counts[value], value))
+            elif len(counts) < self.capacity:
+                counts[value] = 1
+                errors[value] = 0
+                heapq.heappush(heap, (1, value))
+            else:
+                while True:
+                    min_count, victim = heap[0]
+                    if counts.get(victim) == min_count:
+                        break
+                    heapq.heappop(heap)  # stale
+                heapq.heappop(heap)
+                del counts[victim]
+                del errors[victim]
+                counts[value] = min_count + 1
+                errors[value] = min_count
+                heapq.heappush(heap, (min_count + 1, value))
+        self.count += int(arr.size)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def estimate(self, value: float) -> int:
+        """Estimated frequency (never underestimates a monitored value)."""
+        return self._counts.get(float(np.float32(value)), 0)
+
+    def guaranteed_count(self, value: float) -> int:
+        """A certain lower bound on the value's true frequency."""
+        key = float(np.float32(value))
+        return self._counts.get(key, 0) - self._errors.get(key, 0)
+
+    def frequent_items(self, support: float) -> list[tuple[float, int]]:
+        """Values whose estimate reaches ``support * N``.
+
+        Because Space-Saving overcounts, the comparison is against
+        ``support * N`` directly; the result contains every value with
+        true frequency >= ``support * N`` and none below
+        ``(support - eps) * N``.
+        """
+        if not 0.0 <= support <= 1.0:
+            raise QueryError(f"support must be in [0, 1], got {support}")
+        threshold = support * self.count
+        result = [(value, count) for value, count in self._counts.items()
+                  if count >= threshold]
+        result.sort(key=lambda pair: (-pair[1], pair[0]))
+        return result

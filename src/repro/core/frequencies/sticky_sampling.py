@@ -1,0 +1,111 @@
+"""Sticky Sampling — Manku & Motwani's probabilistic counterpart.
+
+The paper classifies frequency algorithms into deterministic and
+probabilistic families (Section 2.1); Sticky Sampling is the
+probabilistic algorithm published alongside lossy counting [32] and is
+included here as the randomized baseline for the accuracy benchmarks.
+
+With support ``s``, error ``eps`` and failure probability ``delta``, the
+algorithm samples each *new* value with a rate that halves as the stream
+grows, while *existing* entries are always counted.  With probability at
+least ``1 - delta`` it reports every value with frequency above ``s N``
+and undercounts by at most ``eps * N``.  Expected space is
+``(2/eps) * ln(1/(s * delta))`` entries — independent of ``N``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...errors import QueryError, SummaryError
+
+
+class StickySampling:
+    """Probabilistic epsilon-approximate frequency summary.
+
+    Parameters
+    ----------
+    support:
+        The query support ``s`` the failure probability is stated for.
+    eps:
+        Error fraction (must be below ``support``).
+    delta:
+        Failure probability.
+    seed:
+        Seed for the sampling decisions (None for nondeterministic).
+    """
+
+    def __init__(self, support: float, eps: float, delta: float = 1e-4,
+                 seed: int | None = 0):
+        if not 0.0 < eps < support <= 1.0:
+            raise SummaryError(
+                f"need 0 < eps < support <= 1, got eps={eps}, support={support}")
+        if not 0.0 < delta < 1.0:
+            raise SummaryError(f"delta must be in (0, 1), got {delta}")
+        self.support = float(support)
+        self.eps = float(eps)
+        self.delta = float(delta)
+        #: t = (1/eps) ln(1 / (s * delta)); the first 2t elements are
+        #: sampled at rate 1, the next 2t at rate 1/2, and so on.
+        self.t = (1.0 / eps) * math.log(1.0 / (support * delta))
+        self.count = 0
+        self._rate = 1
+        self._rng = np.random.default_rng(seed)
+        self._counters: dict[float, int] = {}
+
+    def _current_rate(self) -> int:
+        """Sampling rate window: rate r covers elements (2t r, 2t * 2r]."""
+        rate = 1
+        while self.count > 2.0 * self.t * rate:
+            rate *= 2
+        return rate
+
+    def update(self, values: np.ndarray | list[float]) -> None:
+        """Process stream elements one by one."""
+        arr = np.asarray(values, dtype=np.float32).ravel()
+        for value in arr.tolist():
+            self.count += 1
+            new_rate = self._current_rate()
+            if new_rate != self._rate:
+                self._resample(new_rate)
+            if value in self._counters:
+                self._counters[value] += 1
+            elif self._rng.random() < 1.0 / self._rate:
+                self._counters[value] = 1
+
+    def _resample(self, new_rate: int) -> None:
+        """On a rate change, degrade existing entries by coin flips.
+
+        For each entry, repeatedly toss an unbiased coin until heads,
+        diminishing the count by one per tails; entries reaching zero are
+        dropped (the MM02 rate-transition step).
+        """
+        self._rate = new_rate
+        doomed = []
+        for value in list(self._counters):
+            while self._counters[value] > 0 and self._rng.random() < 0.5:
+                self._counters[value] -= 1
+            if self._counters[value] == 0:
+                doomed.append(value)
+        for value in doomed:
+            del self._counters[value]
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def estimate(self, value: float) -> int:
+        """Estimated frequency (undercounts with high probability)."""
+        return self._counters.get(float(np.float32(value)), 0)
+
+    def frequent_items(self, support: float | None = None) -> list[tuple[float, int]]:
+        """Values whose estimate reaches ``(support - eps) * N``."""
+        support = self.support if support is None else support
+        if not 0.0 <= support <= 1.0:
+            raise QueryError(f"support must be in [0, 1], got {support}")
+        threshold = (support - self.eps) * self.count
+        result = [(value, count) for value, count in self._counters.items()
+                  if count >= threshold]
+        result.sort(key=lambda pair: (-pair[1], pair[0]))
+        return result

@@ -1,0 +1,62 @@
+"""Window histograms (Section 3.2, operation 1).
+
+"For each window, the elements are ordered by sorting them and a
+histogram is computed.  A histogram data structure holds each element
+value in the window and its frequency."  Sorting is delegated to a
+pluggable backend (the GPU sorter or a CPU baseline); the run-length
+extraction on the already-sorted array is linear and stays on the CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SummaryError
+
+
+@dataclass(frozen=True)
+class WindowHistogram:
+    """The (value, frequency) pairs of one window, in ascending value order."""
+
+    values: np.ndarray
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.values.shape != self.counts.shape or self.values.ndim != 1:
+            raise SummaryError(
+                f"histogram arrays must be matching 1-D, got "
+                f"{self.values.shape} / {self.counts.shape}")
+
+    @property
+    def total(self) -> int:
+        """Number of stream elements the histogram covers."""
+        return int(self.counts.sum())
+
+    @property
+    def distinct(self) -> int:
+        """Number of distinct values."""
+        return int(self.values.size)
+
+    def __iter__(self):
+        return zip(self.values.tolist(), self.counts.tolist())
+
+
+def histogram_from_sorted(sorted_values: np.ndarray) -> WindowHistogram:
+    """Run-length encode an ascending array into a histogram.
+
+    Raises :class:`SummaryError` if the input is not ascending — the
+    whole point of the paper's pipeline is that the expensive ordering
+    step already happened (on the GPU).
+    """
+    arr = np.asarray(sorted_values).ravel()
+    if arr.size == 0:
+        return WindowHistogram(np.empty(0, dtype=arr.dtype),
+                               np.empty(0, dtype=np.int64))
+    if np.any(arr[1:] < arr[:-1]):
+        raise SummaryError("histogram_from_sorted requires ascending input")
+    boundaries = np.flatnonzero(arr[1:] != arr[:-1]) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [arr.size]))
+    return WindowHistogram(arr[starts].copy(), (ends - starts).astype(np.int64))

@@ -1,0 +1,216 @@
+"""Dynamic equi-depth histogram maintenance over streams.
+
+Section 1 of the paper: "The quantile and frequency estimation
+algorithms have also been used as subroutines to solve more complex
+problems related to histogram maintenance" [24].  This module supplies
+that application: an equi-depth (equi-height) histogram — the structure
+databases use for selectivity estimation — maintained incrementally
+from the streaming quantile machinery.
+
+An equi-depth histogram with ``B`` buckets has boundaries at the
+``i/B``-quantiles, so every bucket holds ~``N/B`` elements.  Bucket
+boundaries come straight from the epsilon-approximate quantile summary;
+each boundary is off by at most ``eps * N`` ranks, so a bucket's true
+depth is within ``2 eps N`` of ``N/B`` and range-selectivity estimates
+carry the same additive guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import QueryError, SummaryError
+from .sliding.exponential_histogram import StreamingQuantiles
+
+
+@dataclass(frozen=True)
+class HistogramBucket:
+    """One equi-depth bucket: value range and its (approximate) depth."""
+
+    low: float
+    high: float
+    depth: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise SummaryError(
+                f"bucket range inverted: [{self.low}, {self.high}]")
+
+
+class EquiDepthHistogram:
+    """An equi-depth histogram maintained from a data stream.
+
+    Parameters
+    ----------
+    buckets:
+        Number of buckets ``B``.
+    eps:
+        Quantile-summary error; selectivity estimates are within
+        ``~2 * eps`` (plus one bucket's worth of interpolation error).
+    window_size:
+        Window width of the underlying quantile pipeline.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.histograms import EquiDepthHistogram
+    >>> h = EquiDepthHistogram(buckets=10, eps=0.01, window_size=1000)
+    >>> h.update(np.random.default_rng(0).random(20_000).astype(np.float32))
+    >>> bool(0.35 < h.selectivity(0.2, 0.6) < 0.45)
+    True
+    """
+
+    def __init__(self, buckets: int = 20, eps: float = 0.01,
+                 window_size: int = 4096,
+                 stream_length_hint: int = 100_000_000):
+        if buckets < 1:
+            raise SummaryError(f"buckets must be >= 1, got {buckets}")
+        self.num_buckets = int(buckets)
+        self.eps = float(eps)
+        self._quantiles = StreamingQuantiles(eps, window_size,
+                                             stream_length_hint)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def update(self, values: np.ndarray | list[float]) -> None:
+        """Feed stream elements (windowed through the quantile pipeline)."""
+        arr = np.asarray(values, dtype=np.float32).ravel()
+        w = self._quantiles.window_size
+        for start in range(0, arr.size, w):
+            self._quantiles.add_window(arr[start:start + w])
+
+    def add_sorted_window(self, sorted_window: np.ndarray) -> None:
+        """Feed one pre-sorted window (the GPU path)."""
+        self._quantiles.add_sorted_window(sorted_window)
+
+    @property
+    def count(self) -> int:
+        """Stream elements summarised so far."""
+        return self._quantiles.count
+
+    # ------------------------------------------------------------------
+    # histogram construction & queries
+    # ------------------------------------------------------------------
+    def boundaries(self) -> list[float]:
+        """The ``B + 1`` bucket boundaries (approximate quantiles)."""
+        if self.count == 0:
+            raise QueryError("no data ingested yet")
+        return [self._quantiles.quantile(i / self.num_buckets)
+                for i in range(self.num_buckets + 1)]
+
+    def histogram(self) -> list[HistogramBucket]:
+        """Materialise the current buckets.
+
+        Each bucket's nominal depth is ``N / B``; consecutive equal
+        boundaries (heavy values spanning several quantiles) are merged
+        into one deeper bucket.
+        """
+        bounds = self.boundaries()
+        nominal = self.count / self.num_buckets
+        merged: list[HistogramBucket] = []
+        depth = 0.0
+        low = bounds[0]
+        for i in range(1, len(bounds)):
+            depth += nominal
+            if bounds[i] > low or i == len(bounds) - 1:
+                merged.append(HistogramBucket(low, bounds[i], depth))
+                low = bounds[i]
+                depth = 0.0
+        return merged
+
+    def selectivity(self, low: float, high: float) -> float:
+        """Estimated fraction of elements with ``low <= value <= high``.
+
+        Uses the bucket boundaries with linear interpolation inside the
+        partially-covered end buckets — the textbook equi-depth
+        selectivity estimator.
+        """
+        if high < low:
+            raise QueryError(f"inverted range [{low}, {high}]")
+        if self.count == 0:
+            raise QueryError("no data ingested yet")
+        bounds = self.boundaries()
+        return max(0.0, self._cdf(bounds, high) - self._cdf(bounds, low))
+
+    def _cdf(self, bounds: list[float], value: float) -> float:
+        if value < bounds[0]:
+            return 0.0
+        if value >= bounds[-1]:
+            return 1.0
+        # rightmost boundary <= value; ties resolved to the upper edge of
+        # a run of equal boundaries (heavy single values).
+        idx = bisect_right(bounds, value) - 1
+        lower_fraction = idx / self.num_buckets
+        span = bounds[idx + 1] - bounds[idx]
+        if span <= 0:
+            return lower_fraction
+        within = (value - bounds[idx]) / span
+        return lower_fraction + within / self.num_buckets
+
+    def estimated_rows(self, low: float, high: float) -> float:
+        """Estimated element count in the range (selectivity * N)."""
+        return self.selectivity(low, high) * self.count
+
+
+class VOptimalHistogram:
+    """Static V-optimal histogram via dynamic programming.
+
+    The quality yardstick of the histogram literature the paper cites
+    [3, 24]: choose ``B`` bucket boundaries minimising the total
+    within-bucket variance of the frequency distribution.  Quadratic DP
+    over a (value, frequency) distribution — used by tests and examples
+    to show how close the streaming equi-depth histogram gets on skewed
+    data, not for online maintenance.
+    """
+
+    def __init__(self, buckets: int):
+        if buckets < 1:
+            raise SummaryError(f"buckets must be >= 1, got {buckets}")
+        self.num_buckets = int(buckets)
+
+    def fit(self, frequencies: np.ndarray) -> tuple[list[int], float]:
+        """Optimal bucketisation of ``frequencies``.
+
+        Returns ``(boundaries, sse)`` where boundaries are start indices
+        of each bucket and ``sse`` is the minimal total squared error.
+        """
+        freqs = np.asarray(frequencies, dtype=np.float64).ravel()
+        n = freqs.size
+        if n == 0:
+            raise SummaryError("empty frequency vector")
+        buckets = min(self.num_buckets, n)
+        prefix = np.concatenate(([0.0], np.cumsum(freqs)))
+        prefix_sq = np.concatenate(([0.0], np.cumsum(freqs ** 2)))
+
+        def sse(i: int, j: int) -> float:
+            """Squared error of one bucket covering freqs[i:j]."""
+            total = prefix[j] - prefix[i]
+            total_sq = prefix_sq[j] - prefix_sq[i]
+            return total_sq - total * total / (j - i)
+
+        INF = math.inf
+        cost = np.full((buckets + 1, n + 1), INF)
+        back = np.zeros((buckets + 1, n + 1), dtype=np.intp)
+        cost[0, 0] = 0.0
+        for b in range(1, buckets + 1):
+            for j in range(b, n + 1):
+                best, best_i = INF, b - 1
+                for i in range(b - 1, j):
+                    candidate = cost[b - 1, i] + sse(i, j)
+                    if candidate < best:
+                        best, best_i = candidate, i
+                cost[b, j] = best
+                back[b, j] = best_i
+        boundaries: list[int] = []
+        j = n
+        for b in range(buckets, 0, -1):
+            i = int(back[b, j])
+            boundaries.append(i)
+            j = i
+        boundaries.reverse()
+        return boundaries, float(cost[buckets, n])

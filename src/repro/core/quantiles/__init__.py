@@ -1,0 +1,13 @@
+"""Epsilon-approximate quantile estimation (paper Sections 2.1 and 5.2)."""
+
+from .gk import GKSummary
+from .sensor import SensorNode, aggregate
+from .window import QuantileSummary, RankedValue
+
+__all__ = [
+    "GKSummary",
+    "QuantileSummary",
+    "RankedValue",
+    "SensorNode",
+    "aggregate",
+]

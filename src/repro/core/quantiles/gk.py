@@ -1,0 +1,176 @@
+"""The Greenwald-Khanna (2001) epsilon-approximate quantile summary.
+
+This is the single-element-insertion summary the paper cites as [21]: a
+sorted list of tuples ``(v, g, delta)`` where ``g_i`` is the gap between
+the minimum ranks of consecutive tuples and ``delta_i`` bounds the spread
+between the tuple's minimum and maximum possible rank.  The structure
+maintains the invariant ``g_i + delta_i <= floor(2 * eps * n)``, which
+guarantees that any phi-quantile can be answered within ``eps * n`` rank
+error.
+
+The window-based pipeline of Section 5.2 (sort the window on the GPU,
+sample, merge, prune) lives in :mod:`repro.core.quantiles.window`; this
+module provides both the canonical single-element algorithm — used as the
+CPU-side reference and by tests — and the batched insertion path used when
+a pre-sorted window is available.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Iterable
+
+import numpy as np
+
+from ...errors import InvariantViolation, QueryError, SummaryError
+
+
+class GKSummary:
+    """Greenwald-Khanna epsilon-approximate quantile summary.
+
+    Parameters
+    ----------
+    eps:
+        Target rank-error fraction; queries are answered within
+        ``eps * n`` of the true rank.
+
+    Examples
+    --------
+    >>> from repro.core.quantiles import GKSummary
+    >>> s = GKSummary(eps=0.1)
+    >>> for v in [5.0, 1.0, 3.0, 2.0, 4.0]:
+    ...     s.insert(v)
+    >>> 2.0 <= s.quantile(0.5) <= 4.0
+    True
+    """
+
+    def __init__(self, eps: float):
+        if not 0.0 < eps < 1.0:
+            raise SummaryError(f"eps must be in (0, 1), got {eps}")
+        self.eps = float(eps)
+        self._values: list[float] = []
+        self._g: list[int] = []
+        self._delta: list[int] = []
+        self.count = 0
+        self._since_compress = 0
+        self._compress_period = max(1, int(1.0 / (2.0 * eps)))
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def insert(self, value: float) -> None:
+        """Insert one stream element (the single-element model, §3.2)."""
+        value = float(value)
+        if math.isnan(value):
+            raise SummaryError("cannot insert NaN")
+        threshold = math.floor(2.0 * self.eps * self.count)
+        idx = bisect_right(self._values, value)
+        if idx == 0 or idx == len(self._values):
+            delta = 0
+        else:
+            delta = max(0, threshold - 1)
+        self._values.insert(idx, value)
+        self._g.insert(idx, 1)
+        self._delta.insert(idx, delta)
+        self.count += 1
+        self._since_compress += 1
+        if self._since_compress >= self._compress_period:
+            self.compress()
+
+    def insert_sorted(self, values: Iterable[float] | np.ndarray) -> None:
+        """Insert an ascending batch (the window model: sort first, then feed).
+
+        Equivalent to inserting one by one but performs a single merge walk
+        instead of repeated bisection.
+        """
+        batch = np.asarray(list(values) if not isinstance(values, np.ndarray)
+                           else values, dtype=np.float64).ravel()
+        if batch.size == 0:
+            return
+        if np.any(np.isnan(batch)):
+            raise SummaryError("cannot insert NaN")
+        if np.any(batch[1:] < batch[:-1]):
+            raise SummaryError("insert_sorted requires ascending input")
+        for value in batch.tolist():
+            self.insert(value)
+
+    def compress(self) -> None:
+        """Merge adjacent tuples whose combined uncertainty stays legal.
+
+        The simplified (band-free) compress: tuple ``i`` is absorbed into
+        tuple ``i+1`` when ``g_i + g_{i+1} + delta_{i+1} <= 2 eps n``.  The
+        extreme tuples are never removed, so min and max stay exact.
+        """
+        self._since_compress = 0
+        if len(self._values) < 3:
+            return
+        threshold = math.floor(2.0 * self.eps * self.count)
+        values, g, delta = self._values, self._g, self._delta
+        out_v = [values[0]]
+        out_g = [g[0]]
+        out_d = [delta[0]]
+        for i in range(1, len(values)):
+            if (len(out_v) > 1
+                    and out_g[-1] + g[i] + delta[i] <= threshold):
+                # absorb the previous kept tuple into tuple i
+                out_v[-1] = values[i]
+                out_g[-1] += g[i]
+                out_d[-1] = delta[i]
+            else:
+                out_v.append(values[i])
+                out_g.append(g[i])
+                out_d.append(delta[i])
+        self._values, self._g, self._delta = out_v, out_g, out_d
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of tuples currently stored."""
+        return len(self._values)
+
+    def quantile(self, phi: float) -> float:
+        """Return a value whose rank is within ``eps * n`` of ``phi * n``."""
+        if not 0.0 <= phi <= 1.0:
+            raise QueryError(f"phi must be in [0, 1], got {phi}")
+        if self.count == 0:
+            raise QueryError("quantile of an empty summary")
+        rank = max(1, math.ceil(phi * self.count))
+        return self.query_rank(rank)
+
+    def query_rank(self, rank: int) -> float:
+        """Return a value whose rank is within ``eps * n`` of ``rank``."""
+        if not 1 <= rank <= self.count:
+            raise QueryError(f"rank must be in [1, {self.count}], got {rank}")
+        tolerance = max(1.0, self.eps * self.count)
+        rmin = 0
+        best_value = self._values[-1]
+        best_score = math.inf
+        for i, value in enumerate(self._values):
+            rmin += self._g[i]
+            rmax = rmin + self._delta[i]
+            score = max(rank - rmin, rmax - rank, 0)
+            if score < best_score:
+                best_score = score
+                best_value = value
+            if score <= tolerance and rmin >= rank:
+                break
+        return best_value
+
+    def check_invariant(self) -> None:
+        """Raise :class:`InvariantViolation` if the GK invariant is broken."""
+        if not self._values:
+            return
+        threshold = max(1, math.floor(2.0 * self.eps * self.count))
+        for i in range(1, len(self._values)):
+            if self._g[i] + self._delta[i] > threshold:
+                raise InvariantViolation(
+                    f"tuple {i}: g + delta = {self._g[i] + self._delta[i]} "
+                    f"> 2 eps n = {threshold}")
+        if sum(self._g) != self.count:
+            raise InvariantViolation(
+                f"sum of g ({sum(self._g)}) != n ({self.count})")
+        if any(self._values[i] > self._values[i + 1]
+               for i in range(len(self._values) - 1)):
+            raise InvariantViolation("tuple values out of order")

@@ -1,0 +1,103 @@
+"""The Greenwald-Khanna sensor-network aggregation model (Section 5.2).
+
+The paper's quantile pipeline is an adaptation of GK04's algorithm for
+sensor networks: "The sensor network is assumed as a tree with height h.
+Each node in the tree initially computes an eps/2-approximate quantile
+summary by sorting its set of observations locally ... Each node
+communicates its summary structure to its parent node", which merges the
+children's summaries and prunes the result back to ``B + 1`` entries.
+
+Each prune adds ``1 / (2B)`` error, so after ``h`` levels the root
+summary is ``(eps/2 + h/(2B))``-approximate; choosing ``B = ceil(h /
+eps)`` keeps the total within ``eps``.  This module implements that tree
+verbatim — it is both the conceptual basis of the streaming estimator
+(an exponential histogram is this tree laid on its side) and a usable
+API for hierarchical aggregation, exercised by the
+``sensor_network_aggregation`` example.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...errors import SummaryError
+from .window import QuantileSummary
+
+
+class SensorNode:
+    """One node of the aggregation tree.
+
+    Parameters
+    ----------
+    observations:
+        The values measured locally at this node (may be empty).
+    children:
+        Child nodes whose summaries are merged into this node's.
+    """
+
+    def __init__(self, observations: np.ndarray | list[float] | None = None,
+                 children: list["SensorNode"] | None = None):
+        self.observations = np.asarray(
+            observations if observations is not None else [],
+            dtype=np.float64).ravel()
+        self.children = list(children) if children else []
+
+    @property
+    def height(self) -> int:
+        """Height of the subtree rooted here (a leaf has height 0)."""
+        if not self.children:
+            return 0
+        return 1 + max(child.height for child in self.children)
+
+    @property
+    def total_observations(self) -> int:
+        """Observations in the whole subtree."""
+        return int(self.observations.size) + sum(
+            child.total_observations for child in self.children)
+
+    def local_summary(self, eps: float) -> QuantileSummary:
+        """The eps/2-approximate summary of this node's own observations."""
+        if self.observations.size == 0:
+            return QuantileSummary.empty()
+        return QuantileSummary.from_sorted(np.sort(self.observations),
+                                           eps / 2.0)
+
+
+def aggregate(root: SensorNode, eps: float,
+              budget: int | None = None) -> QuantileSummary:
+    """Aggregate a sensor tree bottom-up into an eps-approximate summary.
+
+    Parameters
+    ----------
+    root:
+        The tree to aggregate.
+    eps:
+        Target error at the root.
+    budget:
+        Prune budget ``B``; defaults to ``ceil(h / eps)`` where ``h`` is
+        the tree height, the smallest budget that meets ``eps``.
+
+    Returns
+    -------
+    QuantileSummary
+        A summary of every observation in the tree whose ``error`` field
+        is at most ``eps`` (exactly ``eps/2 + h/(2B)``).
+    """
+    if not 0.0 < eps < 1.0:
+        raise SummaryError(f"eps must be in (0, 1), got {eps}")
+    height = root.height
+    if budget is None:
+        budget = max(1, math.ceil(max(height, 1) / eps))
+    return _aggregate_node(root, eps, budget)
+
+
+def _aggregate_node(node: SensorNode, eps: float,
+                    budget: int) -> QuantileSummary:
+    summary = node.local_summary(eps)
+    for child in node.children:
+        summary = summary.merge(_aggregate_node(child, eps, budget))
+    if node.children and summary.count:
+        summary = summary.prune(budget)
+    return summary

@@ -1,0 +1,249 @@
+"""Window-based quantile summaries (Greenwald-Khanna 2004, Section 5.2).
+
+The paper lifts the sensor-network summaries of Greenwald and Khanna [21]
+to the stream setting: each window is **sorted** (on the GPU), an
+eps-approximate summary is extracted by **sampling** the sorted sequence,
+and summaries are combined with a lossless **merge** followed by a lossy
+**prune** that caps the memory footprint.
+
+A summary here is a list of :class:`RankedValue` entries ``(value, rmin,
+rmax)`` over a population of ``count`` elements, with the guarantee that
+for every target rank ``r`` some entry satisfies both ``r - rmin <= error
+* count`` and ``rmax - r <= error * count``.
+
+The three operations and their error arithmetic (all from GK04):
+
+========  ==========================================================
+sample    from a sorted window: error ``e`` using ``ceil(2 e n)``-
+          spaced ranks (both extremes included)
+merge     ``error = max(error_a, error_b)`` (lossless)
+prune     to ``B + 1`` entries: ``error += 1 / (2 B)``
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import InvariantViolation, QueryError, SummaryError
+
+
+@dataclass(frozen=True)
+class RankedValue:
+    """One summary entry: a value and bounds on its rank in the population."""
+
+    value: float
+    rmin: int
+    rmax: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.rmin <= self.rmax:
+            raise SummaryError(
+                f"invalid rank bounds rmin={self.rmin}, rmax={self.rmax}")
+
+
+class QuantileSummary:
+    """An epsilon-approximate quantile summary with explicit rank bounds.
+
+    Instances are immutable in spirit: :meth:`merge` and :meth:`prune`
+    return new summaries.  Build one with :meth:`from_sorted`.
+    """
+
+    def __init__(self, entries: list[RankedValue], count: int, error: float):
+        if count < 0:
+            raise SummaryError(f"count must be non-negative, got {count}")
+        if error < 0:
+            raise SummaryError(f"error must be non-negative, got {error}")
+        if count > 0 and not entries:
+            raise SummaryError("a non-empty population needs entries")
+        self.entries = entries
+        self.count = int(count)
+        self.error = float(error)
+        self._array_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def _arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(values, rmins, rmaxs) as numpy arrays, computed lazily.
+
+        Summaries are immutable after construction, so the cache never
+        invalidates.  The vectorised merge/lookup paths run off these.
+        """
+        if self._array_cache is None:
+            self._array_cache = (
+                np.array([e.value for e in self.entries], dtype=np.float64),
+                np.array([e.rmin for e in self.entries], dtype=np.int64),
+                np.array([e.rmax for e in self.entries], dtype=np.int64),
+            )
+        return self._array_cache
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "QuantileSummary":
+        """A summary of zero elements."""
+        return cls([], 0, 0.0)
+
+    @classmethod
+    def from_sorted(cls, sorted_values: np.ndarray,
+                    error: float) -> "QuantileSummary":
+        """Sample an ascending window into an ``error``-approximate summary.
+
+        Takes the elements of rank ``1, s+1, 2s+1, ..., n`` with spacing
+        ``s = max(1, ceil(2 * error * n))``; consecutive kept ranks differ
+        by at most ``2 * error * n``, so answering a rank query with the
+        nearest kept element errs by at most ``error * n``.  Ranks are
+        exact (``rmin == rmax``) because the window was fully sorted.
+        """
+        arr = np.asarray(sorted_values).ravel()
+        n = int(arr.size)
+        if n == 0:
+            return cls.empty()
+        if np.any(arr[1:] < arr[:-1]):
+            raise SummaryError("from_sorted requires ascending input")
+        if error < 0:
+            raise SummaryError(f"error must be non-negative, got {error}")
+        step = max(1, math.ceil(2.0 * error * n))
+        ranks = list(range(1, n + 1, step))
+        if ranks[-1] != n:
+            ranks.append(n)
+        entries = [RankedValue(float(arr[r - 1]), r, r) for r in ranks]
+        return cls(entries, n, error)
+
+    # ------------------------------------------------------------------
+    # combination
+    # ------------------------------------------------------------------
+    def merge(self, other: "QuantileSummary") -> "QuantileSummary":
+        """Lossless merge (GK04): combined error is the max of the inputs.
+
+        For an entry ``x`` drawn from summary A, with ``pred``/``succ``
+        its neighbours among B's entries:
+
+        * ``rmin' = rmin_A(x) + rmin_B(pred)``  (0 if no predecessor)
+        * ``rmax' = rmax_A(x) + rmax_B(succ) - 1``
+          (``rmax_A(x) + rmax_B(last)`` if no successor)
+        """
+        if self.count == 0:
+            return other
+        if other.count == 0:
+            return self
+        # Ties are broken consistently: equal values of `self` precede
+        # equal values of `other`.  For an element of the *first* source
+        # its predecessor in the other summary must be strictly smaller
+        # and its successor may be equal ("left" bisection); for the
+        # *second* source the roles flip ("right").  Without a consistent
+        # tie-break, duplicated values across the inputs widen the rank
+        # bounds past the guarantee.
+        pieces_v, pieces_lo, pieces_hi = [], [], []
+        for source, against, side in ((self, other, "left"),
+                                      (other, self, "right")):
+            sv, s_rmin, s_rmax = source._arrays()
+            av, a_rmin, a_rmax = against._arrays()
+            idx = np.searchsorted(av, sv, side=side)
+            rmin = s_rmin.copy()
+            has_pred = idx > 0
+            rmin[has_pred] += a_rmin[idx[has_pred] - 1]
+            rmax = s_rmax.copy()
+            has_succ = idx < av.size
+            rmax[has_succ] += a_rmax[idx[has_succ]] - 1
+            rmax[~has_succ] += a_rmax[-1]
+            pieces_v.append(sv)
+            pieces_lo.append(rmin)
+            pieces_hi.append(np.maximum(rmin, rmax))
+        all_v = np.concatenate(pieces_v)
+        all_lo = np.concatenate(pieces_lo)
+        all_hi = np.concatenate(pieces_hi)
+        order = np.lexsort((all_lo, all_v))
+        merged = [RankedValue(float(v), int(lo), int(hi))
+                  for v, lo, hi in zip(all_v[order], all_lo[order],
+                                       all_hi[order])]
+        return QuantileSummary(merged, self.count + other.count,
+                               max(self.error, other.error))
+
+    @staticmethod
+    def merge_all(summaries: list["QuantileSummary"]) -> "QuantileSummary":
+        """Merge many summaries with a balanced binary reduction.
+
+        Equivalent to folding :meth:`merge` left-to-right (the operation
+        is associative in its guarantees) but each entry participates in
+        ``log k`` merges instead of ``O(k)``, which matters when a
+        sliding window holds hundreds of sub-window summaries.
+        """
+        level = [s for s in summaries if s.count] or [QuantileSummary.empty()]
+        while len(level) > 1:
+            merged = []
+            for i in range(0, len(level) - 1, 2):
+                merged.append(level[i].merge(level[i + 1]))
+            if len(level) % 2:
+                merged.append(level[-1])
+            level = merged
+        return level[0]
+
+    def prune(self, budget: int) -> "QuantileSummary":
+        """Keep ``budget + 1`` entries; error grows by ``1 / (2 * budget)``.
+
+        Queries the summary at the ranks ``i * n / budget`` for
+        ``i = 0..budget`` and keeps the answering entries with their
+        original rank bounds (GK04's prune).
+        """
+        if budget < 1:
+            raise SummaryError(f"prune budget must be >= 1, got {budget}")
+        if len(self.entries) <= budget + 1:
+            return QuantileSummary(list(self.entries), self.count,
+                                   self.error + 1.0 / (2.0 * budget))
+        kept: list[RankedValue] = []
+        for i in range(budget + 1):
+            rank = max(1, min(self.count,
+                              math.ceil(i * self.count / budget)))
+            entry = self._lookup(rank)
+            if not kept or entry is not kept[-1]:
+                kept.append(entry)
+        return QuantileSummary(kept, self.count,
+                               self.error + 1.0 / (2.0 * budget))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _lookup(self, rank: int) -> RankedValue:
+        """Entry minimising ``max(rank - rmin, rmax - rank)``."""
+        if not self.entries:
+            raise QueryError("lookup on an empty summary")
+        _, rmins, rmaxs = self._arrays()
+        scores = np.maximum(rank - rmins, rmaxs - rank)
+        return self.entries[int(np.argmin(scores))]
+
+    def query_rank(self, rank: int) -> float:
+        """Value whose true rank is within ``error * count`` of ``rank``."""
+        if self.count == 0:
+            raise QueryError("query on an empty summary")
+        if not 1 <= rank <= self.count:
+            raise QueryError(f"rank must be in [1, {self.count}], got {rank}")
+        return self._lookup(rank).value
+
+    def quantile(self, phi: float) -> float:
+        """The phi-quantile within ``error * count`` rank error."""
+        if not 0.0 <= phi <= 1.0:
+            raise QueryError(f"phi must be in [0, 1], got {phi}")
+        if self.count == 0:
+            raise QueryError("quantile of an empty summary")
+        return self.query_rank(max(1, math.ceil(phi * self.count)))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def check_invariant(self) -> None:
+        """Validate ordering and rank-bound sanity; raise on violation."""
+        previous_value = -math.inf
+        for entry in self.entries:
+            if entry.value < previous_value:
+                raise InvariantViolation("summary entries out of value order")
+            previous_value = entry.value
+            if entry.rmax > self.count:
+                raise InvariantViolation(
+                    f"rmax {entry.rmax} exceeds population {self.count}")
+        if self.entries:
+            if self.entries[0].rmin > max(1, math.ceil(
+                    2 * self.error * self.count)):
+                raise InvariantViolation("first entry's rmin too large")

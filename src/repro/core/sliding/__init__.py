@@ -1,0 +1,13 @@
+"""Sliding-window machinery (paper Sections 5.2 and 5.3)."""
+
+from .basic_counting import DgimCounter, DgimSum
+from .exponential_histogram import StreamingQuantiles
+from .window_query import SlidingWindowFrequencies, SlidingWindowQuantiles
+
+__all__ = [
+    "DgimCounter",
+    "DgimSum",
+    "SlidingWindowFrequencies",
+    "SlidingWindowQuantiles",
+    "StreamingQuantiles",
+]

@@ -1,0 +1,262 @@
+"""Epsilon-approximate queries over sliding windows (Section 5.3).
+
+"We have applied our deterministic frequency and quantile estimation
+algorithms for performing eps-approximate queries over sliding windows.
+... These windows could be fixed or variable-sized width."
+
+Both estimators here follow the same sub-window decomposition the paper
+uses for its window-based pipeline: the stream is cut into sub-windows of
+``w0 = max(1, floor(eps * W / 2))`` elements; each sub-window is sorted
+(on the GPU in the engine) and reduced to a compact per-sub-window
+summary; a ring buffer retains exactly the sub-windows intersecting the
+last ``W`` positions.
+
+Error accounting for a query over the last ``W'`` elements
+(``W' = W`` fixed, or any ``W' <= W`` when ``variable=True``):
+
+* each retained sub-window summary is (eps/2)-approximate over its own
+  elements, so the merged summary errs by at most ``(eps/2) * W'``;
+* the oldest sub-window may straddle the window boundary, contributing
+  at most ``w0 <= (eps/2) * W`` misattributed elements;
+
+hence the total rank/frequency error is at most ``eps * W`` — the same
+deterministic guarantee as the entire-history algorithms, using
+``O((1/eps) * B)`` sub-window summaries of ``B + 1`` entries each.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, deque
+
+import numpy as np
+
+from ...errors import QueryError, SummaryError
+from ..histogram import WindowHistogram, histogram_from_sorted
+from ..quantiles.window import QuantileSummary
+
+
+def _subwindow_size(eps: float, window: int) -> int:
+    return max(1, int(math.floor(eps * window / 2.0)))
+
+
+class SlidingWindowQuantiles:
+    """Quantiles over the last ``window`` elements, fixed or variable width.
+
+    Parameters
+    ----------
+    eps:
+        Rank-error fraction relative to the queried window width.
+    window:
+        Maximum (and default) window width ``W``.
+    variable:
+        When true, :meth:`quantile` accepts any width up to ``W``.
+    prune_budget:
+        Entries kept per sub-window summary; defaults to ``ceil(2/eps)``
+        so pruning costs at most ``eps/4`` additional error (folded into
+        the ``eps/2`` sub-window budget by sampling at ``eps/4``).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.sliding import SlidingWindowQuantiles
+    >>> sw = SlidingWindowQuantiles(eps=0.1, window=1000)
+    >>> sw.extend(np.arange(5000, dtype=np.float32))
+    >>> 3890 <= sw.quantile(0.5) <= 4610
+    True
+    """
+
+    def __init__(self, eps: float, window: int, variable: bool = False,
+                 prune_budget: int | None = None):
+        if not 0.0 < eps < 1.0:
+            raise SummaryError(f"eps must be in (0, 1), got {eps}")
+        if window <= 0:
+            raise SummaryError(f"window must be positive, got {window}")
+        self.eps = float(eps)
+        self.window = int(window)
+        self.variable = bool(variable)
+        self.subwindow = _subwindow_size(eps, window)
+        self.prune_budget = (prune_budget if prune_budget is not None
+                             else max(4, math.ceil(2.0 / eps)))
+        self.count = 0
+        self._summaries: deque[QuantileSummary] = deque()
+        self._buffer = np.empty(0, dtype=np.float32)
+        # Cache of the last merged suffix, keyed by (generation, count of
+        # summaries merged); repeated quantile() calls between inserts
+        # are common (one per phi) and the merge is the expensive part.
+        self._generation = 0
+        self._merge_cache: dict[int, QuantileSummary] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def extend(self, values: np.ndarray | list[float]) -> None:
+        """Feed stream elements in arrival order."""
+        arr = np.asarray(values, dtype=np.float32).ravel()
+        if arr.size == 0:
+            return
+        data = np.concatenate([self._buffer, arr]) if self._buffer.size else arr
+        w0 = self.subwindow
+        full = (data.size // w0) * w0
+        for start in range(0, full, w0):
+            self.add_sorted_subwindow(np.sort(data[start:start + w0]))
+        self._buffer = data[full:].copy()
+
+    def add_sorted_subwindow(self, sorted_subwindow: np.ndarray) -> None:
+        """Insert one complete, ascending sub-window (GPU-sorted upstream)."""
+        arr = np.asarray(sorted_subwindow).ravel()
+        if arr.size != self.subwindow:
+            raise SummaryError(
+                f"sub-window must hold exactly {self.subwindow} values, "
+                f"got {arr.size}")
+        # Sample at eps/4 and prune: total sub-window error stays <= eps/2.
+        summary = QuantileSummary.from_sorted(arr, self.eps / 4.0)
+        summary = summary.prune(self.prune_budget)
+        self._summaries.append(summary)
+        self.count += int(arr.size)
+        self._generation += 1
+        self._merge_cache.clear()
+        self._expire()
+
+    def _expire(self) -> None:
+        capacity = math.ceil(self.window / self.subwindow) + 1
+        while len(self._summaries) > capacity:
+            self._summaries.popleft()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _covering(self, width: int) -> list[QuantileSummary]:
+        needed = math.ceil(width / self.subwindow)
+        if needed > len(self._summaries):
+            needed = len(self._summaries)
+        return list(self._summaries)[-needed:] if needed else []
+
+    def quantile(self, phi: float, width: int | None = None) -> float:
+        """The phi-quantile of the last ``width`` elements.
+
+        ``width`` defaults to the configured window; narrower widths
+        require ``variable=True``.  The pending (unsummarised) buffer is
+        not consulted — queries reflect completed sub-windows, matching
+        the window-based processing model.
+        """
+        if not 0.0 <= phi <= 1.0:
+            raise QueryError(f"phi must be in [0, 1], got {phi}")
+        width = self.window if width is None else int(width)
+        if width <= 0 or width > self.window:
+            raise QueryError(
+                f"width must be in [1, {self.window}], got {width}")
+        if width != self.window and not self.variable:
+            raise QueryError(
+                "variable-width queries require variable=True")
+        summaries = self._covering(width)
+        if not summaries:
+            raise QueryError("no complete sub-window ingested yet")
+        merged = self._merge_cache.get(len(summaries))
+        if merged is None:
+            merged = QuantileSummary.merge_all(summaries)
+            self._merge_cache[len(summaries)] = merged
+        return merged.quantile(phi)
+
+    @property
+    def num_subwindows(self) -> int:
+        """Sub-window summaries currently retained."""
+        return len(self._summaries)
+
+    def space(self) -> int:
+        """Total entries across retained summaries."""
+        return sum(len(s) for s in self._summaries)
+
+
+class SlidingWindowFrequencies:
+    """Frequent items over the last ``window`` elements.
+
+    Same sub-window ring as :class:`SlidingWindowQuantiles`, holding one
+    truncated histogram per sub-window: values occurring at least
+    ``eps/2 * w0`` times in their sub-window keep exact counts; the long
+    tail is dropped, costing at most ``eps/2`` of each sub-window — so a
+    window estimate undercounts by at most ``eps * W'`` and never
+    overcounts (beyond the one boundary sub-window, bounded by ``w0``).
+    """
+
+    def __init__(self, eps: float, window: int, variable: bool = False):
+        if not 0.0 < eps < 1.0:
+            raise SummaryError(f"eps must be in (0, 1), got {eps}")
+        if window <= 0:
+            raise SummaryError(f"window must be positive, got {window}")
+        self.eps = float(eps)
+        self.window = int(window)
+        self.variable = bool(variable)
+        self.subwindow = _subwindow_size(eps, window)
+        self.count = 0
+        self._histograms: deque[dict[float, int]] = deque()
+        self._buffer = np.empty(0, dtype=np.float32)
+
+    def extend(self, values: np.ndarray | list[float]) -> None:
+        """Feed stream elements in arrival order."""
+        arr = np.asarray(values, dtype=np.float32).ravel()
+        if arr.size == 0:
+            return
+        data = np.concatenate([self._buffer, arr]) if self._buffer.size else arr
+        w0 = self.subwindow
+        full = (data.size // w0) * w0
+        for start in range(0, full, w0):
+            self.add_histogram(
+                histogram_from_sorted(np.sort(data[start:start + w0])))
+        self._buffer = data[full:].copy()
+
+    def add_histogram(self, histogram: WindowHistogram) -> None:
+        """Insert one complete sub-window histogram (GPU-sorted upstream)."""
+        if histogram.total != self.subwindow:
+            raise SummaryError(
+                f"sub-window histogram must cover exactly {self.subwindow} "
+                f"values, got {histogram.total}")
+        keep_threshold = self.eps / 2.0 * self.subwindow
+        kept = {float(v): int(c) for v, c in histogram
+                if c >= keep_threshold}
+        self._histograms.append(kept)
+        self.count += histogram.total
+        capacity = math.ceil(self.window / self.subwindow) + 1
+        while len(self._histograms) > capacity:
+            self._histograms.popleft()
+
+    def _covering(self, width: int) -> list[dict[float, int]]:
+        needed = min(math.ceil(width / self.subwindow), len(self._histograms))
+        return list(self._histograms)[-needed:] if needed else []
+
+    def estimate(self, value: float, width: int | None = None) -> int:
+        """Estimated occurrences of ``value`` in the last ``width`` elements."""
+        width = self.window if width is None else int(width)
+        key = float(np.float32(value))
+        return sum(h.get(key, 0) for h in self._covering(width))
+
+    def frequent_items(self, support: float,
+                       width: int | None = None) -> list[tuple[float, int]]:
+        """Values with estimated count >= ``(support - eps) * width``."""
+        if not self.eps <= support <= 1.0:
+            raise QueryError(
+                f"support must be in [{self.eps}, 1], got {support}")
+        width = self.window if width is None else int(width)
+        if width <= 0 or width > self.window:
+            raise QueryError(
+                f"width must be in [1, {self.window}], got {width}")
+        if width != self.window and not self.variable:
+            raise QueryError("variable-width queries require variable=True")
+        totals: Counter[float] = Counter()
+        for histogram in self._covering(width):
+            totals.update(histogram)
+        covered = min(self.count, width)
+        threshold = (support - self.eps) * covered
+        result = [(value, count) for value, count in totals.items()
+                  if count >= threshold]
+        result.sort(key=lambda pair: (-pair[1], pair[0]))
+        return result
+
+    @property
+    def num_subwindows(self) -> int:
+        """Sub-window histograms currently retained."""
+        return len(self._histograms)
+
+    def space(self) -> int:
+        """Total histogram entries retained."""
+        return sum(len(h) for h in self._histograms)

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class GpuError(ReproError):
+    """Base class for failures inside the simulated GPU device."""
+
+
+class TextureError(GpuError):
+    """Invalid texture construction, access, or update."""
+
+
+class VideoMemoryError(GpuError):
+    """The simulated video memory budget would be exceeded."""
+
+
+class BlendStateError(GpuError):
+    """A rendering call was issued with an invalid blend configuration."""
+
+
+class RasterizationError(GpuError):
+    """A quad could not be rasterized (degenerate or out-of-bounds)."""
+
+
+class BusError(GpuError):
+    """A CPU <-> GPU transfer failed or was rejected."""
+
+
+class SortError(ReproError):
+    """A sorting routine was invoked on unsupported input."""
+
+
+class SummaryError(ReproError):
+    """An epsilon-approximate summary was misused."""
+
+
+class InvariantViolation(SummaryError):
+    """An internal invariant of a summary data structure was broken.
+
+    This is raised by the (cheap, always-on) self-checks of the summary
+    structures.  Seeing it means a bug in the library, never user error.
+    """
+
+
+class StreamError(ReproError):
+    """A data-stream source or window configuration is invalid."""
+
+
+class QueryError(ReproError):
+    """An estimator was queried with out-of-range parameters."""

@@ -1,0 +1,57 @@
+"""Simulated graphics processor substrate.
+
+The paper executes its sorting network with nothing but rasterization:
+textured quads whose texture coordinates encode the comparator mapping,
+and MIN/MAX color blending that evaluates the comparators.  This package
+provides a faithful software model of that machinery — textures, a frame
+buffer, a quad rasterizer, blending, the CPU<->GPU bus — plus exact
+performance counters and an analytic cost model parameterised by the
+hardware the paper used (NVIDIA GeForce 6800 Ultra over AGP 8X).
+
+See DESIGN.md for the substitution argument: the algorithms above this
+layer are unchanged; only the physical execution engine differs.
+"""
+
+from .blend import BlendOp, apply_blend
+from .bus import Bus
+from .counters import PerfCounters
+from .device import GpuDevice
+from .framebuffer import FrameBuffer
+from .presets import (AGP_8X, GEFORCE_6800_ULTRA, PENTIUM_IV_3_4GHZ, BusSpec,
+                      CpuSpec, GpuSpec)
+from .rasterizer import copy_texture, draw_quad
+from .shader import FragmentProgram, Instruction, run_fragment_program
+from .texture import BYTES_PER_TEXEL, CHANNELS, Texture2D, texture_dims_for
+from .timing import (CPU_MODEL_INTEL, CPU_MODEL_MSVC,
+                     BitonicFragmentProgramModel, CpuSortCostModel,
+                     GpuCostModel, GpuTimeBreakdown)
+
+__all__ = [
+    "AGP_8X",
+    "BYTES_PER_TEXEL",
+    "CHANNELS",
+    "CPU_MODEL_INTEL",
+    "CPU_MODEL_MSVC",
+    "BitonicFragmentProgramModel",
+    "BlendOp",
+    "Bus",
+    "BusSpec",
+    "CpuSortCostModel",
+    "CpuSpec",
+    "FragmentProgram",
+    "FrameBuffer",
+    "GEFORCE_6800_ULTRA",
+    "GpuCostModel",
+    "GpuDevice",
+    "GpuSpec",
+    "GpuTimeBreakdown",
+    "Instruction",
+    "PENTIUM_IV_3_4GHZ",
+    "PerfCounters",
+    "Texture2D",
+    "apply_blend",
+    "copy_texture",
+    "draw_quad",
+    "run_fragment_program",
+    "texture_dims_for",
+]

@@ -1,0 +1,56 @@
+"""Blending equations of the simulated fragment pipeline.
+
+The paper's comparators are implemented with OpenGL blending (Section
+4.2.2): the incoming fragment color (a texel fetched via texture mapping)
+is combined with the destination pixel already in the frame buffer using a
+*conditional assignment* — ``GL_MIN`` or ``GL_MAX``.  Both operate on all
+four RGBA channels simultaneously, which is what lets the paper sort four
+sequences in parallel.
+
+``REPLACE`` models blending disabled (plain texture copy, Routine 4.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+import numpy as np
+
+from ..errors import BlendStateError
+
+
+class BlendOp(enum.Enum):
+    """Supported blend equations."""
+
+    #: Blending disabled: destination := source (Routine 4.1 ``Copy``).
+    REPLACE = "replace"
+    #: destination := min(source, destination)  (``GL_MIN``).
+    MIN = "min"
+    #: destination := max(source, destination)  (``GL_MAX``).
+    MAX = "max"
+
+    @property
+    def is_blending(self) -> bool:
+        """Whether the op reads the destination (true blending)."""
+        return self is not BlendOp.REPLACE
+
+
+_APPLY: dict[BlendOp, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    BlendOp.REPLACE: lambda src, dst: src,
+    BlendOp.MIN: np.minimum,
+    BlendOp.MAX: np.maximum,
+}
+
+
+def apply_blend(op: BlendOp, source: np.ndarray, dest: np.ndarray) -> np.ndarray:
+    """Combine ``source`` fragments with ``dest`` pixels under ``op``.
+
+    Both arrays must be broadcast-compatible; the result has the broadcast
+    shape.  Raises :class:`BlendStateError` for unknown ops.
+    """
+    try:
+        func = _APPLY[op]
+    except KeyError:  # pragma: no cover - enum keeps this unreachable
+        raise BlendStateError(f"unsupported blend op: {op!r}") from None
+    return func(source, dest)

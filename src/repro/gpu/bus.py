@@ -1,0 +1,57 @@
+"""The CPU <-> GPU data bus.
+
+Section 4.1 of the paper: data travels between host memory and video
+memory over an AGP 8X / PCI-X bus whose *observed* bandwidth (~800 MB/s)
+is far below both the CPU's and the GPU's memory bandwidth.  The paper's
+design rule — stream the data to the GPU once, compute, read back once —
+only makes sense when every transfer is billed; this class is where the
+billing happens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import BusError
+from .counters import PerfCounters
+from .presets import AGP_8X, BusSpec
+
+
+class Bus:
+    """Models the host <-> device interconnect.
+
+    Parameters
+    ----------
+    spec:
+        Bandwidth/latency parameters; defaults to the paper's AGP 8X.
+    counters:
+        Perf counters to record transfers into.
+    """
+
+    def __init__(self, spec: BusSpec = AGP_8X,
+                 counters: PerfCounters | None = None):
+        self.spec = spec
+        self.counters = counters if counters is not None else PerfCounters()
+
+    def upload(self, data: np.ndarray) -> np.ndarray:
+        """Move ``data`` host -> device; returns the device-side copy."""
+        if data.size == 0:
+            raise BusError("refusing to upload an empty array")
+        device_copy = np.ascontiguousarray(data, dtype=np.float32)
+        self.counters.record_upload(device_copy.nbytes)
+        return device_copy
+
+    def readback(self, data: np.ndarray) -> np.ndarray:
+        """Move ``data`` device -> host; returns the host-side copy."""
+        if data.size == 0:
+            raise BusError("refusing to read back an empty array")
+        host_copy = np.array(data, dtype=np.float32, copy=True)
+        self.counters.record_readback(host_copy.nbytes)
+        return host_copy
+
+    def transfer_time(self, nbytes: int, transfers: int = 1) -> float:
+        """Modelled seconds to move ``nbytes`` in ``transfers`` DMA operations."""
+        if nbytes < 0 or transfers < 0:
+            raise BusError(f"negative transfer: {nbytes} bytes / {transfers}")
+        return nbytes / self.spec.effective_bandwidth_bytes + \
+            transfers * self.spec.latency_s

@@ -1,0 +1,60 @@
+"""The frame buffer of the simulated GPU.
+
+The frame buffer is the render target of every pass: a ``H x W`` grid of
+RGBA float32 pixels plus the current blend state.  The paper renders
+full-screen or block-sized quads into it with ``GL_MIN`` / ``GL_MAX``
+blending enabled (Section 4.2.2) and copies it back into the source
+texture between sorting steps (Routine 4.3, line 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TextureError
+from .blend import BlendOp
+from .texture import CHANNELS
+
+
+class FrameBuffer:
+    """A render target with attached blend state.
+
+    Parameters
+    ----------
+    width, height:
+        Dimensions in pixels.
+    """
+
+    def __init__(self, width: int, height: int):
+        if width <= 0 or height <= 0:
+            raise TextureError(
+                f"frame buffer dimensions must be positive, got {width}x{height}")
+        self.width = int(width)
+        self.height = int(height)
+        self._pixels = np.zeros((self.height, self.width, CHANNELS),
+                                dtype=np.float32)
+        self.blend_op = BlendOp.REPLACE
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the color buffer in video memory."""
+        return self._pixels.nbytes
+
+    def set_blend(self, op: BlendOp) -> None:
+        """Set the blend equation used by subsequent passes."""
+        self.blend_op = BlendOp(op)
+
+    def pixels(self) -> np.ndarray:
+        """Return the live pixel array (internal use by the rasterizer)."""
+        return self._pixels
+
+    def read(self) -> np.ndarray:
+        """Return a copy of the pixel array (device-side access)."""
+        return self._pixels.copy()
+
+    def clear(self, value: float = 0.0) -> None:
+        """Clear the color buffer to ``value`` in every channel."""
+        self._pixels.fill(np.float32(value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FrameBuffer({self.width}x{self.height}, blend={self.blend_op.value})"

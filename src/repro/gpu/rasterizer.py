@@ -1,0 +1,136 @@
+"""Quad rasterization with texture-coordinate interpolation.
+
+This module implements the one drawing primitive the paper's algorithms
+need: rendering an axis-aligned textured quadrilateral into the frame
+buffer (Routines 4.1 and 4.2).  The comparator *mapping* of the sorting
+network is encoded purely in the texture coordinates assigned to the
+quad's vertices — e.g. reversed coordinates make pixel ``i`` fetch texel
+``B - 1 - i``, which is exactly the mirror comparison of the periodic
+balanced sorting network.
+
+Rasterization rules (matching OpenGL):
+
+* A destination rectangle ``(x0, y0, x1, y1)`` covers the integer pixels
+  ``x in [x0, x1)`` and ``y in [y0, y1)``; fragments are generated at pixel
+  centers ``(x + 0.5, y + 0.5)``.
+* Texture coordinates are interpolated linearly between the quad's edges
+  and sampled with nearest filtering (``floor``).
+
+Because all quads used by the paper are axis-aligned, the interpolation is
+separable in x and y, and the sampled texel grid is the outer product of a
+column-index vector and a row-index vector.  The simulator exploits that to
+execute each pass as one vectorised gather + blend, while still deriving
+the index math from the actual vertex attributes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import RasterizationError
+from .blend import BlendOp, apply_blend
+from .counters import PerfCounters
+from .framebuffer import FrameBuffer
+from .texture import BYTES_PER_TEXEL, Texture2D
+
+
+def _interp_indices(dst_lo: float, dst_hi: float,
+                    tex_lo: float, tex_hi: float) -> np.ndarray:
+    """Texel indices sampled by pixels ``[dst_lo, dst_hi)`` along one axis.
+
+    ``tex_lo`` / ``tex_hi`` are the texture coordinates attached to the two
+    edges of the quad along this axis; they may run backwards to mirror the
+    fetch direction.
+    """
+    count = int(round(dst_hi - dst_lo))
+    centers = np.arange(count, dtype=np.float64) + 0.5
+    t = centers / (dst_hi - dst_lo)
+    coords = tex_lo + t * (tex_hi - tex_lo)
+    return np.floor(coords).astype(np.intp)
+
+
+def draw_quad(framebuffer: FrameBuffer,
+              texture: Texture2D,
+              dst_rect: tuple[float, float, float, float],
+              tex_rect: tuple[float, float, float, float],
+              counters: PerfCounters | None = None,
+              label: str = "pass") -> int:
+    """Render one textured, axis-aligned quad into ``framebuffer``.
+
+    Parameters
+    ----------
+    framebuffer:
+        Render target; its current :class:`BlendOp` decides whether this is
+        a plain copy or a MIN/MAX conditional assignment.
+    texture:
+        The active texture sampled by the fragments.
+    dst_rect:
+        ``(x0, y0, x1, y1)`` destination rectangle in pixels.
+    tex_rect:
+        ``(u0, v0, u1, v1)`` texture coordinates at the matching corners.
+        Reversed ranges mirror the fetch along that axis.
+    counters:
+        When given, the pass is recorded there.
+    label:
+        Counter label for the pass breakdown.
+
+    Returns
+    -------
+    int
+        The number of fragments generated.
+
+    Raises
+    ------
+    RasterizationError
+        If the quad is degenerate, leaves the frame buffer, or samples
+        outside the texture.
+    """
+    x0, y0, x1, y1 = dst_rect
+    u0, v0, u1, v1 = tex_rect
+    if not (x1 > x0 and y1 > y0):
+        raise RasterizationError(f"degenerate quad: dst_rect={dst_rect}")
+    if x0 < 0 or y0 < 0 or x1 > framebuffer.width or y1 > framebuffer.height:
+        raise RasterizationError(
+            f"quad {dst_rect} outside {framebuffer.width}x{framebuffer.height} "
+            "frame buffer")
+    ix0, iy0, ix1, iy1 = (int(round(v)) for v in (x0, y0, x1, y1))
+
+    cols = _interp_indices(x0, x1, u0, u1)
+    rows = _interp_indices(y0, y1, v0, v1)
+    if cols.size and (cols.min() < 0 or cols.max() >= texture.width):
+        raise RasterizationError(
+            f"texture u-coordinates [{u0}, {u1}] sample outside 0..{texture.width}")
+    if rows.size and (rows.min() < 0 or rows.max() >= texture.height):
+        raise RasterizationError(
+            f"texture v-coordinates [{v0}, {v1}] sample outside 0..{texture.height}")
+
+    source = texture.view()[rows[:, None], cols[None, :], :]
+    dest = framebuffer.pixels()[iy0:iy1, ix0:ix1, :]
+    blend_op = framebuffer.blend_op
+    dest[...] = apply_blend(blend_op, source, dest)
+
+    fragments = (ix1 - ix0) * (iy1 - iy0)
+    if counters is not None:
+        counters.record_pass(fragments, blended=blend_op.is_blending,
+                             bytes_per_texel=BYTES_PER_TEXEL, label=label)
+    return fragments
+
+
+def copy_texture(framebuffer: FrameBuffer, texture: Texture2D,
+                 counters: PerfCounters | None = None) -> int:
+    """Routine 4.1 (``Copy``): blit a whole texture into the frame buffer.
+
+    Temporarily disables blending, draws one full-texture quad with
+    identity texture coordinates, and restores the previous blend state.
+    """
+    previous = framebuffer.blend_op
+    framebuffer.set_blend(BlendOp.REPLACE)
+    try:
+        fragments = draw_quad(
+            framebuffer, texture,
+            dst_rect=(0, 0, texture.width, texture.height),
+            tex_rect=(0, 0, texture.width, texture.height),
+            counters=counters, label="copy")
+    finally:
+        framebuffer.set_blend(previous)
+    return fragments

@@ -1,0 +1,199 @@
+"""A minimal programmable fragment pipeline.
+
+The paper contrasts two ways of computing on a 2004 GPU:
+
+* **fixed-function blending** — what its own sorter uses: comparator
+  mapping via texture coordinates, comparison via GL_MIN/GL_MAX;
+* **fragment programs** — what the prior GPU sorters (Purcell et al.
+  [40], Kipfer et al. [28]) use: every pixel runs a small shader that
+  computes its partner's address, fetches both values, picks a direction
+  and writes the result.  Section 4.5 counts "at least 53 instructions
+  per pixel" for the bitonic comparator stage.
+
+This module implements that second path faithfully enough to *measure*
+instruction counts instead of assuming them: a tiny SIMD instruction set
+(ARB-fragment-program flavoured) interpreted over whole passes at once,
+with an exact per-pixel instruction tally.  The bitonic baseline in
+:mod:`repro.sorting.bitonic` compiles to it.
+
+Instruction set (all operate on 4-wide RGBA registers, SIMD across the
+full pass, matching NV30/NV40-era fragment ISA semantics):
+
+=========  =====================================================
+``MOV``    dst := src
+``ADD``    dst := a + b
+``MUL``    dst := a * b
+``MAD``    dst := a * b + c
+``FLR``    dst := floor(a)
+``FRC``    dst := a - floor(a)
+``MIN``    dst := min(a, b)
+``MAX``    dst := max(a, b)
+``SGE``    dst := (a >= b) ? 1 : 0
+``SLT``    dst := (a < b) ? 1 : 0
+``CMP``    dst := (a < 0) ? b : c
+``TEX``    dst := texture[clamp(floor(v)), clamp(floor(u))]
+           (dependent fetch; u and v are registers, channel-uniform)
+=========  =====================================================
+
+Besides ``position`` (x in channel 0, y in channel 1), the pre-loaded
+registers ``pos_x`` and ``pos_y`` broadcast the pixel coordinates across
+all four channels — modelling the hardware's free swizzles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import GpuError
+from .counters import PerfCounters
+from .texture import BYTES_PER_TEXEL, CHANNELS, Texture2D
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One fragment-program instruction in normal form."""
+
+    op: str
+    dst: str
+    args: tuple[str, ...] = ()
+
+
+@dataclass
+class FragmentProgram:
+    """A straight-line fragment program (no branches — period hardware).
+
+    Registers are named strings; ``"position"`` is pre-loaded with each
+    fragment's (x, y, 0, 0) pixel coordinates and ``"output"`` is written
+    to the render target after the last instruction.  Constants are
+    registered by name via :meth:`constant`.
+    """
+
+    instructions: list[Instruction] = field(default_factory=list)
+    constants: dict[str, np.ndarray] = field(default_factory=dict)
+
+    _VALID_OPS = {"MOV", "ADD", "MUL", "MAD", "FLR", "FRC", "MIN", "MAX",
+                  "SGE", "SLT", "CMP", "TEX"}
+    _ARITY = {"MOV": 1, "ADD": 2, "MUL": 2, "MAD": 3, "FLR": 1, "FRC": 1,
+              "MIN": 2, "MAX": 2, "SGE": 2, "SLT": 2, "CMP": 3, "TEX": 2}
+
+    def constant(self, name: str, value) -> str:
+        """Register a broadcast constant; returns its register name."""
+        vec = np.asarray(value, dtype=np.float32).ravel()
+        if vec.size == 1:
+            vec = np.repeat(vec, CHANNELS)
+        if vec.size != CHANNELS:
+            raise GpuError(f"constant {name!r} must be scalar or 4-wide")
+        self.constants[name] = vec
+        return name
+
+    def emit(self, op: str, dst: str, *args: str) -> None:
+        """Append one instruction (validated)."""
+        if op not in self._VALID_OPS:
+            raise GpuError(f"unknown fragment op {op!r}")
+        if len(args) != self._ARITY[op]:
+            raise GpuError(
+                f"{op} takes {self._ARITY[op]} operands, got {len(args)}")
+        self.instructions.append(Instruction(op, dst, args))
+
+    def __len__(self) -> int:
+        """Instruction count per pixel."""
+        return len(self.instructions)
+
+
+def run_fragment_program(program: FragmentProgram, texture: Texture2D,
+                         counters: PerfCounters | None = None,
+                         label: str = "shader") -> np.ndarray:
+    """Execute ``program`` for every pixel of a full-screen pass.
+
+    Returns the ``(H, W, 4)`` output written to the render target.  The
+    execution is SIMD across the whole pass (every register holds one
+    value per pixel), exactly how the hardware's fragment array behaves.
+
+    Counter accounting: one pass, one fragment per pixel, and — unlike
+    blending passes — ``len(program)`` instructions per fragment, stored
+    in ``pass_breakdown`` under ``f"{label}:instructions"``.
+    """
+    height, width = texture.height, texture.width
+    pixels = height * width
+    xs, ys = np.meshgrid(np.arange(width, dtype=np.float32),
+                         np.arange(height, dtype=np.float32))
+    zeros = np.zeros((height, width), dtype=np.float32)
+    broadcast_x = np.repeat(xs[..., None], CHANNELS, axis=-1)
+    broadcast_y = np.repeat(ys[..., None], CHANNELS, axis=-1)
+    registers: dict[str, np.ndarray] = {
+        "position": np.stack([xs, ys, zeros, zeros], axis=-1),
+        "pos_x": broadcast_x,
+        "pos_y": broadcast_y,
+    }
+    for name, value in program.constants.items():
+        registers[name] = np.broadcast_to(
+            value, (height, width, CHANNELS)).astype(np.float32)
+
+    tex_data = texture.view()
+    texels_fetched = 0
+
+    def read(name: str) -> np.ndarray:
+        try:
+            return registers[name]
+        except KeyError:
+            raise GpuError(f"register {name!r} read before write") from None
+
+    for inst in program.instructions:
+        if inst.op == "TEX":
+            u = read(inst.args[0])[..., 0]
+            v = read(inst.args[1])[..., 0]
+            col = np.clip(np.floor(u).astype(np.intp), 0, width - 1)
+            row = np.clip(np.floor(v).astype(np.intp), 0, height - 1)
+            registers[inst.dst] = tex_data[row, col, :]
+            texels_fetched += pixels
+        elif inst.op == "MOV":
+            registers[inst.dst] = read(inst.args[0]).copy()
+        elif inst.op == "ADD":
+            registers[inst.dst] = read(inst.args[0]) + read(inst.args[1])
+        elif inst.op == "MUL":
+            registers[inst.dst] = read(inst.args[0]) * read(inst.args[1])
+        elif inst.op == "MAD":
+            registers[inst.dst] = (read(inst.args[0]) * read(inst.args[1])
+                                   + read(inst.args[2]))
+        elif inst.op == "FLR":
+            registers[inst.dst] = np.floor(read(inst.args[0]))
+        elif inst.op == "FRC":
+            a = read(inst.args[0])
+            registers[inst.dst] = a - np.floor(a)
+        elif inst.op == "MIN":
+            registers[inst.dst] = np.minimum(read(inst.args[0]),
+                                             read(inst.args[1]))
+        elif inst.op == "MAX":
+            registers[inst.dst] = np.maximum(read(inst.args[0]),
+                                             read(inst.args[1]))
+        elif inst.op == "SGE":
+            registers[inst.dst] = (read(inst.args[0])
+                                   >= read(inst.args[1])).astype(np.float32)
+        elif inst.op == "SLT":
+            registers[inst.dst] = (read(inst.args[0])
+                                   < read(inst.args[1])).astype(np.float32)
+        elif inst.op == "CMP":
+            registers[inst.dst] = np.where(read(inst.args[0]) < 0,
+                                           read(inst.args[1]),
+                                           read(inst.args[2]))
+        else:  # pragma: no cover - emit() validates ops
+            raise GpuError(f"unknown fragment op {inst.op!r}")
+
+    output = registers.get("output")
+    if output is None:
+        raise GpuError("fragment program never wrote 'output'")
+
+    if counters is not None:
+        counters.passes += 1
+        counters.fragments += pixels
+        counters.texels_fetched += texels_fetched
+        counters.bytes_read += texels_fetched * BYTES_PER_TEXEL
+        counters.bytes_written += pixels * BYTES_PER_TEXEL
+        counters.pass_breakdown[label] = \
+            counters.pass_breakdown.get(label, 0) + 1
+        key = f"{label}:instructions"
+        counters.pass_breakdown[key] = (counters.pass_breakdown.get(key, 0)
+                                        + len(program) * pixels)
+    return np.array(output, dtype=np.float32)

@@ -1,0 +1,116 @@
+"""2D RGBA textures for the simulated GPU.
+
+A texture is a ``H x W x 4`` array of 32-bit floats — exactly the data
+representation the paper uses (Section 4.1): four channels (red, green,
+blue, alpha) each holding one independent data value per texel.
+
+Textures live in the device's video memory.  Host code never mutates a
+texture's array directly; data moves through :class:`repro.gpu.bus.Bus`
+uploads and readbacks so that every byte crossing the CPU/GPU boundary is
+accounted for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TextureError
+
+#: Number of color channels per texel (RGBA).
+CHANNELS = 4
+
+#: Bytes per texel: four float32 channels.
+BYTES_PER_TEXEL = 4 * CHANNELS
+
+
+class Texture2D:
+    """A ``width x height`` RGBA float32 texture in simulated video memory.
+
+    Parameters
+    ----------
+    width, height:
+        Texture dimensions in texels.  Must be positive.
+    data:
+        Optional initial contents with shape ``(height, width, 4)``.
+    name:
+        Debug label shown in error messages.
+    """
+
+    def __init__(self, width: int, height: int,
+                 data: np.ndarray | None = None, name: str = "texture"):
+        if width <= 0 or height <= 0:
+            raise TextureError(
+                f"{name}: dimensions must be positive, got {width}x{height}")
+        self.width = int(width)
+        self.height = int(height)
+        self.name = name
+        if data is None:
+            self._data = np.zeros((self.height, self.width, CHANNELS),
+                                  dtype=np.float32)
+        else:
+            data = np.asarray(data, dtype=np.float32)
+            if data.shape != (self.height, self.width, CHANNELS):
+                raise TextureError(
+                    f"{name}: data shape {data.shape} does not match "
+                    f"({self.height}, {self.width}, {CHANNELS})")
+            self._data = data.copy()
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the texture in video memory."""
+        return self.width * self.height * BYTES_PER_TEXEL
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Array shape ``(height, width, channels)``."""
+        return (self.height, self.width, CHANNELS)
+
+    def read(self) -> np.ndarray:
+        """Return a *copy* of the texel array (device-side access).
+
+        Host code should use :meth:`repro.gpu.device.GpuDevice.readback`
+        instead so the transfer is billed to the bus.
+        """
+        return self._data.copy()
+
+    def view(self) -> np.ndarray:
+        """Return the live texel array (internal use by the rasterizer)."""
+        return self._data
+
+    def write(self, data: np.ndarray) -> None:
+        """Replace the texel array (device-side access, no bus accounting)."""
+        data = np.asarray(data, dtype=np.float32)
+        if data.shape != self._data.shape:
+            raise TextureError(
+                f"{self.name}: write shape {data.shape} does not match "
+                f"{self._data.shape}")
+        self._data[...] = data
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Texture2D({self.name!r}, {self.width}x{self.height})"
+
+
+def texture_dims_for(n: int, max_dim: int = 4096) -> tuple[int, int]:
+    """Choose a power-of-two texture size holding ``n`` values per channel.
+
+    The paper (Routine 4.3, line 2) uses ``W = 2^ceil(log2(n)/2)`` and
+    ``H = 2^floor(log2(n)/2)`` — the most-square power-of-two rectangle with
+    ``W * H >= n``.  A near-square layout maximises rasterization
+    efficiency and keeps both SortStep cases (row blocks and column
+    blocks) exercised.
+
+    Raises
+    ------
+    TextureError
+        If ``n`` cannot fit in a ``max_dim x max_dim`` texture.
+    """
+    if n <= 0:
+        raise TextureError(f"cannot size a texture for n={n}")
+    log_n = int(np.ceil(np.log2(max(n, 1))))
+    width = 1 << ((log_n + 1) // 2)
+    height = 1 << (log_n // 2)
+    if width > max_dim or height > max_dim:
+        raise TextureError(
+            f"n={n} needs a {width}x{height} texture, exceeding the device "
+            f"limit of {max_dim}x{max_dim}")
+    return width, height

@@ -1,0 +1,135 @@
+"""Prior-work GPU baseline: fragment-program bitonic sort (Purcell et al.).
+
+Section 2.3 / 4.5 of the paper: earlier GPU sorters implemented Batcher's
+bitonic network as a *fragment program* — every pixel computes its
+partner index, fetches both values, decides the comparison direction and
+writes the result.  The paper counts "at least 53 instructions per
+pixel" per comparator stage for that implementation, versus the 6-7
+cycles a blend takes — the source of its near-order-of-magnitude
+GPU-vs-GPU advantage.
+
+This module reproduces the baseline *as a real fragment program*: each
+comparator stage compiles to :class:`~repro.gpu.shader.FragmentProgram`
+(address arithmetic with FLR/FRC because the period hardware had no
+integer ops, dependent texture fetches, arithmetic select) and executes
+through the shader interpreter, which tallies the exact per-pixel
+instruction count.  Our idealised ISA needs ~25 instructions per pixel;
+Purcell et al.'s NV30-era shader needed >= 53 (float-precision
+workarounds, RECT addressing, pack/unpack), which is what the published
+cost model bills.  The ablation benchmark reports both.
+"""
+
+from __future__ import annotations
+
+from ..errors import SortError
+from ..gpu.device import GpuDevice
+from ..gpu.shader import FragmentProgram, run_fragment_program
+from ..gpu.texture import Texture2D
+from .networks import is_power_of_two
+
+#: Instruction count per pixel billed for the *published* baseline
+#: (Section 4.5: "performs at least 53 instructions per pixel").
+INSTRUCTIONS_PER_PIXEL = 53
+
+
+def _emit_bit_extract(prog: FragmentProgram, dst: str, src: str,
+                      stride_const: str) -> None:
+    """dst := bit of ``src`` selected by the power-of-two stride.
+
+    Period fragment ISAs have no integer ops; the standard trick is
+    ``frac(floor(i / 2^b) / 2) * 2``.
+    """
+    prog.emit("MUL", dst, src, stride_const)   # i / 2^b
+    prog.emit("FLR", dst, dst)
+    prog.emit("MUL", dst, dst, "c_half")
+    prog.emit("FRC", dst, dst)
+    prog.emit("MUL", dst, dst, "c_two")        # 0.0 or 1.0
+
+
+def build_bitonic_stage_program(width: int, j: int, k: int) -> FragmentProgram:
+    """Compile one bitonic comparator stage ``(k, j)`` to a shader.
+
+    Every pixel holding linear value index ``i = y * width + x``:
+
+    * partner index ``i ^ j`` (via bit arithmetic in floats),
+    * direction: ascending iff ``i & k == 0``,
+    * output ``min``/``max`` of own and partner values accordingly.
+    """
+    prog = FragmentProgram()
+    prog.constant("c_w", float(width))
+    prog.constant("c_inv_w", 1.0 / width)
+    prog.constant("c_neg_w", -float(width))
+    prog.constant("c_half", 0.5)
+    prog.constant("c_two", 2.0)
+    prog.constant("c_j", float(j))
+    prog.constant("c_neg2j", -2.0 * j)
+    prog.constant("c_inv_j", 1.0 / j)
+    prog.constant("c_inv_k", 1.0 / k)
+    prog.constant("c_neg_one", -1.0)
+    prog.constant("c_neg_half", -0.5)
+
+    # i = y * W + x
+    prog.emit("MAD", "idx", "pos_y", "c_w", "pos_x")
+    # partner = i ^ j  ==  i + j - 2*j*bit_j(i)
+    _emit_bit_extract(prog, "bit_j", "idx", "c_inv_j")
+    prog.emit("ADD", "tmp", "idx", "c_j")
+    prog.emit("MAD", "partner", "bit_j", "c_neg2j", "tmp")
+    # direction: bit_k(i) = 1 -> descending block
+    _emit_bit_extract(prog, "bit_k", "idx", "c_inv_k")
+    # partner texel coordinates
+    prog.emit("MUL", "prow", "partner", "c_inv_w")
+    prog.emit("FLR", "prow", "prow")
+    prog.emit("MAD", "pcol", "prow", "c_neg_w", "partner")
+    # dependent fetches: own value and partner value
+    prog.emit("TEX", "own", "pos_x", "pos_y")
+    prog.emit("TEX", "pval", "pcol", "prow")
+    # select: take_min = (i < partner) XOR bit_k
+    prog.emit("SLT", "t_lo", "idx", "partner")
+    prog.emit("MAD", "t_diff", "bit_k", "c_neg_one", "t_lo")
+    prog.emit("MUL", "t_sel", "t_diff", "t_diff")
+    prog.emit("MIN", "v_min", "own", "pval")
+    prog.emit("MAX", "v_max", "own", "pval")
+    # conditional select (no arithmetic on the values themselves, which
+    # must tolerate +inf padding): sel - 0.5 < 0 picks the maximum.
+    prog.emit("ADD", "t_sign", "t_sel", "c_neg_half")
+    prog.emit("CMP", "output", "t_sign", "v_max", "v_min")
+    return prog
+
+
+def bitonic_sort_texture(device: GpuDevice, tex: Texture2D) -> int:
+    """Sort all four channels of ``tex`` in place with the bitonic baseline.
+
+    Each comparator stage runs as one full-screen fragment-program pass;
+    the device counters record the pass and the exact instruction tally
+    (``bitonic_stage:instructions`` in the pass breakdown).  Use
+    :class:`~repro.gpu.timing.BitonicFragmentProgramModel` for modelled
+    time (the blend-cycle model does not apply to fragment programs).
+
+    Returns the number of comparator stages executed.
+    """
+    width, height = tex.width, tex.height
+    n = width * height
+    if not (is_power_of_two(width) and is_power_of_two(height)):
+        raise SortError(
+            f"bitonic sort requires power-of-two dimensions, got {width}x{height}")
+    if n < 2:
+        return 0
+
+    stages = 0
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            program = build_bitonic_stage_program(width, j, k)
+            output = run_fragment_program(program, tex, device.counters,
+                                          label="bitonic_stage")
+            tex.write(output)
+            stages += 1
+            j //= 2
+        k *= 2
+    return stages
+
+
+def measured_instructions_per_pixel(width: int = 4) -> int:
+    """Instruction count of our idealised stage shader (for the ablation)."""
+    return len(build_bitonic_stage_program(width, 1, 2))

@@ -1,0 +1,183 @@
+"""Pure comparator-network definitions.
+
+The GPU sorters in this package execute sorting *networks*: fixed,
+data-oblivious schedules of compare-and-swap operations (Section 4.3).
+This module defines those schedules independently of any execution engine
+so they can be verified directly — e.g. with the 0-1 principle, which
+states that a comparator network sorts all inputs iff it sorts all
+0/1 inputs.
+
+Two networks are provided:
+
+* the **periodic balanced sorting network** (PBSN, Dowd et al. 1989) the
+  paper builds its sorter on: ``log n`` identical stages, each of
+  ``log n`` steps; the step with block size ``B`` compares position ``i``
+  of every block with its mirror ``B - 1 - i`` and routes the minimum to
+  the lower index;
+* **Batcher's bitonic network**, the prior GPU sorting approach
+  (Purcell et al. [40], Kipfer et al. [28]) used as a baseline.
+
+All schedules require ``n`` to be a power of two; callers pad with
+``+inf`` sentinels (see :mod:`repro.sorting.gpu_sorter`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import SortError
+
+Comparator = tuple[int, int]
+"""A compare-and-swap ``(lo, hi)``: after it, ``a[lo] <= a[hi]``."""
+
+
+def is_power_of_two(n: int) -> bool:
+    """Whether ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two >= ``n`` (n must be positive)."""
+    if n <= 0:
+        raise SortError(f"n must be positive, got {n}")
+    return 1 << (n - 1).bit_length()
+
+
+def _require_pow2(n: int) -> None:
+    if not is_power_of_two(n):
+        raise SortError(f"sorting networks require a power-of-two size, got {n}")
+
+
+def pbsn_step(n: int, block_size: int) -> list[Comparator]:
+    """Comparators of one PBSN step with the given block size.
+
+    Every block of ``block_size`` consecutive positions performs the
+    mirror comparison ``i  <->  block_size - 1 - i`` with the minimum
+    stored at the lower position (the paper's Routine 4.4 semantics).
+    """
+    _require_pow2(n)
+    if not is_power_of_two(block_size) or not 2 <= block_size <= n:
+        raise SortError(f"invalid block size {block_size} for n={n}")
+    comparators = []
+    for start in range(0, n, block_size):
+        for i in range(block_size // 2):
+            comparators.append((start + i, start + block_size - 1 - i))
+    return comparators
+
+
+def pbsn_steps(n: int) -> Iterator[list[Comparator]]:
+    """All steps of the full PBSN in execution order.
+
+    ``log n`` stages (Routine 4.3, line 4), each running block sizes
+    ``n, n/2, ..., 2`` (line 6).  Yields one comparator list per step;
+    the total is ``log^2 n`` steps.
+    """
+    _require_pow2(n)
+    log_n = n.bit_length() - 1
+    for _stage in range(log_n):
+        block = n
+        while block >= 2:
+            yield pbsn_step(n, block)
+            block //= 2
+
+
+def bitonic_steps(n: int) -> Iterator[list[Comparator]]:
+    """All steps of Batcher's bitonic sorting network in execution order.
+
+    The classic data-oblivious formulation: for each merge size ``k`` the
+    sub-steps ``j = k/2, k/4, ..., 1`` compare ``i`` with ``i ^ j``; the
+    direction alternates with ``i & k`` so every comparator is emitted in
+    ``(lo, hi)`` normal form.  Total: ``log n (log n + 1) / 2`` steps.
+    """
+    _require_pow2(n)
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            step: list[Comparator] = []
+            for i in range(n):
+                partner = i ^ j
+                if partner > i:
+                    if i & k:
+                        step.append((partner, i))
+                    else:
+                        step.append((i, partner))
+            yield step
+            j //= 2
+        k *= 2
+
+
+def odd_even_merge_steps(n: int) -> Iterator[list[Comparator]]:
+    """Batcher's odd-even merge sorting network in execution order.
+
+    The third classic data-oblivious network, underlying Kipfer et al.'s
+    "PDS" GPU sorter [28] that the paper's related work discusses.  Same
+    ``log n (log n + 1) / 2`` step count as bitonic but with fewer
+    comparators per step at the larger strides.
+
+    Standard iterative formulation: for each phase size ``p = 1, 2, 4,
+    ...`` and stride ``k = p, p/2, ..., 1``, compare ``i`` with ``i + k``
+    for the indices where ``(i & p) == (i mod 2k decides)`` — emitted
+    here via the classic Knuth/Batcher index conditions.
+    """
+    _require_pow2(n)
+    p = 1
+    while p < n:
+        k = p
+        while k >= 1:
+            step: list[Comparator] = []
+            for j in range(k % p, n - k, 2 * k):
+                for i in range(min(k, n - j - k)):
+                    if (i + j) // (2 * p) == (i + j + k) // (2 * p):
+                        step.append((i + j, i + j + k))
+            if step:
+                yield step
+            k //= 2
+        p *= 2
+
+
+def apply_comparators(values: Sequence[float] | np.ndarray,
+                      comparators: Sequence[Comparator]) -> np.ndarray:
+    """Apply one parallel step of comparators to a copy of ``values``.
+
+    Raises :class:`SortError` if any position participates in more than
+    one comparator of the step (a step must be a matching).
+    """
+    arr = np.array(values, dtype=np.float64)
+    seen: set[int] = set()
+    for lo, hi in comparators:
+        if lo in seen or hi in seen:
+            raise SortError(
+                f"comparator ({lo}, {hi}) reuses a position within one step")
+        seen.add(lo)
+        seen.add(hi)
+        if arr[lo] > arr[hi]:
+            arr[lo], arr[hi] = arr[hi], arr[lo]
+    return arr
+
+
+def run_network(values: Sequence[float] | np.ndarray,
+                steps: Iterator[list[Comparator]]) -> np.ndarray:
+    """Run a full comparator network over ``values`` and return the result."""
+    arr = np.array(values, dtype=np.float64)
+    for step in steps:
+        arr = apply_comparators(arr, step)
+    return arr
+
+
+def network_comparison_count(n: int, network: str = "pbsn") -> int:
+    """Total comparators executed by a network on ``n`` = 2^k keys.
+
+    For PBSN this is ``(n/2) log^2 n`` — the figure behind the paper's
+    Section 4.5 cost analysis.  For bitonic it is
+    ``(n/4) log n (log n + 1)``.
+    """
+    _require_pow2(n)
+    log_n = n.bit_length() - 1
+    if network == "pbsn":
+        return (n // 2) * log_n * log_n
+    if network == "bitonic":
+        return (n // 4) * log_n * (log_n + 1)
+    raise SortError(f"unknown network {network!r}")

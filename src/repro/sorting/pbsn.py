@@ -1,0 +1,141 @@
+"""The paper's GPU sorting algorithm: PBSN via rasterization (Section 4).
+
+This module is a line-for-line implementation of Routines 4.2-4.4 on the
+simulated device: the comparator *mapping* of each step is expressed as
+the texture coordinates of rendered quads, and the comparators themselves
+execute as ``GL_MIN`` / ``GL_MAX`` blending.  All four RGBA channels are
+compared simultaneously by every blend, which is what makes the
+four-sequences-in-parallel trick of Section 4.4 free.
+
+Data layout
+-----------
+A channel holds ``n = W * H`` values in row-major order: the value at
+linear position ``i`` lives at texel ``(row, col) = (i // W, i % W)``.
+The step with block size ``B`` pairs ``i`` with ``B - 1 - i`` inside each
+aligned block, which in texture space is:
+
+* ``B <= W`` — blocks are column ranges inside each row ("row blocks");
+  the mirror is a horizontal flip of the block (Figure 2, left);
+* ``B > W``  — blocks span ``B / W`` whole rows; the mirror flips the
+  block both vertically *and* horizontally (Figure 2, right;
+  Routine 4.2's reversed coordinates on both axes).
+"""
+
+from __future__ import annotations
+
+from ..errors import SortError
+from ..gpu.blend import BlendOp
+from ..gpu.device import GpuDevice
+from ..gpu.texture import Texture2D
+from .networks import is_power_of_two
+
+
+def compute_row_min(device: GpuDevice, tex: Texture2D,
+                    offset: int, block_size: int, height: int) -> None:
+    """``ComputeRowMin``: store per-row mirror minima of one row block.
+
+    For every row, columns ``[offset, offset + B/2)`` receive
+    ``min(value, mirror)`` where the mirror of column ``c`` is
+    ``2*offset + B - 1 - c``.
+    """
+    half = block_size // 2
+    device.set_blend(BlendOp.MIN)
+    device.draw_quad(
+        tex,
+        dst_rect=(offset, 0, offset + half, height),
+        tex_rect=(offset + block_size, 0, offset + half, height),
+        label="row_min")
+
+
+def compute_row_max(device: GpuDevice, tex: Texture2D,
+                    offset: int, block_size: int, height: int) -> None:
+    """``ComputeRowMax``: store per-row mirror maxima of one row block."""
+    half = block_size // 2
+    device.set_blend(BlendOp.MAX)
+    device.draw_quad(
+        tex,
+        dst_rect=(offset + half, 0, offset + block_size, height),
+        tex_rect=(offset + half, 0, offset, height),
+        label="row_max")
+
+
+def compute_min(device: GpuDevice, tex: Texture2D,
+                offset: int, width: int, block_height: int) -> None:
+    """Routine 4.2 (``ComputeMin``): mirror minima of one multi-row block.
+
+    The block occupies rows ``[offset, offset + block_height)``; its first
+    half receives the minimum against the vertically-and-horizontally
+    flipped second half.
+    """
+    half = block_height // 2
+    device.set_blend(BlendOp.MIN)
+    device.draw_quad(
+        tex,
+        dst_rect=(0, offset, width, offset + half),
+        tex_rect=(width, offset + block_height, 0, offset + half),
+        label="min")
+
+
+def compute_max(device: GpuDevice, tex: Texture2D,
+                offset: int, width: int, block_height: int) -> None:
+    """``ComputeMax``: mirror maxima of one multi-row block."""
+    half = block_height // 2
+    device.set_blend(BlendOp.MAX)
+    device.draw_quad(
+        tex,
+        dst_rect=(0, offset + half, width, offset + block_height),
+        tex_rect=(width, offset + half, 0, offset),
+        label="max")
+
+
+def sort_step(device: GpuDevice, tex: Texture2D,
+              width: int, height: int, block_size: int) -> None:
+    """Routine 4.4 (``SortStep``): one PBSN step over the whole texture.
+
+    Dispatches to the row-block case (``block_size <= width``) or the
+    multi-row case, exactly as the paper's two-case optimisation does.
+    """
+    if block_size <= width:
+        num_row_blocks = width // block_size
+        for i in range(num_row_blocks):
+            offset = i * block_size
+            compute_row_min(device, tex, offset, block_size, height)
+            compute_row_max(device, tex, offset, block_size, height)
+    else:
+        block_height = block_size // width
+        num_blocks = (width * height) // block_size
+        for i in range(num_blocks):
+            offset = i * block_height
+            compute_min(device, tex, offset, width, block_height)
+            compute_max(device, tex, offset, width, block_height)
+
+
+def pbsn_sort_texture(device: GpuDevice, tex: Texture2D) -> None:
+    """Routine 4.3 (``PBSN``): sort all four channels of ``tex`` in place.
+
+    Runs ``log n`` stages of ``log n`` steps.  Each step renders into the
+    frame buffer and copies the result back into the texture (line 8).
+    The caller must already have bound a frame buffer of the texture's
+    size and uploaded the data; this routine performs only GPU-side work,
+    leaving the final readback (line 11) to the caller so transfer costs
+    stay visible at the call site.
+    """
+    width, height = tex.width, tex.height
+    n = width * height
+    if not (is_power_of_two(width) and is_power_of_two(height)):
+        raise SortError(
+            f"PBSN requires power-of-two texture dimensions, got {width}x{height}")
+    fb = device.framebuffer
+    if fb is None or (fb.width, fb.height) != (width, height):
+        raise SortError("bind a frame buffer matching the texture before sorting")
+    if n < 2:
+        return
+
+    log_n = n.bit_length() - 1
+    device.copy_texture_to_framebuffer(tex)
+    for _stage in range(log_n):
+        block = n
+        while block >= 2:
+            sort_step(device, tex, width, height, block)
+            device.copy_framebuffer_to_texture(tex)
+            block //= 2

@@ -1,0 +1,101 @@
+"""Selection queries: k-th largest / smallest on the co-processor.
+
+Section 2.2 cites Govindaraju et al. [20], whose GPU database operators
+include "kth largest numbers"; and a quantile query over a *single*
+window is exactly a selection.  This module provides both routes:
+
+* :func:`gpu_kth_smallest` — sort the window on the GPU (one PBSN pass
+  over all four channels) and read off any set of order statistics for
+  free afterwards; the right choice when several k are needed, which is
+  the histogram pipeline's situation;
+* :func:`quickselect` — the classic expected-linear-time CPU algorithm,
+  instrumented like the quicksort baseline, as the comparison point for
+  a single k.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SortError
+from .cpu import SortStats
+from .gpu_sorter import GpuSorter
+
+
+def _validate_k(n: int, k: int) -> None:
+    if not 1 <= k <= n:
+        raise SortError(f"k must be in [1, {n}], got {k}")
+
+
+def gpu_kth_smallest(values: np.ndarray, k: int | list[int],
+                     sorter: GpuSorter | None = None) -> float | list[float]:
+    """The k-th smallest value(s) via a GPU sort.
+
+    ``k`` is 1-based; pass a list to extract several order statistics
+    from the same sorted pass.
+    """
+    arr = np.asarray(values, dtype=np.float32).ravel()
+    ks = [k] if isinstance(k, int) else list(k)
+    if arr.size == 0:
+        raise SortError("selection on an empty array")
+    for kk in ks:
+        _validate_k(arr.size, kk)
+    if sorter is None:
+        sorter = GpuSorter()
+    ordered = sorter.sort(arr)
+    results = [float(ordered[kk - 1]) for kk in ks]
+    return results[0] if isinstance(k, int) else results
+
+
+def gpu_kth_largest(values: np.ndarray, k: int | list[int],
+                    sorter: GpuSorter | None = None) -> float | list[float]:
+    """The k-th largest value(s) via a GPU sort (1-based)."""
+    arr = np.asarray(values, dtype=np.float32).ravel()
+    ks = [k] if isinstance(k, int) else list(k)
+    if arr.size == 0:
+        raise SortError("selection on an empty array")
+    for kk in ks:
+        _validate_k(arr.size, kk)
+    mapped = [arr.size - kk + 1 for kk in ks]
+    out = gpu_kth_smallest(arr, mapped, sorter)
+    return out[0] if isinstance(k, int) else out
+
+
+def quickselect(values: np.ndarray, k: int,
+                stats: SortStats | None = None,
+                seed: int | None = 0) -> float:
+    """The k-th smallest value by expected-linear-time quickselect.
+
+    1-based ``k``; counts comparisons into ``stats`` like the quicksort
+    baseline so selection-vs-sort trade-offs can be quantified.
+    """
+    arr = np.array(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise SortError("selection on an empty array")
+    _validate_k(arr.size, k)
+    if stats is None:
+        stats = SortStats()
+    rng = np.random.default_rng(seed)
+    lo, hi = 0, arr.size - 1
+    target = k - 1
+    while True:
+        if lo == hi:
+            return float(arr[lo])
+        pivot_idx = int(rng.integers(lo, hi + 1))
+        arr[pivot_idx], arr[hi] = arr[hi], arr[pivot_idx]
+        pivot = arr[hi]
+        store = lo
+        for i in range(lo, hi):
+            stats.comparisons += 1
+            if arr[i] < pivot:
+                arr[i], arr[store] = arr[store], arr[i]
+                stats.swaps += 1
+                store += 1
+        arr[store], arr[hi] = arr[hi], arr[store]
+        stats.partitions += 1
+        if store == target:
+            return float(arr[store])
+        if store < target:
+            lo = store + 1
+        else:
+            hi = store - 1

@@ -1,0 +1,32 @@
+"""Data-stream substrate: sources, generators and windowing."""
+
+from .io import (DEFAULT_CHUNK, read_binary_stream, read_csv_stream,
+                 write_binary_stream, write_csv_stream)
+from .load_shedding import (LoadShedder, ShedderStats, bursty_arrivals)
+from .generators import (GENERATORS, financial_tick_stream,
+                         network_trace_stream, normal_stream,
+                         reversed_stream, sorted_stream, uniform_stream,
+                         zipf_stream)
+from .stream import DataStream
+from .windows import ChannelBuffer, SlidingWindowSpec
+
+__all__ = [
+    "ChannelBuffer",
+    "DataStream",
+    "GENERATORS",
+    "LoadShedder",
+    "read_binary_stream",
+    "read_csv_stream",
+    "ShedderStats",
+    "SlidingWindowSpec",
+    "bursty_arrivals",
+    "financial_tick_stream",
+    "network_trace_stream",
+    "normal_stream",
+    "reversed_stream",
+    "sorted_stream",
+    "uniform_stream",
+    "write_binary_stream",
+    "write_csv_stream",
+    "zipf_stream",
+]

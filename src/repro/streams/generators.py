@@ -1,0 +1,137 @@
+"""Synthetic data-stream generators.
+
+The paper's evaluation uses "a random database of 100 million elements"
+with 32-bit values.  Real network / finance / sensor traces (the
+motivating applications of Section 1) are not redistributable, so this
+module provides parameterised synthetic equivalents:
+
+* :func:`uniform_stream` — the paper's benchmark workload;
+* :func:`zipf_stream` — skewed item frequencies, the regime where heavy-
+  hitter queries are interesting;
+* :func:`normal_stream` — smooth value distribution for quantile queries;
+* :func:`sorted_stream` / :func:`reversed_stream` — adversarial orders for
+  the CPU baselines (sorting networks are data-oblivious);
+* :func:`network_trace_stream` — packet-size-like mixture mimicking the
+  bimodal shape of internet traffic (many small ACKs, many MTU-sized
+  packets);
+* :func:`financial_tick_stream` — a geometric random walk of trade
+  prices with occasional jumps, for sliding-window quantile demos.
+
+All generators return float32 arrays (the GPU's native precision) and are
+deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import StreamError
+
+
+def _rng(seed: int | None) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _check_n(n: int) -> None:
+    if n <= 0:
+        raise StreamError(f"stream length must be positive, got {n}")
+
+
+def uniform_stream(n: int, low: float = 0.0, high: float = 1000.0,
+                   seed: int | None = 0) -> np.ndarray:
+    """Uniform random values in ``[low, high)`` (the paper's workload)."""
+    _check_n(n)
+    if not high > low:
+        raise StreamError(f"need high > low, got [{low}, {high})")
+    return _rng(seed).uniform(low, high, n).astype(np.float32)
+
+
+def zipf_stream(n: int, alpha: float = 1.2, universe: int = 10_000,
+                seed: int | None = 0) -> np.ndarray:
+    """Zipf-distributed item identifiers over ``universe`` distinct values.
+
+    Item ``k`` (1-based) appears with probability proportional to
+    ``k**-alpha`` — the classic skew of web/network traffic where
+    frequency estimation earns its keep.
+    """
+    _check_n(n)
+    if alpha <= 0:
+        raise StreamError(f"alpha must be positive, got {alpha}")
+    if universe <= 0:
+        raise StreamError(f"universe must be positive, got {universe}")
+    ranks = np.arange(1, universe + 1, dtype=np.float64)
+    probs = ranks ** -alpha
+    probs /= probs.sum()
+    return _rng(seed).choice(ranks, size=n, p=probs).astype(np.float32)
+
+
+def normal_stream(n: int, mean: float = 500.0, std: float = 100.0,
+                  seed: int | None = 0) -> np.ndarray:
+    """Gaussian values — a smooth distribution for quantile queries."""
+    _check_n(n)
+    if std <= 0:
+        raise StreamError(f"std must be positive, got {std}")
+    return _rng(seed).normal(mean, std, n).astype(np.float32)
+
+
+def sorted_stream(n: int, low: float = 0.0, high: float = 1000.0,
+                  seed: int | None = 0) -> np.ndarray:
+    """Already-ascending values — a pathological order for quicksort."""
+    return np.sort(uniform_stream(n, low, high, seed))
+
+
+def reversed_stream(n: int, low: float = 0.0, high: float = 1000.0,
+                    seed: int | None = 0) -> np.ndarray:
+    """Descending values — the mirror adversarial order."""
+    return sorted_stream(n, low, high, seed)[::-1].copy()
+
+
+def network_trace_stream(n: int, seed: int | None = 0) -> np.ndarray:
+    """Packet sizes drawn from a bimodal internet-like mixture.
+
+    ~40% small control packets (40-80 bytes), ~35% MTU-sized data
+    packets (1400-1500 bytes), and a lognormal middle.  Used by the
+    heavy-hitter example: the repeated discrete sizes give genuinely
+    frequent items.
+    """
+    _check_n(n)
+    rng = _rng(seed)
+    kind = rng.choice(3, size=n, p=[0.40, 0.35, 0.25])
+    small = rng.integers(40, 81, size=n)
+    mtu = rng.integers(1400, 1501, size=n)
+    middle = np.clip(rng.lognormal(5.5, 0.8, size=n), 81, 1399).astype(np.int64)
+    sizes = np.where(kind == 0, small, np.where(kind == 1, mtu, middle))
+    return sizes.astype(np.float32)
+
+
+def financial_tick_stream(n: int, start_price: float = 100.0,
+                          volatility: float = 1e-4,
+                          jump_prob: float = 1e-4,
+                          seed: int | None = 0) -> np.ndarray:
+    """Trade prices following a geometric random walk with rare jumps.
+
+    Used by the sliding-window quantile example (tracking the median and
+    tail latching of recent prices), matching the "finance logs" use case
+    of the paper's introduction.
+    """
+    _check_n(n)
+    if start_price <= 0:
+        raise StreamError(f"start_price must be positive, got {start_price}")
+    rng = _rng(seed)
+    log_returns = rng.normal(0.0, volatility, n)
+    jumps = rng.random(n) < jump_prob
+    log_returns[jumps] += rng.normal(0.0, 50 * volatility, int(jumps.sum()))
+    prices = start_price * np.exp(np.cumsum(log_returns))
+    return prices.astype(np.float32)
+
+
+GENERATORS = {
+    "uniform": uniform_stream,
+    "zipf": zipf_stream,
+    "normal": normal_stream,
+    "sorted": sorted_stream,
+    "reversed": reversed_stream,
+    "network": network_trace_stream,
+    "financial": financial_tick_stream,
+}
+"""Registry used by the benchmark harness's ``--workload`` switches."""

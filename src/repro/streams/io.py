@@ -1,0 +1,111 @@
+"""File-backed streams.
+
+Real deployments replay captured traces; this module reads and writes
+them in the two formats that need no dependencies:
+
+* **raw binary** — little-endian float32, the exact wire format the GPU
+  consumes (and the natural dump format for 100M-element traces);
+* **CSV / text** — one value per line (or a chosen column), for
+  interoperability with logging pipelines.
+
+Both readers yield fixed-size chunks suitable for
+:class:`~repro.streams.stream.DataStream`, so a file can be mined
+without ever holding it in memory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import StreamError
+
+#: Default chunk size for file readers (elements).
+DEFAULT_CHUNK = 1 << 16
+
+
+def write_binary_stream(path: str | Path, values: np.ndarray) -> int:
+    """Write ``values`` as little-endian float32; returns bytes written."""
+    arr = np.ascontiguousarray(values, dtype="<f4").ravel()
+    if arr.size == 0:
+        raise StreamError("refusing to write an empty stream")
+    data = arr.tobytes()
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def read_binary_stream(path: str | Path,
+                       chunk_size: int = DEFAULT_CHUNK) -> Iterator[np.ndarray]:
+    """Yield float32 chunks from a raw binary stream file."""
+    if chunk_size <= 0:
+        raise StreamError(f"chunk_size must be positive, got {chunk_size}")
+    path = Path(path)
+    if not path.exists():
+        raise StreamError(f"no such stream file: {path}")
+    if path.stat().st_size % 4:
+        raise StreamError(
+            f"{path}: size {path.stat().st_size} is not a multiple of 4 "
+            "(expected float32 records)")
+    with path.open("rb") as handle:
+        while True:
+            raw = handle.read(chunk_size * 4)
+            if not raw:
+                return
+            yield np.frombuffer(raw, dtype="<f4").copy()
+
+
+def write_csv_stream(path: str | Path, values: np.ndarray,
+                     header: str | None = None) -> None:
+    """Write one value per line (optionally with a header line)."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise StreamError("refusing to write an empty stream")
+    with Path(path).open("w") as handle:
+        if header:
+            handle.write(header + "\n")
+        for value in arr:
+            handle.write(f"{value:.9g}\n")
+
+
+def read_csv_stream(path: str | Path, column: int = 0,
+                    delimiter: str = ",", skip_header: bool = False,
+                    chunk_size: int = DEFAULT_CHUNK) -> Iterator[np.ndarray]:
+    """Yield float32 chunks from a text file, one record per line.
+
+    Parameters
+    ----------
+    column:
+        Zero-based field index when lines have several delimited fields.
+    skip_header:
+        Skip the first line.
+    """
+    if chunk_size <= 0:
+        raise StreamError(f"chunk_size must be positive, got {chunk_size}")
+    path = Path(path)
+    if not path.exists():
+        raise StreamError(f"no such stream file: {path}")
+    buffer: list[float] = []
+    with path.open() as handle:
+        if skip_header:
+            next(handle, None)
+        for line_no, line in enumerate(handle, start=2 if skip_header else 1):
+            line = line.strip()
+            if not line:
+                continue
+            fields = line.split(delimiter)
+            if column >= len(fields):
+                raise StreamError(
+                    f"{path}:{line_no}: no column {column} in {line!r}")
+            try:
+                buffer.append(float(fields[column]))
+            except ValueError as exc:
+                raise StreamError(
+                    f"{path}:{line_no}: not a number: "
+                    f"{fields[column]!r}") from exc
+            if len(buffer) >= chunk_size:
+                yield np.array(buffer, dtype=np.float32)
+                buffer = []
+    if buffer:
+        yield np.array(buffer, dtype=np.float32)

@@ -1,0 +1,197 @@
+"""Load shedding and spilling under bursty arrivals (paper Section 1).
+
+"It can be challenging to satisfy these constraints, especially when
+there are irregularities and bursts in the data arrival rates. ... In
+such cases, some DSMS resort to load-shedding, i.e. dropping excess data
+items.  The other option is to allow spilling of data items to the
+disks."  The paper's answer is a faster processor (the GPU); this module
+supplies the DSMS-side machinery those sentences describe, so the
+examples and benchmarks can show *when* the faster sorter removes the
+need to shed.
+
+Time is modelled in ticks: each call to :meth:`LoadShedder.offer`
+represents one arrival interval during which the processor can absorb
+``capacity_per_tick`` elements.  Two overload policies:
+
+* ``"shed"``  — drop the tick's excess arrivals (within a tick arrival
+  order is arbitrary, so for exchangeable streams this behaves like a
+  uniform sample and frequency estimates stay usable with support
+  adjusted by the observed keep-rate);
+* ``"spill"`` — queue the excess (bounded by ``queue_limit``; overflow
+  beyond the queue is shed, keeping a uniform random sample of what fits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import StreamError
+
+
+@dataclass
+class ShedderStats:
+    """Conservation ledger of a :class:`LoadShedder`."""
+
+    offered: int = 0
+    processed: int = 0
+    shed: int = 0
+    max_queue: int = 0
+
+    @property
+    def keep_rate(self) -> float:
+        """Fraction of offered elements that were (or will be) processed."""
+        if self.offered == 0:
+            return 1.0
+        return 1.0 - self.shed / self.offered
+
+
+class LoadShedder:
+    """Admission control in front of a stream processor.
+
+    Parameters
+    ----------
+    capacity_per_tick:
+        Elements the downstream processor absorbs per arrival interval.
+    policy:
+        ``"shed"`` or ``"spill"``.
+    queue_limit:
+        Spill-queue capacity in elements (spill policy only);
+        ``None`` = unbounded.
+    seed:
+        Seed for the random shedding decisions.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> shedder = LoadShedder(capacity_per_tick=100, policy="shed", seed=0)
+    >>> out = shedder.offer(np.arange(250, dtype=np.float32))
+    >>> out.size
+    100
+    >>> shedder.stats.shed
+    150
+    """
+
+    def __init__(self, capacity_per_tick: int, policy: str = "shed",
+                 queue_limit: int | None = None, seed: int | None = 0):
+        if capacity_per_tick <= 0:
+            raise StreamError(
+                f"capacity_per_tick must be positive, got {capacity_per_tick}")
+        if policy not in ("shed", "spill"):
+            raise StreamError(f"unknown policy {policy!r}")
+        if queue_limit is not None and queue_limit < 0:
+            raise StreamError(f"queue_limit must be >= 0, got {queue_limit}")
+        self.capacity = int(capacity_per_tick)
+        self.policy = policy
+        self.queue_limit = queue_limit
+        self.stats = ShedderStats()
+        self._queue: list[np.ndarray] = []
+        self._queued = 0
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def queued(self) -> int:
+        """Elements currently waiting in the spill queue."""
+        return self._queued
+
+    def offer(self, chunk: np.ndarray | list[float]) -> np.ndarray:
+        """One arrival tick: admit ``chunk``, return what gets processed.
+
+        Queued elements (spill policy) are served first, FIFO.
+        """
+        arr = np.asarray(chunk, dtype=np.float32).ravel()
+        self.stats.offered += int(arr.size)
+
+        budget = self.capacity
+        served: list[np.ndarray] = []
+        # drain the spill queue first (FIFO)
+        while self._queue and budget > 0:
+            head = self._queue[0]
+            if head.size <= budget:
+                served.append(head)
+                budget -= head.size
+                self._queued -= head.size
+                self._queue.pop(0)
+            else:
+                served.append(head[:budget])
+                self._queue[0] = head[budget:]
+                self._queued -= budget
+                budget = 0
+
+        if arr.size <= budget:
+            served.append(arr)
+            budget -= arr.size
+        else:
+            admitted, excess = arr[:budget], arr[budget:]
+            if budget:
+                served.append(admitted)
+            budget = 0
+            self._handle_excess(excess)
+
+        processed = (np.concatenate(served) if served
+                     else np.empty(0, dtype=np.float32))
+        self.stats.processed += int(processed.size)
+        self.stats.max_queue = max(self.stats.max_queue, self._queued)
+        return processed
+
+    def _handle_excess(self, excess: np.ndarray) -> None:
+        if self.policy == "shed":
+            self.stats.shed += int(excess.size)
+            return
+        room = (excess.size if self.queue_limit is None
+                else max(0, self.queue_limit - self._queued))
+        if room >= excess.size:
+            kept = excess
+        else:
+            # keep a uniform random sample of what fits; shed the rest
+            keep_idx = self._rng.choice(excess.size, size=room,
+                                        replace=False)
+            keep_idx.sort()
+            kept = excess[keep_idx]
+            self.stats.shed += int(excess.size - room)
+        if kept.size:
+            self._queue.append(kept.copy())
+            self._queued += int(kept.size)
+
+    def drain(self) -> np.ndarray:
+        """Flush the spill queue at end of stream (off-peak catch-up)."""
+        if not self._queue:
+            return np.empty(0, dtype=np.float32)
+        out = np.concatenate(self._queue)
+        self._queue = []
+        self._queued = 0
+        self.stats.processed += int(out.size)
+        return out
+
+    def check_conservation(self) -> None:
+        """Raise :class:`StreamError` if the element ledger leaks."""
+        accounted = self.stats.processed + self.stats.shed + self._queued
+        if accounted != self.stats.offered:
+            raise StreamError(
+                f"ledger leak: offered {self.stats.offered}, accounted "
+                f"{accounted}")
+
+
+def bursty_arrivals(n: int, mean_rate: int, burst_rate: int,
+                    burst_fraction: float = 0.1,
+                    seed: int | None = 0):
+    """Yield per-tick chunk sizes with on/off bursts.
+
+    A fraction ``burst_fraction`` of ticks arrive at ``burst_rate``
+    elements/tick, the rest at ``mean_rate`` — the "irregularities and
+    bursts in the data arrival rates" of the paper's introduction.
+    Yields chunk sizes until ``n`` elements have been produced.
+    """
+    if mean_rate <= 0 or burst_rate <= 0:
+        raise StreamError("rates must be positive")
+    if not 0.0 <= burst_fraction <= 1.0:
+        raise StreamError(
+            f"burst_fraction must be in [0, 1], got {burst_fraction}")
+    rng = np.random.default_rng(seed)
+    produced = 0
+    while produced < n:
+        rate = burst_rate if rng.random() < burst_fraction else mean_rate
+        size = min(rate, n - produced)
+        produced += size
+        yield size

@@ -1,0 +1,102 @@
+"""The data-stream abstraction.
+
+Section 3.1: "A data stream is a continuous sequence of data values that
+arrive in time."  :class:`DataStream` wraps any iterable of values (or a
+generator function) and delivers them in arrival order, either one by one
+or in fixed-size windows — the unit at which the paper's window-based
+algorithms operate.  Streams are single-pass by construction: once a
+value has been consumed it cannot be revisited, which keeps the
+estimators honest about their memory footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from ..errors import StreamError
+
+
+class DataStream:
+    """A single-pass sequence of float32 values arriving in order.
+
+    Parameters
+    ----------
+    source:
+        An array, an iterable of arrays/chunks, or a zero-argument
+        callable returning either.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.streams import DataStream
+    >>> s = DataStream(np.arange(5, dtype=np.float32))
+    >>> [w.tolist() for w in s.windows(2)]
+    [[0.0, 1.0], [2.0, 3.0], [4.0]]
+    """
+
+    def __init__(self, source: np.ndarray | Iterable | Callable[[], Iterable]):
+        if callable(source):
+            source = source()
+        if isinstance(source, np.ndarray):
+            if source.ndim != 1:
+                raise StreamError(f"stream arrays must be 1-D, got {source.shape}")
+            self._chunks: Iterator[np.ndarray] = iter([source])
+        else:
+            self._chunks = (np.asarray(chunk) for chunk in source)
+        self._consumed = 0
+        self._exhausted = False
+        self._leftover = np.empty(0, dtype=np.float32)
+
+    @property
+    def consumed(self) -> int:
+        """Number of values delivered so far."""
+        return self._consumed
+
+    def _next_chunk(self) -> np.ndarray | None:
+        for chunk in self._chunks:
+            chunk = np.asarray(chunk, dtype=np.float32).ravel()
+            if chunk.size:
+                return chunk
+        self._exhausted = True
+        return None
+
+    def windows(self, window_size: int) -> Iterator[np.ndarray]:
+        """Yield consecutive windows of ``window_size`` values.
+
+        The final window may be shorter.  Windows are the unit of work of
+        the paper's algorithms (Section 3.2: "a subset of the elements of
+        a window are computed and inserted into the summary structure").
+        """
+        if window_size <= 0:
+            raise StreamError(f"window_size must be positive, got {window_size}")
+        buffer = [self._leftover] if self._leftover.size else []
+        buffered = self._leftover.size
+        self._leftover = np.empty(0, dtype=np.float32)
+        while True:
+            while buffered < window_size:
+                chunk = self._next_chunk()
+                if chunk is None:
+                    break
+                buffer.append(chunk)
+                buffered += chunk.size
+            if buffered == 0:
+                return
+            data = np.concatenate(buffer) if len(buffer) != 1 else buffer[0]
+            if data.size >= window_size:
+                window, rest = data[:window_size], data[window_size:]
+                buffer = [rest] if rest.size else []
+                buffered = rest.size
+            else:
+                window, buffer, buffered = data, [], 0
+            self._consumed += window.size
+            yield window
+            if buffered == 0 and self._exhausted:
+                return
+
+    def __iter__(self) -> Iterator[float]:
+        """Iterate value by value (the single-element insertion model)."""
+        for window in self.windows(65536):
+            for value in window:
+                yield float(value)

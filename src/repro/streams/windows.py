@@ -1,0 +1,89 @@
+"""Window buffering utilities.
+
+Two pieces of machinery used by the engine:
+
+* :class:`ChannelBuffer` — Section 4.1's four-window staging buffer: "we
+  buffer four windows of data values and represent each of the windows in
+  a color component of the 2D texture".  The engine fills it window by
+  window and flushes four-at-a-time to the GPU.
+* :class:`SlidingWindowSpec` — configuration of a count-based sliding
+  window (fixed or variable width), used by the Section 5.3 estimators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import StreamError
+
+
+class ChannelBuffer:
+    """Accumulates up to four equal-sized windows for RGBA channel packing.
+
+    Parameters
+    ----------
+    window_size:
+        The stream-algorithm window size (``1/eps`` for frequency
+        estimation, ``W`` for quantiles).
+
+    Notes
+    -----
+    The final flush of a stream may hold fewer than four windows, and the
+    last window may be short; :meth:`drain` returns whatever is pending.
+    """
+
+    CAPACITY = 4
+
+    def __init__(self, window_size: int):
+        if window_size <= 0:
+            raise StreamError(f"window_size must be positive, got {window_size}")
+        self.window_size = int(window_size)
+        self._pending: list[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def full(self) -> bool:
+        """Whether four windows are buffered and ready to flush."""
+        return len(self._pending) >= self.CAPACITY
+
+    def push(self, window: np.ndarray) -> None:
+        """Add one window; raises if the buffer is already full."""
+        if self.full:
+            raise StreamError("channel buffer already holds four windows")
+        window = np.asarray(window, dtype=np.float32).ravel()
+        if window.size == 0 or window.size > self.window_size:
+            raise StreamError(
+                f"window of {window.size} values does not fit window_size "
+                f"{self.window_size}")
+        self._pending.append(window)
+
+    def drain(self) -> list[np.ndarray]:
+        """Return and clear the buffered windows (1 to 4 of them)."""
+        pending, self._pending = self._pending, []
+        return pending
+
+
+@dataclass(frozen=True)
+class SlidingWindowSpec:
+    """Configuration of a count-based sliding window (Section 5.3).
+
+    Parameters
+    ----------
+    size:
+        Number of most recent elements the queries cover.
+    variable:
+        If true, queries may also ask about any suffix smaller than
+        ``size`` (variable-width windows); the estimator must then retain
+        enough structure to answer every suffix length.
+    """
+
+    size: int
+    variable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise StreamError(f"sliding window size must be positive, got {self.size}")

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu import GpuDevice
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator, fresh per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def device() -> GpuDevice:
+    """A fresh simulated GPU device."""
+    return GpuDevice()
+
+
+def rank_error(sorted_reference: np.ndarray, estimate: float,
+               target_rank: int) -> int:
+    """Rank distance between ``estimate`` and ``target_rank``.
+
+    Zero when the estimate's value occupies the target rank (ties give a
+    rank interval).
+    """
+    lo = int(np.searchsorted(sorted_reference, estimate, "left")) + 1
+    hi = int(np.searchsorted(sorted_reference, estimate, "right"))
+    return max(lo - target_rank, target_rank - hi, 0)
+
+
+def worst_quantile_error(sorted_reference: np.ndarray, quantile_fn,
+                         points: int = 21) -> int:
+    """Worst rank error of ``quantile_fn(phi)`` across a phi grid."""
+    n = sorted_reference.size
+    worst = 0
+    for phi in np.linspace(0.0, 1.0, points):
+        target = max(1, int(np.ceil(phi * n)))
+        worst = max(worst,
+                    rank_error(sorted_reference, quantile_fn(phi), target))
+    return worst

@@ -1,0 +1,75 @@
+"""Correlated sum aggregates."""
+
+import numpy as np
+import pytest
+
+from repro.core import CorrelatedSum
+from repro.errors import QueryError, SummaryError
+
+
+class TestCorrelatedSum:
+    def test_parameter_validation(self):
+        with pytest.raises(SummaryError):
+            CorrelatedSum(eps=0, window_size=10)
+        with pytest.raises(SummaryError):
+            CorrelatedSum(eps=0.1, window_size=0)
+
+    def test_shape_mismatch(self):
+        cs = CorrelatedSum(eps=0.1, window_size=10)
+        with pytest.raises(SummaryError):
+            cs.update(np.ones(5), np.ones(6))
+
+    def test_query_before_data(self):
+        with pytest.raises(QueryError):
+            CorrelatedSum(eps=0.1, window_size=10).query(0.5)
+
+    def test_uniform_weights(self, rng):
+        # With y == 1, the correlated sum is just the rank: ~phi * N.
+        cs = CorrelatedSum(eps=0.02, window_size=500)
+        n = 10000
+        cs.update(rng.random(n).astype(np.float32),
+                  np.ones(n, dtype=np.float32))
+        for phi in (0.25, 0.5, 0.75):
+            assert abs(cs.query(phi) - phi * n) <= 3 * 0.02 * n
+
+    def test_error_bound_additive(self, rng):
+        eps, n = 0.02, 20000
+        x = rng.random(n).astype(np.float32)
+        y = rng.random(n).astype(np.float32) * 5
+        cs = CorrelatedSum(eps=eps, window_size=1000)
+        cs.update(x, y)
+        total_y = float(y.sum())
+        for phi in (0.1, 0.5, 0.9):
+            threshold = np.quantile(x, phi)
+            true = float(y[x <= threshold].sum())
+            assert abs(cs.query(phi) - true) <= 3 * eps * total_y
+
+    def test_extreme_phis(self, rng):
+        n = 5000
+        x = rng.random(n).astype(np.float32)
+        y = np.ones(n, dtype=np.float32)
+        cs = CorrelatedSum(eps=0.05, window_size=500)
+        cs.update(x, y)
+        assert cs.query(1.0) == pytest.approx(n, rel=0.06)
+        assert cs.query(0.0) <= 0.1 * n
+
+    def test_partial_window_buffered(self, rng):
+        cs = CorrelatedSum(eps=0.1, window_size=100)
+        cs.update(rng.random(150), rng.random(150))
+        assert cs.count == 100
+        assert cs.num_windows == 1
+
+    def test_space_sublinear(self, rng):
+        cs = CorrelatedSum(eps=0.01, window_size=1000)
+        n = 50000
+        cs.update(rng.random(n), rng.random(n))
+        assert cs.space() < n / 2
+
+    def test_threshold_is_valid_quantile(self, rng):
+        n = 10000
+        x = rng.random(n).astype(np.float32)
+        cs = CorrelatedSum(eps=0.02, window_size=1000)
+        cs.update(x, np.ones(n, dtype=np.float32))
+        thr = cs.x_threshold(0.5)
+        true_rank = float(np.mean(x <= thr))
+        assert abs(true_rank - 0.5) <= 3 * 0.02

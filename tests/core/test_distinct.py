@@ -1,0 +1,159 @@
+"""Distinct-count sketches: KMV, Flajolet-Martin, windowed pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.distinct import (FlajoletMartin, KMinValues,
+                                 WindowedDistinctCounter, hash_values)
+from repro.errors import QueryError, SummaryError
+
+
+class TestHashValues:
+    def test_deterministic(self):
+        data = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        assert np.array_equal(hash_values(data), hash_values(data))
+
+    def test_equal_values_collide(self):
+        data = np.array([7.0, 7.0], dtype=np.float32)
+        h = hash_values(data)
+        assert h[0] == h[1]
+
+    def test_seed_changes_hashes(self):
+        data = np.arange(100, dtype=np.float32)
+        assert not np.array_equal(hash_values(data, 0), hash_values(data, 1))
+
+    def test_range_and_uniformity(self):
+        h = hash_values(np.arange(100_000, dtype=np.float32))
+        assert h.min() >= 0.0 and h.max() < 1.0
+        assert abs(h.mean() - 0.5) < 0.01
+
+
+class TestKMinValues:
+    def test_exact_below_k(self, rng):
+        data = rng.integers(0, 100, 5000).astype(np.float32)
+        sk = KMinValues(k=256)
+        sk.update(data)
+        # fewer distinct values than k: the sketch counts exactly
+        assert sk.estimate() == len(np.unique(data))
+
+    def test_estimate_within_error_bound(self, rng):
+        true_d = 50_000
+        data = rng.integers(0, true_d, true_d * 2).astype(np.float32)
+        actual = len(np.unique(data))
+        sk = KMinValues(k=1024, seed=3)
+        sk.update(data)
+        rel_err = abs(sk.estimate() - actual) / actual
+        assert rel_err < 4 * sk.relative_standard_error()
+
+    def test_duplicates_do_not_inflate(self, rng):
+        sk1, sk2 = KMinValues(k=128), KMinValues(k=128)
+        base = rng.integers(0, 1000, 2000).astype(np.float32)
+        sk1.update(base)
+        sk2.update(np.tile(base, 5))
+        assert sk1.estimate() == sk2.estimate()
+
+    def test_merge_equals_union(self, rng):
+        a, b = KMinValues(k=256, seed=1), KMinValues(k=256, seed=1)
+        da = rng.integers(0, 3000, 10_000).astype(np.float32)
+        db = rng.integers(2000, 5000, 10_000).astype(np.float32)
+        a.update(da)
+        b.update(db)
+        merged = a.merge(b)
+        both = KMinValues(k=256, seed=1)
+        both.update(np.concatenate([da, db]))
+        assert merged.estimate() == both.estimate()
+
+    def test_merge_requires_same_parameters(self):
+        with pytest.raises(SummaryError):
+            KMinValues(k=128).merge(KMinValues(k=256))
+        with pytest.raises(SummaryError):
+            KMinValues(k=128, seed=0).merge(KMinValues(k=128, seed=1))
+
+    def test_bounded_space(self, rng):
+        sk = KMinValues(k=64)
+        sk.update(rng.random(50_000).astype(np.float32))
+        assert len(sk) == 64
+
+    def test_empty_estimate(self):
+        assert KMinValues(k=16).estimate() == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(SummaryError):
+            KMinValues(k=2)
+
+    def test_sorted_hashes_path_matches(self, rng):
+        data = rng.integers(0, 5000, 20_000).astype(np.float32)
+        direct = KMinValues(k=256, seed=2)
+        direct.update(data)
+        staged = KMinValues(k=256, seed=2)
+        staged.update_sorted_hashes(np.sort(hash_values(data, 2)))
+        assert staged.estimate() == direct.estimate()
+
+    def test_sorted_hashes_requires_order(self):
+        sk = KMinValues(k=16)
+        with pytest.raises(SummaryError):
+            sk.update_sorted_hashes(np.array([0.5, 0.1]))
+
+
+class TestFlajoletMartin:
+    def test_estimate_reasonable(self, rng):
+        true_d = 20_000
+        data = rng.integers(0, true_d, true_d * 3).astype(np.float32)
+        actual = len(np.unique(data))
+        fm = FlajoletMartin(bitmaps=256, seed=5)
+        fm.update(data)
+        rel_err = abs(fm.estimate() - actual) / actual
+        assert rel_err < 5 * fm.relative_standard_error()
+
+    def test_duplicates_do_not_inflate(self, rng):
+        fm1, fm2 = FlajoletMartin(64, seed=1), FlajoletMartin(64, seed=1)
+        base = rng.integers(0, 1000, 2000).astype(np.float32)
+        fm1.update(base)
+        fm2.update(np.tile(base, 10))
+        assert fm1.estimate() == fm2.estimate()
+
+    def test_merge_is_bitwise_or(self, rng):
+        a, b = FlajoletMartin(64, seed=2), FlajoletMartin(64, seed=2)
+        a.update(rng.integers(0, 500, 2000).astype(np.float32))
+        b.update(rng.integers(400, 900, 2000).astype(np.float32))
+        merged = a.merge(b)
+        assert merged.estimate() >= max(a.estimate(), b.estimate()) * 0.9
+
+    def test_merge_parameter_check(self):
+        with pytest.raises(SummaryError):
+            FlajoletMartin(32).merge(FlajoletMartin(64))
+
+    def test_empty(self):
+        assert FlajoletMartin(16).estimate() == 0.0
+
+    def test_invalid_bitmaps(self):
+        with pytest.raises(SummaryError):
+            FlajoletMartin(0)
+
+
+class TestWindowedDistinctCounter:
+    def test_matches_direct_sketch(self, rng):
+        data = rng.integers(0, 8000, 40_000).astype(np.float32)
+        windowed = WindowedDistinctCounter(k=512, window_size=1000)
+        windowed.update(data)
+        direct = KMinValues(k=512)
+        direct.update(data)
+        assert windowed.estimate() == direct.estimate()
+
+    def test_pending_buffer_counted(self, rng):
+        counter = WindowedDistinctCounter(k=64, window_size=1000)
+        counter.update(rng.integers(0, 50, 500).astype(np.float32))
+        # only a partial window so far, still counted in the estimate
+        assert counter.estimate() == pytest.approx(50, abs=2)
+        assert counter.count == 0  # not yet absorbed into the sketch
+
+    def test_error_bound_api(self):
+        counter = WindowedDistinctCounter(k=512)
+        assert counter.error_bound() == pytest.approx(
+            2.0 / np.sqrt(510), rel=1e-6)
+        with pytest.raises(QueryError):
+            counter.error_bound(0)
+
+    def test_invalid_window(self):
+        with pytest.raises(SummaryError):
+            WindowedDistinctCounter(window_size=0)

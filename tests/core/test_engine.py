@@ -1,0 +1,217 @@
+"""The StreamMiner engine: pipeline orchestration and accounting."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core import StreamMiner
+from repro.core.engine import OPERATIONS
+from repro.errors import QueryError, SummaryError
+from repro.streams import uniform_stream, zipf_stream
+
+from ..conftest import rank_error
+
+
+class TestConfiguration:
+    def test_unknown_statistic(self):
+        with pytest.raises(SummaryError):
+            StreamMiner("median", eps=0.1)
+
+    def test_unknown_mode(self):
+        with pytest.raises(SummaryError):
+            StreamMiner("quantile", eps=0.1, mode="landmark")
+
+    def test_unknown_backend(self):
+        with pytest.raises(SummaryError):
+            StreamMiner("quantile", eps=0.1, backend="fpga")
+
+    def test_sliding_requires_window(self):
+        with pytest.raises(SummaryError):
+            StreamMiner("quantile", eps=0.1, mode="sliding")
+
+    def test_frequency_window_is_inverse_eps(self):
+        miner = StreamMiner("frequency", eps=0.01, backend="cpu")
+        assert miner.window_size == 100
+
+    def test_wrong_statistic_queries_raise(self):
+        freq = StreamMiner("frequency", eps=0.1, backend="cpu")
+        quant = StreamMiner("quantile", eps=0.1, backend="cpu")
+        freq.process(np.ones(100, dtype=np.float32))
+        quant.process(uniform_stream(100))
+        with pytest.raises(QueryError):
+            freq.quantile(0.5)
+        with pytest.raises(QueryError):
+            quant.frequent_items(0.5)
+        with pytest.raises(QueryError):
+            quant.estimate(1.0)
+
+
+class TestFrequencyMining:
+    def test_heavy_hitters_found(self):
+        data = zipf_stream(20000, alpha=1.4, universe=300, seed=21)
+        miner = StreamMiner("frequency", eps=0.005, backend="cpu")
+        miner.process(data)
+        true = Counter(data.tolist())
+        heavy = {v for v, c in true.items() if c >= 0.05 * len(data)}
+        assert heavy <= {v for v, _ in miner.frequent_items(0.05)}
+
+    def test_estimates_never_overcount(self):
+        data = zipf_stream(10000, alpha=1.4, universe=300, seed=22)
+        miner = StreamMiner("frequency", eps=0.005, backend="cpu")
+        miner.process(data)
+        true = Counter(data.tolist())
+        for value in list(true)[:100]:
+            assert miner.estimate(value) <= true[value]
+
+
+class TestQuantileMining:
+    @pytest.mark.parametrize("backend", ["cpu", "gpu"])
+    def test_error_bound(self, backend):
+        eps, n = 0.02, 30000
+        data = uniform_stream(n, seed=23)
+        miner = StreamMiner("quantile", eps=eps, backend=backend,
+                            window_size=1024, stream_length_hint=n)
+        miner.process(data)
+        reference = np.sort(data)
+        for phi in (0.01, 0.25, 0.5, 0.75, 0.99):
+            target = max(1, int(np.ceil(phi * n)))
+            assert rank_error(reference, miner.quantile(phi),
+                              target) <= eps * n
+
+
+class TestDistinctMining:
+    def test_estimate_within_sketch_error(self):
+        rng = np.random.default_rng(61)
+        data = rng.integers(0, 20_000, 100_000).astype(np.float32)
+        exact = len(np.unique(data))
+        miner = StreamMiner("distinct", eps=0.05, backend="cpu")
+        miner.process(data)
+        rel_err = abs(miner.distinct() - exact) / exact
+        assert rel_err < 4 * 0.05
+
+    def test_gpu_cpu_identical(self):
+        rng = np.random.default_rng(62)
+        data = rng.integers(0, 5_000, 40_000).astype(np.float32)
+        gpu = StreamMiner("distinct", eps=0.1, backend="gpu")
+        cpu = StreamMiner("distinct", eps=0.1, backend="cpu")
+        gpu.process(data)
+        cpu.process(data)
+        assert gpu.distinct() == cpu.distinct()
+
+    def test_small_cardinality_exact(self):
+        data = np.tile(np.arange(50, dtype=np.float32), 100)
+        miner = StreamMiner("distinct", eps=0.1, backend="cpu")
+        miner.process(data)
+        assert miner.distinct() == 50
+
+    def test_sliding_mode_rejected(self):
+        with pytest.raises(SummaryError):
+            StreamMiner("distinct", eps=0.1, mode="sliding",
+                        sliding_window=100)
+
+    def test_wrong_statistic_query(self):
+        miner = StreamMiner("frequency", eps=0.1, backend="cpu")
+        miner.process(np.ones(100, dtype=np.float32))
+        with pytest.raises(QueryError):
+            miner.distinct()
+
+
+class TestBackendEquivalence:
+    def test_frequency_results_identical(self):
+        data = zipf_stream(12000, alpha=1.3, universe=200, seed=24)
+        gpu = StreamMiner("frequency", eps=0.01, backend="gpu")
+        cpu = StreamMiner("frequency", eps=0.01, backend="cpu")
+        gpu.process(data)
+        cpu.process(data)
+        assert gpu.frequent_items(0.05) == cpu.frequent_items(0.05)
+
+    def test_quantile_results_identical(self):
+        data = uniform_stream(16384, seed=25)
+        gpu = StreamMiner("quantile", eps=0.05, backend="gpu",
+                          window_size=512, stream_length_hint=16384)
+        cpu = StreamMiner("quantile", eps=0.05, backend="cpu",
+                          window_size=512, stream_length_hint=16384)
+        gpu.process(data)
+        cpu.process(data)
+        for phi in (0.1, 0.5, 0.9):
+            assert gpu.quantile(phi) == cpu.quantile(phi)
+
+    def test_sliding_results_identical(self):
+        data = uniform_stream(20000, seed=26)
+        kwargs = dict(eps=0.05, mode="sliding", sliding_window=4000)
+        gpu = StreamMiner("quantile", backend="gpu", **kwargs)
+        cpu = StreamMiner("quantile", backend="cpu", **kwargs)
+        gpu.process(data)
+        cpu.process(data)
+        assert gpu.quantile(0.5) == cpu.quantile(0.5)
+
+
+class TestIngestion:
+    def test_chunked_equals_single_shot(self):
+        data = uniform_stream(8000, seed=27)
+        a = StreamMiner("quantile", eps=0.05, backend="cpu",
+                        window_size=256, stream_length_hint=8000)
+        b = StreamMiner("quantile", eps=0.05, backend="cpu",
+                        window_size=256, stream_length_hint=8000)
+        a.process(data)
+        for start in range(0, 8000, 333):
+            b.update(data[start:start + 333])
+        b.flush()
+        assert a.quantile(0.5) == b.quantile(0.5)
+
+    def test_iterable_source(self):
+        chunks = [uniform_stream(100, seed=s) for s in range(5)]
+        miner = StreamMiner("quantile", eps=0.1, backend="cpu",
+                            window_size=64, stream_length_hint=500)
+        miner.process(iter(chunks))
+        assert miner.report.elements == 500
+
+    def test_partial_tail_processed_in_history_mode(self):
+        miner = StreamMiner("frequency", eps=0.01, backend="cpu")
+        miner.process(np.ones(150, dtype=np.float32))  # 1.5 windows
+        assert miner.report.elements == 150
+        assert miner.estimate(1.0) >= 149  # undercount bounded by eps*N
+
+    def test_sliding_mode_drops_incomplete_subwindow(self):
+        miner = StreamMiner("quantile", eps=0.1, backend="cpu",
+                            mode="sliding", sliding_window=1000)
+        sub = miner.window_size
+        miner.process(uniform_stream(sub * 3 + 7, seed=28))
+        assert miner.report.elements == sub * 3
+
+
+class TestReport:
+    def test_operation_accounting(self):
+        miner = StreamMiner("frequency", eps=0.01, backend="gpu")
+        miner.process(uniform_stream(2000, seed=29))
+        report = miner.report
+        assert set(report.wall) == set(OPERATIONS)
+        assert report.modelled["sort"] > 0
+        assert report.modelled["transfer"] > 0
+        assert report.modelled["merge"] > 0
+        assert report.elements == 2000
+        assert report.windows == 20
+
+    def test_cpu_backend_has_no_transfer(self):
+        miner = StreamMiner("frequency", eps=0.01, backend="cpu")
+        miner.process(uniform_stream(2000, seed=30))
+        assert miner.report.modelled["transfer"] == 0.0
+
+    def test_shares_sum_to_one(self):
+        miner = StreamMiner("frequency", eps=0.01, backend="cpu")
+        miner.process(uniform_stream(4000, seed=31))
+        shares = miner.report.modelled_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_sort_dominates_cpu_pipeline(self):
+        # Section 5.1: sorting is 80-90% of the frequency pipeline.
+        miner = StreamMiner("frequency", eps=0.001, backend="cpu")
+        miner.process(uniform_stream(100_000, seed=32))
+        shares = miner.report.modelled_shares()
+        assert shares["sort"] > 0.6
+
+    def test_empty_report(self):
+        miner = StreamMiner("frequency", eps=0.01, backend="cpu")
+        assert miner.report.modelled_total == 0.0
+        assert miner.report.modelled_shares()["sort"] == 0.0

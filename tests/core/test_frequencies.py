@@ -1,0 +1,235 @@
+"""Frequency estimators: lossy counting, Misra-Gries, Space-Saving,
+Sticky Sampling, hierarchical heavy hitters."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core import (HierarchicalHeavyHitters, LossyCounting, MisraGries,
+                        SpaceSaving, StickySampling)
+from repro.core.histogram import histogram_from_sorted
+from repro.errors import QueryError, SummaryError
+from repro.streams import zipf_stream
+
+
+@pytest.fixture
+def zipf_data():
+    return zipf_stream(30000, alpha=1.3, universe=2000, seed=11)
+
+
+class TestLossyCounting:
+    def test_invalid_eps(self):
+        for eps in (0, 1, -0.1):
+            with pytest.raises(SummaryError):
+                LossyCounting(eps)
+
+    def test_never_overestimates(self, zipf_data):
+        lc = LossyCounting(0.001)
+        lc.update(zipf_data)
+        true = Counter(zipf_data.tolist())
+        for value, count in list(true.items())[:200]:
+            assert lc.estimate(value) <= count
+
+    def test_undercount_bounded(self, zipf_data):
+        eps = 0.001
+        lc = LossyCounting(eps)
+        lc.update(zipf_data)
+        true = Counter(zipf_data.tolist())
+        bound = eps * len(zipf_data)
+        for value, count in true.items():
+            assert count - lc.estimate(value) <= bound + 1
+
+    def test_no_false_negatives(self, zipf_data):
+        eps, support = 0.001, 0.01
+        lc = LossyCounting(eps)
+        lc.update(zipf_data)
+        n = len(zipf_data)
+        heavy = {v for v, c in Counter(zipf_data.tolist()).items()
+                 if c >= support * n}
+        reported = {v for v, _ in lc.frequent_items(support)}
+        assert heavy <= reported
+
+    def test_no_far_false_positives(self, zipf_data):
+        eps, support = 0.002, 0.02
+        lc = LossyCounting(eps)
+        lc.update(zipf_data)
+        n = len(zipf_data)
+        true = Counter(zipf_data.tolist())
+        for value, _ in lc.frequent_items(support):
+            assert true[value] >= (support - eps) * n
+
+    def test_space_bound_respected(self, zipf_data):
+        lc = LossyCounting(0.001)
+        lc.update(zipf_data)
+        lc.check_invariant()
+        assert len(lc) <= lc.space_bound()
+
+    def test_partial_window_buffered(self):
+        lc = LossyCounting(0.01)  # window = 100
+        lc.update(np.ones(150, dtype=np.float32))
+        assert lc.pending == 50
+        assert lc.estimate(1.0) == 150  # pending counted in estimates
+
+    def test_update_histogram_path(self):
+        lc = LossyCounting(0.01)
+        window = np.sort(np.ones(100, dtype=np.float32))
+        lc.update_histogram(histogram_from_sorted(window))
+        assert lc.estimate(1.0) == 100
+        assert lc.count == 100
+
+    def test_update_histogram_oversized_rejected(self):
+        lc = LossyCounting(0.01)
+        window = np.sort(np.ones(101, dtype=np.float32))
+        with pytest.raises(SummaryError):
+            lc.update_histogram(histogram_from_sorted(window))
+
+    def test_support_below_eps_rejected(self):
+        lc = LossyCounting(0.01)
+        lc.update(np.ones(100, dtype=np.float32))
+        with pytest.raises(QueryError):
+            lc.frequent_items(0.005)
+
+    def test_uniform_stream_keeps_summary_small(self, rng):
+        # all-distinct values are the best case for compression
+        lc = LossyCounting(0.01)
+        lc.update(rng.random(10000).astype(np.float32))
+        assert len(lc) <= 2 * lc.window_size
+
+
+class TestMisraGries:
+    def test_never_overestimates(self, zipf_data):
+        mg = MisraGries(0.001)
+        mg.update(zipf_data)
+        true = Counter(zipf_data.tolist())
+        for value, count in list(true.items())[:200]:
+            assert mg.estimate(value) <= count
+
+    def test_undercount_bounded(self, zipf_data):
+        eps = 0.001
+        mg = MisraGries(eps)
+        mg.update(zipf_data)
+        true = Counter(zipf_data.tolist())
+        for value, count in true.items():
+            assert count - mg.estimate(value) <= eps * len(zipf_data)
+
+    def test_no_false_negatives(self, zipf_data):
+        eps, support = 0.001, 0.01
+        mg = MisraGries(eps)
+        mg.update(zipf_data)
+        heavy = {v for v, c in Counter(zipf_data.tolist()).items()
+                 if c >= support * len(zipf_data)}
+        assert heavy <= {v for v, _ in mg.frequent_items(support)}
+
+    def test_capacity_respected(self, zipf_data):
+        mg = MisraGries(0.01)
+        mg.update(zipf_data)
+        assert len(mg) <= mg.capacity
+
+    def test_invalid_eps(self):
+        with pytest.raises(SummaryError):
+            MisraGries(0)
+
+
+class TestSpaceSaving:
+    def test_never_underestimates_monitored(self, zipf_data):
+        ss = SpaceSaving(0.001)
+        ss.update(zipf_data)
+        true = Counter(zipf_data.tolist())
+        for value, est in ss.frequent_items(0.01):
+            assert est >= true[value]
+
+    def test_overcount_bounded(self, zipf_data):
+        eps = 0.001
+        ss = SpaceSaving(eps)
+        ss.update(zipf_data)
+        true = Counter(zipf_data.tolist())
+        for value, est in ss.frequent_items(0.01):
+            assert est - true[value] <= eps * len(zipf_data)
+
+    def test_guaranteed_counts_are_lower_bounds(self, zipf_data):
+        ss = SpaceSaving(0.001)
+        ss.update(zipf_data)
+        true = Counter(zipf_data.tolist())
+        for value, _ in ss.frequent_items(0.01):
+            assert ss.guaranteed_count(value) <= true[value]
+
+    def test_no_false_negatives(self, zipf_data):
+        eps, support = 0.001, 0.01
+        ss = SpaceSaving(eps)
+        ss.update(zipf_data)
+        heavy = {v for v, c in Counter(zipf_data.tolist()).items()
+                 if c >= support * len(zipf_data)}
+        assert heavy <= {v for v, _ in ss.frequent_items(support)}
+
+    def test_capacity_respected(self, zipf_data):
+        ss = SpaceSaving(0.01)
+        ss.update(zipf_data)
+        assert len(ss) <= ss.capacity
+
+
+class TestStickySampling:
+    def test_no_false_negatives_whp(self, zipf_data):
+        st = StickySampling(support=0.01, eps=0.001, seed=1)
+        st.update(zipf_data)
+        heavy = {v for v, c in Counter(zipf_data.tolist()).items()
+                 if c >= 0.01 * len(zipf_data)}
+        assert heavy <= {v for v, _ in st.frequent_items()}
+
+    def test_space_independent_of_stream_length(self):
+        st = StickySampling(support=0.05, eps=0.01, seed=2)
+        sizes = []
+        for _ in range(4):
+            st.update(zipf_stream(20000, alpha=1.2, universe=5000,
+                                  seed=len(sizes)))
+            sizes.append(len(st))
+        # space stays within a constant band while N quadruples
+        assert max(sizes) < 4 * (2 / 0.01)
+
+    def test_parameter_validation(self):
+        with pytest.raises(SummaryError):
+            StickySampling(support=0.01, eps=0.05)
+        with pytest.raises(SummaryError):
+            StickySampling(support=0.5, eps=0.1, delta=0)
+
+
+class TestHierarchicalHeavyHitters:
+    def test_exact_values_reported_first(self):
+        data = np.concatenate([np.full(500, 8.0), np.full(300, 9.0),
+                               np.full(200, 100.0)])
+        hhh = HierarchicalHeavyHitters(eps=0.01, levels=8)
+        hhh.update(data)
+        results = hhh.query(0.25)
+        level0 = [(p, c) for lvl, p, c in results if lvl == 0]
+        assert (8, 500) in [(p, c) for p, c in level0]
+
+    def test_aggregate_prefix_surfaces(self):
+        # 8 and 9 share the level-1 prefix 4; individually light at 45%,
+        # together heavy.
+        data = np.concatenate([np.full(300, 8.0), np.full(300, 9.0),
+                               np.full(400, 32.0)])
+        hhh = HierarchicalHeavyHitters(eps=0.01, levels=8)
+        hhh.update(data)
+        results = hhh.query(0.55)
+        assert any(lvl == 1 and p == 4 for lvl, p, c in results)
+        assert not any(lvl == 0 and p in (8, 9) for lvl, p, c in results)
+
+    def test_reported_descendants_discount_ancestors(self):
+        data = np.full(1000, 8.0)
+        hhh = HierarchicalHeavyHitters(eps=0.01, levels=6)
+        hhh.update(data)
+        results = hhh.query(0.5)
+        # the exact value is heavy; its ancestors add nothing new
+        assert (0, 8, 1000) in results
+        assert not any(lvl > 0 for lvl, _, _ in results)
+
+    def test_rejects_negative_values(self):
+        hhh = HierarchicalHeavyHitters(eps=0.1, levels=4)
+        with pytest.raises(SummaryError):
+            hhh.update(np.array([-1.0]))
+
+    def test_rejects_bad_support(self):
+        hhh = HierarchicalHeavyHitters(eps=0.1, levels=4)
+        hhh.update(np.ones(10))
+        with pytest.raises(QueryError):
+            hhh.query(0.05)

@@ -1,0 +1,112 @@
+"""The classic Greenwald-Khanna summary."""
+
+import numpy as np
+import pytest
+
+from repro.core import GKSummary
+from repro.errors import QueryError, SummaryError
+
+from ..conftest import rank_error
+
+
+class TestConstruction:
+    def test_invalid_eps(self):
+        for eps in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(SummaryError):
+                GKSummary(eps)
+
+    def test_nan_rejected(self):
+        s = GKSummary(0.1)
+        with pytest.raises(SummaryError):
+            s.insert(float("nan"))
+
+    def test_insert_sorted_requires_order(self):
+        s = GKSummary(0.1)
+        with pytest.raises(SummaryError):
+            s.insert_sorted([2.0, 1.0])
+
+    def test_insert_sorted_equivalent_count(self, rng):
+        s = GKSummary(0.05)
+        s.insert_sorted(np.sort(rng.random(500)))
+        assert s.count == 500
+        s.check_invariant()
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("eps", [0.1, 0.05, 0.01])
+    def test_rank_error_within_bound(self, rng, eps):
+        n = 3000
+        data = rng.random(n)
+        s = GKSummary(eps)
+        for v in data:
+            s.insert(v)
+        s.check_invariant()
+        reference = np.sort(data)
+        for phi in np.linspace(0, 1, 21):
+            target = max(1, int(np.ceil(phi * n)))
+            assert rank_error(reference, s.quantile(phi), target) <= eps * n
+
+    def test_exact_extremes(self, rng):
+        data = rng.random(1000)
+        s = GKSummary(0.05)
+        for v in data:
+            s.insert(v)
+        assert s.quantile(0.0) == data.min()
+        assert s.quantile(1.0) == data.max()
+
+    def test_sorted_input_accuracy(self):
+        s = GKSummary(0.05)
+        s.insert_sorted(np.arange(2000, dtype=float))
+        median = s.quantile(0.5)
+        assert abs(median - 1000) <= 0.05 * 2000
+
+    def test_duplicate_heavy_input(self, rng):
+        data = rng.integers(0, 5, 2000).astype(float)
+        s = GKSummary(0.02)
+        for v in data:
+            s.insert(v)
+        reference = np.sort(data)
+        for phi in (0.1, 0.5, 0.9):
+            target = max(1, int(np.ceil(phi * 2000)))
+            assert rank_error(reference, s.quantile(phi), target) <= 40
+
+
+class TestSpace:
+    def test_sublinear_space(self, rng):
+        s = GKSummary(0.01)
+        for v in rng.random(20000):
+            s.insert(v)
+        # GK keeps O((1/eps) log(eps n)) tuples; 20k values at 1% should
+        # compress far below the input size.
+        assert len(s) < 2000
+
+    def test_space_shrinks_with_larger_eps(self, rng):
+        data = rng.random(5000)
+        coarse, fine = GKSummary(0.1), GKSummary(0.01)
+        for v in data:
+            coarse.insert(v)
+            fine.insert(v)
+        assert len(coarse) < len(fine)
+
+
+class TestQueries:
+    def test_empty_summary_raises(self):
+        with pytest.raises(QueryError):
+            GKSummary(0.1).quantile(0.5)
+
+    def test_phi_out_of_range(self):
+        s = GKSummary(0.1)
+        s.insert(1.0)
+        with pytest.raises(QueryError):
+            s.quantile(1.5)
+
+    def test_rank_out_of_range(self):
+        s = GKSummary(0.1)
+        s.insert(1.0)
+        with pytest.raises(QueryError):
+            s.query_rank(2)
+
+    def test_single_value(self):
+        s = GKSummary(0.1)
+        s.insert(42.0)
+        assert s.quantile(0.5) == 42.0

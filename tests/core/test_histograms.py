@@ -1,0 +1,136 @@
+"""Equi-depth histogram maintenance and the V-optimal yardstick."""
+
+import numpy as np
+import pytest
+
+from repro.core.histograms import (EquiDepthHistogram, HistogramBucket,
+                                   VOptimalHistogram)
+from repro.errors import QueryError, SummaryError
+
+
+@pytest.fixture
+def filled(rng):
+    h = EquiDepthHistogram(buckets=20, eps=0.005, window_size=2048,
+                           stream_length_hint=40_000)
+    data = rng.normal(500, 100, 40_000).astype(np.float32)
+    h.update(data)
+    return h, data
+
+
+class TestEquiDepth:
+    def test_boundaries_monotone(self, filled):
+        h, _ = filled
+        bounds = h.boundaries()
+        assert len(bounds) == 21
+        assert all(b >= a for a, b in zip(bounds, bounds[1:]))
+
+    def test_boundary_ranks_near_equi_depth(self, filled):
+        h, data = filled
+        reference = np.sort(data)
+        n = data.size
+        for i, bound in enumerate(h.boundaries()[1:-1], start=1):
+            rank = np.searchsorted(reference, bound)
+            assert abs(rank - i * n / 20) <= 2 * 0.005 * n + 1
+
+    def test_selectivity_accuracy(self, filled):
+        h, data = filled
+        for low, high in ((300, 700), (0, 500), (480, 520), (900, 1000)):
+            est = h.selectivity(low, high)
+            true = float(np.mean((data >= low) & (data <= high)))
+            assert abs(est - true) <= 2 * 0.005 + 1.0 / 20 + 0.01
+
+    def test_selectivity_outside_range(self, filled):
+        h, data = filled
+        assert h.selectivity(-1e9, data.min() - 1) == 0.0
+        assert h.selectivity(-1e9, 1e9) == 1.0
+
+    def test_estimated_rows(self, filled):
+        h, data = filled
+        est = h.estimated_rows(400, 600)
+        true = int(np.sum((data >= 400) & (data <= 600)))
+        assert abs(est - true) <= 0.05 * data.size
+
+    def test_histogram_depths_sum_to_count(self, filled):
+        h, _ = filled
+        buckets = h.histogram()
+        assert sum(b.depth for b in buckets) == pytest.approx(h.count)
+
+    def test_heavy_value_merges_buckets(self):
+        h = EquiDepthHistogram(buckets=10, eps=0.01, window_size=1000,
+                               stream_length_hint=20_000)
+        # half the stream is one value: several quantiles coincide
+        data = np.concatenate([np.full(10_000, 5.0, dtype=np.float32),
+                               np.random.default_rng(0).random(
+                                   10_000).astype(np.float32) * 100])
+        h.update(data)
+        buckets = h.histogram()
+        assert len(buckets) < 10
+        deepest = max(buckets, key=lambda b: b.depth)
+        assert deepest.depth >= 0.3 * data.size
+
+    def test_queries_before_data_raise(self):
+        h = EquiDepthHistogram()
+        with pytest.raises(QueryError):
+            h.boundaries()
+        with pytest.raises(QueryError):
+            h.selectivity(0, 1)
+
+    def test_inverted_range_rejected(self, filled):
+        h, _ = filled
+        with pytest.raises(QueryError):
+            h.selectivity(10, 5)
+
+    def test_invalid_buckets(self):
+        with pytest.raises(SummaryError):
+            EquiDepthHistogram(buckets=0)
+
+    def test_bucket_validation(self):
+        with pytest.raises(SummaryError):
+            HistogramBucket(2.0, 1.0, 10)
+
+
+class TestVOptimal:
+    def test_finds_exact_segmentation(self):
+        freqs = np.array([1, 1, 1, 10, 10, 10, 1, 1, 20, 20], dtype=float)
+        boundaries, sse = VOptimalHistogram(4).fit(freqs)
+        assert sse == pytest.approx(0.0)
+        assert boundaries[0] == 0
+        assert 3 in boundaries and 6 in boundaries and 8 in boundaries
+
+    def test_single_bucket_sse_is_variance(self):
+        freqs = np.array([1.0, 3.0])
+        _, sse = VOptimalHistogram(1).fit(freqs)
+        assert sse == pytest.approx(2.0)  # (1-2)^2 + (3-2)^2
+
+    def test_more_buckets_never_worse(self, rng):
+        freqs = rng.random(30)
+        errors = [VOptimalHistogram(b).fit(freqs)[1] for b in (1, 2, 4, 8)]
+        assert all(b <= a + 1e-9 for a, b in zip(errors, errors[1:]))
+
+    def test_buckets_capped_at_length(self):
+        boundaries, sse = VOptimalHistogram(10).fit(np.array([1.0, 2.0]))
+        assert sse == pytest.approx(0.0)
+        assert len(boundaries) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(SummaryError):
+            VOptimalHistogram(2).fit(np.array([]))
+
+    def test_equi_depth_close_to_voptimal_on_smooth_data(self, rng):
+        """On smooth data the streaming histogram is near the offline
+        optimum's quality — the motivation for maintaining it online."""
+        data = rng.normal(0, 1, 20_000).astype(np.float32)
+        h = EquiDepthHistogram(buckets=8, eps=0.01, window_size=2000,
+                               stream_length_hint=20_000)
+        h.update(data)
+        # quality metric: max bucket depth deviation from N/B
+        buckets = h.histogram()
+        reference = np.sort(data)
+        worst = 0.0
+        for bucket in buckets:
+            true_depth = np.searchsorted(reference, bucket.high, "right") - \
+                np.searchsorted(reference, bucket.low, "right")
+            if bucket is buckets[0]:
+                true_depth += 1  # the minimum itself
+            worst = max(worst, abs(true_depth - bucket.depth))
+        assert worst <= 0.1 * data.size

@@ -1,0 +1,125 @@
+"""Property-based tests of the summary structures (hypothesis)."""
+
+import math
+from collections import Counter
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (GKSummary, LossyCounting, MisraGries,
+                        QuantileSummary, SpaceSaving)
+
+values = st.floats(min_value=-1e4, max_value=1e4,
+                   allow_nan=False, allow_infinity=False, width=32)
+eps_values = st.sampled_from([0.3, 0.1, 0.05])
+item_streams = st.lists(st.integers(min_value=0, max_value=20),
+                        min_size=1, max_size=500)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(values, min_size=1, max_size=400), eps_values)
+def test_gk_rank_error_invariant(data, eps):
+    """GK answers every phi within eps * n true-rank error."""
+    summary = GKSummary(eps)
+    for v in data:
+        summary.insert(v)
+    summary.check_invariant()
+    reference = np.sort(np.array(data, dtype=np.float64))
+    n = len(data)
+    for phi in (0.0, 0.25, 0.5, 0.75, 1.0):
+        est = summary.quantile(phi)
+        target = max(1, math.ceil(phi * n))
+        lo = int(np.searchsorted(reference, est, "left")) + 1
+        hi = int(np.searchsorted(reference, est, "right"))
+        assert max(lo - target, target - hi, 0) <= max(1, eps * n)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(values, min_size=1, max_size=300),
+       st.lists(values, min_size=1, max_size=300), eps_values)
+def test_window_summary_merge_invariant(a, b, eps):
+    """Merged summaries keep the max-of-errors guarantee."""
+    sa = QuantileSummary.from_sorted(np.sort(np.array(a)), eps)
+    sb = QuantileSummary.from_sorted(np.sort(np.array(b)), eps)
+    merged = sa.merge(sb)
+    merged.check_invariant()
+    reference = np.sort(np.concatenate([a, b]))
+    n = reference.size
+    assert merged.count == n
+    for phi in (0.0, 0.5, 1.0):
+        target = max(1, math.ceil(phi * n))
+        est = merged.query_rank(target)
+        lo = int(np.searchsorted(reference, est, "left")) + 1
+        hi = int(np.searchsorted(reference, est, "right"))
+        assert max(lo - target, target - hi, 0) <= max(1, eps * n)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(values, min_size=1, max_size=400), eps_values,
+       st.integers(min_value=2, max_value=40))
+def test_window_summary_prune_invariant(data, eps, budget):
+    """Pruning respects its size cap and its widened error bound."""
+    summary = QuantileSummary.from_sorted(np.sort(np.array(data)), eps)
+    pruned = summary.prune(budget)
+    assert len(pruned) <= budget + 1
+    reference = np.sort(np.array(data))
+    n = reference.size
+    for phi in (0.0, 0.5, 1.0):
+        target = max(1, math.ceil(phi * n))
+        est = pruned.query_rank(target)
+        lo = int(np.searchsorted(reference, est, "left")) + 1
+        hi = int(np.searchsorted(reference, est, "right"))
+        assert max(lo - target, target - hi, 0) <= max(1, pruned.error * n)
+
+
+@settings(max_examples=40, deadline=None)
+@given(item_streams, eps_values)
+def test_lossy_counting_invariants(items, eps):
+    """No overcount; undercount <= eps*N; no false negatives at 2*eps."""
+    data = np.array(items, dtype=np.float32)
+    lc = LossyCounting(eps)
+    lc.update(data)
+    lc.check_invariant()
+    true = Counter(data.tolist())
+    n = len(items)
+    for value, count in true.items():
+        est = lc.estimate(value)
+        assert est <= count
+        assert count - est <= math.ceil(eps * n) + 1
+    support = min(1.0, 2 * eps)
+    heavy = {v for v, c in true.items() if c >= support * n}
+    reported = {v for v, _ in lc.frequent_items(support)}
+    assert heavy <= reported
+
+
+@settings(max_examples=40, deadline=None)
+@given(item_streams, eps_values)
+def test_misra_gries_invariants(items, eps):
+    data = np.array(items, dtype=np.float32)
+    mg = MisraGries(eps)
+    mg.update(data)
+    assert len(mg) <= mg.capacity
+    true = Counter(data.tolist())
+    n = len(items)
+    for value, count in true.items():
+        est = mg.estimate(value)
+        assert est <= count
+        assert count - est <= eps * n
+
+
+@settings(max_examples=40, deadline=None)
+@given(item_streams, eps_values)
+def test_space_saving_invariants(items, eps):
+    data = np.array(items, dtype=np.float32)
+    ss = SpaceSaving(eps)
+    ss.update(data)
+    assert len(ss) <= ss.capacity
+    true = Counter(data.tolist())
+    n = len(items)
+    for value in set(data.tolist()):
+        est = ss.estimate(value)
+        if est:
+            assert est >= true[value] - 0  # monitored values never undercount
+            assert est - true[value] <= eps * n + 1
+            assert ss.guaranteed_count(value) <= true[value]

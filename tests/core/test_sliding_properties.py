@@ -1,0 +1,116 @@
+"""Property-based tests of the sliding-window structures (hypothesis)."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (DgimCounter, SlidingWindowQuantiles,
+                        StreamingQuantiles)
+from repro.core.distinct import KMinValues
+
+values = st.floats(min_value=-1e4, max_value=1e4,
+                   allow_nan=False, allow_infinity=False, width=32)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=600),
+       st.integers(min_value=8, max_value=200))
+def test_dgim_error_bound(bits, window):
+    """DGIM count stays within its relative-error guarantee."""
+    eps = 0.25
+    counter = DgimCounter(window=window, eps=eps)
+    for bit in bits:
+        counter.update(bit)
+    counter.check_invariant()
+    true = sum(bits[-window:])
+    estimate = counter.estimate()
+    # the oldest bucket's half may be mis-attributed
+    assert abs(estimate - true) <= max(1, eps * true + 1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(values, min_size=40, max_size=600),
+       st.sampled_from([0.2, 0.1]))
+def test_streaming_quantiles_bound(data, eps):
+    """The exponential histogram keeps the whole-history guarantee."""
+    window = max(8, len(data) // 7)
+    sq = StreamingQuantiles(eps, window, stream_length_hint=len(data))
+    arr = np.array(data, dtype=np.float32)
+    for start in range(0, arr.size, window):
+        sq.add_window(arr[start:start + window])
+    sq.check_invariant()
+    reference = np.sort(arr)
+    n = arr.size
+    for phi in (0.0, 0.5, 1.0):
+        target = max(1, math.ceil(phi * n))
+        est = sq.quantile(phi)
+        lo = int(np.searchsorted(reference, est, "left")) + 1
+        hi = int(np.searchsorted(reference, est, "right"))
+        assert max(lo - target, target - hi, 0) <= max(1, eps * n)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(values, min_size=100, max_size=800))
+def test_sliding_quantiles_bound(data):
+    """Sliding quantiles stay within eps*W of the exact window ranks."""
+    eps, window = 0.2, 80
+    sw = SlidingWindowQuantiles(eps, window)
+    arr = np.array(data, dtype=np.float32)
+    sw.extend(arr)
+    covered = min(
+        sw.num_subwindows * sw.subwindow,
+        (arr.size // sw.subwindow) * sw.subwindow)
+    reference = np.sort(arr[:arr.size // sw.subwindow * sw.subwindow]
+                        [-covered:])
+    n = reference.size
+    for phi in (0.0, 0.5, 1.0):
+        target = max(1, math.ceil(phi * min(n, window)))
+        est = sw.quantile(phi)
+        lo = int(np.searchsorted(reference, est, "left")) + 1
+        hi = int(np.searchsorted(reference, est, "right"))
+        # bound: eps over the covered suffix plus one boundary sub-window
+        assert max(lo - target, target - hi, 0) <= \
+            max(1, eps * window + sw.subwindow)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=500),
+                min_size=1, max_size=400),
+       st.lists(st.integers(min_value=0, max_value=500),
+                min_size=1, max_size=400))
+def test_kmv_merge_commutative(a, b):
+    """Sketch merging is commutative and matches the combined stream."""
+    xa = np.array(a, dtype=np.float32)
+    xb = np.array(b, dtype=np.float32)
+    ska, skb = KMinValues(k=64, seed=9), KMinValues(k=64, seed=9)
+    ska.update(xa)
+    skb.update(xb)
+    ab = ska.merge(skb)
+    ba = skb.merge(ska)
+    assert ab.estimate() == ba.estimate()
+    combined = KMinValues(k=64, seed=9)
+    combined.update(np.concatenate([xa, xb]))
+    assert ab.estimate() == combined.estimate()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(values, min_size=1, max_size=500),
+       st.integers(min_value=1, max_value=7))
+def test_engine_chunking_invariance(data, pieces):
+    """StreamMiner results do not depend on how the stream is chunked."""
+    from repro.core import StreamMiner
+
+    arr = np.array(data, dtype=np.float32)
+    whole = StreamMiner("quantile", eps=0.2, backend="cpu",
+                        window_size=32, stream_length_hint=arr.size)
+    whole.process(arr)
+    chunked = StreamMiner("quantile", eps=0.2, backend="cpu",
+                          window_size=32, stream_length_hint=arr.size)
+    bounds = np.linspace(0, arr.size, pieces + 1).astype(int)
+    for lo, hi in zip(bounds, bounds[1:]):
+        chunked.update(arr[lo:hi])
+    chunked.flush()
+    for phi in (0.0, 0.5, 1.0):
+        assert whole.quantile(phi) == chunked.quantile(phi)

@@ -1,0 +1,49 @@
+"""Blend equation semantics."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import BlendOp, apply_blend
+
+
+class TestBlendOps:
+    def setup_method(self):
+        self.src = np.array([1.0, 5.0, 3.0, 3.0], dtype=np.float32)
+        self.dst = np.array([2.0, 4.0, 3.0, 9.0], dtype=np.float32)
+
+    def test_replace_ignores_destination(self):
+        out = apply_blend(BlendOp.REPLACE, self.src, self.dst)
+        assert np.array_equal(out, self.src)
+
+    def test_min(self):
+        out = apply_blend(BlendOp.MIN, self.src, self.dst)
+        assert np.array_equal(out, [1.0, 4.0, 3.0, 3.0])
+
+    def test_max(self):
+        out = apply_blend(BlendOp.MAX, self.src, self.dst)
+        assert np.array_equal(out, [2.0, 5.0, 3.0, 9.0])
+
+    def test_vector_semantics_per_channel(self):
+        # The conditional assignment compares all four RGBA channels
+        # independently (Section 4.2.2) — the core of the 4-way trick.
+        src = np.array([[1.0, 9.0, 2.0, 8.0]], dtype=np.float32)
+        dst = np.array([[5.0, 5.0, 5.0, 5.0]], dtype=np.float32)
+        out = apply_blend(BlendOp.MIN, src, dst)
+        assert np.array_equal(out, [[1.0, 5.0, 2.0, 5.0]])
+
+    def test_is_blending_flag(self):
+        assert not BlendOp.REPLACE.is_blending
+        assert BlendOp.MIN.is_blending
+        assert BlendOp.MAX.is_blending
+
+    def test_inf_sentinels_sort_high(self):
+        src = np.array([np.inf], dtype=np.float32)
+        dst = np.array([1.0], dtype=np.float32)
+        assert apply_blend(BlendOp.MIN, src, dst)[0] == 1.0
+        assert apply_blend(BlendOp.MAX, src, dst)[0] == np.inf
+
+    @pytest.mark.parametrize("op", list(BlendOp))
+    def test_broadcasting(self, op):
+        src = np.ones((2, 3, 4), dtype=np.float32)
+        dst = np.zeros((2, 3, 4), dtype=np.float32)
+        assert apply_blend(op, src, dst).shape == (2, 3, 4)

@@ -1,0 +1,173 @@
+"""Perf counters and the analytic cost models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BusError
+from repro.gpu import (AGP_8X, CPU_MODEL_INTEL, CPU_MODEL_MSVC,
+                       BitonicFragmentProgramModel, Bus, CpuSortCostModel,
+                       GpuCostModel, PerfCounters)
+from repro.gpu.presets import GEFORCE_6800_ULTRA, PENTIUM_IV_3_4GHZ
+
+
+class TestPerfCounters:
+    def test_record_pass_blended(self):
+        c = PerfCounters()
+        c.record_pass(100, blended=True, bytes_per_texel=16, label="min")
+        assert c.passes == 1
+        assert c.fragments == 100
+        assert c.blend_ops == 100
+        assert c.bytes_written == 1600
+        assert c.bytes_read == 3200  # texel + destination
+        assert c.pass_breakdown == {"min": 1}
+
+    def test_record_pass_unblended_reads_once(self):
+        c = PerfCounters()
+        c.record_pass(10, blended=False, bytes_per_texel=16)
+        assert c.blend_ops == 0
+        assert c.bytes_read == 160
+
+    def test_snapshot_is_independent(self):
+        c = PerfCounters()
+        c.record_pass(5, blended=True, bytes_per_texel=16)
+        snap = c.snapshot()
+        c.record_pass(5, blended=True, bytes_per_texel=16)
+        assert snap.passes == 1
+        assert c.passes == 2
+
+    def test_delta(self):
+        c = PerfCounters()
+        c.record_pass(5, blended=True, bytes_per_texel=16, label="a")
+        snap = c.snapshot()
+        c.record_pass(7, blended=False, bytes_per_texel=16, label="b")
+        c.record_upload(64)
+        d = c.delta(snap)
+        assert d.passes == 1
+        assert d.fragments == 7
+        assert d.bytes_uploaded == 64
+        assert d.pass_breakdown == {"b": 1}
+
+    def test_reset(self):
+        c = PerfCounters()
+        c.record_pass(5, blended=True, bytes_per_texel=16)
+        c.record_upload(10)
+        c.reset()
+        assert c.passes == 0 and c.bytes_uploaded == 0
+        assert c.pass_breakdown == {}
+
+
+class TestBus:
+    def test_upload_converts_and_bills(self):
+        bus = Bus()
+        out = bus.upload(np.ones(4, dtype=np.float64))
+        assert out.dtype == np.float32
+        assert bus.counters.bytes_uploaded == 16
+
+    def test_readback_copies(self):
+        bus = Bus()
+        data = np.ones(4, dtype=np.float32)
+        out = bus.readback(data)
+        out[0] = 9.0
+        assert data[0] == 1.0
+        assert bus.counters.bytes_readback == 16
+
+    def test_empty_transfer_rejected(self):
+        bus = Bus()
+        with pytest.raises(BusError):
+            bus.readback(np.empty(0, dtype=np.float32))
+
+    def test_transfer_time_model(self):
+        bus = Bus()
+        t = bus.transfer_time(AGP_8X.effective_bandwidth_bytes, transfers=1)
+        assert t == pytest.approx(1.0 + AGP_8X.latency_s)
+
+    def test_negative_transfer_rejected(self):
+        bus = Bus()
+        with pytest.raises(BusError):
+            bus.transfer_time(-1)
+
+
+class TestGpuCostModel:
+    def test_compute_term(self):
+        model = GpuCostModel()
+        c = PerfCounters()
+        c.record_pass(16 * 400, blended=True, bytes_per_texel=16)
+        bd = model.breakdown(c)
+        # blends * cycles-per-blend / (16 pipes * 400 MHz)
+        spec = GEFORCE_6800_ULTRA
+        assert bd.compute == pytest.approx(
+            6400 * spec.cycles_per_blend
+            / (spec.fragment_processors * spec.core_clock_hz))
+
+    def test_sort_takes_max_of_compute_and_memory(self):
+        model = GpuCostModel()
+        c = PerfCounters()
+        c.record_pass(1000, blended=True, bytes_per_texel=16)
+        bd = model.breakdown(c)
+        assert bd.sort == pytest.approx(
+            bd.setup + bd.pass_overhead + max(bd.compute, bd.memory))
+
+    def test_no_setup_without_passes(self):
+        model = GpuCostModel()
+        bd = model.breakdown(PerfCounters())
+        assert bd.total == 0.0
+
+    def test_transfer_term(self):
+        model = GpuCostModel()
+        c = PerfCounters()
+        c.record_upload(800_000_000)
+        bd = model.breakdown(c)
+        assert bd.transfer == pytest.approx(1.0 + AGP_8X.latency_s)
+
+
+class TestCpuModel:
+    def test_comparisons_formula(self):
+        model = CpuSortCostModel()
+        assert model.comparisons(1024) == pytest.approx(1.386 * 1024 * 10)
+        assert model.comparisons(1) == 0.0
+
+    def test_monotone_in_n(self):
+        model = CpuSortCostModel()
+        times = [model.time(1 << k) for k in range(10, 24)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_cache_misses_grow_past_l2(self):
+        model = CpuSortCostModel()
+        in_cache = model.cache_misses(100_000)       # 400 KB < 1 MB L2
+        out_of_cache = model.cache_misses(1_000_000)  # 4 MB > 1 MB L2
+        assert out_of_cache > 10 * in_cache
+
+    def test_intel_faster_than_msvc(self):
+        for k in range(10, 24):
+            assert CPU_MODEL_INTEL.time(1 << k) < CPU_MODEL_MSVC.time(1 << k)
+
+
+class TestBitonicModel:
+    def test_stage_count(self):
+        assert BitonicFragmentProgramModel.stages(2) == 1
+        assert BitonicFragmentProgramModel.stages(4) == 3
+        assert BitonicFragmentProgramModel.stages(1024) == 55
+
+    def test_trivial_sizes(self):
+        model = BitonicFragmentProgramModel()
+        assert model.time(0) == 0.0
+        assert model.time(1) == 0.0
+
+    def test_order_of_magnitude_gap_at_8m(self):
+        # Section 4.5: prior GPU bitonic is "nearly an order of magnitude"
+        # slower than the paper's blending approach.
+        from repro.bench.models import predicted_gpu_sort_time
+        n = 1 << 23
+        pbsn = predicted_gpu_sort_time(n).total
+        bitonic = BitonicFragmentProgramModel().time(n)
+        assert bitonic / pbsn > 8
+
+
+class TestPresets:
+    def test_paper_headline_numbers(self):
+        spec = GEFORCE_6800_ULTRA
+        assert spec.fragment_ops_per_clock == 64  # "64 operations per clock"
+        assert spec.memory_bandwidth_bytes == pytest.approx(35.2e9)
+        assert 6.0 <= spec.cycles_per_blend <= 7.0
+        assert PENTIUM_IV_3_4GHZ.clock_hz == pytest.approx(3.4e9)
+        assert AGP_8X.effective_bandwidth_bytes == pytest.approx(800e6)

@@ -1,0 +1,119 @@
+"""GpuDevice: memory management, transfers, state, timing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (BusError, GpuError, TextureError,
+                          VideoMemoryError)
+from repro.gpu import BlendOp, GpuDevice, GpuSpec
+from repro.gpu.presets import GEFORCE_6800_ULTRA
+
+
+def small_spec(**overrides) -> GpuSpec:
+    base = GEFORCE_6800_ULTRA.__dict__ | overrides
+    return GpuSpec(**base)
+
+
+class TestVideoMemory:
+    def test_allocation_tracked(self, device):
+        tex = device.create_texture(16, 16)
+        assert device.video_memory_used == tex.nbytes
+
+    def test_delete_frees(self, device):
+        tex = device.create_texture(16, 16)
+        device.delete_texture(tex)
+        assert device.video_memory_used == 0
+
+    def test_budget_enforced(self):
+        device = GpuDevice(small_spec(video_memory_bytes=1024))
+        with pytest.raises(VideoMemoryError):
+            device.create_texture(64, 64)
+
+    def test_texture_dim_limit(self, device):
+        with pytest.raises(TextureError):
+            device.create_texture(8192, 1)
+
+    def test_duplicate_name_rejected(self, device):
+        device.create_texture(2, 2, name="a")
+        with pytest.raises(TextureError):
+            device.create_texture(2, 2, name="a")
+
+    def test_delete_unknown_rejected(self, device):
+        tex = device.create_texture(2, 2)
+        device.delete_texture(tex)
+        with pytest.raises(TextureError):
+            device.delete_texture(tex)
+
+
+class TestTransfers:
+    def test_upload_readback_roundtrip(self, device, rng):
+        data = rng.random((4, 8, 4)).astype(np.float32)
+        tex = device.upload_texture(data)
+        assert np.array_equal(device.readback_texture(tex), data)
+
+    def test_transfers_billed(self, device, rng):
+        data = rng.random((4, 4, 4)).astype(np.float32)
+        tex = device.upload_texture(data)
+        device.readback_texture(tex)
+        assert device.counters.bytes_uploaded == data.nbytes
+        assert device.counters.bytes_readback == data.nbytes
+        assert device.counters.uploads == 1
+        assert device.counters.readbacks == 1
+
+    def test_upload_requires_rgba(self, device):
+        with pytest.raises(TextureError):
+            device.upload_texture(np.zeros((4, 4), dtype=np.float32))
+
+    def test_empty_upload_rejected(self, device):
+        with pytest.raises(BusError):
+            device.bus.upload(np.empty(0, dtype=np.float32))
+
+    def test_readback_framebuffer(self, device, rng):
+        data = rng.random((2, 2, 4)).astype(np.float32)
+        tex = device.upload_texture(data)
+        device.bind_framebuffer(2, 2)
+        device.copy_texture_to_framebuffer(tex)
+        assert np.array_equal(device.readback_framebuffer(), data)
+
+
+class TestRenderingState:
+    def test_draw_without_framebuffer_raises(self, device, rng):
+        tex = device.upload_texture(rng.random((2, 2, 4)).astype(np.float32))
+        with pytest.raises(GpuError):
+            device.draw_quad(tex, (0, 0, 2, 2), (0, 0, 2, 2))
+
+    def test_set_blend_requires_framebuffer(self, device):
+        with pytest.raises(GpuError):
+            device.set_blend(BlendOp.MIN)
+
+    def test_copy_framebuffer_shape_check(self, device, rng):
+        tex = device.upload_texture(rng.random((2, 2, 4)).astype(np.float32))
+        device.bind_framebuffer(4, 4)
+        with pytest.raises(TextureError):
+            device.copy_framebuffer_to_texture(tex)
+
+    def test_full_render_cycle(self, device, rng):
+        data = rng.random((2, 4, 4)).astype(np.float32)
+        tex = device.upload_texture(data)
+        device.bind_framebuffer(4, 2)
+        device.copy_texture_to_framebuffer(tex)
+        device.set_blend(BlendOp.MIN)
+        device.draw_quad(tex, (0, 0, 2, 2), (4, 0, 2, 2))
+        device.copy_framebuffer_to_texture(tex)
+        out = device.readback_texture(tex)
+        expected = data.copy()
+        expected[:, :2] = np.minimum(data[:, :2], data[:, :1:-1])
+        assert np.array_equal(out, expected)
+
+
+class TestTiming:
+    def test_modelled_time_nonzero_after_work(self, device, rng):
+        tex = device.upload_texture(rng.random((4, 4, 4)).astype(np.float32))
+        device.bind_framebuffer(4, 4)
+        device.copy_texture_to_framebuffer(tex)
+        breakdown = device.modelled_time()
+        assert breakdown.total > 0
+        assert breakdown.transfer > 0
+
+    def test_empty_counters_have_no_setup(self, device):
+        assert device.modelled_time().total == 0.0

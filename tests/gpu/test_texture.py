@@ -1,0 +1,86 @@
+"""Texture construction, sizing and access."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TextureError
+from repro.gpu import Texture2D, texture_dims_for
+from repro.gpu.texture import BYTES_PER_TEXEL, CHANNELS
+
+
+class TestTexture2D:
+    def test_zero_initialised(self):
+        tex = Texture2D(4, 2)
+        assert tex.shape == (2, 4, CHANNELS)
+        assert np.all(tex.read() == 0.0)
+
+    def test_initial_data_is_copied(self):
+        data = np.ones((2, 2, CHANNELS), dtype=np.float32)
+        tex = Texture2D(2, 2, data)
+        data[0, 0, 0] = 99.0
+        assert tex.read()[0, 0, 0] == 1.0
+
+    def test_read_returns_copy(self):
+        tex = Texture2D(2, 2)
+        view = tex.read()
+        view[0, 0, 0] = 42.0
+        assert tex.read()[0, 0, 0] == 0.0
+
+    def test_write_replaces_contents(self):
+        tex = Texture2D(2, 2)
+        tex.write(np.full((2, 2, CHANNELS), 7.0, dtype=np.float32))
+        assert np.all(tex.read() == 7.0)
+
+    def test_write_shape_mismatch_raises(self):
+        tex = Texture2D(2, 2)
+        with pytest.raises(TextureError):
+            tex.write(np.zeros((3, 2, CHANNELS), dtype=np.float32))
+
+    def test_nbytes(self):
+        tex = Texture2D(8, 4)
+        assert tex.nbytes == 8 * 4 * BYTES_PER_TEXEL
+
+    @pytest.mark.parametrize("width,height", [(0, 4), (4, 0), (-1, 4)])
+    def test_invalid_dimensions_raise(self, width, height):
+        with pytest.raises(TextureError):
+            Texture2D(width, height)
+
+    def test_wrong_initial_shape_raises(self):
+        with pytest.raises(TextureError):
+            Texture2D(2, 2, np.zeros((2, 2), dtype=np.float32))
+
+    def test_float32_conversion(self):
+        data = np.ones((1, 1, CHANNELS), dtype=np.float64) * 0.1
+        tex = Texture2D(1, 1, data)
+        assert tex.read().dtype == np.float32
+
+
+class TestTextureDimsFor:
+    @pytest.mark.parametrize("n,expected", [
+        (1, (1, 1)),
+        (2, (2, 1)),
+        (3, (2, 2)),
+        (4, (2, 2)),
+        (5, (4, 2)),
+        (8, (4, 2)),
+        (9, (4, 4)),
+        (16, (4, 4)),
+        (1 << 20, (1 << 10, 1 << 10)),
+    ])
+    def test_near_square_power_of_two(self, n, expected):
+        assert texture_dims_for(n) == expected
+
+    def test_capacity_is_sufficient(self):
+        for n in [1, 7, 100, 4097, 12345]:
+            w, h = texture_dims_for(n)
+            assert w * h >= n
+            # and never more than 2x oversized
+            assert w * h < 2 * max(n, 1) or w * h <= 2
+
+    def test_too_large_raises(self):
+        with pytest.raises(TextureError):
+            texture_dims_for(4096 * 4096 * 2 + 1)
+
+    def test_non_positive_raises(self):
+        with pytest.raises(TextureError):
+            texture_dims_for(0)

@@ -1,0 +1,174 @@
+"""The benchmark harness: series builders and tables."""
+
+import math
+
+import pytest
+
+from repro.bench import (Table, accuracy_series, figure3_series,
+                         figure4_series, figure5_series, figure6_series,
+                         figure7_series, sliding_window_series,
+                         streaming_modelled_time)
+from repro.gpu.timing import CPU_MODEL_INTEL
+
+
+class TestTable:
+    def test_render_contains_data(self):
+        t = Table("T", ["a", "b"])
+        t.add_row(1, 2.5)
+        text = t.render()
+        assert "T" in text and "2.500" in text
+
+    def test_markdown(self):
+        t = Table("T", ["a"], caption="c")
+        t.add_row(1)
+        md = t.render_markdown()
+        assert "| a |" in md and "*c*" in md
+
+    def test_row_length_checked(self):
+        t = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_column_extraction(self):
+        t = Table("T", ["a", "b"])
+        t.add_row(1, 2)
+        t.add_row(3, 4)
+        assert t.column("b") == [2, 4]
+
+
+class TestFigure3:
+    def test_paper_shape(self):
+        sizes = [1 << 12, 1 << 16, 1 << 20, 1 << 23]
+        table = figure3_series(sizes, wall_limit=1 << 14)
+        gpu = table.column("gpu_pbsn")
+        bitonic = table.column("gpu_bitonic")
+        msvc = table.column("cpu_msvc")
+        intel = table.column("cpu_intel")
+        # Small n: CPU wins (GPU has constant setup overhead).
+        assert gpu[0] > intel[0]
+        # 8M: GPU beats MSVC and is comparable to Intel (within 2x).
+        assert gpu[-1] < msvc[-1]
+        assert 0.5 < gpu[-1] / intel[-1] < 2.0
+        # Prior GPU bitonic is close to an order of magnitude slower.
+        assert bitonic[-1] / gpu[-1] > 8
+
+    def test_wall_clock_measured_below_limit(self):
+        table = figure3_series([1 << 10, 1 << 20], wall_limit=1 << 12)
+        wall = table.column("gpu_wall")
+        assert wall[0] == wall[0]  # measured (not NaN)
+        assert math.isnan(wall[1])
+
+
+class TestFigure4:
+    def test_transfer_small_fraction_of_sort(self):
+        table = figure4_series([1 << 18, 1 << 22])
+        for sort, transfer in zip(table.column("sort"),
+                                  table.column("transfer")):
+            assert transfer < 0.25 * sort
+
+    def test_extrapolation_close_at_scale(self):
+        # Paper: estimates "closely match the observed timings".
+        table = figure4_series([1 << 20, 1 << 22, 1 << 23])
+        for sort, est in zip(table.column("sort"),
+                             table.column("estimated_sort")):
+            assert est / sort == pytest.approx(1.0, abs=0.35)
+
+
+class TestFigure5And7:
+    @pytest.mark.parametrize("builder", [figure5_series, figure7_series])
+    def test_gpu_wins_large_windows_cpu_wins_small(self, builder):
+        table = builder(eps_values=[1e-2, 1e-6],
+                        stream_length=100_000_000, run_elements=50_000)
+        gpu = table.column("gpu_total")
+        cpu = table.column("cpu_total")
+        assert gpu[0] > cpu[0]   # tiny windows: GPU overhead dominates
+        assert gpu[-1] < cpu[-1]  # large windows: GPU wins
+
+    def test_transfer_time_small_and_flat(self):
+        # Fig 5 caption: "the data transfer time remains constant and is
+        # significantly lower than the time taken to sort".
+        table = figure5_series(eps_values=[1e-4, 1e-5, 1e-6],
+                               stream_length=100_000_000,
+                               run_elements=20_000)
+        transfers = table.column("gpu_transfer")
+        totals = table.column("gpu_total")
+        for transfer, total in zip(transfers, totals):
+            assert transfer < 0.25 * total
+        assert max(transfers) / min(transfers) < 2.0
+
+
+class TestFigure6:
+    def test_sort_dominates(self):
+        table = figure6_series([1e-3], run_elements=100_000)
+        assert table.column("sort")[0] > 0.6
+
+    def test_shares_sum_to_one(self):
+        table = figure6_series([1e-2], run_elements=50_000)
+        row = table.rows[0]
+        assert sum(row[2:]) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestSlidingAndAccuracy:
+    def test_sliding_errors_within_bound(self):
+        table = sliding_window_series([2000, 10_000],
+                                      run_elements=50_000)
+        for err, bound in zip(table.column("worst_rank_err"),
+                              table.column("bound")):
+            assert err <= bound
+
+    def test_accuracy_table_within_bounds(self):
+        table = accuracy_series([0.05, 0.01], run_elements=30_000)
+        for err, bound in zip(table.column("worst_observed"),
+                              table.column("bound")):
+            assert err <= bound
+
+
+class TestStreamingModel:
+    def test_gpu_batches_four_windows(self):
+        gpu = streaming_modelled_time(1_000_000, 1000, "gpu")
+        assert gpu["sort"] > 0 and gpu["transfer"] > 0
+
+    def test_cpu_requires_time_fn(self):
+        with pytest.raises(ValueError):
+            streaming_modelled_time(1000, 100, "cpu")
+        with pytest.raises(ValueError):
+            streaming_modelled_time(1000, 100, "tpu",
+                                    cpu_time_fn=CPU_MODEL_INTEL.time)
+
+
+class TestCalibrationAnchors:
+    """The cost-model constants must keep honouring the paper's claims."""
+
+    def test_every_anchor_holds(self):
+        from repro.bench import anchors
+        for anchor in anchors():
+            assert anchor.holds, (
+                f"{anchor.name}: {anchor.model_value} outside "
+                f"[{anchor.low}, {anchor.high}] — calibration drifted")
+
+    def test_table_renders(self):
+        from repro.bench import calibration_table
+        text = calibration_table().render()
+        assert "cycles_per_blend" in text
+
+
+class TestReportModule:
+    def test_main_with_stubbed_builders(self, monkeypatch, capsys):
+        from repro.bench import report
+        from repro.bench.reporting import Table
+
+        stub = Table("Stub", ["x"])
+        stub.add_row(1)
+        monkeypatch.setattr(report, "build_all", lambda fast=False: [stub])
+        assert report.main(["--fast"]) == 0
+        assert "Stub" in capsys.readouterr().out
+
+    def test_markdown_flag(self, monkeypatch, capsys):
+        from repro.bench import report
+        from repro.bench.reporting import Table
+
+        stub = Table("Stub", ["x"])
+        stub.add_row(1)
+        monkeypatch.setattr(report, "build_all", lambda fast=False: [stub])
+        assert report.main(["--markdown"]) == 0
+        assert "| x |" in capsys.readouterr().out

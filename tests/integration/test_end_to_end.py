@@ -1,0 +1,96 @@
+"""End-to-end pipeline tests across subsystems."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro import (DataStream, GpuDevice, GpuSorter, StreamMiner,
+                   network_trace_stream, uniform_stream, zipf_stream)
+from repro.core.sliding import StreamingQuantiles
+
+from ..conftest import rank_error
+
+
+class TestGpuSortedStreamingQuantiles:
+    """The paper's full quantile pipeline: GPU sort -> sample -> EH."""
+
+    def test_hundred_windows_through_the_gpu(self):
+        eps, window, n = 0.02, 1024, 102_400
+        data = uniform_stream(n, seed=41)
+        sorter = GpuSorter()
+        sq = StreamingQuantiles(eps, window, stream_length_hint=n)
+        stream = DataStream(data)
+        batch = []
+        for w in stream.windows(window):
+            batch.append(w)
+            if len(batch) == 4:
+                for sorted_w in sorter.sort_batch(batch):
+                    sq.add_sorted_window(sorted_w)
+                batch = []
+        for sorted_w in sorter.sort_batch(batch) if batch else []:
+            sq.add_sorted_window(sorted_w)
+        sq.check_invariant()
+        reference = np.sort(data)
+        for phi in (0.05, 0.5, 0.95):
+            target = max(1, int(np.ceil(phi * n)))
+            assert rank_error(reference, sq.quantile(phi),
+                              target) <= eps * n
+
+
+class TestSharedDevice:
+    def test_multiple_miners_share_one_device(self):
+        device = GpuDevice()
+        data = uniform_stream(8192, seed=42)
+        a = StreamMiner("quantile", eps=0.05, backend="gpu",
+                        window_size=512, device=device,
+                        stream_length_hint=8192)
+        b = StreamMiner("frequency", eps=0.01, backend="gpu", device=device)
+        a.process(data)
+        b.process(zipf_stream(4000, universe=100, seed=42))
+        assert device.video_memory_used == 0  # everything released
+        assert a.report.modelled["sort"] > 0
+        assert b.report.modelled["sort"] > 0
+
+
+class TestRealisticWorkloads:
+    def test_network_heavy_hitters(self):
+        # packet-size stream: the MTU and ACK sizes are the heavy hitters
+        data = network_trace_stream(50_000, seed=43)
+        miner = StreamMiner("frequency", eps=0.0005, backend="cpu")
+        miner.process(data)
+        reported = {v for v, _ in miner.frequent_items(0.005)}
+        true = Counter(data.tolist())
+        heavy = {v for v, c in true.items() if c >= 0.005 * len(data)}
+        assert heavy <= reported
+
+    def test_quantiles_on_skewed_data(self):
+        data = zipf_stream(40_000, alpha=1.2, universe=10_000, seed=44)
+        miner = StreamMiner("quantile", eps=0.02, backend="cpu",
+                            window_size=2000, stream_length_hint=40_000)
+        miner.process(data)
+        reference = np.sort(data)
+        for phi in (0.5, 0.9, 0.99):
+            target = max(1, int(np.ceil(phi * len(data))))
+            assert rank_error(reference, miner.quantile(phi),
+                              target) <= 0.02 * len(data)
+
+    def test_sliding_window_follows_distribution_shift(self):
+        low = uniform_stream(20_000, low=0, high=10, seed=45)
+        high = uniform_stream(20_000, low=100, high=110, seed=46)
+        miner = StreamMiner("quantile", eps=0.05, backend="cpu",
+                            mode="sliding", sliding_window=5000)
+        miner.process(np.concatenate([low, high]))
+        assert miner.quantile(0.5) >= 100.0
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        data = uniform_stream(10_000, seed=47)
+        results = []
+        for _ in range(2):
+            miner = StreamMiner("quantile", eps=0.05, backend="gpu",
+                                window_size=512, stream_length_hint=10_000)
+            miner.process(data)
+            results.append([miner.quantile(p) for p in (0.1, 0.5, 0.9)])
+        assert results[0] == results[1]

@@ -1,0 +1,62 @@
+"""Failure injection: resource limits and invalid states surface as
+typed exceptions, never as silent corruption."""
+
+import numpy as np
+import pytest
+
+from repro import GpuDevice, GpuSorter
+from repro.errors import (ReproError, SortError, TextureError,
+                          VideoMemoryError)
+from repro.gpu import GpuSpec
+from repro.gpu.presets import GEFORCE_6800_ULTRA
+
+
+def spec_with(**overrides) -> GpuSpec:
+    return GpuSpec(**(GEFORCE_6800_ULTRA.__dict__ | overrides))
+
+
+class TestResourceExhaustion:
+    def test_sort_too_large_for_texture_limits(self):
+        device = GpuDevice(spec_with(max_texture_dim=16))
+        sorter = GpuSorter(device)
+        with pytest.raises(TextureError):
+            sorter.sort(np.zeros(16 * 16 * 4 + 1, dtype=np.float32))
+
+    def test_sort_too_large_for_video_memory(self):
+        device = GpuDevice(spec_with(video_memory_bytes=1024))
+        sorter = GpuSorter(device)
+        with pytest.raises(VideoMemoryError):
+            sorter.sort(np.zeros(4096, dtype=np.float32))
+
+    def test_failed_sort_leaks_no_memory(self):
+        device = GpuDevice(spec_with(max_texture_dim=16))
+        sorter = GpuSorter(device)
+        with pytest.raises(TextureError):
+            sorter.sort(np.zeros(10_000, dtype=np.float32))
+        assert device.video_memory_used == 0
+
+    def test_device_usable_after_failure(self, rng):
+        device = GpuDevice(spec_with(max_texture_dim=64))
+        sorter = GpuSorter(device)
+        with pytest.raises(TextureError):
+            sorter.sort(np.zeros(64 * 64 * 4 + 1, dtype=np.float32))
+        data = rng.random(1000).astype(np.float32)
+        assert np.array_equal(sorter.sort(data), np.sort(data))
+
+
+class TestInvalidInputs:
+    def test_all_library_errors_share_base(self):
+        device = GpuDevice(spec_with(video_memory_bytes=64))
+        with pytest.raises(ReproError):
+            device.create_texture(64, 64)
+        with pytest.raises(ReproError):
+            GpuSorter(network="bogosort")
+
+    def test_nan_stream_rejected_before_any_gpu_work(self):
+        device = GpuDevice()
+        sorter = GpuSorter(device)
+        data = np.ones(100, dtype=np.float32)
+        data[50] = np.nan
+        with pytest.raises(SortError):
+            sorter.sort(data)
+        assert device.counters.uploads == 0

@@ -1,0 +1,121 @@
+"""CPU baselines and the sorted-run merge."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SortError
+from repro.sorting import (InstrumentedCpuSorter, SortStats,
+                           merge_comparison_count, merge_sorted_runs,
+                           merge_two_sorted, optimized_sort, quicksort)
+
+
+class TestQuicksort:
+    @pytest.mark.parametrize("n", [0, 1, 2, 15, 16, 17, 100, 1000])
+    def test_sorts_random(self, rng, n):
+        data = rng.random(n)
+        assert np.array_equal(quicksort(data), np.sort(data))
+
+    def test_sorts_adversarial(self):
+        for data in (np.arange(200.0), np.arange(200.0)[::-1],
+                     np.zeros(100), np.tile([2.0, 1.0], 64)):
+            assert np.array_equal(quicksort(data), np.sort(data))
+
+    def test_input_unchanged(self, rng):
+        data = rng.random(50)
+        original = data.copy()
+        quicksort(data)
+        assert np.array_equal(data, original)
+
+    def test_comparison_count_near_theory(self, rng):
+        n = 4096
+        stats = SortStats()
+        quicksort(rng.random(n), stats)
+        expected = 1.386 * n * np.log2(n)
+        # within a factor ~[0.5, 1.5] of the quicksort expectation
+        assert 0.5 * expected < stats.comparisons < 1.5 * expected
+
+    def test_stats_accumulate(self, rng):
+        stats = SortStats()
+        quicksort(rng.random(100), stats)
+        first = stats.comparisons
+        quicksort(rng.random(100), stats)
+        assert stats.comparisons > first
+        assert stats.max_depth >= 1
+
+    def test_stats_merge(self):
+        a = SortStats(comparisons=5, swaps=2, max_depth=3, partitions=1)
+        b = SortStats(comparisons=7, swaps=1, max_depth=5, partitions=2)
+        a.merge(b)
+        assert (a.comparisons, a.swaps, a.max_depth, a.partitions) == \
+            (12, 3, 5, 3)
+
+
+class TestOptimizedSort:
+    def test_matches_numpy(self, rng):
+        data = rng.random(1000).astype(np.float32)
+        assert np.array_equal(optimized_sort(data), np.sort(data))
+
+    def test_rejects_2d(self, rng):
+        with pytest.raises(SortError):
+            optimized_sort(rng.random((4, 4)))
+
+
+class TestInstrumentedCpuSorter:
+    def test_sort_and_bookkeeping(self, rng):
+        sorter = InstrumentedCpuSorter()
+        data = rng.random(500).astype(np.float32)
+        out = sorter.sort(data)
+        assert np.array_equal(out, np.sort(data))
+        assert sorter.last_n == 500
+        assert sorter.total_elements == 500
+
+    def test_sort_batch(self, rng):
+        sorter = InstrumentedCpuSorter()
+        windows = [rng.random(50).astype(np.float32) for _ in range(3)]
+        outs = sorter.sort_batch(windows)
+        for w, out in zip(windows, outs):
+            assert np.array_equal(out, np.sort(w))
+        assert sorter.last_n == 150
+
+    def test_speedup_scales_model(self):
+        slow = InstrumentedCpuSorter(speedup=1.0)
+        fast = InstrumentedCpuSorter(speedup=2.0)
+        assert fast.modelled_time(1 << 20) == pytest.approx(
+            slow.modelled_time(1 << 20) / 2.0)
+
+
+class TestMerge:
+    def test_merge_two(self):
+        a = np.array([1.0, 3.0, 5.0])
+        b = np.array([2.0, 4.0, 6.0])
+        assert merge_two_sorted(a, b).tolist() == [1, 2, 3, 4, 5, 6]
+
+    def test_merge_with_duplicates(self):
+        a = np.array([1.0, 2.0, 2.0])
+        b = np.array([2.0, 2.0, 3.0])
+        assert merge_two_sorted(a, b).tolist() == [1, 2, 2, 2, 2, 3]
+
+    def test_merge_empty(self):
+        a = np.array([1.0])
+        assert merge_two_sorted(a, np.empty(0)).tolist() == [1.0]
+        assert merge_two_sorted(np.empty(0), a).tolist() == [1.0]
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 7])
+    def test_merge_many_runs(self, rng, k):
+        runs = [np.sort(rng.random(rng.integers(0, 50))) for _ in range(k)]
+        merged = merge_sorted_runs(runs)
+        assert np.array_equal(merged, np.sort(np.concatenate(runs)))
+
+    def test_merge_no_runs(self):
+        assert merge_sorted_runs([]).size == 0
+
+    def test_merge_rejects_2d(self, rng):
+        with pytest.raises(SortError):
+            merge_sorted_runs([rng.random((2, 2))])
+
+    def test_comparison_count(self):
+        assert merge_comparison_count(1000, 1) == 0
+        assert merge_comparison_count(1000, 2) == 1000
+        assert merge_comparison_count(1000, 4) == 2000
+        with pytest.raises(SortError):
+            merge_comparison_count(-1)

@@ -1,0 +1,170 @@
+"""Pure comparator-network verification, including the 0-1 principle."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import SortError
+from repro.sorting import (apply_comparators, bitonic_steps,
+                           is_power_of_two, network_comparison_count,
+                           next_power_of_two, pbsn_step, pbsn_steps,
+                           run_network)
+
+
+class TestHelpers:
+    @pytest.mark.parametrize("n,expected", [
+        (1, True), (2, True), (3, False), (4, True), (1024, True),
+        (1023, False), (0, False), (-4, False)])
+    def test_is_power_of_two(self, n, expected):
+        assert is_power_of_two(n) is expected
+
+    @pytest.mark.parametrize("n,expected", [
+        (1, 1), (2, 2), (3, 4), (5, 8), (1024, 1024), (1025, 2048)])
+    def test_next_power_of_two(self, n, expected):
+        assert next_power_of_two(n) == expected
+
+    def test_next_power_of_two_rejects_nonpositive(self):
+        with pytest.raises(SortError):
+            next_power_of_two(0)
+
+
+class TestPbsnStep:
+    def test_mirror_pairs(self):
+        assert pbsn_step(8, 8) == [(0, 7), (1, 6), (2, 5), (3, 4)]
+
+    def test_blocked_pairs(self):
+        assert pbsn_step(8, 4) == [(0, 3), (1, 2), (4, 7), (5, 6)]
+
+    def test_block_two(self):
+        assert pbsn_step(4, 2) == [(0, 1), (2, 3)]
+
+    def test_invalid_block_raises(self):
+        with pytest.raises(SortError):
+            pbsn_step(8, 3)
+        with pytest.raises(SortError):
+            pbsn_step(8, 16)
+
+    def test_step_is_a_matching(self):
+        for block in (2, 4, 8, 16):
+            step = pbsn_step(16, block)
+            positions = [p for pair in step for p in pair]
+            assert len(positions) == len(set(positions)) == 16
+
+
+class TestStepCounts:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64])
+    def test_pbsn_step_count(self, n):
+        log_n = n.bit_length() - 1
+        assert len(list(pbsn_steps(n))) == log_n * log_n
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64])
+    def test_bitonic_step_count(self, n):
+        log_n = n.bit_length() - 1
+        assert len(list(bitonic_steps(n))) == log_n * (log_n + 1) // 2
+
+    def test_comparison_counts(self):
+        assert network_comparison_count(16, "pbsn") == 8 * 16
+        assert network_comparison_count(16, "bitonic") == 4 * 4 * 5
+        with pytest.raises(SortError):
+            network_comparison_count(16, "mergesort")
+
+
+class TestZeroOnePrinciple:
+    """A comparator network sorts iff it sorts every 0/1 input."""
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    @pytest.mark.parametrize("network", [pbsn_steps, bitonic_steps])
+    def test_exhaustive_binary_inputs(self, n, network):
+        for bits in itertools.product([0.0, 1.0], repeat=n):
+            out = run_network(np.array(bits), network(n))
+            assert np.array_equal(out, np.sort(bits)), bits
+
+    @pytest.mark.parametrize("network", [pbsn_steps, bitonic_steps])
+    def test_sixteen_random_binary(self, network, rng):
+        for _ in range(64):
+            bits = rng.integers(0, 2, 16).astype(float)
+            out = run_network(bits, network(16))
+            assert np.array_equal(out, np.sort(bits))
+
+
+class TestGeneralInputs:
+    @pytest.mark.parametrize("network", [pbsn_steps, bitonic_steps])
+    @pytest.mark.parametrize("n", [2, 8, 32, 128])
+    def test_random_floats(self, network, n, rng):
+        data = rng.random(n)
+        out = run_network(data, network(n))
+        assert np.array_equal(out, np.sort(data))
+
+    @pytest.mark.parametrize("network", [pbsn_steps, bitonic_steps])
+    def test_adversarial_orders(self, network):
+        n = 64
+        for data in (np.arange(n, dtype=float),
+                     np.arange(n, dtype=float)[::-1],
+                     np.zeros(n), np.tile([3.0, 1.0], n // 2)):
+            out = run_network(data, network(n))
+            assert np.array_equal(out, np.sort(data))
+
+    def test_duplicates_preserved(self, rng):
+        data = rng.integers(0, 4, 32).astype(float)
+        out = run_network(data, pbsn_steps(32))
+        assert np.array_equal(out, np.sort(data))
+
+
+class TestApplyComparators:
+    def test_swaps_out_of_order_pair(self):
+        assert apply_comparators([2.0, 1.0], [(0, 1)]).tolist() == [1.0, 2.0]
+
+    def test_keeps_ordered_pair(self):
+        assert apply_comparators([1.0, 2.0], [(0, 1)]).tolist() == [1.0, 2.0]
+
+    def test_rejects_position_reuse(self):
+        with pytest.raises(SortError):
+            apply_comparators([1.0, 2.0, 3.0], [(0, 1), (1, 2)])
+
+    def test_non_power_of_two_rejected_by_networks(self):
+        with pytest.raises(SortError):
+            list(pbsn_steps(6))
+        with pytest.raises(SortError):
+            list(bitonic_steps(6))
+
+
+class TestOddEvenMergeNetwork:
+    """Batcher's odd-even merge network (the Kipfer et al. [28] family)."""
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_zero_one_principle_exhaustive(self, n):
+        from repro.sorting import odd_even_merge_steps
+        for bits in itertools.product([0.0, 1.0], repeat=n):
+            out = run_network(np.array(bits), odd_even_merge_steps(n))
+            assert np.array_equal(out, np.sort(bits)), bits
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_random_floats(self, n, rng):
+        from repro.sorting import odd_even_merge_steps
+        data = rng.random(n)
+        out = run_network(data, odd_even_merge_steps(n))
+        assert np.array_equal(out, np.sort(data))
+
+    def test_batcher_comparator_count(self):
+        # Batcher's exact count for n=16 is 63.
+        from repro.sorting import odd_even_merge_steps
+        assert sum(len(s) for s in odd_even_merge_steps(16)) == 63
+
+    def test_fewer_comparators_than_bitonic(self):
+        from repro.sorting import bitonic_steps, odd_even_merge_steps
+        n = 256
+        odd_even = sum(len(s) for s in odd_even_merge_steps(n))
+        bitonic = sum(len(s) for s in bitonic_steps(n))
+        assert odd_even < bitonic
+
+    def test_steps_are_matchings(self):
+        from repro.sorting import odd_even_merge_steps
+        for step in odd_even_merge_steps(32):
+            positions = [p for pair in step for p in pair]
+            assert len(positions) == len(set(positions))
+
+    def test_non_power_of_two_rejected(self):
+        from repro.sorting import odd_even_merge_steps
+        with pytest.raises(SortError):
+            list(odd_even_merge_steps(6))

@@ -1,0 +1,65 @@
+"""The analytic counter prediction must match the simulator exactly."""
+
+import numpy as np
+import pytest
+
+from repro.bench.models import (pbsn_comparison_count, pbsn_texture_shape,
+                                predict_pbsn_counters,
+                                predicted_gpu_sort_time)
+from repro.sorting import GpuSorter
+
+COUNTER_FIELDS = ("passes", "fragments", "blend_ops", "texels_fetched",
+                  "bytes_written", "bytes_read", "bytes_uploaded",
+                  "bytes_readback", "uploads", "readbacks")
+
+
+class TestPrediction:
+    @pytest.mark.parametrize("n", [1, 2, 5, 16, 100, 1000, 4096, 50_000])
+    def test_counters_exact(self, rng, n):
+        sorter = GpuSorter()
+        sorter.sort(rng.random(n).astype(np.float32))
+        predicted = predict_pbsn_counters(n)
+        for field in COUNTER_FIELDS:
+            assert getattr(predicted, field) == \
+                getattr(sorter.last_counters, field), field
+
+    def test_pass_breakdown_exact(self, rng):
+        sorter = GpuSorter()
+        sorter.sort(rng.random(4096).astype(np.float32))
+        assert predict_pbsn_counters(4096).pass_breakdown == \
+            sorter.last_counters.pass_breakdown
+
+    def test_texture_shape_matches(self, rng):
+        for n in (5, 100, 5000):
+            sorter = GpuSorter()
+            sorter.sort(rng.random(n).astype(np.float32))
+            w, h = pbsn_texture_shape(n)
+            assert sorter.last_counters.bytes_uploaded == w * h * 16
+
+    def test_zero_input(self):
+        counters = predict_pbsn_counters(0)
+        assert counters.passes == 0
+        assert counters.bytes_uploaded == 0
+
+
+class TestPredictedTime:
+    def test_monotone_in_n(self):
+        times = [predicted_gpu_sort_time(1 << k).total for k in range(8, 24)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_n_log_squared_growth(self):
+        # doubling n multiplies sort time by ~2 * ((log+1)/log)^2 < 2.5
+        t1 = predicted_gpu_sort_time(1 << 20).sort
+        t2 = predicted_gpu_sort_time(1 << 21).sort
+        assert 1.8 < t2 / t1 < 2.6
+
+    def test_transfer_linear_in_n(self):
+        t1 = predicted_gpu_sort_time(1 << 20).transfer
+        t2 = predicted_gpu_sort_time(1 << 22).transfer
+        assert t2 / t1 == pytest.approx(4.0, rel=0.1)
+
+    def test_comparison_count_formula(self):
+        # Section 4.5: n + n log^2(n/4) comparisons.
+        n = 1 << 20
+        assert pbsn_comparison_count(n) == n + n * 18 * 18
+        assert pbsn_comparison_count(0) == 0

@@ -1,0 +1,69 @@
+"""Property-based tests of the sorting stack (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sorting import (GpuSorter, merge_sorted_runs, merge_two_sorted,
+                           pbsn_steps, quicksort, run_network)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False,
+                          width=32)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(finite_floats, min_size=0, max_size=300))
+def test_gpu_sorter_sorts_and_permutes(values):
+    """GPU output is ascending and a permutation of the input."""
+    data = np.array(values, dtype=np.float32)
+    out = GpuSorter().sort(data)
+    assert out.size == data.size
+    assert np.all(out[1:] >= out[:-1])
+    assert np.array_equal(np.sort(out), np.sort(data))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(finite_floats, min_size=0, max_size=300))
+def test_gpu_matches_numpy(values):
+    """GPU sort agrees with the reference sort bit-for-bit."""
+    data = np.array(values, dtype=np.float32)
+    assert np.array_equal(GpuSorter().sort(data), np.sort(data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(finite_floats, min_size=0, max_size=200))
+def test_quicksort_matches_numpy(values):
+    data = np.array(values, dtype=np.float64)
+    assert np.array_equal(quicksort(data), np.sort(data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=6),
+       st.data())
+def test_pbsn_network_zero_one(log_n, data):
+    """0-1 principle inputs drawn by hypothesis for the pure network."""
+    n = 1 << log_n
+    bits = data.draw(st.lists(st.sampled_from([0.0, 1.0]),
+                              min_size=n, max_size=n))
+    out = run_network(np.array(bits), pbsn_steps(n))
+    assert np.array_equal(out, np.sort(bits))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(finite_floats, max_size=100),
+       st.lists(finite_floats, max_size=100))
+def test_merge_two_sorted_property(a, b):
+    left = np.sort(np.array(a, dtype=np.float64))
+    right = np.sort(np.array(b, dtype=np.float64))
+    merged = merge_two_sorted(left, right)
+    assert np.array_equal(merged, np.sort(np.concatenate([left, right])))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.lists(finite_floats, max_size=50), min_size=1,
+                max_size=6))
+def test_merge_many_property(runs):
+    sorted_runs = [np.sort(np.array(r, dtype=np.float64)) for r in runs]
+    merged = merge_sorted_runs(sorted_runs)
+    assert np.array_equal(merged, np.sort(np.concatenate(sorted_runs)))

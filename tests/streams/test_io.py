@@ -1,0 +1,106 @@
+"""File-backed stream readers and writers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.streams.io import (read_binary_stream, read_csv_stream,
+                              write_binary_stream, write_csv_stream)
+
+
+class TestBinaryStreams:
+    def test_roundtrip(self, tmp_path, rng):
+        data = rng.random(10_000).astype(np.float32)
+        path = tmp_path / "trace.f32"
+        nbytes = write_binary_stream(path, data)
+        assert nbytes == data.nbytes
+        back = np.concatenate(list(read_binary_stream(path)))
+        assert np.array_equal(back, data)
+
+    def test_chunking(self, tmp_path, rng):
+        data = rng.random(1000).astype(np.float32)
+        path = tmp_path / "trace.f32"
+        write_binary_stream(path, data)
+        chunks = list(read_binary_stream(path, chunk_size=300))
+        assert [c.size for c in chunks] == [300, 300, 300, 100]
+
+    def test_feeds_datastream(self, tmp_path, rng):
+        from repro.streams import DataStream
+        data = rng.random(500).astype(np.float32)
+        path = tmp_path / "trace.f32"
+        write_binary_stream(path, data)
+        stream = DataStream(read_binary_stream(path, chunk_size=128))
+        windows = list(stream.windows(100))
+        assert sum(w.size for w in windows) == 500
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StreamError):
+            list(read_binary_stream(tmp_path / "nope.f32"))
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.f32"
+        path.write_bytes(b"\x00" * 7)
+        with pytest.raises(StreamError):
+            list(read_binary_stream(path))
+
+    def test_empty_write_rejected(self, tmp_path):
+        with pytest.raises(StreamError):
+            write_binary_stream(tmp_path / "x", np.empty(0))
+
+    def test_invalid_chunk_size(self, tmp_path, rng):
+        path = tmp_path / "t.f32"
+        write_binary_stream(path, rng.random(10).astype(np.float32))
+        with pytest.raises(StreamError):
+            list(read_binary_stream(path, chunk_size=0))
+
+
+class TestCsvStreams:
+    def test_roundtrip(self, tmp_path, rng):
+        data = rng.random(500).astype(np.float32)
+        path = tmp_path / "trace.csv"
+        write_csv_stream(path, data)
+        back = np.concatenate(list(read_csv_stream(path)))
+        assert np.allclose(back, data, rtol=1e-6)
+
+    def test_header_skipped(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv_stream(path, np.array([1.0, 2.0]), header="value")
+        back = np.concatenate(
+            list(read_csv_stream(path, skip_header=True)))
+        assert back.tolist() == [1.0, 2.0]
+
+    def test_column_selection(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,1.5\nb,2.5\n")
+        back = np.concatenate(list(read_csv_stream(path, column=1)))
+        assert back.tolist() == [1.5, 2.5]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("1.0\n\n2.0\n")
+        back = np.concatenate(list(read_csv_stream(path)))
+        assert back.tolist() == [1.0, 2.0]
+
+    def test_bad_number_reported_with_line(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("1.0\nbogus\n")
+        with pytest.raises(StreamError, match=":2"):
+            list(read_csv_stream(path))
+
+    def test_missing_column_reported(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("1.0\n")
+        with pytest.raises(StreamError, match="no column 3"):
+            list(read_csv_stream(path, column=3))
+
+
+class TestEndToEndFromFile:
+    def test_mine_quantiles_from_binary_file(self, tmp_path, rng):
+        from repro.core import StreamMiner
+        data = (rng.random(20_000) * 100).astype(np.float32)
+        path = tmp_path / "trace.f32"
+        write_binary_stream(path, data)
+        miner = StreamMiner("quantile", eps=0.05, backend="cpu",
+                            window_size=1024, stream_length_hint=20_000)
+        miner.process(read_binary_stream(path, chunk_size=4096))
+        assert 40 < miner.quantile(0.5) < 60

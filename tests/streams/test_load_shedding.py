@@ -1,0 +1,138 @@
+"""Load shedding, spilling and bursty arrivals."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.streams import LoadShedder, bursty_arrivals
+
+
+class TestShedPolicy:
+    def test_under_capacity_passes_through(self):
+        shedder = LoadShedder(capacity_per_tick=100)
+        chunk = np.arange(50, dtype=np.float32)
+        out = shedder.offer(chunk)
+        assert np.array_equal(out, chunk)
+        assert shedder.stats.shed == 0
+
+    def test_over_capacity_sheds_excess(self):
+        shedder = LoadShedder(capacity_per_tick=100)
+        out = shedder.offer(np.arange(250, dtype=np.float32))
+        assert out.size == 100
+        assert shedder.stats.shed == 150
+        shedder.check_conservation()
+
+    def test_keep_rate(self):
+        shedder = LoadShedder(capacity_per_tick=100)
+        shedder.offer(np.ones(400, dtype=np.float32))
+        assert shedder.stats.keep_rate == pytest.approx(0.25)
+
+    def test_capacity_resets_each_tick(self):
+        shedder = LoadShedder(capacity_per_tick=100)
+        for _ in range(5):
+            out = shedder.offer(np.ones(100, dtype=np.float32))
+            assert out.size == 100
+        assert shedder.stats.shed == 0
+
+
+class TestSpillPolicy:
+    def test_excess_queued_and_served_later(self):
+        shedder = LoadShedder(capacity_per_tick=100, policy="spill")
+        out = shedder.offer(np.arange(250, dtype=np.float32))
+        assert out.size == 100
+        assert shedder.queued == 150
+        # an idle tick drains the queue
+        out = shedder.offer(np.empty(0, dtype=np.float32))
+        assert out.size == 100
+        assert shedder.queued == 50
+        shedder.check_conservation()
+
+    def test_fifo_order_preserved(self):
+        shedder = LoadShedder(capacity_per_tick=10, policy="spill")
+        shedder.offer(np.arange(30, dtype=np.float32))
+        second = shedder.offer(np.empty(0, dtype=np.float32))
+        assert second.tolist() == list(range(10, 20))
+
+    def test_queue_limit_sheds_overflow(self):
+        shedder = LoadShedder(capacity_per_tick=10, policy="spill",
+                              queue_limit=20, seed=0)
+        shedder.offer(np.arange(100, dtype=np.float32))
+        assert shedder.queued == 20
+        assert shedder.stats.shed == 70
+        shedder.check_conservation()
+
+    def test_drain_flushes_everything(self):
+        shedder = LoadShedder(capacity_per_tick=10, policy="spill")
+        shedder.offer(np.arange(50, dtype=np.float32))
+        rest = shedder.drain()
+        assert rest.size == 40
+        assert shedder.queued == 0
+        shedder.check_conservation()
+        assert shedder.stats.processed == 50
+
+    def test_max_queue_tracked(self):
+        shedder = LoadShedder(capacity_per_tick=10, policy="spill")
+        shedder.offer(np.arange(100, dtype=np.float32))
+        assert shedder.stats.max_queue == 90
+
+
+class TestValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(StreamError):
+            LoadShedder(0)
+
+    def test_bad_policy(self):
+        with pytest.raises(StreamError):
+            LoadShedder(10, policy="panic")
+
+    def test_bad_queue_limit(self):
+        with pytest.raises(StreamError):
+            LoadShedder(10, policy="spill", queue_limit=-1)
+
+
+class TestBurstyArrivals:
+    def test_total_elements(self):
+        total = sum(bursty_arrivals(10_000, 100, 1000, 0.1, seed=1))
+        assert total == 10_000
+
+    def test_rates_respected(self):
+        sizes = list(bursty_arrivals(100_000, 100, 1000, 0.2, seed=2))
+        assert set(sizes[:-1]) <= {100, 1000}
+        burst_share = sum(1 for s in sizes if s == 1000) / len(sizes)
+        assert 0.1 < burst_share < 0.3
+
+    def test_no_bursts(self):
+        sizes = list(bursty_arrivals(1000, 100, 1000, 0.0, seed=3))
+        assert all(s == 100 for s in sizes)
+
+    def test_validation(self):
+        with pytest.raises(StreamError):
+            list(bursty_arrivals(100, 0, 10))
+        with pytest.raises(StreamError):
+            list(bursty_arrivals(100, 10, 10, burst_fraction=2.0))
+
+
+class TestShedderWithMiner:
+    def test_heavy_hitters_survive_shedding(self):
+        """Random shedding preserves frequent items (adjusted support)."""
+        from collections import Counter
+
+        from repro.core import LossyCounting
+        from repro.streams import zipf_stream
+
+        data = zipf_stream(60_000, alpha=1.4, universe=500, seed=9)
+        shedder = LoadShedder(capacity_per_tick=300, seed=4)
+        miner = LossyCounting(eps=0.002)
+        pos = 0
+        for size in bursty_arrivals(60_000, 250, 1200, 0.2, seed=5):
+            miner.update(shedder.offer(data[pos:pos + size]))
+            pos += size
+        shedder.check_conservation()
+        assert shedder.stats.shed > 0
+
+        kept = shedder.stats.keep_rate
+        true = Counter(data.tolist())
+        heavy = {v for v, c in true.items() if c >= 0.05 * len(data)}
+        # support scaled by the keep-rate, with slack for sampling noise
+        reported = {v for v, _ in miner.frequent_items(0.05 * kept * 0.5)}
+        assert heavy <= reported

@@ -1,0 +1,161 @@
+"""Stream sources, generators and windowing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.streams import (ChannelBuffer, DataStream, SlidingWindowSpec,
+                           financial_tick_stream, network_trace_stream,
+                           normal_stream, reversed_stream, sorted_stream,
+                           uniform_stream, zipf_stream)
+from repro.streams.generators import GENERATORS
+
+
+class TestGenerators:
+    def test_uniform_range_and_dtype(self):
+        s = uniform_stream(1000, low=10, high=20, seed=1)
+        assert s.dtype == np.float32
+        assert s.size == 1000
+        assert s.min() >= 10 and s.max() < 20
+
+    def test_uniform_deterministic(self):
+        assert np.array_equal(uniform_stream(100, seed=5),
+                              uniform_stream(100, seed=5))
+        assert not np.array_equal(uniform_stream(100, seed=5),
+                                  uniform_stream(100, seed=6))
+
+    def test_zipf_skew(self):
+        s = zipf_stream(20000, alpha=1.5, universe=1000, seed=2)
+        values, counts = np.unique(s, return_counts=True)
+        # rank 1 should dominate: more than 20% of a strongly skewed stream
+        assert counts[values == 1.0][0] > 0.2 * s.size
+
+    def test_zipf_universe_respected(self):
+        s = zipf_stream(1000, universe=50, seed=0)
+        assert s.min() >= 1 and s.max() <= 50
+
+    def test_normal_moments(self):
+        s = normal_stream(50000, mean=100, std=10, seed=3)
+        assert abs(s.mean() - 100) < 1
+        assert abs(s.std() - 10) < 1
+
+    def test_sorted_and_reversed(self):
+        s = sorted_stream(100, seed=1)
+        assert np.all(np.diff(s) >= 0)
+        r = reversed_stream(100, seed=1)
+        assert np.all(np.diff(r) <= 0)
+
+    def test_network_trace_bimodal(self):
+        s = network_trace_stream(20000, seed=4)
+        small = np.mean((s >= 40) & (s <= 80))
+        mtu = np.mean((s >= 1400) & (s <= 1500))
+        assert small > 0.3 and mtu > 0.25
+
+    def test_financial_positive_prices(self):
+        s = financial_tick_stream(10000, start_price=50.0, seed=5)
+        assert np.all(s > 0)
+
+    def test_registry_complete(self):
+        assert set(GENERATORS) == {"uniform", "zipf", "normal", "sorted",
+                                   "reversed", "network", "financial"}
+
+    @pytest.mark.parametrize("gen", list(GENERATORS.values()))
+    def test_all_reject_nonpositive_n(self, gen):
+        with pytest.raises(StreamError):
+            gen(0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(StreamError):
+            uniform_stream(10, low=5, high=5)
+        with pytest.raises(StreamError):
+            zipf_stream(10, alpha=0)
+        with pytest.raises(StreamError):
+            normal_stream(10, std=0)
+        with pytest.raises(StreamError):
+            financial_tick_stream(10, start_price=0)
+
+
+class TestDataStream:
+    def test_windows_exact_division(self):
+        s = DataStream(np.arange(6, dtype=np.float32))
+        out = [w.tolist() for w in s.windows(3)]
+        assert out == [[0, 1, 2], [3, 4, 5]]
+
+    def test_windows_trailing_partial(self):
+        s = DataStream(np.arange(7, dtype=np.float32))
+        out = [w.tolist() for w in s.windows(3)]
+        assert out == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_windows_from_chunked_source(self):
+        chunks = [np.arange(4), np.arange(4, 5), np.arange(5, 11)]
+        s = DataStream(chunks)
+        out = [w.tolist() for w in s.windows(4)]
+        assert out == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10]]
+
+    def test_callable_source(self):
+        s = DataStream(lambda: [np.arange(4, dtype=np.float32)])
+        assert [w.tolist() for w in s.windows(2)] == [[0, 1], [2, 3]]
+
+    def test_consumed_counter(self):
+        s = DataStream(np.arange(10, dtype=np.float32))
+        list(s.windows(4))
+        assert s.consumed == 10
+
+    def test_single_pass(self):
+        s = DataStream(np.arange(4, dtype=np.float32))
+        assert len(list(s.windows(2))) == 2
+        assert list(s.windows(2)) == []  # already exhausted
+
+    def test_iter_values(self):
+        s = DataStream(np.arange(5, dtype=np.float32))
+        assert list(s) == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_invalid_window_size(self):
+        with pytest.raises(StreamError):
+            list(DataStream(np.arange(4, dtype=np.float32)).windows(0))
+
+    def test_rejects_2d_array(self):
+        with pytest.raises(StreamError):
+            DataStream(np.zeros((2, 2), dtype=np.float32))
+
+
+class TestChannelBuffer:
+    def test_push_and_drain(self):
+        buf = ChannelBuffer(4)
+        buf.push(np.arange(4, dtype=np.float32))
+        buf.push(np.arange(2, dtype=np.float32))
+        assert len(buf) == 2 and not buf.full
+        drained = buf.drain()
+        assert len(drained) == 2 and len(buf) == 0
+
+    def test_full_after_four(self):
+        buf = ChannelBuffer(2)
+        for _ in range(4):
+            buf.push(np.ones(2, dtype=np.float32))
+        assert buf.full
+        with pytest.raises(StreamError):
+            buf.push(np.ones(2, dtype=np.float32))
+
+    def test_oversized_window_rejected(self):
+        buf = ChannelBuffer(2)
+        with pytest.raises(StreamError):
+            buf.push(np.ones(3, dtype=np.float32))
+
+    def test_empty_window_rejected(self):
+        buf = ChannelBuffer(2)
+        with pytest.raises(StreamError):
+            buf.push(np.empty(0, dtype=np.float32))
+
+    def test_invalid_window_size(self):
+        with pytest.raises(StreamError):
+            ChannelBuffer(0)
+
+
+class TestSlidingWindowSpec:
+    def test_valid(self):
+        spec = SlidingWindowSpec(100, variable=True)
+        assert spec.size == 100 and spec.variable
+
+    def test_invalid_size(self):
+        with pytest.raises(StreamError):
+            SlidingWindowSpec(0)

@@ -1,0 +1,51 @@
+"""Execute the doc-comment examples of the public API.
+
+Every ``Examples`` block in the library's docstrings is a promise to the
+reader; this module runs them all so they cannot rot.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.aggregates.correlated_sum
+import repro.core.distinct.fm
+import repro.core.distinct.kmv
+import repro.core.engine
+import repro.core.frequencies.lossy_counting
+import repro.core.frequencies.misra_gries
+import repro.core.histograms
+import repro.core.quantiles.gk
+import repro.core.sliding.basic_counting
+import repro.core.sliding.exponential_histogram
+import repro.core.sliding.window_query
+import repro.gpu.device
+import repro.sorting.gpu_sorter
+import repro.streams.load_shedding
+import repro.streams.stream
+
+MODULES = [
+    repro.core.aggregates.correlated_sum,
+    repro.core.distinct.fm,
+    repro.core.distinct.kmv,
+    repro.core.engine,
+    repro.core.frequencies.lossy_counting,
+    repro.core.frequencies.misra_gries,
+    repro.core.histograms,
+    repro.core.quantiles.gk,
+    repro.core.sliding.basic_counting,
+    repro.core.sliding.exponential_histogram,
+    repro.core.sliding.window_query,
+    repro.gpu.device,
+    repro.sorting.gpu_sorter,
+    repro.streams.load_shedding,
+    repro.streams.stream,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} failures"
+    assert results.attempted > 0, f"{module.__name__} lost its examples"

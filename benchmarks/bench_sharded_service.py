@@ -1,0 +1,96 @@
+"""Sharded service: ingest throughput and merge-on-query scaling.
+
+Not a paper figure — this benchmarks the production layer the ROADMAP
+asks for on top of the paper's pipeline: N miner shards behind the
+async front-end.  Reported series: end-to-end ingest throughput and
+per-shard batch latency versus shard count, plus the cost and accuracy
+of a merged-summary query.  The qualitative claims asserted: work is
+spread evenly, no elements leak, and the merged answer keeps the
+configured epsilon despite sharding.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import Table
+from repro.service import ShardedMiner, run_service_demo
+from repro.streams import uniform_stream
+
+from conftest import SCALE, emit
+
+ELEMENTS = 120_000 * SCALE
+SHARD_COUNTS = [1, 2, 4, 8]
+EPS = 0.02
+
+
+def _run_one(num_shards: int):
+    result = run_service_demo(statistic="quantile", n=ELEMENTS, eps=EPS,
+                              num_shards=num_shards, producers=2,
+                              backend="cpu", window_size=2048,
+                              workload="uniform", chunk_size=4096)
+    return result
+
+
+class TestShardScaling:
+    @pytest.fixture(scope="class")
+    def table(self):
+        table = Table(
+            title="Sharded service — ingest throughput vs shard count",
+            columns=["shards", "elements", "throughput_eps", "mean_batch_ms",
+                     "max_queue", "quantile_ok"],
+            caption=(f"{ELEMENTS:,} uniform elements, eps={EPS}, 2 async "
+                     "producers, cpu backend; throughput is accepted "
+                     "elements per wall second."),
+        )
+        self.results = {}
+        for shards in SHARD_COUNTS:
+            result = _run_one(shards)
+            metrics = result.metrics
+            mean_ms = np.mean([s.mean_batch_seconds for s in metrics.shards])
+            table.add_row(shards, metrics.ingested, metrics.ingest_rate,
+                          mean_ms * 1e3,
+                          max(s.queue_high_water for s in metrics.shards),
+                          result.all_within_bounds)
+            self.results[shards] = result
+        emit(table)
+        table.results = self.results
+        return table
+
+    def test_conservation(self, table):
+        """Every accepted element landed in exactly one shard."""
+        for result in table.results.values():
+            assert sum(result.shard_elements) == result.metrics.ingested
+
+    def test_balanced_partitioning(self, table):
+        """Round-robin keeps shard loads within 1% of each other."""
+        for shards, result in table.results.items():
+            if shards == 1:
+                continue
+            low, high = min(result.shard_elements), max(result.shard_elements)
+            assert high - low <= 0.01 * high + 1
+
+    def test_epsilon_survives_sharding(self, table):
+        """Merged-shard answers stay within eps at every shard count."""
+        for result in table.results.values():
+            assert result.all_within_bounds
+
+    def test_metrics_populated(self, table):
+        for result in table.results.values():
+            metrics = result.metrics
+            assert metrics.ingest_rate > 0
+            assert all(s.update_seconds > 0 for s in metrics.shards)
+
+
+class TestMergedQueryCost:
+    def test_query_latency_and_size(self, benchmark):
+        """Merge-on-query over many shards stays cheap and bounded."""
+        miner = ShardedMiner("quantile", eps=EPS, num_shards=8,
+                             backend="cpu", window_size=2048)
+        miner.ingest(uniform_stream(ELEMENTS, seed=3))
+        miner.drain()
+        summary = benchmark(miner.combined_summary)
+        assert len(summary) <= math.ceil(1.0 / EPS) + 1
+        assert summary.error <= EPS + 1e-12
+        assert summary.count == ELEMENTS

@@ -6,6 +6,7 @@ Usage::
     python -m repro quantiles --n 500000 --eps 0.01 --phi 0.5 0.9 0.99
     python -m repro frequent  --n 500000 --eps 0.001 --support 0.01
     python -m repro distinct  --n 500000 --universe 50000
+    python -m repro serve     --n 200000 --shards 4 --producers 2
     python -m repro figures   --fast
 
 Each subcommand generates a synthetic stream (``--workload`` picks the
@@ -24,6 +25,7 @@ import numpy as np
 from .bench.report import build_all
 from .core.distinct import WindowedDistinctCounter
 from .core.engine import StreamMiner
+from .service.runner import format_result, run_service_demo
 from .sorting.cpu import optimized_sort
 from .sorting.gpu_sorter import GpuSorter
 from .streams.generators import GENERATORS
@@ -111,6 +113,19 @@ def cmd_distinct(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: drive the sharded asyncio service end to end."""
+    result = run_service_demo(
+        statistic=args.statistic, n=args.n, eps=args.eps,
+        num_shards=args.shards, producers=args.producers,
+        backend=args.backend, window_size=args.window,
+        workload=args.workload, seed=args.seed,
+        chunk_size=args.chunk, shed_capacity=args.shed_capacity,
+        phi=tuple(args.phi), support=args.support)
+    print(format_result(result))
+    return 0 if result.all_within_bounds else 1
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     """``repro figures``: regenerate every figure of the paper."""
     for table in build_all(fast=args.fast):
@@ -165,6 +180,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--window", type=int, default=4096)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_distinct)
+
+    p = sub.add_parser("serve", help="sharded async stream-mining service")
+    _add_stream_args(p)
+    p.add_argument("--statistic",
+                   choices=["quantile", "frequency", "distinct"],
+                   default="quantile")
+    p.add_argument("--backend", choices=["gpu", "cpu"], default="cpu")
+    p.add_argument("--eps", type=float, default=0.02)
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--producers", type=int, default=2)
+    p.add_argument("--window", type=int, default=None,
+                   help="per-shard window width (quantile/distinct)")
+    p.add_argument("--chunk", type=int, default=2048,
+                   help="producer chunk size (elements per ingest call)")
+    p.add_argument("--shed-capacity", type=int, default=None,
+                   help="enable load shedding at this many elements per "
+                        "shard per ingest tick")
+    p.add_argument("--phi", type=float, nargs="+", default=[0.5, 0.99])
+    p.add_argument("--support", type=float, default=0.05)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("figures", help="regenerate the paper's figures")
     p.add_argument("--fast", action="store_true")

@@ -12,9 +12,9 @@ from .distinct import (FlajoletMartin, KMinValues, WindowedDistinctCounter,
 from .engine import EngineReport, StreamMiner
 from .frequencies import (HierarchicalHeavyHitters, LossyCounting,
                           MisraGries, SpaceSaving, StickySampling)
-from .histogram import WindowHistogram, histogram_from_sorted
 from .histograms import (EquiDepthHistogram, HistogramBucket,
-                         VOptimalHistogram)
+                         VOptimalHistogram, WindowHistogram,
+                         histogram_from_sorted)
 from .quantiles import (GKSummary, QuantileSummary, RankedValue, SensorNode,
                         aggregate)
 from .sliding import (DgimCounter, DgimSum, SlidingWindowFrequencies,

@@ -38,7 +38,7 @@ from ..sorting.cpu import InstrumentedCpuSorter
 from ..sorting.gpu_sorter import GpuSorter
 from .distinct.kmv import KMinValues, hash_values
 from .frequencies.lossy_counting import LossyCounting
-from .histogram import histogram_from_sorted
+from .histograms import histogram_from_sorted
 from .sliding.exponential_histogram import StreamingQuantiles
 from .sliding.window_query import (SlidingWindowFrequencies,
                                    SlidingWindowQuantiles)
@@ -341,3 +341,32 @@ class StreamMiner:
         if self.statistic != "distinct":
             raise QueryError("this miner does not count distinct values")
         return self.estimator.estimate()
+
+    # ------------------------------------------------------------------
+    # mergeable-state accessors (the sharded service's query layer)
+    # ------------------------------------------------------------------
+    @property
+    def buffered(self) -> int:
+        """Elements accepted but not yet through the pipeline."""
+        return int(self._buffer.size) + sum(
+            int(w.size) for w in self._pending_windows)
+
+    def quantile_summaries(self):
+        """The mergeable per-bucket summaries (history-mode quantiles)."""
+        if self.statistic != "quantile" or self.mode != "history":
+            raise QueryError(
+                "summaries are exposed by history-mode quantile miners only")
+        return self.estimator.summaries()
+
+    def frequency_items(self) -> list[tuple[float, int]]:
+        """Every tracked (value, count) pair (frequency statistic only)."""
+        if self.statistic != "frequency" or self.mode != "history":
+            raise QueryError(
+                "items are exposed by history-mode frequency miners only")
+        return self.estimator.items()
+
+    def distinct_sketch(self):
+        """The mergeable KMV sketch (distinct statistic only)."""
+        if self.statistic != "distinct":
+            raise QueryError("this miner does not count distinct values")
+        return self.estimator

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ...errors import InvariantViolation, QueryError, SummaryError
-from ..histogram import WindowHistogram, histogram_from_sorted
+from ..histograms import WindowHistogram, histogram_from_sorted
 
 
 @dataclass
@@ -148,6 +148,19 @@ class LossyCounting:
         if self._partial.size:
             base += int(np.count_nonzero(self._partial == np.float32(value)))
         return base
+
+    def items(self) -> list[tuple[float, int]]:
+        """Every tracked value with its (never overestimating) count.
+
+        Includes values seen only in the pending partial window.  Used by
+        the sharded service's union query: under hash partitioning a
+        value's entire count lives on one shard, so the global heavy-
+        hitter set is a threshold filter over the union of these lists.
+        """
+        candidates = set(self._entries)
+        if self._partial.size:
+            candidates.update(np.unique(self._partial).tolist())
+        return [(value, self.estimate(value)) for value in candidates]
 
     def frequent_items(self, support: float) -> list[tuple[float, int]]:
         """All values whose estimated count is at least ``(support - eps) N``.

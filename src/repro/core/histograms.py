@@ -1,13 +1,21 @@
-"""Dynamic equi-depth histogram maintenance over streams.
+"""Histogram structures: per-window run-length histograms and stream-
+maintained equi-depth histograms.
 
-Section 1 of the paper: "The quantile and frequency estimation
-algorithms have also been used as subroutines to solve more complex
-problems related to histogram maintenance" [24].  This module supplies
-that application: an equi-depth (equi-height) histogram — the structure
-databases use for selectivity estimation — maintained incrementally
-from the streaming quantile machinery.
+Two layers, both rooted in the paper:
 
-An equi-depth histogram with ``B`` buckets has boundaries at the
+**Window histograms** (Section 3.2, operation 1).  "For each window, the
+elements are ordered by sorting them and a histogram is computed.  A
+histogram data structure holds each element value in the window and its
+frequency."  Sorting is delegated to a pluggable backend (the GPU sorter
+or a CPU baseline); the run-length extraction on the already-sorted
+array is linear and stays on the CPU.
+
+**Equi-depth histograms** (Section 1): "The quantile and frequency
+estimation algorithms have also been used as subroutines to solve more
+complex problems related to histogram maintenance" [24].  An equi-depth
+(equi-height) histogram — the structure databases use for selectivity
+estimation — maintained incrementally from the streaming quantile
+machinery.  With ``B`` buckets the boundaries sit at the
 ``i/B``-quantiles, so every bucket holds ~``N/B`` elements.  Bucket
 boundaries come straight from the epsilon-approximate quantile summary;
 each boundary is off by at most ``eps * N`` ranks, so a bucket's true
@@ -24,7 +32,52 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import QueryError, SummaryError
-from .sliding.exponential_histogram import StreamingQuantiles
+
+
+@dataclass(frozen=True)
+class WindowHistogram:
+    """The (value, frequency) pairs of one window, in ascending value order."""
+
+    values: np.ndarray
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.values.shape != self.counts.shape or self.values.ndim != 1:
+            raise SummaryError(
+                f"histogram arrays must be matching 1-D, got "
+                f"{self.values.shape} / {self.counts.shape}")
+
+    @property
+    def total(self) -> int:
+        """Number of stream elements the histogram covers."""
+        return int(self.counts.sum())
+
+    @property
+    def distinct(self) -> int:
+        """Number of distinct values."""
+        return int(self.values.size)
+
+    def __iter__(self):
+        return zip(self.values.tolist(), self.counts.tolist())
+
+
+def histogram_from_sorted(sorted_values: np.ndarray) -> WindowHistogram:
+    """Run-length encode an ascending array into a histogram.
+
+    Raises :class:`SummaryError` if the input is not ascending — the
+    whole point of the paper's pipeline is that the expensive ordering
+    step already happened (on the GPU).
+    """
+    arr = np.asarray(sorted_values).ravel()
+    if arr.size == 0:
+        return WindowHistogram(np.empty(0, dtype=arr.dtype),
+                               np.empty(0, dtype=np.int64))
+    if np.any(arr[1:] < arr[:-1]):
+        raise SummaryError("histogram_from_sorted requires ascending input")
+    boundaries = np.flatnonzero(arr[1:] != arr[:-1]) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [arr.size]))
+    return WindowHistogram(arr[starts].copy(), (ends - starts).astype(np.int64))
 
 
 @dataclass(frozen=True)
@@ -67,6 +120,10 @@ class EquiDepthHistogram:
     def __init__(self, buckets: int = 20, eps: float = 0.01,
                  window_size: int = 4096,
                  stream_length_hint: int = 100_000_000):
+        # imported here, not at module level: the sliding package's
+        # window_query module needs WindowHistogram from this module, so
+        # a top-level import either way would be circular.
+        from .sliding.exponential_histogram import StreamingQuantiles
         if buckets < 1:
             raise SummaryError(f"buckets must be >= 1, got {buckets}")
         self.num_buckets = int(buckets)

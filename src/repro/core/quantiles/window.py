@@ -14,7 +14,7 @@ for every target rank ``r`` some entry satisfies both ``r - rmin <= error
 The three operations and their error arithmetic (all from GK04):
 
 ========  ==========================================================
-sample    from a sorted window: error ``e`` using ``ceil(2 e n)``-
+sample    from a sorted window: error ``e`` using ``floor(2 e n)``-
           spaced ranks (both extremes included)
 merge     ``error = max(error_a, error_b)`` (lossless)
 prune     to ``B + 1`` entries: ``error += 1 / (2 B)``
@@ -92,10 +92,14 @@ class QuantileSummary:
         """Sample an ascending window into an ``error``-approximate summary.
 
         Takes the elements of rank ``1, s+1, 2s+1, ..., n`` with spacing
-        ``s = max(1, ceil(2 * error * n))``; consecutive kept ranks differ
-        by at most ``2 * error * n``, so answering a rank query with the
-        nearest kept element errs by at most ``error * n``.  Ranks are
-        exact (``rmin == rmax``) because the window was fully sorted.
+        ``s = max(1, floor(2 * error * n))``; the nearest kept rank is
+        then within ``floor(s / 2) <= error * n`` of any target rank, so
+        answering a rank query with the nearest kept element honours the
+        recorded ``error`` exactly.  (``ceil`` would be one rank too
+        coarse on duplicate-heavy inputs: a spacing of ``ceil(2 e n)``
+        can leave a mid-gap rank ``ceil(s / 2) > e n`` away from every
+        kept element.)  Ranks are exact (``rmin == rmax``) because the
+        window was fully sorted.
         """
         arr = np.asarray(sorted_values).ravel()
         n = int(arr.size)
@@ -105,7 +109,7 @@ class QuantileSummary:
             raise SummaryError("from_sorted requires ascending input")
         if error < 0:
             raise SummaryError(f"error must be non-negative, got {error}")
-        step = max(1, math.ceil(2.0 * error * n))
+        step = max(1, math.floor(2.0 * error * n))
         ranks = list(range(1, n + 1, step))
         if ranks[-1] != n:
             ranks.append(n)

@@ -123,6 +123,15 @@ class StreamingQuantiles:
             raise QueryError("no data ingested yet")
         return QuantileSummary.merge_all(list(self._buckets.values()))
 
+    def summaries(self) -> list[QuantileSummary]:
+        """The live bucket summaries (each with error at most ``eps``).
+
+        Summaries are immutable, so callers — notably the sharded
+        service's merge-on-query layer — may combine them freely with
+        :meth:`QuantileSummary.merge_all` without copying.
+        """
+        return list(self._buckets.values())
+
     def quantile(self, phi: float) -> float:
         """The phi-quantile of the entire history, within ``eps * N``."""
         return self._combined().quantile(phi)

@@ -32,7 +32,7 @@ from collections import Counter, deque
 import numpy as np
 
 from ...errors import QueryError, SummaryError
-from ..histogram import WindowHistogram, histogram_from_sorted
+from ..histograms import WindowHistogram, histogram_from_sorted
 from ..quantiles.window import QuantileSummary
 
 

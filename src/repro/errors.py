@@ -58,3 +58,7 @@ class StreamError(ReproError):
 
 class QueryError(ReproError):
     """An estimator was queried with out-of-range parameters."""
+
+
+class ServiceError(ReproError):
+    """The sharded streaming service was misconfigured or misused."""

@@ -1,0 +1,37 @@
+"""Sharded streaming service: the production lift of the paper's loop.
+
+The ROADMAP's north star is a system that serves heavy traffic, and the
+repo's summaries are *mergeable* — the one property that makes
+horizontal scaling free.  This package supplies the layer that uses it:
+
+* :class:`ShardedMiner` — N independent miner pipelines behind one
+  ingest/query facade, with merge-on-query and documented combined-error
+  accounting (no error beyond the configured ``eps``);
+* :class:`StreamService` — the asyncio front-end: bounded per-shard
+  queues (backpressure), optional load shedding, texture-batch
+  coalescing, and parallel shard workers;
+* :class:`ServiceMetrics` / :class:`ShardMetrics` — the observability
+  surface (ingest rate, queue depth, per-shard latencies, shed count);
+* partitioners in :mod:`~repro.service.sharding` and the ``repro
+  serve`` demo driver in :mod:`~repro.service.runner`.
+"""
+
+from .async_service import StreamService
+from .metrics import ServiceMetrics, ShardMetrics
+from .runner import ServeResult, format_result, run_service_demo
+from .sharded import ShardedMiner
+from .sharding import (HashPartitioner, RoundRobinPartitioner,
+                       default_partitioner)
+
+__all__ = [
+    "HashPartitioner",
+    "RoundRobinPartitioner",
+    "ServeResult",
+    "ServiceMetrics",
+    "ShardMetrics",
+    "ShardedMiner",
+    "StreamService",
+    "default_partitioner",
+    "format_result",
+    "run_service_demo",
+]

@@ -1,0 +1,218 @@
+"""Asyncio ingestion front-end for the shard pool.
+
+The paper's pipeline wants work in texture-sized batches: four windows
+packed into the RGBA channels of one texture per sort pass (Section
+4.1).  Arrivals, on the other hand, come in whatever chunks producers
+emit — "irregularities and bursts in the data arrival rates" (Section
+1).  This module sits between the two:
+
+* one **bounded queue per shard** — when a shard falls behind, its
+  queue fills and ``await ingest(...)`` blocks the producers
+  (backpressure) instead of growing memory without bound;
+* optional **load shedding** in front of each queue, wired to
+  :class:`repro.streams.load_shedding.LoadShedder` — each ingest call is
+  one arrival tick, and the shedder's shed/spill policy decides what
+  the queue never sees;
+* per-shard **worker tasks** that coalesce queued chunks up to the
+  4-window texture batch before dispatching, so a bursty producer still
+  fills the RGBA pack, and that run the (GIL-releasing, numpy-heavy)
+  pipeline via ``asyncio.to_thread`` so shards make progress in
+  parallel;
+* **queries at any time** against the merge-on-query layer of the
+  wrapped :class:`~repro.service.sharded.ShardedMiner`.
+
+Everything is standard-library asyncio; there is no network listener —
+the service is an in-process component that a transport (or the
+``repro serve`` demo driver) feeds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from ..errors import ServiceError
+from ..streams.load_shedding import LoadShedder
+from .metrics import ServiceMetrics
+from .sharded import ShardedMiner
+
+
+class StreamService:
+    """Concurrent ingestion and querying around a :class:`ShardedMiner`.
+
+    Parameters
+    ----------
+    miner:
+        The shard pool to feed.
+    queue_chunks:
+        Per-shard queue capacity in chunks; a full queue blocks
+        producers (backpressure).
+    coalesce_windows:
+        Dispatch target in windows per batch (4 fills one RGBA texture
+        pack).  Workers never *wait* for a full batch — they greedily
+        take what is queued — so an idle service still has low latency.
+    shed_capacity:
+        If set, put a :class:`LoadShedder` with this per-tick element
+        capacity in front of every shard queue (one ingest call = one
+        tick per shard).
+    shed_policy / shed_queue_limit:
+        Forwarded to the shedders (``"shed"`` drops, ``"spill"`` queues
+        up to the limit).
+    """
+
+    def __init__(self, miner: ShardedMiner, *, queue_chunks: int = 16,
+                 coalesce_windows: int = 4,
+                 shed_capacity: int | None = None,
+                 shed_policy: str = "shed",
+                 shed_queue_limit: int | None = None):
+        if queue_chunks < 1:
+            raise ServiceError(
+                f"queue_chunks must be >= 1, got {queue_chunks}")
+        if coalesce_windows < 1:
+            raise ServiceError(
+                f"coalesce_windows must be >= 1, got {coalesce_windows}")
+        self.miner = miner
+        self.queue_chunks = int(queue_chunks)
+        self._coalesce_elements = coalesce_windows * miner.window_size
+        self._shedders: list[LoadShedder | None] = [
+            LoadShedder(shed_capacity, policy=shed_policy,
+                        queue_limit=shed_queue_limit, seed=shard_id)
+            if shed_capacity is not None else None
+            for shard_id in range(miner.num_shards)]
+        self._queues: list[asyncio.Queue] = []
+        self._workers: list[asyncio.Task] = []
+        self._started = False
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        """Live metrics snapshot (queue depths refreshed on access)."""
+        for shard_id, queue in enumerate(self._queues):
+            self.miner.metrics.shards[shard_id].queue_depth = queue.qsize()
+        return self.miner.metrics.snapshot()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Create the shard queues and start one worker per shard."""
+        if self._started:
+            raise ServiceError("service already started")
+        self._queues = [asyncio.Queue(maxsize=self.queue_chunks)
+                        for _ in range(self.miner.num_shards)]
+        self._workers = [asyncio.create_task(self._worker(i),
+                                             name=f"shard-{i}")
+                         for i in range(self.miner.num_shards)]
+        self._started = True
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the workers, by default after draining the queues."""
+        if not self._started:
+            return
+        if drain:
+            await self.drain()
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        self._started = False
+
+    async def __aenter__(self) -> "StreamService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    async def ingest(self, chunk: np.ndarray | list[float]) -> int:
+        """Route one chunk to the shard queues; returns elements accepted.
+
+        Blocks (cooperatively) while any target queue is full — this is
+        the backpressure path.  With shedding enabled, overload is
+        absorbed by the shedders instead and the call never blocks for
+        long.
+        """
+        if not self._started:
+            raise ServiceError("service not started")
+        parts = self.miner.partitioner.split(chunk)
+        accepted = 0
+        for shard_id, part in enumerate(parts):
+            shedder = self._shedders[shard_id]
+            if shedder is not None:
+                part = shedder.offer(part)
+                self.miner.metrics.shards[shard_id].shed = shedder.stats.shed
+            if part.size == 0:
+                continue
+            queue = self._queues[shard_id]
+            await queue.put(part)
+            accepted += int(part.size)
+            shard = self.miner.metrics.shards[shard_id]
+            shard.queue_high_water = max(shard.queue_high_water,
+                                         queue.qsize())
+        self.miner.metrics.ingested += accepted
+        return accepted
+
+    async def _worker(self, shard_id: int) -> None:
+        queue = self._queues[shard_id]
+        while True:
+            chunk = await queue.get()
+            parts = [chunk]
+            size = int(chunk.size)
+            # Greedy coalescing: fill the texture batch from whatever is
+            # already queued, but never wait for more to arrive.
+            while size < self._coalesce_elements and not queue.empty():
+                extra = queue.get_nowait()
+                parts.append(extra)
+                size += int(extra.size)
+            batch = np.concatenate(parts) if len(parts) > 1 else chunk
+            try:
+                await asyncio.to_thread(self.miner.dispatch, shard_id, batch)
+            finally:
+                for _ in parts:
+                    queue.task_done()
+            self.miner.metrics.shards[shard_id].queue_depth = queue.qsize()
+
+    async def drain(self, flush: bool = True) -> None:
+        """Wait until every queued chunk is inside its shard's miner.
+
+        With ``flush=True`` (default) also pushes each shard's partial
+        texture batch and tail window through the pipeline, so the next
+        query reflects every element accepted before this call.  Note
+        for frequency mining: each flush may close one short window,
+        which costs at most one extra count of undercount per flush —
+        drain at query boundaries, not per chunk.
+        """
+        if not self._started:
+            raise ServiceError("service not started")
+        await asyncio.gather(*(queue.join() for queue in self._queues))
+        if flush:
+            await asyncio.to_thread(self.miner.drain)
+
+    # ------------------------------------------------------------------
+    # queries (any time; `fresh` drains first for read-your-writes)
+    # ------------------------------------------------------------------
+    async def quantile(self, phi: float, *, fresh: bool = False) -> float:
+        """The phi-quantile over all shards, within ``eps * N`` ranks."""
+        if fresh:
+            await self.drain()
+        return await asyncio.to_thread(self.miner.quantile, phi)
+
+    async def frequent_items(self, support: float, *,
+                             fresh: bool = False) -> list[tuple[float, int]]:
+        """Heavy hitters over all shards (union of home-shard counts)."""
+        if fresh:
+            await self.drain()
+        return await asyncio.to_thread(self.miner.frequent_items, support)
+
+    async def estimate(self, value: float) -> int:
+        """Estimated global count of one value."""
+        return await asyncio.to_thread(self.miner.estimate, value)
+
+    async def distinct(self, *, fresh: bool = False) -> float:
+        """Distinct-count estimate over all shards (merged KMV)."""
+        if fresh:
+            await self.drain()
+        return await asyncio.to_thread(self.miner.distinct)

@@ -1,0 +1,90 @@
+"""Service-level performance metrics.
+
+Follows the counter idiom of :mod:`repro.gpu.counters` and the bench
+harness: plain mutable dataclasses that are cheap to update on the hot
+path, with ``snapshot()`` producing independent copies so a live service
+can be observed without tearing.  Per-operation pipeline latencies
+(sort / histogram / merge / compress) are not duplicated here — each
+shard's :class:`~repro.core.engine.EngineReport` already measures them;
+the service metrics add the layer above: queueing, batching, shedding,
+and end-to-end ingest rate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+
+@dataclass
+class ShardMetrics:
+    """Counters for one miner shard."""
+
+    shard_id: int
+    #: elements dispatched into the shard's miner.
+    elements: int = 0
+    #: coalesced batches dispatched (each is one `miner.update` call).
+    batches: int = 0
+    #: total wall seconds spent inside `miner.update`.
+    update_seconds: float = 0.0
+    #: slowest single batch dispatch, wall seconds.
+    max_batch_seconds: float = 0.0
+    #: chunks currently waiting in the shard's ingest queue.
+    queue_depth: int = 0
+    #: deepest the ingest queue has ever been.
+    queue_high_water: int = 0
+    #: elements dropped by the shard's load shedder.
+    shed: int = 0
+
+    def record_batch(self, elements: int, seconds: float) -> None:
+        """Account one dispatched batch."""
+        self.elements += int(elements)
+        self.batches += 1
+        self.update_seconds += seconds
+        self.max_batch_seconds = max(self.max_batch_seconds, seconds)
+
+    @property
+    def mean_batch_seconds(self) -> float:
+        """Average wall seconds per dispatched batch."""
+        return self.update_seconds / self.batches if self.batches else 0.0
+
+    def snapshot(self) -> "ShardMetrics":
+        """An independent copy of the current values."""
+        return replace(self)
+
+
+@dataclass
+class ServiceMetrics:
+    """Aggregate view over the whole service."""
+
+    started_at: float = field(default_factory=time.perf_counter)
+    #: elements accepted by ingest (after shedding, before queueing).
+    ingested: int = 0
+    #: queries answered.
+    queries: int = 0
+    shards: list[ShardMetrics] = field(default_factory=list)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Wall seconds since the service (metrics) started."""
+        return max(1e-9, time.perf_counter() - self.started_at)
+
+    @property
+    def ingest_rate(self) -> float:
+        """Accepted elements per wall second."""
+        return self.ingested / self.elapsed_seconds
+
+    @property
+    def shed(self) -> int:
+        """Total elements dropped across all shards."""
+        return sum(s.shed for s in self.shards)
+
+    @property
+    def queue_depth(self) -> int:
+        """Chunks currently queued across all shards."""
+        return sum(s.queue_depth for s in self.shards)
+
+    def snapshot(self) -> "ServiceMetrics":
+        """An independent copy (shard list deep-copied)."""
+        copy = replace(self, shards=[s.snapshot() for s in self.shards])
+        return copy

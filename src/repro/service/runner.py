@@ -1,0 +1,168 @@
+"""Self-contained demo driver for the sharded service.
+
+``repro serve`` and ``examples/sharded_service.py`` both run this: a
+synthetic workload is split across concurrent asyncio producers that
+feed a :class:`StreamService`; mid-stream the driver drains and answers
+queries from the merged shard summaries, then finishes the stream and
+answers again — validating every answer against the exact offline
+result.  There is no network listener; the point is the service layer
+itself (sharding, batching, backpressure, merge-on-query), which a
+transport would sit on top of.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ServiceError
+from ..streams.generators import GENERATORS
+from .async_service import StreamService
+from .metrics import ServiceMetrics
+from .sharded import ShardedMiner
+
+
+@dataclass
+class ServeResult:
+    """Everything one demo run produced, for printing or asserting."""
+
+    statistic: str
+    n: int
+    eps: float
+    num_shards: int
+    producers: int
+    #: phase -> {query label -> (estimate, exact, within_bound)}
+    answers: dict[str, dict[str, tuple[float, float, bool]]] = \
+        field(default_factory=dict)
+    metrics: ServiceMetrics | None = None
+    shard_elements: list[int] = field(default_factory=list)
+
+    @property
+    def all_within_bounds(self) -> bool:
+        """Did every query honour its epsilon guarantee?"""
+        return all(ok for phase in self.answers.values()
+                   for _, _, ok in phase.values())
+
+
+def _rank_error(reference: np.ndarray, estimate: float, target: int) -> int:
+    lo = int(np.searchsorted(reference, estimate, "left")) + 1
+    hi = int(np.searchsorted(reference, estimate, "right"))
+    return max(lo - target, target - hi, 0)
+
+
+async def _query_phase(service: StreamService, result: ServeResult,
+                       phase: str, seen: np.ndarray,
+                       phi: tuple[float, ...], support: float) -> None:
+    """Drain, query, and validate against the exact answer over ``seen``."""
+    await service.drain()
+    answers: dict[str, tuple[float, float, bool]] = {}
+    n = seen.size
+    eps = result.eps
+    if result.statistic == "quantile":
+        reference = np.sort(seen)
+        for p in phi:
+            estimate = await service.quantile(p)
+            target = max(1, math.ceil(p * n))
+            err = _rank_error(reference, estimate, target)
+            answers[f"phi={p:g}"] = (estimate, float(reference[target - 1]),
+                                     err <= max(1, eps * n))
+    elif result.statistic == "frequency":
+        values, counts = np.unique(seen, return_counts=True)
+        true = dict(zip(values.tolist(), counts.tolist()))
+        reported = dict(await service.frequent_items(support))
+        heavy = {v for v, c in true.items() if c >= support * n}
+        no_false_negatives = heavy <= set(reported)
+        no_overcount = all(est <= true.get(v, 0) + 1e-9
+                           for v, est in reported.items())
+        undercount_ok = all(true[v] - reported.get(v, 0) <= eps * n + 4
+                            for v in heavy)
+        top = max(reported.items(), key=lambda kv: kv[1]) if reported \
+            else (math.nan, 0)
+        answers[f"heavy@{support:g}"] = (
+            float(len(reported)), float(len(heavy)),
+            no_false_negatives and no_overcount and undercount_ok)
+        answers["top_count"] = (float(top[1]), float(true.get(top[0], 0)),
+                                no_overcount)
+    else:
+        estimate = await service.distinct()
+        exact = float(np.unique(seen).size)
+        # KMV is randomized: 3x its relative standard error ~ 3 * eps.
+        answers["distinct"] = (estimate, exact,
+                               abs(estimate - exact) <= 3 * eps * exact + 2)
+    result.answers[phase] = answers
+
+
+async def _run(service: StreamService, result: ServeResult,
+               slices: list[np.ndarray], chunk_size: int,
+               phi: tuple[float, ...], support: float) -> None:
+    async def produce(data: np.ndarray) -> None:
+        for start in range(0, data.size, chunk_size):
+            await service.ingest(data[start:start + chunk_size])
+
+    async with service:
+        halves = [np.array_split(s, 2) for s in slices]
+        await asyncio.gather(*(produce(h[0]) for h in halves))
+        seen = np.concatenate([h[0] for h in halves])
+        await _query_phase(service, result, "mid-stream", seen, phi, support)
+        await asyncio.gather(*(produce(h[1]) for h in halves))
+        await _query_phase(service, result, "final",
+                           np.concatenate(slices), phi, support)
+        result.metrics = service.metrics
+    result.shard_elements = [s.elements for s in result.metrics.shards]
+
+
+def run_service_demo(statistic: str = "quantile", n: int = 100_000,
+                     eps: float = 0.02, num_shards: int = 4,
+                     producers: int = 2, backend: str = "cpu",
+                     window_size: int | None = None,
+                     workload: str = "uniform", seed: int = 0,
+                     chunk_size: int = 2048, queue_chunks: int = 16,
+                     shed_capacity: int | None = None,
+                     phi: tuple[float, ...] = (0.5, 0.99),
+                     support: float = 0.05) -> ServeResult:
+    """Run the end-to-end demo; see the module docstring."""
+    if producers < 1:
+        raise ServiceError(f"need >= 1 producer, got {producers}")
+    data = GENERATORS[workload](n, seed=seed)
+    miner = ShardedMiner(statistic, eps=eps, num_shards=num_shards,
+                         backend=backend, window_size=window_size,
+                         stream_length_hint=n)
+    service = StreamService(miner, queue_chunks=queue_chunks,
+                            shed_capacity=shed_capacity)
+    result = ServeResult(statistic, n, eps, num_shards, producers)
+    slices = np.array_split(data, producers)
+    asyncio.run(_run(service, result, slices, chunk_size, phi, support))
+    return result
+
+
+def format_result(result: ServeResult) -> str:
+    """Human-readable report of one demo run."""
+    lines = [
+        f"sharded {result.statistic} service: {result.n:,} tuples, "
+        f"eps={result.eps}, {result.num_shards} shards, "
+        f"{result.producers} producers",
+    ]
+    for phase, answers in result.answers.items():
+        lines.append(f"  [{phase}]")
+        for label, (estimate, exact, ok) in answers.items():
+            flag = "ok" if ok else "VIOLATED"
+            lines.append(f"    {label:<14} estimate {estimate:>12g}   "
+                         f"exact {exact:>12g}   {flag}")
+    metrics = result.metrics
+    if metrics is not None:
+        lines.append("  [metrics]")
+        lines.append(f"    ingest rate    {metrics.ingest_rate:>12,.0f} "
+                     f"elements/s ({metrics.ingested:,} accepted, "
+                     f"{metrics.shed:,} shed)")
+        lines.append(f"    queries        {metrics.queries:>12,}")
+        for shard in metrics.shards:
+            lines.append(
+                f"    shard {shard.shard_id}: {shard.elements:>9,} elements  "
+                f"{shard.batches:>5,} batches  "
+                f"mean {shard.mean_batch_seconds * 1e3:7.2f} ms  "
+                f"max {shard.max_batch_seconds * 1e3:7.2f} ms  "
+                f"queue high-water {shard.queue_high_water}")
+    return "\n".join(lines)

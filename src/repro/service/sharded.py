@@ -1,0 +1,243 @@
+"""A pool of miner shards behind one ingest/query facade.
+
+:class:`ShardedMiner` scales the paper's co-processor loop horizontally:
+N independent :class:`~repro.core.engine.StreamMiner` instances each run
+the window -> sort -> summarize -> merge -> compress pipeline over their
+slice of the stream, and queries are answered *on demand* by combining
+the per-shard mergeable state — there is no shared summary to contend
+on, so shards never synchronise during ingestion.
+
+Combined-error accounting (why sharding is free, per statistic):
+
+* **Quantiles** (GK-04 model).  Shards run their exponential histograms
+  at ``eps / 2``, so every live bucket summary has error ``<= eps / 2``.
+  A query merges *all* buckets of *all* shards with
+  :meth:`QuantileSummary.merge_all` — merge is lossless (error is the
+  max of the inputs, Section 5.2) — then prunes the merged summary to
+  ``B = ceil(1 / eps)`` entries, adding ``1 / (2B) <= eps / 2``.  The
+  served summary therefore answers within ``eps * N`` ranks of the
+  population of all shards combined: partitioning and merging added no
+  error beyond the configured ``eps``.
+* **Frequencies** (Manku-Motwani).  Tuples are hash-partitioned by
+  value, so a value's global count *is* its home shard's count and the
+  per-shard undercount bound ``eps * N_shard <= eps * N`` carries over
+  to the union query unchanged.  No false negatives at support ``s``;
+  nothing reported below ``(s - eps) * N``.
+* **Distinct counts** (KMV).  Sketches share ``k`` and the hash seed,
+  so the union sketch over shards is exactly the sketch of the union
+  stream — the usual mergeable-sketch argument.
+
+Queries reflect the tuples that have been *processed*; each miner may
+hold up to one texture batch (4 windows) of accepted-but-unprocessed
+elements, visible via :attr:`buffered` and flushed by :meth:`drain`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from ..core.engine import EngineReport, StreamMiner
+from ..core.quantiles.window import QuantileSummary
+from ..errors import QueryError, ServiceError
+from .metrics import ServiceMetrics, ShardMetrics
+from .sharding import HashPartitioner, default_partitioner
+
+
+class ShardedMiner:
+    """Hash/round-robin sharded stream mining with merge-on-query.
+
+    Parameters
+    ----------
+    statistic:
+        ``"quantile"``, ``"frequency"`` or ``"distinct"`` (history mode;
+        sliding windows are order-sensitive and stay single-shard).
+    eps:
+        End-to-end approximation fraction *after* cross-shard merging.
+    num_shards:
+        Independent miner pipelines.
+    backend:
+        Sorting backend for every shard (``"gpu"`` or ``"cpu"``).
+    window_size:
+        Per-shard window width (quantile/distinct statistics).
+    partitioner:
+        Tuple router; defaults to hash-by-value for frequencies and
+        round-robin otherwise (see :mod:`repro.service.sharding`).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.service import ShardedMiner
+    >>> miner = ShardedMiner("quantile", eps=0.05, num_shards=4,
+    ...                      backend="cpu", window_size=512)
+    >>> miner.ingest(np.random.default_rng(0).random(20_000))
+    >>> miner.drain()
+    >>> 0.45 <= miner.quantile(0.5) <= 0.55
+    True
+    """
+
+    def __init__(self, statistic: str = "quantile", eps: float = 0.01,
+                 num_shards: int = 4, backend: str = "cpu",
+                 window_size: int | None = None,
+                 partitioner=None,
+                 stream_length_hint: int = 100_000_000):
+        if num_shards < 1:
+            raise ServiceError(f"need >= 1 shard, got {num_shards}")
+        if statistic not in ("quantile", "frequency", "distinct"):
+            raise ServiceError(f"unknown statistic {statistic!r}")
+        if not 0.0 < eps < 1.0:
+            raise ServiceError(f"eps must be in (0, 1), got {eps}")
+        self.statistic = statistic
+        self.eps = float(eps)
+        self.num_shards = int(num_shards)
+        self.partitioner = (partitioner if partitioner is not None
+                            else default_partitioner(statistic, num_shards))
+        if statistic == "frequency" and not hasattr(
+                self.partitioner, "shard_of"):
+            raise ServiceError(
+                "frequency sharding needs a value-routing partitioner")
+        # Quantile shards run at eps/2 so the query-time prune (budget
+        # ceil(1/eps), adding 1/(2B) <= eps/2) lands the served summary
+        # back at eps exactly — see the module docstring.
+        shard_eps = eps / 2.0 if statistic == "quantile" else eps
+        # Hint each shard with its own expected share so the exponential
+        # histogram's error schedule is not over-provisioned.
+        shard_hint = max(1, math.ceil(stream_length_hint / num_shards))
+        self._miners = [
+            StreamMiner(statistic, eps=shard_eps, backend=backend,
+                        mode="history", window_size=window_size,
+                        stream_length_hint=shard_hint)
+            for _ in range(self.num_shards)]
+        self.metrics = ServiceMetrics(
+            shards=[ShardMetrics(i) for i in range(self.num_shards)])
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, chunk: np.ndarray | list[float]) -> None:
+        """Route one chunk across the shard pool (synchronous path)."""
+        parts = self.partitioner.split(chunk)
+        for shard_id, part in enumerate(parts):
+            self.dispatch(shard_id, part)
+        self.metrics.ingested += sum(int(p.size) for p in parts)
+
+    def dispatch(self, shard_id: int, values: np.ndarray) -> None:
+        """Feed one pre-routed batch into a single shard (timed).
+
+        The async front-end calls this from per-shard workers; batches
+        for different shards may run concurrently because shards share
+        no state.
+        """
+        arr = np.asarray(values, dtype=np.float32).ravel()
+        if arr.size == 0:
+            return
+        start = time.perf_counter()
+        self._miners[shard_id].update(arr)
+        self.metrics.shards[shard_id].record_batch(
+            arr.size, time.perf_counter() - start)
+
+    def drain(self) -> None:
+        """Flush every shard's partial texture batch and tail window."""
+        for miner in self._miners:
+            miner.flush()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def window_size(self) -> int:
+        """The shard pipelines' window width (largest across shards)."""
+        return max(int(m.window_size) for m in self._miners)
+
+    @property
+    def processed(self) -> int:
+        """Elements fully through the per-shard pipelines."""
+        if self.statistic == "frequency":
+            return sum(m.estimator.count + m.estimator.pending
+                       for m in self._miners)
+        return sum(m.estimator.count for m in self._miners)
+
+    @property
+    def buffered(self) -> int:
+        """Elements accepted by shards but not yet summarised."""
+        return sum(m.buffered for m in self._miners)
+
+    def shard_reports(self) -> list[EngineReport]:
+        """Per-shard per-operation latency accounting (wall + modelled)."""
+        return [m.report for m in self._miners]
+
+    # ------------------------------------------------------------------
+    # merge-on-query
+    # ------------------------------------------------------------------
+    def combined_summary(self, prune_budget: int | str | None = "auto"
+                         ) -> QuantileSummary:
+        """Merge every shard's quantile buckets into one served summary.
+
+        ``prune_budget="auto"`` (the default) prunes to
+        ``ceil(1 / eps)`` entries, giving total error ``<= eps``;
+        ``None`` skips the prune (error ``<= eps / 2``, larger summary);
+        an integer prunes to that budget (error grows by ``1/(2B)``).
+        """
+        if self.statistic != "quantile":
+            raise QueryError("this service does not estimate quantiles")
+        summaries = [s for m in self._miners for s in m.quantile_summaries()]
+        merged = QuantileSummary.merge_all(summaries)
+        if merged.count == 0:
+            raise QueryError("no data processed yet")
+        if prune_budget == "auto":
+            prune_budget = math.ceil(1.0 / self.eps)
+        if prune_budget is not None and len(merged) > prune_budget + 1:
+            merged = merged.prune(prune_budget)
+        return merged
+
+    def quantile(self, phi: float) -> float:
+        """The phi-quantile over all shards, within ``eps * N`` ranks."""
+        result = self.combined_summary().quantile(phi)
+        self.metrics.queries += 1
+        return result
+
+    def frequent_items(self, support: float) -> list[tuple[float, int]]:
+        """Heavy hitters over all shards: union of home-shard counts.
+
+        Returns every value whose estimated global count reaches
+        ``(support - eps) * N``; contains all values with true frequency
+        ``>= support * N`` and nothing below the threshold.
+        """
+        if self.statistic != "frequency":
+            raise QueryError("this service does not estimate frequencies")
+        if not 0.0 <= support <= 1.0:
+            raise QueryError(f"support must be in [0, 1], got {support}")
+        if support < self.eps:
+            raise QueryError(
+                f"support {support} below eps {self.eps}: the guarantee "
+                "threshold (s - eps) N would be vacuous")
+        total = self.processed
+        threshold = (support - self.eps) * total
+        result = [(value, estimate)
+                  for miner in self._miners
+                  for value, estimate in miner.frequency_items()
+                  if estimate >= threshold]
+        result.sort(key=lambda pair: (-pair[1], pair[0]))
+        self.metrics.queries += 1
+        return result
+
+    def estimate(self, value: float) -> int:
+        """Estimated global count of ``value`` (its home shard's count)."""
+        if self.statistic != "frequency":
+            raise QueryError("this service does not estimate frequencies")
+        shard_id = self.partitioner.shard_of(value)
+        self.metrics.queries += 1
+        return self._miners[shard_id].estimate(value)
+
+    def distinct(self) -> float:
+        """Distinct-count estimate from the union of shard KMV sketches."""
+        if self.statistic != "distinct":
+            raise QueryError("this service does not count distinct values")
+        sketches = [m.distinct_sketch() for m in self._miners]
+        union = sketches[0]
+        for sketch in sketches[1:]:
+            union = union.merge(sketch)
+        self.metrics.queries += 1
+        return union.estimate()

@@ -1,0 +1,99 @@
+"""Tuple partitioning across miner shards.
+
+The service scales the paper's single co-processor loop by running N
+independent copies of it and routing tuples between them.  Which router
+is correct depends on the statistic:
+
+* **Round-robin** — quantiles and distinct counts.  An epsilon-summary
+  (or KMV sketch) of any sub-multiset merges losslessly with the others,
+  so *any* partition of the stream yields the same merged answer; cyclic
+  routing just keeps the shards balanced.
+* **Hash by value** — frequencies.  Lossy-counting summaries are not
+  mergeable in general, but if every occurrence of a value lands on the
+  same shard, the global count of that value *is* its home shard's
+  count.  The union of per-shard summaries then answers heavy-hitter
+  queries with the per-shard guarantee (undercount at most
+  ``eps * N_shard <= eps * N``) — partitioning adds no error.
+
+Both partitioners are deterministic, so replaying a stream reproduces
+the exact same shard contents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.distinct.kmv import hash_values
+from ..errors import ServiceError
+
+
+def _as_chunk(values: np.ndarray | list[float]) -> np.ndarray:
+    return np.asarray(values, dtype=np.float32).ravel()
+
+
+class RoundRobinPartitioner:
+    """Cyclic element-wise routing; stateful so chunks stay balanced.
+
+    Element ``j`` of the stream goes to shard ``(j + offset) % n`` where
+    ``offset`` carries across chunks, so shard loads differ by at most
+    one element no matter how arrivals are chunked.
+    """
+
+    def __init__(self, num_shards: int):
+        if num_shards < 1:
+            raise ServiceError(f"need >= 1 shard, got {num_shards}")
+        self.num_shards = int(num_shards)
+        self._offset = 0
+
+    def split(self, values: np.ndarray | list[float]) -> list[np.ndarray]:
+        """Partition one chunk into ``num_shards`` per-shard arrays."""
+        arr = _as_chunk(values)
+        n = self.num_shards
+        parts = [arr[(i - self._offset) % n::n] for i in range(n)]
+        self._offset = (self._offset + arr.size) % n
+        return parts
+
+    def shard_of(self, value: float) -> int:
+        """Point queries are meaningless under round-robin routing."""
+        raise ServiceError(
+            "round-robin partitioning spreads equal values across shards; "
+            "use a HashPartitioner for per-value lookups")
+
+
+class HashPartitioner:
+    """Value-hash routing: equal values always share a shard.
+
+    Reuses the splitmix64 value hash of the KMV sketch
+    (:func:`repro.core.distinct.kmv.hash_values`), which maps float32
+    values to uniform doubles in [0, 1); the unit interval is cut into
+    ``num_shards`` equal slices.
+    """
+
+    def __init__(self, num_shards: int, seed: int = 1):
+        if num_shards < 1:
+            raise ServiceError(f"need >= 1 shard, got {num_shards}")
+        self.num_shards = int(num_shards)
+        self.seed = int(seed)
+
+    def _indices(self, arr: np.ndarray) -> np.ndarray:
+        slots = hash_values(arr, self.seed) * self.num_shards
+        return np.minimum(slots.astype(np.int64), self.num_shards - 1)
+
+    def split(self, values: np.ndarray | list[float]) -> list[np.ndarray]:
+        """Partition one chunk into ``num_shards`` per-shard arrays."""
+        arr = _as_chunk(values)
+        if self.num_shards == 1:
+            return [arr]
+        idx = self._indices(arr)
+        return [arr[idx == i] for i in range(self.num_shards)]
+
+    def shard_of(self, value: float) -> int:
+        """The home shard of ``value`` (for point-frequency lookups)."""
+        return int(self._indices(np.asarray([value], dtype=np.float32))[0])
+
+
+def default_partitioner(statistic: str, num_shards: int):
+    """The correct router for a statistic (see the module docstring)."""
+    if statistic == "frequency":
+        return HashPartitioner(num_shards)
+    return RoundRobinPartitioner(num_shards)

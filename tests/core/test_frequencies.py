@@ -8,7 +8,7 @@ import pytest
 
 from repro.core import (HierarchicalHeavyHitters, LossyCounting, MisraGries,
                         SpaceSaving, StickySampling)
-from repro.core.histogram import histogram_from_sorted
+from repro.core.histograms import histogram_from_sorted
 from repro.errors import QueryError, SummaryError
 from repro.streams import zipf_stream
 

@@ -1,11 +1,51 @@
-"""Equi-depth histogram maintenance and the V-optimal yardstick."""
+"""Window run-length histograms, equi-depth maintenance, and the
+V-optimal yardstick."""
 
 import numpy as np
 import pytest
 
 from repro.core.histograms import (EquiDepthHistogram, HistogramBucket,
-                                   VOptimalHistogram)
+                                   VOptimalHistogram, WindowHistogram,
+                                   histogram_from_sorted)
 from repro.errors import QueryError, SummaryError
+
+
+class TestHistogramFromSorted:
+    def test_run_length_encoding(self):
+        h = histogram_from_sorted(np.array([1.0, 1.0, 2.0, 5.0, 5.0, 5.0]))
+        assert h.values.tolist() == [1.0, 2.0, 5.0]
+        assert h.counts.tolist() == [2, 1, 3]
+
+    def test_all_distinct(self):
+        h = histogram_from_sorted(np.arange(5, dtype=np.float32))
+        assert np.all(h.counts == 1)
+        assert h.distinct == 5
+
+    def test_all_equal(self):
+        h = histogram_from_sorted(np.full(7, 3.0))
+        assert h.distinct == 1
+        assert h.counts.tolist() == [7]
+
+    def test_empty(self):
+        h = histogram_from_sorted(np.empty(0, dtype=np.float32))
+        assert h.total == 0 and h.distinct == 0
+
+    def test_total_matches_input_size(self, rng):
+        data = np.sort(rng.integers(0, 10, 1000).astype(np.float32))
+        h = histogram_from_sorted(data)
+        assert h.total == 1000
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(SummaryError):
+            histogram_from_sorted(np.array([2.0, 1.0]))
+
+    def test_iteration(self):
+        h = histogram_from_sorted(np.array([1.0, 1.0, 3.0]))
+        assert list(h) == [(1.0, 2), (3.0, 1)]
+
+    def test_shape_validation(self):
+        with pytest.raises(SummaryError):
+            WindowHistogram(np.zeros(3), np.zeros(2, dtype=np.int64))
 
 
 @pytest.fixture

@@ -55,6 +55,80 @@ def test_window_summary_merge_invariant(a, b, eps):
         assert max(lo - target, target - hi, 0) <= max(1, eps * n)
 
 
+def _assert_eps_guarantee(summary, reference, eps):
+    """Every grid phi answered within max(1, eps * n) true-rank error."""
+    n = reference.size
+    for phi in (0.0, 0.25, 0.5, 0.75, 1.0):
+        target = max(1, math.ceil(phi * n))
+        est = summary.query_rank(target)
+        lo = int(np.searchsorted(reference, est, "left")) + 1
+        hi = int(np.searchsorted(reference, est, "right"))
+        assert max(lo - target, target - hi, 0) <= max(1, eps * n)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(values, min_size=1, max_size=300),
+       st.lists(values, min_size=1, max_size=300), eps_values)
+def test_merge_commutative(a, b, eps):
+    """a+b and b+a agree on count/error and both keep the guarantee.
+
+    (Entry rank bounds may differ on cross-summary ties — the tie-break
+    orders `self` before `other` — so commutativity is of the GK-04
+    guarantees, not of the entry lists.)
+    """
+    sa = QuantileSummary.from_sorted(np.sort(np.array(a)), eps)
+    sb = QuantileSummary.from_sorted(np.sort(np.array(b)), eps)
+    ab, ba = sa.merge(sb), sb.merge(sa)
+    assert ab.count == ba.count == len(a) + len(b)
+    assert ab.error == ba.error == eps
+    reference = np.sort(np.concatenate([a, b]))
+    _assert_eps_guarantee(ab, reference, eps)
+    _assert_eps_guarantee(ba, reference, eps)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(values, min_size=1, max_size=200),
+       st.lists(values, min_size=1, max_size=200),
+       st.lists(values, min_size=1, max_size=200), eps_values)
+def test_merge_associative(a, b, c, eps):
+    """(a+b)+c and a+(b+c) agree on count/error and keep the guarantee."""
+    sa, sb, sc = (QuantileSummary.from_sorted(np.sort(np.array(x)), eps)
+                  for x in (a, b, c))
+    left = sa.merge(sb).merge(sc)
+    right = sa.merge(sb.merge(sc))
+    assert left.count == right.count == len(a) + len(b) + len(c)
+    assert left.error == right.error == eps
+    reference = np.sort(np.concatenate([a, b, c]))
+    _assert_eps_guarantee(left, reference, eps)
+    _assert_eps_guarantee(right, reference, eps)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.lists(values, min_size=1, max_size=120),
+                min_size=2, max_size=6),
+       eps_values, st.randoms(use_true_random=False))
+def test_merge_all_order_insensitive(shards, eps, rnd):
+    """The shard service's reduction: merge_all over k per-shard
+    summaries matches a shuffled merge_all and a sequential fold, and
+    the merged error never exceeds eps (merge is lossless)."""
+    summaries = [QuantileSummary.from_sorted(np.sort(np.array(s)), eps)
+                 for s in shards]
+    shuffled = list(summaries)
+    rnd.shuffle(shuffled)
+    tree = QuantileSummary.merge_all(summaries)
+    tree_shuffled = QuantileSummary.merge_all(shuffled)
+    fold = summaries[0]
+    for s in summaries[1:]:
+        fold = fold.merge(s)
+    total = sum(len(s) for s in shards)
+    assert tree.count == tree_shuffled.count == fold.count == total
+    assert max(tree.error, tree_shuffled.error, fold.error) <= eps
+    reference = np.sort(np.concatenate(shards))
+    _assert_eps_guarantee(tree, reference, eps)
+    _assert_eps_guarantee(tree_shuffled, reference, eps)
+    _assert_eps_guarantee(fold, reference, eps)
+
+
 @settings(max_examples=40, deadline=None)
 @given(st.lists(values, min_size=1, max_size=400), eps_values,
        st.integers(min_value=2, max_value=40))

@@ -55,3 +55,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "KMV estimate" in out
         assert "exact" in out
+
+    def test_serve_quantile(self, capsys):
+        assert main(["serve", "--n", "20000", "--statistic", "quantile",
+                     "--shards", "2", "--producers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded quantile service" in out
+        assert "[mid-stream]" in out and "[final]" in out
+        assert "ingest rate" in out
+        assert "shard 1:" in out
+
+    def test_serve_frequency(self, capsys):
+        assert main(["serve", "--n", "20000", "--statistic", "frequency",
+                     "--workload", "zipf", "--shards", "2",
+                     "--eps", "0.005", "--support", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded frequency service" in out
+        assert "heavy@0.05" in out

@@ -1,0 +1,209 @@
+"""Asyncio integration: concurrent producers, mid-stream queries,
+backpressure, and load shedding against the sharded service."""
+
+import asyncio
+import math
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import ShardedMiner, StreamService
+from repro.streams import zipf_stream
+
+from ..conftest import rank_error
+
+N_TOTAL = 104_000
+PRODUCERS = 2
+SHARDS = 4
+QUANTILE_EPS = 0.02
+FREQUENCY_EPS = 0.005
+SUPPORT = 0.02
+CHUNK = 1500
+
+
+def _check_quantiles(service_answers, seen, eps):
+    reference = np.sort(seen)
+    n = seen.size
+    for phi, estimate in service_answers.items():
+        target = max(1, math.ceil(phi * n))
+        assert rank_error(reference, estimate, target) <= max(1, eps * n), \
+            f"phi={phi} violated eps={eps} at n={n}"
+
+
+def _check_heavy_hitters(reported, seen, eps, support):
+    n = seen.size
+    true = Counter(seen.tolist())
+    reported = dict(reported)
+    heavy = {v for v, c in true.items() if c >= support * n}
+    assert heavy <= set(reported), "false negative in heavy hitters"
+    for value, est in reported.items():
+        assert est <= true[value], "lossy counting overcounted"
+        assert est >= (support - eps) * n, "reported below threshold"
+    for value in heavy:
+        # per-shard undercount <= eps * N_shard; drain flushes add <= 1
+        # short window each
+        assert true[value] - reported[value] <= eps * n + 8
+
+
+async def _integration(results: dict) -> None:
+    quantiles = StreamService(
+        ShardedMiner("quantile", eps=QUANTILE_EPS, num_shards=SHARDS,
+                     backend="cpu", window_size=1024,
+                     stream_length_hint=N_TOTAL))
+    frequencies = StreamService(
+        ShardedMiner("frequency", eps=FREQUENCY_EPS, num_shards=SHARDS,
+                     backend="cpu"))
+    data = zipf_stream(N_TOTAL, seed=42)
+    slices = np.array_split(data, PRODUCERS)
+
+    async def produce(slice_: np.ndarray) -> None:
+        for start in range(0, slice_.size, CHUNK):
+            chunk = slice_[start:start + CHUNK]
+            await quantiles.ingest(chunk)
+            await frequencies.ingest(chunk)
+
+    async with quantiles, frequencies:
+        halves = [np.array_split(s, 2) for s in slices]
+        # phase 1: all producers run concurrently
+        await asyncio.gather(*(produce(h[0]) for h in halves))
+        await asyncio.gather(quantiles.drain(), frequencies.drain())
+        seen = np.concatenate([h[0] for h in halves])
+        mid_q = {phi: await quantiles.quantile(phi)
+                 for phi in (0.25, 0.5, 0.9)}
+        mid_f = await frequencies.frequent_items(SUPPORT)
+        _check_quantiles(mid_q, seen, QUANTILE_EPS)
+        _check_heavy_hitters(mid_f, seen, FREQUENCY_EPS, SUPPORT)
+
+        # phase 2: stream continues after the mid-stream queries
+        await asyncio.gather(*(produce(h[1]) for h in halves))
+        await asyncio.gather(quantiles.drain(), frequencies.drain())
+        final_q = {phi: await quantiles.quantile(phi)
+                   for phi in (0.25, 0.5, 0.9)}
+        final_f = await frequencies.frequent_items(SUPPORT)
+        _check_quantiles(final_q, data, QUANTILE_EPS)
+        _check_heavy_hitters(final_f, data, FREQUENCY_EPS, SUPPORT)
+
+        results["quantile_metrics"] = quantiles.metrics
+        results["frequency_metrics"] = frequencies.metrics
+        results["quantile_reports"] = quantiles.miner.shard_reports()
+
+
+class TestIntegration:
+    @pytest.fixture(scope="class")
+    def run(self):
+        results = {}
+        asyncio.run(_integration(results))
+        return results
+
+    def test_queries_within_eps(self, run):
+        """Assertions live inside the scenario; reaching here means every
+        mid-stream and final query honoured its epsilon."""
+        assert run["quantile_metrics"] is not None
+
+    def test_all_tuples_accounted(self, run):
+        for key in ("quantile_metrics", "frequency_metrics"):
+            metrics = run[key]
+            assert metrics.ingested == N_TOTAL
+            assert metrics.shed == 0
+            assert sum(s.elements for s in metrics.shards) == N_TOTAL
+
+    def test_service_metrics_nonzero(self, run):
+        metrics = run["quantile_metrics"]
+        assert metrics.ingest_rate > 0
+        assert metrics.queries >= 6
+        assert len(metrics.shards) == SHARDS
+        for shard in metrics.shards:
+            assert shard.batches > 0
+            assert shard.update_seconds > 0
+            assert shard.queue_high_water > 0
+
+    def test_per_shard_op_latencies_nonzero(self, run):
+        for report in run["quantile_reports"]:
+            assert report.elements > 0
+            assert report.wall["sort"] > 0
+            assert report.wall["merge"] > 0
+
+    def test_work_spread_across_all_shards(self, run):
+        for key in ("quantile_metrics", "frequency_metrics"):
+            assert all(s.elements > 0 for s in run[key].shards)
+
+
+class TestBackpressure:
+    def test_full_queues_block_until_workers_catch_up(self):
+        async def scenario():
+            miner = ShardedMiner("quantile", eps=0.05, num_shards=2,
+                                 backend="cpu", window_size=256)
+            async with StreamService(miner, queue_chunks=2) as service:
+                data = zipf_stream(40_000, seed=1)
+                for start in range(0, data.size, 500):
+                    await service.ingest(data[start:start + 500])
+                await service.drain()
+                return service.metrics
+
+        metrics = asyncio.run(scenario())
+        assert metrics.ingested == 40_000
+        # bounded queues: high water can never exceed the configured cap
+        assert all(s.queue_high_water <= 2 for s in metrics.shards)
+        assert sum(s.elements for s in metrics.shards) == 40_000
+
+
+class TestLoadShedding:
+    def test_overload_sheds_instead_of_blocking(self):
+        async def scenario():
+            miner = ShardedMiner("quantile", eps=0.05, num_shards=2,
+                                 backend="cpu", window_size=512)
+            service = StreamService(miner, queue_chunks=4,
+                                    shed_capacity=1000)
+            async with service:
+                data = zipf_stream(60_000, seed=2)
+                # 10k-element bursts against 1000/tick/shard capacity
+                for start in range(0, data.size, 10_000):
+                    await service.ingest(data[start:start + 10_000])
+                await service.drain()
+                median = await service.quantile(0.5)
+                return service.metrics, median
+
+        metrics, median = asyncio.run(scenario())
+        assert metrics.shed > 0
+        assert metrics.ingested + metrics.shed == 60_000
+        assert sum(s.elements for s in metrics.shards) == metrics.ingested
+        assert median >= 1.0  # zipf values start at 1; sample stays sane
+
+
+class TestLifecycle:
+    def test_ingest_before_start_rejected(self):
+        miner = ShardedMiner("quantile", eps=0.05, num_shards=2,
+                             window_size=256)
+        service = StreamService(miner)
+        with pytest.raises(ServiceError):
+            asyncio.run(service.ingest(np.ones(10, dtype=np.float32)))
+
+    def test_double_start_rejected(self):
+        async def scenario():
+            miner = ShardedMiner("quantile", eps=0.05, num_shards=2,
+                                 window_size=256)
+            service = StreamService(miner)
+            await service.start()
+            try:
+                with pytest.raises(ServiceError):
+                    await service.start()
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_fresh_query_drains_first(self):
+        async def scenario():
+            miner = ShardedMiner("quantile", eps=0.05, num_shards=2,
+                                 backend="cpu", window_size=256)
+            async with StreamService(miner) as service:
+                await service.ingest(zipf_stream(5000, seed=3))
+                # fresh=True must flush queues + partial windows so the
+                # answer reflects every accepted element
+                value = await service.quantile(0.5, fresh=True)
+                assert miner.processed == 5000
+                return value
+
+        assert asyncio.run(scenario()) >= 1.0

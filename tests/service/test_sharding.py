@@ -1,0 +1,86 @@
+"""Tuple partitioners: balance, determinism, value affinity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import (HashPartitioner, RoundRobinPartitioner,
+                           default_partitioner)
+
+
+class TestRoundRobin:
+    def test_balance_within_one(self, rng):
+        p = RoundRobinPartitioner(4)
+        parts = p.split(rng.random(1003).astype(np.float32))
+        sizes = [part.size for part in parts]
+        assert sum(sizes) == 1003
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_balance_carries_across_chunks(self, rng):
+        p = RoundRobinPartitioner(4)
+        totals = np.zeros(4, dtype=int)
+        for _ in range(7):
+            for i, part in enumerate(p.split(rng.random(33))):
+                totals[i] += part.size
+        assert totals.sum() == 7 * 33
+        assert totals.max() - totals.min() <= 1
+
+    def test_partition_is_exhaustive(self, rng):
+        data = rng.random(500).astype(np.float32)
+        parts = RoundRobinPartitioner(3).split(data)
+        assert np.array_equal(np.sort(np.concatenate(parts)), np.sort(data))
+
+    def test_no_point_routing(self):
+        with pytest.raises(ServiceError):
+            RoundRobinPartitioner(2).shard_of(1.0)
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ServiceError):
+            RoundRobinPartitioner(0)
+
+
+class TestHashPartitioner:
+    def test_equal_values_share_a_shard(self, rng):
+        p = HashPartitioner(4)
+        data = rng.integers(0, 50, 2000).astype(np.float32)
+        parts = p.split(data)
+        homes = {}
+        for shard_id, part in enumerate(parts):
+            for value in np.unique(part).tolist():
+                assert homes.setdefault(value, shard_id) == shard_id
+
+    def test_shard_of_matches_split(self, rng):
+        p = HashPartitioner(4)
+        data = rng.integers(0, 50, 500).astype(np.float32)
+        parts = p.split(data)
+        for shard_id, part in enumerate(parts):
+            for value in np.unique(part).tolist():
+                assert p.shard_of(value) == shard_id
+
+    def test_partition_is_exhaustive(self, rng):
+        data = rng.random(1000).astype(np.float32)
+        parts = HashPartitioner(5).split(data)
+        assert sum(part.size for part in parts) == 1000
+        assert np.array_equal(np.sort(np.concatenate(parts)), np.sort(data))
+
+    def test_roughly_uniform_on_distinct_values(self, rng):
+        parts = HashPartitioner(4).split(rng.random(20_000))
+        sizes = np.array([part.size for part in parts])
+        assert sizes.min() > 0.15 * 20_000
+
+    def test_single_shard_passthrough(self, rng):
+        data = rng.random(100).astype(np.float32)
+        parts = HashPartitioner(1).split(data)
+        assert len(parts) == 1 and np.array_equal(parts[0], data)
+
+
+class TestDefaults:
+    def test_frequency_gets_hash(self):
+        assert isinstance(default_partitioner("frequency", 4),
+                          HashPartitioner)
+
+    def test_quantile_and_distinct_get_round_robin(self):
+        assert isinstance(default_partitioner("quantile", 4),
+                          RoundRobinPartitioner)
+        assert isinstance(default_partitioner("distinct", 4),
+                          RoundRobinPartitioner)

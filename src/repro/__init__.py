@@ -32,11 +32,12 @@ from .core import (CorrelatedSum, DgimCounter, DgimSum, EngineReport,
                    StreamingQuantiles, VOptimalHistogram,
                    WindowHistogram, WindowedDistinctCounter, aggregate,
                    histogram_from_sorted)
-from .errors import (BlendStateError, BusError, GpuError, InvariantViolation,
-                     QueryError, RasterizationError, ReproError, SortError,
+from .errors import (BlendStateError, BusError, CheckpointError, GpuError,
+                     InvariantViolation, QueryError, RasterizationError,
+                     ReproError, ServiceError, ShardFailedError, SortError,
                      StreamError, SummaryError, TextureError,
                      VideoMemoryError)
-from .gpu import GpuDevice
+from .gpu import FaultInjector, FaultPlan, GpuDevice
 from .sorting import GpuSorter, InstrumentedCpuSorter, optimized_sort, quicksort
 from .streams import (DataStream, financial_tick_stream,
                       network_trace_stream, normal_stream, uniform_stream,
@@ -47,12 +48,15 @@ __version__ = "1.0.0"
 __all__ = [
     "BlendStateError",
     "BusError",
+    "CheckpointError",
     "CorrelatedSum",
     "DataStream",
     "DgimCounter",
     "DgimSum",
     "EngineReport",
     "EquiDepthHistogram",
+    "FaultInjector",
+    "FaultPlan",
     "FlajoletMartin",
     "GKSummary",
     "GpuDevice",
@@ -69,6 +73,8 @@ __all__ = [
     "RasterizationError",
     "ReproError",
     "SensorNode",
+    "ServiceError",
+    "ShardFailedError",
     "SlidingWindowFrequencies",
     "SlidingWindowQuantiles",
     "SortError",

@@ -121,7 +121,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend, window_size=args.window,
         workload=args.workload, seed=args.seed,
         chunk_size=args.chunk, shed_capacity=args.shed_capacity,
-        phi=tuple(args.phi), support=args.support)
+        phi=tuple(args.phi), support=args.support,
+        fault_rate=args.fault_rate,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval)
     print(format_result(result))
     return 0 if result.all_within_bounds else 1
 
@@ -199,6 +202,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "shard per ingest tick")
     p.add_argument("--phi", type=float, nargs="+", default=[0.5, 0.99])
     p.add_argument("--support", type=float, default=0.05)
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="inject seeded transient GPU faults at this "
+                        "per-transfer probability (gpu backend only)")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="persist periodic + final service checkpoints "
+                        "to this directory")
+    p.add_argument("--checkpoint-interval", type=float, default=None,
+                   help="seconds between periodic checkpoints (needs "
+                        "--checkpoint-dir; default: final only)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("figures", help="regenerate the paper's figures")

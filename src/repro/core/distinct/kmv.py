@@ -111,6 +111,29 @@ class KMinValues:
                 self._members.discard(evicted)
                 self._members.add(h)
 
+    def to_state(self) -> dict:
+        """Versioned JSON-serializable snapshot of the sketch."""
+        return {
+            "version": 1,
+            "kind": "kmv",
+            "k": self.k,
+            "seed": self.seed,
+            "count": self.count,
+            "hashes": sorted(self._members),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "KMinValues":
+        """Rebuild a sketch from :meth:`to_state` output."""
+        if state.get("kind") != "kmv" or state.get("version") != 1:
+            raise SummaryError(
+                f"not a v1 kmv state: {state.get('kind')!r} "
+                f"v{state.get('version')!r}")
+        sketch = cls(int(state["k"]), int(state["seed"]))
+        sketch.count = int(state["count"])
+        sketch._absorb(np.asarray(state["hashes"], dtype=np.float64))
+        return sketch
+
     def merge(self, other: "KMinValues") -> "KMinValues":
         """Union of two sketches (must share k and seed)."""
         if (self.k, self.seed) != (other.k, other.seed):

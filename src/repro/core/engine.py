@@ -150,6 +150,8 @@ class StreamMiner:
         self.mode = mode
         self.eps = float(eps)
         self._cpu_spec = PENTIUM_IV_3_4GHZ
+        self._cpu_speedup = float(cpu_speedup)
+        self._stream_length_hint = int(stream_length_hint)
 
         if isinstance(backend, str):
             if backend == "gpu":
@@ -197,6 +199,18 @@ class StreamMiner:
     # ------------------------------------------------------------------
     def update(self, chunk: np.ndarray | list[float]) -> None:
         """Feed stream elements; complete 4-window batches are processed."""
+        self.buffer_chunk(chunk)
+        self.pump()
+
+    def buffer_chunk(self, chunk: np.ndarray | list[float]) -> None:
+        """Cut a chunk into pending windows without processing anything.
+
+        Pure CPU book-keeping that cannot fault: after this returns,
+        every element of ``chunk`` is safely held in either a pending
+        window or the tail buffer.  :meth:`pump` (which may fault on the
+        GPU path) then moves complete batches through the pipeline — the
+        split is what makes a dispatch retryable without data loss.
+        """
         arr = np.asarray(chunk, dtype=np.float32).ravel()
         if arr.size == 0:
             return
@@ -211,9 +225,18 @@ class StreamMiner:
         full = (data.size // w) * w
         for start in range(0, full, w):
             self._pending_windows.append(data[start:start + w])
-            if len(self._pending_windows) == 4:
-                self._flush_batch()
         self._buffer = data[full:].copy()
+
+    def pump(self) -> None:
+        """Process every complete 4-window texture batch now pending.
+
+        Each batch is transactional: the (faultable) sort runs first and
+        windows leave the pending list only after it succeeds, so an
+        exception leaves the engine exactly as it was before the batch —
+        calling :meth:`pump` again retries it.
+        """
+        while len(self._pending_windows) >= 4:
+            self._flush_batch(4)
 
     def process(self, stream: np.ndarray | Iterable) -> None:
         """Consume an entire stream (array or iterable of chunks) and flush."""
@@ -231,19 +254,23 @@ class StreamMiner:
             # estimators accept a short final window.
             self._pending_windows.append(self._buffer)
             self._buffer = np.empty(0, dtype=np.float32)
-        if self._pending_windows:
-            self._flush_batch()
+        while self._pending_windows:
+            self._flush_batch(min(4, len(self._pending_windows)))
 
     # ------------------------------------------------------------------
     # the co-processor loop
     # ------------------------------------------------------------------
-    def _flush_batch(self) -> None:
-        windows, self._pending_windows = self._pending_windows, []
+    def _flush_batch(self, batch_size: int) -> None:
+        windows = self._pending_windows[:batch_size]
         clock = self._cpu_spec.clock_hz
 
         start = time.perf_counter()
         sorted_windows = self.sorter.sort_batch(windows)
         sort_wall = time.perf_counter() - start
+        # The sort succeeded; only now do the windows leave the pending
+        # list (transactionality — see pump()).  The remaining steps are
+        # plain CPU summary updates with no injected-fault surface.
+        del self._pending_windows[:batch_size]
 
         if isinstance(self.sorter, GpuSorter):
             breakdown = self.sorter.modelled_time()
@@ -370,3 +397,89 @@ class StreamMiner:
         if self.statistic != "distinct":
             raise QueryError("this miner does not count distinct values")
         return self.estimator
+
+    # ------------------------------------------------------------------
+    # degradation (the service's circuit breaker swaps backends here)
+    # ------------------------------------------------------------------
+    def swap_sorter(self, sorter) -> None:
+        """Replace the sorting backend in place.
+
+        Sorting is a pure function of the window, so swapping the GPU
+        sorter for the CPU baseline (or back) mid-stream changes *only*
+        the cost model — the summaries, and therefore every answer, are
+        identical.  The service's degradation path relies on this.
+        """
+        self.sorter = sorter
+        self.backend = getattr(sorter, "name", "custom")
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Versioned JSON-serializable snapshot of the whole miner.
+
+        Captures the estimator state *and* the engine's buffered state
+        (tail buffer + pending windows), so a restored miner continues
+        the stream from the exact element where the snapshot was taken.
+        History mode only — sliding estimators hold order-sensitive
+        state that is intentionally out of checkpoint scope.
+        """
+        if self.mode != "history":
+            raise SummaryError("snapshot supports history mode only")
+        return {
+            "version": 1,
+            "kind": "stream-miner",
+            "statistic": self.statistic,
+            "eps": self.eps,
+            "window_size": int(self.window_size),
+            "stream_length_hint": self._stream_length_hint,
+            "cpu_speedup": self._cpu_speedup,
+            "estimator": self.estimator.to_state(),
+            "buffer": self._buffer.tolist(),
+            "pending_windows": [w.tolist() for w in self._pending_windows],
+            "report": {
+                "elements": self.report.elements,
+                "windows": self.report.windows,
+                "wall": dict(self.report.wall),
+                "modelled": dict(self.report.modelled),
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: dict, backend: str = "cpu",
+                      device: GpuDevice | None = None) -> "StreamMiner":
+        """Rebuild a miner from :meth:`snapshot` output.
+
+        ``backend``/``device`` choose the *new* sorting backend — sorter
+        state is transient (textures live only within one sort), so the
+        restored miner may run on different hardware than the one that
+        wrote the checkpoint; answers are unaffected.
+        """
+        if state.get("kind") != "stream-miner" or state.get("version") != 1:
+            raise SummaryError(
+                f"not a v1 stream-miner state: {state.get('kind')!r} "
+                f"v{state.get('version')!r}")
+        miner = cls(state["statistic"], eps=float(state["eps"]),
+                    backend=backend, mode="history",
+                    window_size=int(state["window_size"]),
+                    device=device,
+                    cpu_speedup=float(state["cpu_speedup"]),
+                    stream_length_hint=int(state["stream_length_hint"]))
+        estimator_state = state["estimator"]
+        if state["statistic"] == "quantile":
+            miner.estimator = StreamingQuantiles.from_state(estimator_state)
+        elif state["statistic"] == "frequency":
+            miner.estimator = LossyCounting.from_state(estimator_state)
+        else:
+            miner.estimator = KMinValues.from_state(estimator_state)
+        miner._buffer = np.asarray(state["buffer"], dtype=np.float32)
+        miner._pending_windows = [np.asarray(w, dtype=np.float32)
+                                  for w in state["pending_windows"]]
+        report = state.get("report", {})
+        miner.report.elements = int(report.get("elements", 0))
+        miner.report.windows = int(report.get("windows", 0))
+        for op in OPERATIONS:
+            miner.report.wall[op] = float(report.get("wall", {}).get(op, 0.0))
+            miner.report.modelled[op] = float(
+                report.get("modelled", {}).get(op, 0.0))
+        return miner

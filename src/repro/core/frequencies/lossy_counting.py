@@ -130,6 +130,44 @@ class LossyCounting:
             del self._entries[value]
 
     # ------------------------------------------------------------------
+    # serialization (checkpoint/restore)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Versioned JSON-serializable snapshot of the summary.
+
+        Float32 stream values convert to doubles losslessly, so entry
+        keys and the pending partial window round-trip exactly.
+        """
+        return {
+            "version": 1,
+            "kind": "lossy-counting",
+            "eps": self.eps,
+            "count": self.count,
+            "windows_processed": self.windows_processed,
+            "entries": [[float(value), entry.count, entry.delta]
+                        for value, entry in self._entries.items()],
+            "partial": self._partial.tolist(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LossyCounting":
+        """Rebuild a summary from :meth:`to_state` output."""
+        if state.get("kind") != "lossy-counting" or \
+                state.get("version") != 1:
+            raise SummaryError(
+                f"not a v1 lossy-counting state: {state.get('kind')!r} "
+                f"v{state.get('version')!r}")
+        summary = cls(float(state["eps"]))
+        summary.count = int(state["count"])
+        summary.windows_processed = int(state["windows_processed"])
+        summary._entries = {
+            float(value): FrequencyEntry(count=int(count), delta=int(delta))
+            for value, count, delta in state["entries"]}
+        summary._partial = np.asarray(state["partial"], dtype=np.float32)
+        summary.check_invariant()
+        return summary
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def __len__(self) -> int:

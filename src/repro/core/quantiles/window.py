@@ -117,6 +117,40 @@ class QuantileSummary:
         return cls(entries, n, error)
 
     # ------------------------------------------------------------------
+    # serialization (checkpoint/restore)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """A versioned, JSON-serializable snapshot of this summary.
+
+        Values are stored as Python floats (float32 stream values are
+        exactly representable in a double, so the round trip is
+        lossless) and rank bounds as ints; :meth:`from_state` rebuilds
+        an identical summary.
+        """
+        return {
+            "version": 1,
+            "kind": "quantile-summary",
+            "count": self.count,
+            "error": self.error,
+            "values": [e.value for e in self.entries],
+            "rmins": [e.rmin for e in self.entries],
+            "rmaxs": [e.rmax for e in self.entries],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QuantileSummary":
+        """Rebuild a summary from :meth:`to_state` output."""
+        if state.get("kind") != "quantile-summary" or \
+                state.get("version") != 1:
+            raise SummaryError(
+                f"not a v1 quantile-summary state: {state.get('kind')!r} "
+                f"v{state.get('version')!r}")
+        entries = [RankedValue(float(v), int(lo), int(hi))
+                   for v, lo, hi in zip(state["values"], state["rmins"],
+                                        state["rmaxs"])]
+        return cls(entries, int(state["count"]), float(state["error"]))
+
+    # ------------------------------------------------------------------
     # combination
     # ------------------------------------------------------------------
     def merge(self, other: "QuantileSummary") -> "QuantileSummary":

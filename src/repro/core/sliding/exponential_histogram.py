@@ -116,6 +116,46 @@ class StreamingQuantiles:
         self.add_sorted_window(np.sort(np.asarray(window).ravel()))
 
     # ------------------------------------------------------------------
+    # serialization (checkpoint/restore)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Versioned JSON-serializable snapshot of the whole histogram.
+
+        Captures the error schedule (eps, window size, current horizon)
+        and every live bucket, so :meth:`from_state` reproduces an
+        estimator that answers every query identically and continues
+        ingesting with the same combine schedule.
+        """
+        return {
+            "version": 1,
+            "kind": "streaming-quantiles",
+            "eps": self.eps,
+            "window_size": self.window_size,
+            "horizon": self.horizon,
+            "count": self.count,
+            "buckets": {str(bucket_id): summary.to_state()
+                        for bucket_id, summary in self._buckets.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamingQuantiles":
+        """Rebuild an estimator from :meth:`to_state` output."""
+        if state.get("kind") != "streaming-quantiles" or \
+                state.get("version") != 1:
+            raise SummaryError(
+                f"not a v1 streaming-quantiles state: {state.get('kind')!r} "
+                f"v{state.get('version')!r}")
+        estimator = cls(float(state["eps"]), int(state["window_size"]),
+                        int(state["horizon"]))
+        estimator.horizon = int(state["horizon"])
+        estimator.count = int(state["count"])
+        estimator._buckets = {
+            int(bucket_id): QuantileSummary.from_state(summary_state)
+            for bucket_id, summary_state in state["buckets"].items()}
+        estimator.check_invariant()
+        return estimator
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def _combined(self) -> QuantileSummary:

@@ -62,3 +62,23 @@ class QueryError(ReproError):
 
 class ServiceError(ReproError):
     """The sharded streaming service was misconfigured or misused."""
+
+
+class ShardFailedError(ServiceError):
+    """A miner shard failed permanently and its answers are unavailable.
+
+    Raised by the service's ingest and query paths once a shard's worker
+    has exhausted its restart budget, instead of letting ``drain()`` or a
+    query hang on a queue nobody is consuming.  ``shard_id`` names the
+    dead shard; ``__cause__`` carries the original failure when known.
+    """
+
+    def __init__(self, shard_id: int, message: str | None = None):
+        self.shard_id = int(shard_id)
+        super().__init__(
+            message if message is not None
+            else f"shard {shard_id} failed permanently")
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, read, or applied."""

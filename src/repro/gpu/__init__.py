@@ -16,6 +16,7 @@ from .blend import BlendOp, apply_blend
 from .bus import Bus
 from .counters import PerfCounters
 from .device import GpuDevice
+from .faults import TRANSIENT_GPU_ERRORS, FaultInjector, FaultPlan
 from .framebuffer import FrameBuffer
 from .presets import (AGP_8X, GEFORCE_6800_ULTRA, PENTIUM_IV_3_4GHZ, BusSpec,
                       CpuSpec, GpuSpec)
@@ -38,6 +39,8 @@ __all__ = [
     "BusSpec",
     "CpuSortCostModel",
     "CpuSpec",
+    "FaultInjector",
+    "FaultPlan",
     "FragmentProgram",
     "FrameBuffer",
     "GEFORCE_6800_ULTRA",
@@ -48,6 +51,7 @@ __all__ = [
     "Instruction",
     "PENTIUM_IV_3_4GHZ",
     "PerfCounters",
+    "TRANSIENT_GPU_ERRORS",
     "Texture2D",
     "apply_blend",
     "copy_texture",

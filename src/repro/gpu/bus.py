@@ -26,17 +26,26 @@ class Bus:
         Bandwidth/latency parameters; defaults to the paper's AGP 8X.
     counters:
         Perf counters to record transfers into.
+    fault_injector:
+        Optional :class:`~repro.gpu.faults.FaultInjector` consulted
+        before every transfer; ``None`` (the default) is a no-op.  An
+        injected :class:`BusError` fires *before* any bytes move, so a
+        retried transfer is indistinguishable from a first attempt.
     """
 
     def __init__(self, spec: BusSpec = AGP_8X,
-                 counters: PerfCounters | None = None):
+                 counters: PerfCounters | None = None,
+                 fault_injector=None):
         self.spec = spec
         self.counters = counters if counters is not None else PerfCounters()
+        self.fault_injector = fault_injector
 
     def upload(self, data: np.ndarray) -> np.ndarray:
         """Move ``data`` host -> device; returns the device-side copy."""
         if data.size == 0:
             raise BusError("refusing to upload an empty array")
+        if self.fault_injector is not None:
+            self.fault_injector.check("upload")
         device_copy = np.ascontiguousarray(data, dtype=np.float32)
         self.counters.record_upload(device_copy.nbytes)
         return device_copy
@@ -45,6 +54,8 @@ class Bus:
         """Move ``data`` device -> host; returns the host-side copy."""
         if data.size == 0:
             raise BusError("refusing to read back an empty array")
+        if self.fault_injector is not None:
+            self.fault_injector.check("readback")
         host_copy = np.array(data, dtype=np.float32, copy=True)
         self.counters.record_readback(host_copy.nbytes)
         return host_copy

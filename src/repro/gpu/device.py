@@ -45,6 +45,12 @@ class GpuDevice:
         video memory) and for the cost model.
     bus_spec:
         Interconnect description used for transfer-time modelling.
+    fault_injector:
+        Optional :class:`~repro.gpu.faults.FaultInjector`; when set,
+        transfers and render passes may raise injected transient
+        :class:`~repro.errors.BusError` /
+        :class:`~repro.errors.RasterizationError` per its plan.  The
+        default ``None`` changes nothing.
 
     Examples
     --------
@@ -58,10 +64,12 @@ class GpuDevice:
     """
 
     def __init__(self, spec: GpuSpec = GEFORCE_6800_ULTRA,
-                 bus_spec: BusSpec = AGP_8X):
+                 bus_spec: BusSpec = AGP_8X,
+                 fault_injector=None):
         self.spec = spec
         self.counters = PerfCounters()
-        self.bus = Bus(bus_spec, self.counters)
+        self.fault_injector = fault_injector
+        self.bus = Bus(bus_spec, self.counters, fault_injector)
         self.cost_model = GpuCostModel(spec, bus_spec)
         self.framebuffer: FrameBuffer | None = None
         self._textures: dict[str, Texture2D] = {}
@@ -123,7 +131,13 @@ class GpuDevice:
                 f"upload expects (H, W, {CHANNELS}) data, got {data.shape}")
         height, width = data.shape[:2]
         tex = self.create_texture(width, height, name)
-        tex.write(self.bus.upload(data).reshape(data.shape))
+        try:
+            tex.write(self.bus.upload(data).reshape(data.shape))
+        except Exception:
+            # A failed transfer must not leak the just-allocated texture,
+            # or retries would exhaust the video-memory budget.
+            self.delete_texture(tex)
+            raise
         return tex
 
     def readback_texture(self, texture: Texture2D) -> np.ndarray:
@@ -159,13 +173,18 @@ class GpuDevice:
                   tex_rect: tuple[float, float, float, float],
                   label: str = "pass") -> int:
         """Render one textured quad under the current blend state."""
-        return draw_quad(self._require_framebuffer(), texture,
-                         dst_rect, tex_rect, self.counters, label)
+        fb = self._require_framebuffer()
+        if self.fault_injector is not None:
+            self.fault_injector.check("raster")
+        return draw_quad(fb, texture, dst_rect, tex_rect, self.counters,
+                         label)
 
     def copy_texture_to_framebuffer(self, texture: Texture2D) -> int:
         """Routine 4.1: blit ``texture`` into the frame buffer."""
-        return copy_texture(self._require_framebuffer(), texture,
-                            self.counters)
+        fb = self._require_framebuffer()
+        if self.fault_injector is not None:
+            self.fault_injector.check("raster")
+        return copy_texture(fb, texture, self.counters)
 
     def copy_framebuffer_to_texture(self, texture: Texture2D) -> None:
         """GPU-internal copy of the frame buffer into ``texture``.

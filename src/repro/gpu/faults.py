@@ -1,0 +1,161 @@
+"""Transient-fault injection for the simulated GPU.
+
+"The Graphics Card as a Streaming Computer" (PAPERS.md) treats the GPU
+as a co-processor reached over a narrow, failure-prone path: transfers
+cross a bus, rendering passes go through a driver, and a production
+service has to assume any of those steps can fail *transiently* —
+a dropped DMA, a reset rasterizer — without the data being wrong when
+the step is retried.  This module supplies that failure model for the
+simulator, so the service layer's retry/degradation machinery can be
+exercised deterministically:
+
+* a :class:`FaultPlan` describes *when* faults fire — a seeded
+  probability per operation class and/or an exact schedule of operation
+  indices — and how many may fire in total;
+* a :class:`FaultInjector` executes the plan, raising the same typed
+  errors a real failure would surface (:class:`~repro.errors.BusError`
+  for transfers, :class:`~repro.errors.RasterizationError` for render
+  passes) and counting what it injected;
+* :class:`~repro.gpu.device.GpuDevice` and :class:`~repro.gpu.bus.Bus`
+  accept an injector and consult it before each operation; the default
+  is ``None`` — zero overhead, zero behaviour change.
+
+Faults are *transient* by construction: the injector raises before the
+simulated operation mutates any state, so a retry of the same operation
+(re-upload, re-draw) behaves exactly as if the fault never happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import BusError, RasterizationError
+
+#: Operation classes the injector understands, with the error each one
+#: raises when a fault fires.
+FAULT_OPS = {
+    "upload": BusError,
+    "readback": BusError,
+    "raster": RasterizationError,
+}
+
+#: Errors the service layer treats as retryable GPU faults.  Everything
+#: else escaping a dispatch is a bug, not weather.
+TRANSIENT_GPU_ERRORS = (BusError, RasterizationError)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative schedule of transient GPU faults.
+
+    Parameters
+    ----------
+    upload_rate / readback_rate / raster_rate:
+        Per-operation fault probability in ``[0, 1)``, drawn from a
+        generator seeded with ``seed`` (two injectors built from equal
+        plans inject identical fault sequences).
+    at:
+        Exact faults: a mapping ``op -> indices`` firing on the i-th
+        occurrence (0-based) of that operation, independent of the
+        random rates.  Useful for pinpoint tests ("fail the second
+        readback").
+    seed:
+        Seed for the probabilistic draws.
+    max_faults:
+        Stop injecting after this many faults (``None`` = unlimited);
+        models a burst of trouble that eventually clears.
+    """
+
+    upload_rate: float = 0.0
+    readback_rate: float = 0.0
+    raster_rate: float = 0.0
+    at: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    seed: int = 0
+    max_faults: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("upload_rate", "readback_rate", "raster_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {rate}")
+        for op in self.at:
+            if op not in FAULT_OPS:
+                raise ValueError(
+                    f"unknown fault op {op!r}; expected one of "
+                    f"{sorted(FAULT_OPS)}")
+
+    def rate(self, op: str) -> float:
+        """The configured probability for one operation class."""
+        return {"upload": self.upload_rate, "readback": self.readback_rate,
+                "raster": self.raster_rate}[op]
+
+    @classmethod
+    def transfers(cls, rate: float, seed: int = 0,
+                  max_faults: int | None = None) -> "FaultPlan":
+        """Faults on the bus only (upload + readback), the paper-shaped
+        view of the GPU as a co-processor behind an unreliable link."""
+        return cls(upload_rate=rate, readback_rate=rate, seed=seed,
+                   max_faults=max_faults)
+
+    def reseeded(self, seed: int) -> "FaultPlan":
+        """The same plan with a different seed (per-shard injectors)."""
+        return FaultPlan(self.upload_rate, self.readback_rate,
+                         self.raster_rate, dict(self.at), seed,
+                         self.max_faults)
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against a device's operation stream.
+
+    The device calls :meth:`check` with the operation class before
+    performing it; the injector either returns (no fault) or raises the
+    operation's typed error.  Counters record both what was attempted
+    and what was injected, so tests and metrics can assert exact fault
+    arithmetic.
+
+    Examples
+    --------
+    >>> from repro.gpu.faults import FaultInjector, FaultPlan
+    >>> inj = FaultInjector(FaultPlan(at={"upload": (1,)}))
+    >>> inj.check("upload")          # first upload: fine
+    >>> try:
+    ...     inj.check("upload")      # second upload: injected BusError
+    ... except Exception as exc:
+    ...     print(type(exc).__name__)
+    BusError
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._rng = np.random.default_rng(plan.seed)
+        #: operations seen, per class.
+        self.op_counts: dict[str, int] = {op: 0 for op in FAULT_OPS}
+        #: faults injected, per class.
+        self.injected: dict[str, int] = {op: 0 for op in FAULT_OPS}
+
+    @property
+    def total_injected(self) -> int:
+        """Faults injected so far, across all operation classes."""
+        return sum(self.injected.values())
+
+    def check(self, op: str) -> None:
+        """Maybe fault the next ``op``; raises its typed transient error."""
+        if op not in FAULT_OPS:
+            raise ValueError(f"unknown fault op {op!r}")
+        index = self.op_counts[op]
+        self.op_counts[op] += 1
+        scheduled = index in self.plan.at.get(op, ())
+        rate = self.plan.rate(op)
+        # Always consume one draw per rated op so the fault sequence is a
+        # pure function of the plan, not of which ops fired earlier.
+        random_hit = rate > 0.0 and self._rng.random() < rate
+        if not (scheduled or random_hit):
+            return
+        if (self.plan.max_faults is not None
+                and self.total_injected >= self.plan.max_faults):
+            return
+        self.injected[op] += 1
+        raise FAULT_OPS[op](
+            f"injected transient fault: {op} #{index}")

@@ -11,20 +11,30 @@ horizontal scaling free.  This package supplies the layer that uses it:
   queues (backpressure), optional load shedding, texture-batch
   coalescing, and parallel shard workers;
 * :class:`ServiceMetrics` / :class:`ShardMetrics` — the observability
-  surface (ingest rate, queue depth, per-shard latencies, shed count);
+  surface (ingest rate, queue depth, per-shard latencies, shed count,
+  fault/retry/degradation counters, shard health);
+* fault tolerance — :class:`RetryPolicy` and :class:`CircuitBreaker`
+  (:mod:`~repro.service.resilience`) around the dispatch path, and
+  :class:`CheckpointStore` (:mod:`~repro.service.checkpoint`) for
+  durable snapshot/restore of the whole pool;
 * partitioners in :mod:`~repro.service.sharding` and the ``repro
   serve`` demo driver in :mod:`~repro.service.runner`.
 """
 
 from .async_service import StreamService
+from .checkpoint import CheckpointStore
 from .metrics import ServiceMetrics, ShardMetrics
+from .resilience import CircuitBreaker, RetryPolicy
 from .runner import ServeResult, format_result, run_service_demo
 from .sharded import ShardedMiner
 from .sharding import (HashPartitioner, RoundRobinPartitioner,
                        default_partitioner)
 
 __all__ = [
+    "CheckpointStore",
+    "CircuitBreaker",
     "HashPartitioner",
+    "RetryPolicy",
     "RoundRobinPartitioner",
     "ServeResult",
     "ServiceMetrics",

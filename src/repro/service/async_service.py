@@ -19,7 +19,16 @@ emit — "irregularities and bursts in the data arrival rates" (Section
   pipeline via ``asyncio.to_thread`` so shards make progress in
   parallel;
 * **queries at any time** against the merge-on-query layer of the
-  wrapped :class:`~repro.service.sharded.ShardedMiner`.
+  wrapped :class:`~repro.service.sharded.ShardedMiner`;
+* **supervision** — a worker that dies on an unexpected exception is
+  restarted a bounded number of times; past the bound the shard is
+  marked permanently failed, its queue is reaped (counting lost
+  elements) so ``drain`` can never hang, and ingest/queries fail fast
+  with a typed :class:`~repro.errors.ShardFailedError`;
+* optional **periodic checkpointing** to a
+  :class:`~repro.service.checkpoint.CheckpointStore`, cut at batch
+  boundaries (queues settled, dispatch locks held) so a restored
+  service resumes from a consistent point.
 
 Everything is standard-library asyncio; there is no network listener —
 the service is an in-process component that a transport (or the
@@ -29,11 +38,13 @@ the service is an in-process component that a transport (or the
 from __future__ import annotations
 
 import asyncio
+from contextlib import AsyncExitStack
 
 import numpy as np
 
-from ..errors import ServiceError
+from ..errors import ServiceError, ShardFailedError
 from ..streams.load_shedding import LoadShedder
+from .checkpoint import CheckpointStore
 from .metrics import ServiceMetrics
 from .sharded import ShardedMiner
 
@@ -59,19 +70,41 @@ class StreamService:
     shed_policy / shed_queue_limit:
         Forwarded to the shedders (``"shed"`` drops, ``"spill"`` queues
         up to the limit).
+    checkpoint_store:
+        If set, :meth:`checkpoint` (and the periodic loop, and a final
+        snapshot on a draining :meth:`stop`) persist the pool here.
+    checkpoint_interval:
+        Seconds between automatic checkpoints; ``None`` disables the
+        periodic loop (explicit :meth:`checkpoint` still works).
+    max_restarts:
+        Worker crashes tolerated per shard before it is declared
+        permanently failed.
     """
 
     def __init__(self, miner: ShardedMiner, *, queue_chunks: int = 16,
                  coalesce_windows: int = 4,
                  shed_capacity: int | None = None,
                  shed_policy: str = "shed",
-                 shed_queue_limit: int | None = None):
+                 shed_queue_limit: int | None = None,
+                 checkpoint_store: CheckpointStore | None = None,
+                 checkpoint_interval: float | None = None,
+                 max_restarts: int = 2):
         if queue_chunks < 1:
             raise ServiceError(
                 f"queue_chunks must be >= 1, got {queue_chunks}")
         if coalesce_windows < 1:
             raise ServiceError(
                 f"coalesce_windows must be >= 1, got {coalesce_windows}")
+        if checkpoint_interval is not None and checkpoint_interval <= 0:
+            raise ServiceError(
+                f"checkpoint_interval must be positive, got "
+                f"{checkpoint_interval}")
+        if checkpoint_interval is not None and checkpoint_store is None:
+            raise ServiceError(
+                "checkpoint_interval needs a checkpoint_store")
+        if max_restarts < 0:
+            raise ServiceError(
+                f"max_restarts must be >= 0, got {max_restarts}")
         self.miner = miner
         self.queue_chunks = int(queue_chunks)
         self._coalesce_elements = coalesce_windows * miner.window_size
@@ -80,8 +113,14 @@ class StreamService:
                         queue_limit=shed_queue_limit, seed=shard_id)
             if shed_capacity is not None else None
             for shard_id in range(miner.num_shards)]
+        self.checkpoint_store = checkpoint_store
+        self.checkpoint_interval = checkpoint_interval
+        self.max_restarts = int(max_restarts)
         self._queues: list[asyncio.Queue] = []
+        self._locks: list[asyncio.Lock] = []
         self._workers: list[asyncio.Task] = []
+        self._checkpoint_task: asyncio.Task | None = None
+        self._failed: dict[int, BaseException] = {}
         self._started = False
 
     @property
@@ -95,22 +134,41 @@ class StreamService:
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Create the shard queues and start one worker per shard."""
+        """Create the shard queues and start one supervisor per shard."""
         if self._started:
             raise ServiceError("service already started")
         self._queues = [asyncio.Queue(maxsize=self.queue_chunks)
                         for _ in range(self.miner.num_shards)]
-        self._workers = [asyncio.create_task(self._worker(i),
+        self._locks = [asyncio.Lock()
+                       for _ in range(self.miner.num_shards)]
+        self._failed = {}
+        self._workers = [asyncio.create_task(self._supervised_worker(i),
                                              name=f"shard-{i}")
                          for i in range(self.miner.num_shards)]
+        if self.checkpoint_interval is not None:
+            self._checkpoint_task = asyncio.create_task(
+                self._checkpoint_loop(), name="checkpointer")
         self._started = True
 
     async def stop(self, drain: bool = True) -> None:
-        """Stop the workers, by default after draining the queues."""
+        """Stop the workers, by default after draining the queues.
+
+        A draining stop with a configured checkpoint store also writes
+        one final checkpoint, so a graceful shutdown loses nothing.
+        """
         if not self._started:
             return
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
+            await asyncio.gather(self._checkpoint_task,
+                                 return_exceptions=True)
+            self._checkpoint_task = None
         if drain:
             await self.drain()
+            if self.checkpoint_store is not None:
+                await asyncio.to_thread(self.checkpoint_store.save,
+                                        self.miner.snapshot())
+                self.miner.metrics.checkpoints += 1
         for worker in self._workers:
             worker.cancel()
         await asyncio.gather(*self._workers, return_exceptions=True)
@@ -138,6 +196,11 @@ class StreamService:
         if not self._started:
             raise ServiceError("service not started")
         parts = self.miner.partitioner.split(chunk)
+        for shard_id, part in enumerate(parts):
+            # Fail fast before queueing anything: accepting data for a
+            # permanently failed shard would silently lose it.
+            if part.size and shard_id in self._failed:
+                raise ShardFailedError(shard_id) from self._failed[shard_id]
         accepted = 0
         for shard_id, part in enumerate(parts):
             shedder = self._shedders[shard_id]
@@ -156,7 +219,17 @@ class StreamService:
         return accepted
 
     async def _worker(self, shard_id: int) -> None:
+        """One shard's dispatch loop.
+
+        ``task_done`` runs in a ``finally`` so the queue's join ledger
+        balances even when a dispatch raises — an exception propagates
+        to the supervisor but can never leave :meth:`drain` hanging on
+        an unmatched ``join``.  Note the crashed batch is *not* lost:
+        :meth:`ShardedMiner.dispatch` buffers the chunk before anything
+        faultable runs.
+        """
         queue = self._queues[shard_id]
+        lock = self._locks[shard_id]
         while True:
             chunk = await queue.get()
             parts = [chunk]
@@ -169,11 +242,50 @@ class StreamService:
                 size += int(extra.size)
             batch = np.concatenate(parts) if len(parts) > 1 else chunk
             try:
-                await asyncio.to_thread(self.miner.dispatch, shard_id, batch)
+                # The lock makes checkpoints cut at batch boundaries:
+                # a checkpoint holds every shard's lock, so it never
+                # observes an engine mid-dispatch.
+                async with lock:
+                    await asyncio.to_thread(self.miner.dispatch,
+                                            shard_id, batch)
             finally:
                 for _ in parts:
                     queue.task_done()
             self.miner.metrics.shards[shard_id].queue_depth = queue.qsize()
+
+    async def _supervised_worker(self, shard_id: int) -> None:
+        """Restart a crashed worker up to ``max_restarts`` times.
+
+        Past the bound the shard is declared permanently failed:
+        ingest/queries start raising :class:`ShardFailedError`, and a
+        reaper loop keeps consuming (and counting as lost) whatever is
+        still queued so ``queue.join()`` — and therefore :meth:`drain`
+        — always completes.
+        """
+        shard = self.miner.metrics.shards[shard_id]
+        while True:
+            try:
+                await self._worker(shard_id)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                shard.failures += 1
+                shard.last_error = repr(exc)
+                if shard.restarts >= self.max_restarts:
+                    shard.healthy = False
+                    self._failed[shard_id] = exc
+                    await self._reap(shard_id)
+                    return
+                shard.restarts += 1
+
+    async def _reap(self, shard_id: int) -> None:
+        """Discard (and account) queue traffic of a failed shard."""
+        queue = self._queues[shard_id]
+        shard = self.miner.metrics.shards[shard_id]
+        while True:
+            chunk = await queue.get()
+            shard.lost_elements += int(chunk.size)
+            queue.task_done()
 
     async def drain(self, flush: bool = True) -> None:
         """Wait until every queued chunk is inside its shard's miner.
@@ -184,18 +296,79 @@ class StreamService:
         for frequency mining: each flush may close one short window,
         which costs at most one extra count of undercount per flush —
         drain at query boundaries, not per chunk.
+
+        Spill-policy shedders release their queued excess here (the
+        off-peak catch-up of Section 1): spilled elements re-enter the
+        shard queues and are processed before the flush.
         """
         if not self._started:
             raise ServiceError("service not started")
         await asyncio.gather(*(queue.join() for queue in self._queues))
         if flush:
+            released = 0
+            for shard_id, shedder in enumerate(self._shedders):
+                if shedder is None:
+                    continue
+                spilled = shedder.drain()
+                if spilled.size:
+                    await self._queues[shard_id].put(spilled)
+                    released += int(spilled.size)
+            if released:
+                self.miner.metrics.ingested += released
+                await asyncio.gather(
+                    *(queue.join() for queue in self._queues))
             await asyncio.to_thread(self.miner.drain)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    async def checkpoint(self):
+        """Write one consistent checkpoint; returns its path.
+
+        The cut settles the queues first (everything ingested so far is
+        inside the engines) and then takes every shard's dispatch lock,
+        so the snapshot never observes a shard mid-batch.  Data arriving
+        concurrently with the call lands after the cut.
+        """
+        if self.checkpoint_store is None:
+            raise ServiceError("no checkpoint store configured")
+        if not self._started:
+            raise ServiceError("service not started")
+        await asyncio.gather(*(queue.join() for queue in self._queues))
+        async with AsyncExitStack() as stack:
+            for lock in self._locks:
+                await stack.enter_async_context(lock)
+            state = self.miner.snapshot()
+        path = await asyncio.to_thread(self.checkpoint_store.save, state)
+        self.miner.metrics.checkpoints += 1
+        return path
+
+    async def _checkpoint_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.checkpoint_interval)
+            await self.checkpoint()
 
     # ------------------------------------------------------------------
     # queries (any time; `fresh` drains first for read-your-writes)
     # ------------------------------------------------------------------
+    def _check_failed(self) -> None:
+        """Surface a permanent shard failure as a typed query error.
+
+        An answer computed over a pool with a dead shard would silently
+        violate the combined-error argument (that shard's slice of the
+        stream is missing), so queries refuse instead.
+        """
+        if self._failed:
+            shard_id = min(self._failed)
+            raise ShardFailedError(
+                shard_id,
+                f"shard(s) {sorted(self._failed)} failed permanently; "
+                "answers would not cover their slice of the stream"
+            ) from self._failed[shard_id]
+
     async def quantile(self, phi: float, *, fresh: bool = False) -> float:
         """The phi-quantile over all shards, within ``eps * N`` ranks."""
+        self._check_failed()
         if fresh:
             await self.drain()
         return await asyncio.to_thread(self.miner.quantile, phi)
@@ -203,16 +376,19 @@ class StreamService:
     async def frequent_items(self, support: float, *,
                              fresh: bool = False) -> list[tuple[float, int]]:
         """Heavy hitters over all shards (union of home-shard counts)."""
+        self._check_failed()
         if fresh:
             await self.drain()
         return await asyncio.to_thread(self.miner.frequent_items, support)
 
     async def estimate(self, value: float) -> int:
         """Estimated global count of one value."""
+        self._check_failed()
         return await asyncio.to_thread(self.miner.estimate, value)
 
     async def distinct(self, *, fresh: bool = False) -> float:
         """Distinct-count estimate over all shards (merged KMV)."""
+        self._check_failed()
         if fresh:
             await self.drain()
         return await asyncio.to_thread(self.miner.distinct)

@@ -1,0 +1,130 @@
+"""Durable checkpoint storage for the sharded service.
+
+The merge/prune algebra of the GK-04 summaries makes service state
+naturally snapshottable: every estimator is a small, self-describing
+value (``to_state()``), and the engine's buffered-but-unprocessed
+elements are part of the snapshot too, so a restore resumes from the
+exact element where the checkpoint was cut — the only data a crash can
+lose is whatever was in flight *after* the last checkpoint, and the
+service accounts that loss explicitly in its metrics.
+
+:class:`CheckpointStore` is deliberately boring: versioned JSON files,
+written atomically (temp file + rename) so a crash mid-write can never
+leave a truncated "latest" checkpoint, with a bounded retention of old
+checkpoints.  JSON keeps the files greppable and diffable; the state
+dicts are small (summaries, not streams — a few hundred KB at worst).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+
+from ..errors import CheckpointError
+
+#: File-name pattern: checkpoint-<sequence>.json.
+_CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{8})\.json$")
+
+
+class CheckpointStore:
+    """Atomic, versioned JSON checkpoints in one directory.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints live; created if missing.
+    keep:
+        How many most-recent checkpoints to retain (older ones are
+        deleted after each successful save).
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.service.checkpoint import CheckpointStore
+    >>> store = CheckpointStore(tempfile.mkdtemp())
+    >>> path = store.save({"version": 1, "hello": "world"})
+    >>> store.load_latest()["hello"]
+    'world'
+    """
+
+    def __init__(self, directory: str | Path, keep: int = 3):
+        if keep < 1:
+            raise CheckpointError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.keep = int(keep)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot create checkpoint directory {self.directory}: "
+                f"{exc}") from exc
+
+    # ------------------------------------------------------------------
+    # enumeration
+    # ------------------------------------------------------------------
+    def checkpoints(self) -> list[Path]:
+        """Existing checkpoint files, oldest first."""
+        found = []
+        for entry in self.directory.iterdir():
+            match = _CHECKPOINT_RE.match(entry.name)
+            if match:
+                found.append((int(match.group(1)), entry))
+        return [path for _, path in sorted(found)]
+
+    @property
+    def latest_path(self) -> Path | None:
+        """The most recent checkpoint file, or ``None``."""
+        existing = self.checkpoints()
+        return existing[-1] if existing else None
+
+    # ------------------------------------------------------------------
+    # save / load
+    # ------------------------------------------------------------------
+    def save(self, state: dict) -> Path:
+        """Atomically write ``state`` as the next checkpoint.
+
+        The JSON goes to a temp file in the same directory first and is
+        then renamed into place — readers never observe a partial file.
+        """
+        if not isinstance(state, dict) or "version" not in state:
+            raise CheckpointError("checkpoint state must be a versioned dict")
+        existing = self.checkpoints()
+        sequence = 1
+        if existing:
+            sequence = int(_CHECKPOINT_RE.match(
+                existing[-1].name).group(1)) + 1
+        path = self.directory / f"checkpoint-{sequence:08d}.json"
+        tmp = self.directory / f".checkpoint-{sequence:08d}.json.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(state, fh, separators=(",", ":"))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except (OSError, TypeError, ValueError) as exc:
+            tmp.unlink(missing_ok=True)
+            raise CheckpointError(
+                f"cannot write checkpoint {path}: {exc}") from exc
+        for stale in self.checkpoints()[:-self.keep]:
+            stale.unlink(missing_ok=True)
+        return path
+
+    def load(self, path: str | Path) -> dict:
+        """Read and validate one checkpoint file."""
+        try:
+            with open(path, encoding="utf-8") as fh:
+                state = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {path}: {exc}") from exc
+        if not isinstance(state, dict) or "version" not in state:
+            raise CheckpointError(
+                f"checkpoint {path} is not a versioned dict")
+        return state
+
+    def load_latest(self) -> dict | None:
+        """The most recent checkpoint's state, or ``None`` if empty."""
+        path = self.latest_path
+        return self.load(path) if path is not None else None

@@ -35,6 +35,26 @@ class ShardMetrics:
     queue_high_water: int = 0
     #: elements dropped by the shard's load shedder.
     shed: int = 0
+    #: transient GPU faults observed while dispatching into this shard.
+    faults: int = 0
+    #: backoff retries performed after those faults.
+    retries: int = 0
+    #: batches that ran on the CPU fallback backend (circuit open or
+    #: retries exhausted) — answers identical, cost model degraded.
+    degraded_batches: int = 0
+    #: circuit-breaker state at the last dispatch ("closed" means the
+    #: primary backend is trusted).
+    breaker_state: str = "closed"
+    #: worker crashes (exceptions that escaped a dispatch).
+    failures: int = 0
+    #: supervised worker restarts consumed (bounded by the service).
+    restarts: int = 0
+    #: elements discarded because the shard failed permanently.
+    lost_elements: int = 0
+    #: False once the shard is permanently failed.
+    healthy: bool = True
+    #: repr() of the most recent dispatch error, "" if none.
+    last_error: str = ""
 
     def record_batch(self, elements: int, seconds: float) -> None:
         """Account one dispatched batch."""
@@ -62,6 +82,8 @@ class ServiceMetrics:
     ingested: int = 0
     #: queries answered.
     queries: int = 0
+    #: checkpoints written by the service.
+    checkpoints: int = 0
     shards: list[ShardMetrics] = field(default_factory=list)
 
     @property
@@ -83,6 +105,31 @@ class ServiceMetrics:
     def queue_depth(self) -> int:
         """Chunks currently queued across all shards."""
         return sum(s.queue_depth for s in self.shards)
+
+    @property
+    def faults(self) -> int:
+        """Transient GPU faults observed across all shards."""
+        return sum(s.faults for s in self.shards)
+
+    @property
+    def retries(self) -> int:
+        """Backoff retries performed across all shards."""
+        return sum(s.retries for s in self.shards)
+
+    @property
+    def degraded_batches(self) -> int:
+        """Batches that ran on the CPU fallback across all shards."""
+        return sum(s.degraded_batches for s in self.shards)
+
+    @property
+    def lost_elements(self) -> int:
+        """Elements discarded by permanently failed shards."""
+        return sum(s.lost_elements for s in self.shards)
+
+    @property
+    def failed_shards(self) -> list[int]:
+        """Shard ids that are permanently failed."""
+        return [s.shard_id for s in self.shards if not s.healthy]
 
     def snapshot(self) -> "ServiceMetrics":
         """An independent copy (shard list deep-copied)."""

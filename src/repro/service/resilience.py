@@ -1,0 +1,147 @@
+"""Retry, backoff, and circuit breaking for the shard dispatch path.
+
+The GPU is a co-processor behind a bus; the fault model
+(:mod:`repro.gpu.faults`) says any transfer or render pass may fail
+*transiently*.  The engine makes a failed batch perfectly retryable
+(:meth:`StreamMiner.pump` is transactional), so the service's job is
+policy, not mechanism:
+
+* :class:`RetryPolicy` — how many times to retry a faulted batch and
+  how long to wait between attempts (exponential backoff with seeded
+  jitter, so concurrent shards don't retry in lockstep);
+* :class:`CircuitBreaker` — when to stop trusting the GPU path
+  entirely.  After ``failure_threshold`` consecutive faulted batches
+  the breaker *opens* and the shard degrades to the CPU sorting
+  baseline (:class:`~repro.sorting.cpu.InstrumentedCpuSorter`) — the
+  sorted output is identical, only the cost model differs, so
+  degradation is invisible to every epsilon guarantee.  After
+  ``cooldown_batches`` successful fallback batches the breaker goes
+  *half-open* and probes the GPU once: success closes it, another
+  fault re-opens it.
+
+Both are deliberately deterministic given their seeds/counters — no
+wall-clock reads — so failure scenarios replay exactly in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ServiceError
+from ..gpu.faults import TRANSIENT_GPU_ERRORS
+
+__all__ = ["CircuitBreaker", "RetryPolicy", "TRANSIENT_GPU_ERRORS"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for transient dispatch faults.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per batch (first attempt included) before the
+        dispatch escalates to the fallback backend for that batch.
+    base_delay / multiplier / max_delay:
+        Attempt ``k`` (1-based) sleeps
+        ``min(base_delay * multiplier**(k-1), max_delay)`` seconds
+        before the jitter is applied.  The defaults are tuned for the
+        in-process simulator — milliseconds, not the seconds a remote
+        service would use.
+    jitter:
+        Fraction of the delay randomized: the actual sleep is drawn
+        uniformly from ``[delay * (1 - jitter), delay]``.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.001
+    multiplier: float = 2.0
+    max_delay: float = 0.05
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ServiceError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ServiceError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ServiceError(
+                f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ServiceError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """Jittered sleep before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ServiceError(f"attempt must be >= 1, got {attempt}")
+        ceiling = min(self.base_delay * self.multiplier ** (attempt - 1),
+                      self.max_delay)
+        floor = ceiling * (1.0 - self.jitter)
+        return float(floor + (ceiling - floor) * rng.random())
+
+
+class CircuitBreaker:
+    """Per-shard GPU-trust state machine: closed -> open -> half-open.
+
+    ``closed``: the primary (GPU) backend is used.  Each *batch* that
+    ultimately fails on the primary counts one failure; a batch that
+    succeeds resets the count.  ``failure_threshold`` consecutive
+    failures open the breaker.
+
+    ``open``: the fallback (CPU) backend is used.  Every successful
+    fallback batch counts toward ``cooldown_batches``; when the budget
+    is spent the breaker half-opens.
+
+    ``half-open``: the next batch probes the primary once.  Success
+    closes the breaker; a fault re-opens it with a fresh cooldown.
+
+    Counters, not clocks, drive every transition — scenarios replay
+    deterministically.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, failure_threshold: int = 3,
+                 cooldown_batches: int = 16):
+        if failure_threshold < 1:
+            raise ServiceError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown_batches < 1:
+            raise ServiceError(
+                f"cooldown_batches must be >= 1, got {cooldown_batches}")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_batches = int(cooldown_batches)
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opens = 0
+        self._cooldown_left = 0
+
+    def allow_primary(self) -> bool:
+        """Should the next batch try the primary (GPU) backend?"""
+        return self.state != self.OPEN
+
+    def record_success(self, *, primary: bool) -> None:
+        """Account one batch that completed on the given backend."""
+        if primary:
+            # A primary success closes a half-open breaker and clears
+            # the failure streak.
+            self.state = self.CLOSED
+            self.consecutive_failures = 0
+        elif self.state == self.OPEN:
+            self._cooldown_left -= 1
+            if self._cooldown_left <= 0:
+                self.state = self.HALF_OPEN
+
+    def record_failure(self) -> None:
+        """Account one batch that exhausted its retries on the primary."""
+        self.consecutive_failures += 1
+        if (self.state == self.HALF_OPEN
+                or self.consecutive_failures >= self.failure_threshold):
+            self.state = self.OPEN
+            self.opens += 1
+            self._cooldown_left = self.cooldown_batches

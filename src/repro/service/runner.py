@@ -8,19 +8,29 @@ answers again — validating every answer against the exact offline
 result.  There is no network listener; the point is the service layer
 itself (sharding, batching, backpressure, merge-on-query), which a
 transport would sit on top of.
+
+Operational extras (all off by default): ``--fault-rate`` injects
+seeded transient GPU faults to exercise the retry/degradation path,
+``--checkpoint-dir`` persists periodic and final snapshots, and
+SIGINT/SIGTERM stop producers gracefully — the service drains what was
+delivered, answers over exactly that prefix, and writes one last
+checkpoint before exiting.
 """
 
 from __future__ import annotations
 
 import asyncio
 import math
+import signal
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..errors import ServiceError
+from ..gpu.faults import FaultPlan
 from ..streams.generators import GENERATORS
 from .async_service import StreamService
+from .checkpoint import CheckpointStore
 from .metrics import ServiceMetrics
 from .sharded import ShardedMiner
 
@@ -39,6 +49,11 @@ class ServeResult:
         field(default_factory=dict)
     metrics: ServiceMetrics | None = None
     shard_elements: list[int] = field(default_factory=list)
+    #: True when SIGINT/SIGTERM cut the run short (answers then cover
+    #: exactly the delivered prefix).
+    interrupted: bool = False
+    #: most recent checkpoint file, if a checkpoint dir was configured.
+    checkpoint_path: str | None = None
 
     @property
     def all_within_bounds(self) -> bool:
@@ -98,19 +113,51 @@ async def _query_phase(service: StreamService, result: ServeResult,
 async def _run(service: StreamService, result: ServeResult,
                slices: list[np.ndarray], chunk_size: int,
                phi: tuple[float, ...], support: float) -> None:
+    stop_event = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed: list[int] = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop_event.set)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError, ValueError):
+            # Windows event loops / non-main threads: run without
+            # graceful-shutdown handlers rather than fail.
+            pass
+
+    delivered: list[np.ndarray] = []
+
     async def produce(data: np.ndarray) -> None:
         for start in range(0, data.size, chunk_size):
-            await service.ingest(data[start:start + chunk_size])
+            if stop_event.is_set():
+                return
+            chunk = data[start:start + chunk_size]
+            await service.ingest(chunk)
+            delivered.append(chunk)
 
-    async with service:
-        halves = [np.array_split(s, 2) for s in slices]
-        await asyncio.gather(*(produce(h[0]) for h in halves))
-        seen = np.concatenate([h[0] for h in halves])
-        await _query_phase(service, result, "mid-stream", seen, phi, support)
-        await asyncio.gather(*(produce(h[1]) for h in halves))
-        await _query_phase(service, result, "final",
-                           np.concatenate(slices), phi, support)
-        result.metrics = service.metrics
+    try:
+        # The context exit is the graceful path either way: drain what
+        # was delivered and (if configured) write a final checkpoint.
+        async with service:
+            halves = [np.array_split(s, 2) for s in slices]
+            await asyncio.gather(*(produce(h[0]) for h in halves))
+            if not stop_event.is_set():
+                await _query_phase(service, result, "mid-stream",
+                                   np.concatenate(delivered), phi, support)
+            await asyncio.gather(*(produce(h[1]) for h in halves))
+            result.interrupted = stop_event.is_set()
+            phase = "interrupted" if result.interrupted else "final"
+            await _query_phase(service, result, phase,
+                               np.concatenate(delivered), phi, support)
+            result.metrics = service.metrics
+        # stop() ran inside __aexit__; pick up the final checkpoint count.
+        if service.checkpoint_store is not None:
+            result.metrics = service.metrics
+            path = service.checkpoint_store.latest_path
+            result.checkpoint_path = str(path) if path else None
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
     result.shard_elements = [s.elements for s in result.metrics.shards]
 
 
@@ -122,16 +169,29 @@ def run_service_demo(statistic: str = "quantile", n: int = 100_000,
                      chunk_size: int = 2048, queue_chunks: int = 16,
                      shed_capacity: int | None = None,
                      phi: tuple[float, ...] = (0.5, 0.99),
-                     support: float = 0.05) -> ServeResult:
+                     support: float = 0.05,
+                     fault_rate: float = 0.0,
+                     checkpoint_dir: str | None = None,
+                     checkpoint_interval: float | None = None
+                     ) -> ServeResult:
     """Run the end-to-end demo; see the module docstring."""
     if producers < 1:
         raise ServiceError(f"need >= 1 producer, got {producers}")
+    if not 0.0 <= fault_rate < 1.0:
+        raise ServiceError(
+            f"fault_rate must be in [0, 1), got {fault_rate}")
     data = GENERATORS[workload](n, seed=seed)
+    fault_plan = (FaultPlan.transfers(fault_rate, seed=seed)
+                  if fault_rate > 0 else None)
     miner = ShardedMiner(statistic, eps=eps, num_shards=num_shards,
                          backend=backend, window_size=window_size,
-                         stream_length_hint=n)
+                         stream_length_hint=n, fault_plan=fault_plan)
+    store = (CheckpointStore(checkpoint_dir)
+             if checkpoint_dir is not None else None)
     service = StreamService(miner, queue_chunks=queue_chunks,
-                            shed_capacity=shed_capacity)
+                            shed_capacity=shed_capacity,
+                            checkpoint_store=store,
+                            checkpoint_interval=checkpoint_interval)
     result = ServeResult(statistic, n, eps, num_shards, producers)
     slices = np.array_split(data, producers)
     asyncio.run(_run(service, result, slices, chunk_size, phi, support))
@@ -145,6 +205,9 @@ def format_result(result: ServeResult) -> str:
         f"eps={result.eps}, {result.num_shards} shards, "
         f"{result.producers} producers",
     ]
+    if result.interrupted:
+        lines.append("  [interrupted by signal — answers cover the "
+                     "delivered prefix]")
     for phase, answers in result.answers.items():
         lines.append(f"  [{phase}]")
         for label, (estimate, exact, ok) in answers.items():
@@ -158,6 +221,17 @@ def format_result(result: ServeResult) -> str:
                      f"elements/s ({metrics.ingested:,} accepted, "
                      f"{metrics.shed:,} shed)")
         lines.append(f"    queries        {metrics.queries:>12,}")
+        if metrics.faults or metrics.degraded_batches:
+            lines.append(
+                f"    resilience     {metrics.faults:,} faults, "
+                f"{metrics.retries:,} retries, "
+                f"{metrics.degraded_batches:,} degraded batches, "
+                f"{metrics.lost_elements:,} lost")
+        if metrics.checkpoints:
+            where = (f" (latest: {result.checkpoint_path})"
+                     if result.checkpoint_path else "")
+            lines.append(f"    checkpoints    {metrics.checkpoints:>12,}"
+                         + where)
         for shard in metrics.shards:
             lines.append(
                 f"    shard {shard.shard_id}: {shard.elements:>9,} elements  "

@@ -30,6 +30,18 @@ Combined-error accounting (why sharding is free, per statistic):
 Queries reflect the tuples that have been *processed*; each miner may
 hold up to one texture batch (4 windows) of accepted-but-unprocessed
 elements, visible via :attr:`buffered` and flushed by :meth:`drain`.
+
+Fault tolerance.  The GPU path may fault transiently (see
+:mod:`repro.gpu.faults`); :meth:`dispatch` first buffers the chunk
+(pure CPU — cannot fault, no data at risk) and then pumps the engine
+under a retry policy with exponential backoff.  A batch that exhausts
+its retries escalates to the per-shard circuit breaker, which degrades
+the shard to the CPU sorting baseline — sorted output is identical, so
+degradation changes only the cost model, never an answer.  The whole
+pool snapshots to a versioned dict (:meth:`snapshot`) and restores
+(:meth:`from_snapshot` / :meth:`restore_shard`), including the
+partitioner cursor, so a restored service routes replayed tuples
+identically.
 """
 
 from __future__ import annotations
@@ -41,8 +53,13 @@ import numpy as np
 
 from ..core.engine import EngineReport, StreamMiner
 from ..core.quantiles.window import QuantileSummary
-from ..errors import QueryError, ServiceError
+from ..errors import QueryError, ServiceError, ShardFailedError
+from ..gpu.device import GpuDevice
+from ..gpu.faults import TRANSIENT_GPU_ERRORS, FaultInjector, FaultPlan
+from ..sorting.cpu import InstrumentedCpuSorter
+from ..sorting.gpu_sorter import GpuSorter
 from .metrics import ServiceMetrics, ShardMetrics
+from .resilience import CircuitBreaker, RetryPolicy
 from .sharding import HashPartitioner, default_partitioner
 
 
@@ -65,6 +82,17 @@ class ShardedMiner:
     partitioner:
         Tuple router; defaults to hash-by-value for frequencies and
         round-robin otherwise (see :mod:`repro.service.sharding`).
+    fault_plan:
+        Optional :class:`~repro.gpu.faults.FaultPlan` (GPU backend
+        only); each shard gets its own device with an injector reseeded
+        by shard id, so faults are independent across shards but the
+        whole scenario replays deterministically.
+    retry:
+        Backoff policy for transiently faulted batches (defaults to
+        :class:`~repro.service.resilience.RetryPolicy`).
+    breaker_failure_threshold / breaker_cooldown_batches:
+        Circuit-breaker tuning (see
+        :class:`~repro.service.resilience.CircuitBreaker`).
 
     Examples
     --------
@@ -82,13 +110,21 @@ class ShardedMiner:
                  num_shards: int = 4, backend: str = "cpu",
                  window_size: int | None = None,
                  partitioner=None,
-                 stream_length_hint: int = 100_000_000):
+                 stream_length_hint: int = 100_000_000,
+                 fault_plan: FaultPlan | None = None,
+                 retry: RetryPolicy | None = None,
+                 breaker_failure_threshold: int = 3,
+                 breaker_cooldown_batches: int = 16):
         if num_shards < 1:
             raise ServiceError(f"need >= 1 shard, got {num_shards}")
         if statistic not in ("quantile", "frequency", "distinct"):
             raise ServiceError(f"unknown statistic {statistic!r}")
         if not 0.0 < eps < 1.0:
             raise ServiceError(f"eps must be in (0, 1), got {eps}")
+        if fault_plan is not None and backend != "gpu":
+            raise ServiceError(
+                "fault injection targets the simulated GPU; "
+                f"backend is {backend!r}")
         self.statistic = statistic
         self.eps = float(eps)
         self.num_shards = int(num_shards)
@@ -98,6 +134,15 @@ class ShardedMiner:
                 self.partitioner, "shard_of"):
             raise ServiceError(
                 "frequency sharding needs a value-routing partitioner")
+        self._backend_kind = (backend if isinstance(backend, str)
+                              else getattr(backend, "name", "custom"))
+        self._window_size_arg = (int(window_size) if window_size is not None
+                                 else None)
+        self._stream_length_hint = int(stream_length_hint)
+        self.fault_plan = fault_plan
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._breaker_config = (int(breaker_failure_threshold),
+                                int(breaker_cooldown_batches))
         # Quantile shards run at eps/2 so the query-time prune (budget
         # ceil(1/eps), adding 1/(2B) <= eps/2) lands the served summary
         # back at eps exactly — see the module docstring.
@@ -105,11 +150,35 @@ class ShardedMiner:
         # Hint each shard with its own expected share so the exponential
         # histogram's error schedule is not over-provisioned.
         shard_hint = max(1, math.ceil(stream_length_hint / num_shards))
-        self._miners = [
-            StreamMiner(statistic, eps=shard_eps, backend=backend,
-                        mode="history", window_size=window_size,
-                        stream_length_hint=shard_hint)
-            for _ in range(self.num_shards)]
+        self._devices: list[GpuDevice | None] = []
+        self.fault_injectors: list[FaultInjector | None] = []
+        self._miners: list[StreamMiner] = []
+        for shard_id in range(self.num_shards):
+            device = None
+            injector = None
+            if backend == "gpu" and fault_plan is not None:
+                injector = FaultInjector(
+                    fault_plan.reseeded(fault_plan.seed + shard_id))
+                device = GpuDevice(fault_injector=injector)
+            self._devices.append(device)
+            self.fault_injectors.append(injector)
+            self._miners.append(
+                StreamMiner(statistic, eps=shard_eps, backend=backend,
+                            mode="history", window_size=window_size,
+                            device=device, stream_length_hint=shard_hint))
+        self._primary_sorters = [m.sorter for m in self._miners]
+        # A CPU fallback exists wherever the primary sorts on the (fault-
+        # prone) simulated GPU; results are identical either way.
+        self._fallback_sorters = [
+            InstrumentedCpuSorter(speedup=m._cpu_speedup)
+            if isinstance(m.sorter, GpuSorter) else None
+            for m in self._miners]
+        self._breakers = [CircuitBreaker(*self._breaker_config)
+                          for _ in range(self.num_shards)]
+        # Seeded per shard so concurrent shards don't back off in
+        # lockstep yet scenarios stay reproducible.
+        self._retry_rngs = [np.random.default_rng((2005, shard_id))
+                            for shard_id in range(self.num_shards)]
         self.metrics = ServiceMetrics(
             shards=[ShardMetrics(i) for i in range(self.num_shards)])
 
@@ -129,19 +198,92 @@ class ShardedMiner:
         The async front-end calls this from per-shard workers; batches
         for different shards may run concurrently because shards share
         no state.
+
+        Fault handling: the chunk is buffered first (pure CPU, cannot
+        fault), then the engine pump runs under the retry policy; see
+        :meth:`_run_protected`.  By the time this raises
+        :class:`ShardFailedError`, every element of ``values`` is still
+        safely buffered in the shard's engine — nothing is lost.
         """
         arr = np.asarray(values, dtype=np.float32).ravel()
         if arr.size == 0:
             return
         start = time.perf_counter()
-        self._miners[shard_id].update(arr)
+        miner = self._miners[shard_id]
+        miner.buffer_chunk(arr)
+        self._run_protected(shard_id, miner.pump)
         self.metrics.shards[shard_id].record_batch(
             arr.size, time.perf_counter() - start)
 
+    def _run_protected(self, shard_id: int, step) -> None:
+        """Run one faultable engine step under retry + circuit breaking.
+
+        ``step`` is :meth:`StreamMiner.pump` or :meth:`StreamMiner.flush`
+        — both transactional, so re-running after a transient fault is
+        exactly a retry of the failed texture batch.  Policy:
+
+        1. breaker open -> run directly on the CPU fallback (degraded);
+        2. otherwise try the primary, sleeping a jittered backoff after
+           each transient fault, up to ``retry.max_attempts`` tries;
+        3. retries exhausted -> count a breaker failure and run this
+           batch on the fallback anyway (no batch is ever dropped);
+        4. no fallback exists (already-CPU shard) -> escalate to
+           :class:`ShardFailedError`.
+        """
+        shard = self.metrics.shards[shard_id]
+        miner = self._miners[shard_id]
+        breaker = self._breakers[shard_id]
+        primary = self._primary_sorters[shard_id]
+        fallback = self._fallback_sorters[shard_id]
+        try:
+            use_primary = fallback is None or breaker.allow_primary()
+            if use_primary:
+                miner.swap_sorter(primary)
+                attempt = 1
+                while True:
+                    try:
+                        step()
+                        breaker.record_success(primary=True)
+                        return
+                    except TRANSIENT_GPU_ERRORS as exc:
+                        shard.faults += 1
+                        shard.last_error = repr(exc)
+                        if attempt >= self.retry.max_attempts:
+                            breaker.record_failure()
+                            if fallback is None:
+                                raise ShardFailedError(
+                                    shard_id,
+                                    f"shard {shard_id}: retries exhausted "
+                                    "and no fallback backend") from exc
+                            break
+                        time.sleep(self.retry.delay(
+                            attempt, self._retry_rngs[shard_id]))
+                        shard.retries += 1
+                        attempt += 1
+            # Degraded path: breaker open, or this batch exhausted its
+            # retries on the primary.
+            miner.swap_sorter(fallback)
+            try:
+                step()
+            except Exception as exc:
+                shard.last_error = repr(exc)
+                raise ShardFailedError(
+                    shard_id,
+                    f"shard {shard_id} failed on the fallback backend "
+                    f"too: {exc!r}") from exc
+            shard.degraded_batches += 1
+            breaker.record_success(primary=False)
+        finally:
+            shard.breaker_state = breaker.state
+
     def drain(self) -> None:
-        """Flush every shard's partial texture batch and tail window."""
-        for miner in self._miners:
-            miner.flush()
+        """Flush every shard's partial texture batch and tail window.
+
+        Runs under the same retry/degradation policy as dispatch, so a
+        drain over a faulty GPU still completes with no data loss.
+        """
+        for shard_id, miner in enumerate(self._miners):
+            self._run_protected(shard_id, miner.flush)
 
     # ------------------------------------------------------------------
     # introspection
@@ -241,3 +383,92 @@ class ShardedMiner:
             union = union.merge(sketch)
         self.metrics.queries += 1
         return union.estimate()
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Versioned JSON-serializable snapshot of the whole pool.
+
+        Includes every shard engine's summary *and* buffered state plus
+        the partitioner cursor, so replaying the stream suffix from a
+        restored pool routes and answers exactly as the original would
+        have.
+        """
+        return {
+            "version": 1,
+            "kind": "sharded-miner",
+            "statistic": self.statistic,
+            "eps": self.eps,
+            "num_shards": self.num_shards,
+            "backend": self._backend_kind,
+            "window_size": self._window_size_arg,
+            "stream_length_hint": self._stream_length_hint,
+            "partitioner": self.partitioner.to_state(),
+            "ingested": int(self.metrics.ingested),
+            "shards": [
+                {"miner": miner.snapshot(),
+                 "elements": int(shard.elements),
+                 "batches": int(shard.batches)}
+                for miner, shard in zip(self._miners, self.metrics.shards)],
+        }
+
+    def restore_shard(self, shard_id: int, shard_state: dict) -> None:
+        """Rebuild one shard from its slice of a :meth:`snapshot`.
+
+        Used both by :meth:`from_snapshot` and to restart a single
+        killed shard in place: the replacement engine resumes from the
+        checkpointed summary + buffer, losing at most whatever was
+        dispatched after the checkpoint was cut.  The shard's breaker
+        resets (the replacement starts by trusting its primary again).
+        """
+        if not 0 <= shard_id < self.num_shards:
+            raise ServiceError(f"no shard {shard_id}")
+        restored = StreamMiner.from_snapshot(
+            shard_state["miner"], backend=self._backend_kind,
+            device=self._devices[shard_id])
+        self._miners[shard_id] = restored
+        self._primary_sorters[shard_id] = restored.sorter
+        self._fallback_sorters[shard_id] = (
+            InstrumentedCpuSorter(speedup=restored._cpu_speedup)
+            if isinstance(restored.sorter, GpuSorter) else None)
+        self._breakers[shard_id] = CircuitBreaker(*self._breaker_config)
+        shard = self.metrics.shards[shard_id]
+        shard.elements = int(shard_state.get("elements", 0))
+        shard.batches = int(shard_state.get("batches", 0))
+        shard.breaker_state = CircuitBreaker.CLOSED
+
+    @classmethod
+    def from_snapshot(cls, state: dict, backend: str | None = None,
+                      **kwargs) -> "ShardedMiner":
+        """Rebuild a whole pool from :meth:`snapshot` output.
+
+        ``backend`` overrides the checkpointed backend (sorter state is
+        transient, so a checkpoint written on the GPU path restores
+        fine onto the CPU baseline and vice versa); extra keyword
+        arguments (``fault_plan``, ``retry``, breaker tuning, a custom
+        ``partitioner``) pass through to the constructor.
+        """
+        if state.get("kind") != "sharded-miner" or state.get("version") != 1:
+            raise ServiceError(
+                f"not a v1 sharded-miner state: {state.get('kind')!r} "
+                f"v{state.get('version')!r}")
+        window_size = state.get("window_size")
+        pool = cls(state["statistic"], eps=float(state["eps"]),
+                   num_shards=int(state["num_shards"]),
+                   backend=backend if backend is not None
+                   else state["backend"],
+                   window_size=(int(window_size) if window_size is not None
+                                else None),
+                   stream_length_hint=int(state["stream_length_hint"]),
+                   **kwargs)
+        pool.partitioner.restore_state(state["partitioner"])
+        pool.metrics.ingested = int(state["ingested"])
+        shards = state["shards"]
+        if len(shards) != pool.num_shards:
+            raise ServiceError(
+                f"state has {len(shards)} shards, pool has "
+                f"{pool.num_shards}")
+        for shard_id, shard_state in enumerate(shards):
+            pool.restore_shard(shard_id, shard_state)
+        return pool

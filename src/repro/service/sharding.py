@@ -59,6 +59,18 @@ class RoundRobinPartitioner:
             "round-robin partitioning spreads equal values across shards; "
             "use a HashPartitioner for per-value lookups")
 
+    def to_state(self) -> dict:
+        """Snapshot the routing cursor (checkpoint/restore)."""
+        return {"kind": "round-robin", "num_shards": self.num_shards,
+                "offset": self._offset}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the routing cursor; replay then routes identically."""
+        if state.get("kind") != "round-robin" or \
+                int(state.get("num_shards", -1)) != self.num_shards:
+            raise ServiceError(f"incompatible partitioner state: {state!r}")
+        self._offset = int(state["offset"]) % self.num_shards
+
 
 class HashPartitioner:
     """Value-hash routing: equal values always share a shard.
@@ -90,6 +102,18 @@ class HashPartitioner:
     def shard_of(self, value: float) -> int:
         """The home shard of ``value`` (for point-frequency lookups)."""
         return int(self._indices(np.asarray([value], dtype=np.float32))[0])
+
+    def to_state(self) -> dict:
+        """Snapshot the (stateless) hash routing parameters."""
+        return {"kind": "hash", "num_shards": self.num_shards,
+                "seed": self.seed}
+
+    def restore_state(self, state: dict) -> None:
+        """Validate compatibility; hash routing itself is stateless."""
+        if state.get("kind") != "hash" or \
+                int(state.get("num_shards", -1)) != self.num_shards or \
+                int(state.get("seed", -1)) != self.seed:
+            raise ServiceError(f"incompatible partitioner state: {state!r}")
 
 
 def default_partitioner(statistic: str, num_shards: int):

@@ -60,3 +60,50 @@ class TestInvalidInputs:
         with pytest.raises(SortError):
             sorter.sort(data)
         assert device.counters.uploads == 0
+
+
+class TestErrorTaxonomy:
+    """Every error the library raises derives from ReproError — the
+    fault-tolerance additions included."""
+
+    def test_new_exception_types_share_base(self):
+        from repro.errors import (CheckpointError, ServiceError,
+                                  ShardFailedError)
+        assert issubclass(ShardFailedError, ServiceError)
+        assert issubclass(ServiceError, ReproError)
+        assert issubclass(CheckpointError, ReproError)
+
+    def test_shard_failed_error_carries_its_shard(self):
+        from repro.errors import ShardFailedError
+        exc = ShardFailedError(3)
+        assert exc.shard_id == 3
+        assert "shard 3" in str(exc)
+        custom = ShardFailedError(1, "custom message")
+        assert str(custom) == "custom message"
+
+    def test_injected_faults_are_typed_repro_errors(self):
+        from repro.gpu import FaultInjector, FaultPlan
+        device = GpuDevice(fault_injector=FaultInjector(
+            FaultPlan(at={"upload": (0,)})))
+        with pytest.raises(ReproError):
+            device.upload_texture(np.zeros((2, 2, 4), dtype=np.float32))
+
+    def test_corrupt_checkpoint_is_a_typed_repro_error(self, tmp_path):
+        from repro.service import CheckpointStore
+        store = CheckpointStore(tmp_path)
+        path = store.save({"version": 1})
+        path.write_text("garbage", encoding="utf-8")
+        with pytest.raises(ReproError):
+            store.load_latest()
+
+    def test_faulted_sort_leaks_no_memory_and_device_recovers(self, rng):
+        from repro.gpu import FaultInjector, FaultPlan
+        device = GpuDevice(fault_injector=FaultInjector(
+            FaultPlan(at={"upload": (0,)})))
+        sorter = GpuSorter(device)
+        data = rng.random(1024).astype(np.float32)
+        with pytest.raises(ReproError):
+            sorter.sort(data)
+        assert device.video_memory_used == 0
+        # the fault was transient: the same sort succeeds on retry
+        assert np.array_equal(sorter.sort(data), np.sort(data))

@@ -1,0 +1,228 @@
+"""Checkpoint/restore: the store, estimator states, and pool snapshots."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.distinct.kmv import KMinValues
+from repro.core.engine import StreamMiner
+from repro.core.frequencies.lossy_counting import LossyCounting
+from repro.core.sliding.exponential_histogram import StreamingQuantiles
+from repro.errors import CheckpointError, SummaryError
+from repro.service import CheckpointStore, ShardedMiner
+
+
+class TestCheckpointStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        state = {"version": 1, "payload": [1, 2, 3]}
+        path = store.save(state)
+        assert path.exists()
+        assert store.load_latest() == state
+
+    def test_sequences_increase_and_latest_wins(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for i in range(3):
+            store.save({"version": 1, "i": i})
+        assert store.load_latest()["i"] == 2
+        names = [p.name for p in store.checkpoints()]
+        assert names == sorted(names)
+
+    def test_retention_deletes_old_checkpoints(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=2)
+        for i in range(5):
+            store.save({"version": 1, "i": i})
+        kept = store.checkpoints()
+        assert len(kept) == 2
+        assert store.load(kept[0])["i"] == 3
+        assert store.load(kept[1])["i"] == 4
+
+    def test_empty_store_has_no_latest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.load_latest() is None
+        assert store.latest_path is None
+
+    def test_corrupt_file_raises_checkpoint_error(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.save({"version": 1})
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(CheckpointError):
+            store.load_latest()
+
+    def test_unversioned_state_rejected_on_save_and_load(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(CheckpointError):
+            store.save({"no": "version"})
+        path = tmp_path / "checkpoint-00000001.json"
+        path.write_text(json.dumps({"no": "version"}), encoding="utf-8")
+        with pytest.raises(CheckpointError):
+            store.load(path)
+
+    def test_unserializable_state_leaves_no_partial_file(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(CheckpointError):
+            store.save({"version": 1, "bad": object()})
+        assert store.checkpoints() == []
+        assert list(tmp_path.iterdir()) == []
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointStore(tmp_path, keep=0)
+
+
+class TestEstimatorStates:
+    """Every estimator's to_state/from_state is a JSON-safe identity."""
+
+    def test_streaming_quantiles_round_trip(self, rng):
+        est = StreamingQuantiles(0.02, 512, 100_000)
+        data = rng.random(20_000).astype(np.float32)
+        for start in range(0, data.size, 512):
+            window = np.sort(data[start:start + 512])
+            est.add_sorted_window(window)
+        state = json.loads(json.dumps(est.to_state()))
+        clone = StreamingQuantiles.from_state(state)
+        assert clone.count == est.count
+        for phi in (0.05, 0.5, 0.95):
+            assert clone.quantile(phi) == est.quantile(phi)
+
+    def test_lossy_counting_round_trip(self, rng):
+        est = LossyCounting(0.01)
+        data = rng.integers(0, 50, 30_000).astype(np.float32)
+        est.update(data)
+        state = json.loads(json.dumps(est.to_state()))
+        clone = LossyCounting.from_state(state)
+        assert clone.count == est.count
+        assert clone.pending == est.pending
+        assert clone.frequent_items(0.05) == est.frequent_items(0.05)
+        assert clone.estimate(7.0) == est.estimate(7.0)
+
+    def test_kmv_round_trip(self, rng):
+        est = KMinValues(256)
+        est.update(rng.integers(0, 5000, 50_000).astype(np.float32))
+        state = json.loads(json.dumps(est.to_state()))
+        clone = KMinValues.from_state(state)
+        assert clone.estimate() == est.estimate()
+        assert clone.count == est.count
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(SummaryError):
+            StreamingQuantiles.from_state({"version": 1, "kind": "kmv"})
+        with pytest.raises(SummaryError):
+            LossyCounting.from_state({"version": 1, "kind": "kmv"})
+        with pytest.raises(SummaryError):
+            KMinValues.from_state({"version": 1, "kind": "lossy-counting"})
+
+
+class TestMinerSnapshot:
+    def test_mid_stream_snapshot_preserves_buffered_state(self, rng):
+        data = rng.random(10_000).astype(np.float32)
+        miner = StreamMiner("quantile", eps=0.02, backend="cpu",
+                            window_size=512)
+        # 9000 elements: 17 full windows (16 pumped, 1 pending) + tail.
+        miner.update(data[:9000])
+        assert miner.buffered > 0
+        state = json.loads(json.dumps(miner.snapshot()))
+        clone = StreamMiner.from_snapshot(state)
+        assert clone.buffered == miner.buffered
+        # The suffix + flush must answer identically on both.
+        miner.update(data[9000:])
+        clone.update(data[9000:])
+        miner.flush()
+        clone.flush()
+        for phi in (0.1, 0.5, 0.9):
+            assert clone.quantile(phi) == miner.quantile(phi)
+        assert clone.report.elements == miner.report.elements
+
+    def test_snapshot_restores_onto_a_different_backend(self, rng):
+        data = rng.random(8192).astype(np.float32)
+        miner = StreamMiner("quantile", eps=0.05, backend="gpu",
+                            window_size=256)
+        miner.update(data)
+        clone = StreamMiner.from_snapshot(miner.snapshot(), backend="cpu")
+        assert clone.backend != miner.backend
+        miner.flush()
+        clone.flush()
+        for phi in (0.25, 0.75):
+            assert clone.quantile(phi) == miner.quantile(phi)
+
+    def test_sliding_mode_refuses_snapshot(self):
+        miner = StreamMiner("quantile", eps=0.05, mode="sliding",
+                            sliding_window=1024, backend="cpu")
+        with pytest.raises(SummaryError):
+            miner.snapshot()
+
+    def test_bad_state_rejected(self):
+        with pytest.raises(SummaryError):
+            StreamMiner.from_snapshot({"kind": "nope", "version": 1})
+
+
+class TestShardedSnapshot:
+    @pytest.mark.parametrize("statistic", ["quantile", "frequency",
+                                           "distinct"])
+    def test_restored_pool_answers_like_the_uninterrupted_one(
+            self, rng, statistic):
+        if statistic == "frequency":
+            data = rng.integers(0, 100, 60_000).astype(np.float32)
+        else:
+            data = rng.random(60_000).astype(np.float32)
+        pool = ShardedMiner(statistic, eps=0.02, num_shards=3,
+                            backend="cpu", window_size=512)
+        pool.ingest(data[:35_000])  # snapshot mid-stream, NOT drained
+        state = json.loads(json.dumps(pool.snapshot()))
+        clone = ShardedMiner.from_snapshot(state)
+        for p in (pool, clone):
+            p.ingest(data[35_000:])
+            p.drain()
+        if statistic == "quantile":
+            for phi in (0.1, 0.5, 0.9):
+                assert clone.quantile(phi) == pool.quantile(phi)
+        elif statistic == "frequency":
+            assert clone.frequent_items(0.03) == pool.frequent_items(0.03)
+        else:
+            assert clone.distinct() == pool.distinct()
+        assert clone.processed == pool.processed
+        assert clone.metrics.ingested == pool.metrics.ingested
+
+    def test_partitioner_cursor_survives_the_round_trip(self, rng):
+        # 7 elements across 3 shards leaves the round-robin cursor at 1;
+        # without cursor restore the replayed suffix would be routed
+        # differently and per-shard element counts would diverge.
+        pool = ShardedMiner("quantile", eps=0.05, num_shards=3,
+                            backend="cpu", window_size=64)
+        pool.ingest(rng.random(7).astype(np.float32))
+        clone = ShardedMiner.from_snapshot(pool.snapshot())
+        suffix = rng.random(1000).astype(np.float32)
+        pool.ingest(suffix)
+        clone.ingest(suffix)
+        for p in (pool, clone):
+            p.drain()
+        assert ([m.estimator.count for m in clone._miners]
+                == [m.estimator.count for m in pool._miners])
+
+    def test_restore_shard_replaces_one_shard_in_place(self, rng):
+        data = rng.random(20_000).astype(np.float32)
+        pool = ShardedMiner("quantile", eps=0.02, num_shards=2,
+                            backend="cpu", window_size=512)
+        pool.ingest(data)
+        state = pool.snapshot()
+        before = pool.quantile(0.5)
+        # Simulate a crashed shard 1: replace its engine with a fresh
+        # restore from the checkpoint slice.
+        pool.restore_shard(1, state["shards"][1])
+        pool.drain()
+        assert pool.quantile(0.5) == pytest.approx(before, abs=0.05)
+        assert pool.metrics.shards[1].elements == \
+            state["shards"][1]["elements"]
+
+    def test_backend_override_and_bad_state(self, rng):
+        pool = ShardedMiner("quantile", eps=0.05, num_shards=2,
+                            backend="gpu", window_size=256)
+        pool.ingest(rng.random(4096).astype(np.float32))
+        clone = ShardedMiner.from_snapshot(pool.snapshot(), backend="cpu")
+        assert clone._backend_kind == "cpu"
+        from repro.errors import ServiceError
+        with pytest.raises(ServiceError):
+            ShardedMiner.from_snapshot({"kind": "other", "version": 1})

@@ -10,7 +10,7 @@ the sensitivity of that gap to the per-pixel cost is quantified here.
 import numpy as np
 import pytest
 
-from repro.bench import Table, predicted_gpu_sort_time
+from repro.bench import Table
 from repro.bench.models import predict_pbsn_counters
 from repro.gpu.timing import BitonicFragmentProgramModel, GpuCostModel
 from repro.gpu.presets import GEFORCE_6800_ULTRA, GpuSpec

@@ -6,8 +6,6 @@ instead of "n log^2 n" for a single-channel sort — and every blend
 processes four channels for the price of one.
 """
 
-import math
-
 import numpy as np
 import pytest
 

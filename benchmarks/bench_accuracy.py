@@ -10,7 +10,6 @@ frequency baselines' accuracy at equal space.
 
 from collections import Counter
 
-import numpy as np
 import pytest
 
 from repro.bench import Table, accuracy_series

@@ -6,7 +6,6 @@ for small windows, and its data-transfer time "remains constant and is
 significantly lower than the time taken to sort".
 """
 
-import numpy as np
 import pytest
 
 from repro.bench import figure5_series

@@ -12,10 +12,9 @@ checkpoint round trip is much cheaper than re-ingesting the stream.
 
 import time
 
-import numpy as np
 import pytest
 
-from repro.bench.reporting import Table
+from repro.bench.report import Table
 from repro.gpu.faults import FaultPlan
 from repro.service import CheckpointStore, RetryPolicy, ShardedMiner
 from repro.streams import uniform_stream

@@ -14,7 +14,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.bench.reporting import Table
+from repro.bench.report import Table
 from repro.service import ShardedMiner, run_service_demo
 from repro.streams import uniform_stream
 

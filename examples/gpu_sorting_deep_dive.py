@@ -13,7 +13,7 @@ import numpy as np
 
 from repro import GpuSorter
 from repro.bench import figure3_series, predict_pbsn_counters
-from repro.gpu import BlendOp, GpuDevice
+from repro.gpu import GpuDevice
 from repro.sorting import pbsn_step, sort_step
 
 

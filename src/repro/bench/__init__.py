@@ -7,7 +7,7 @@ from .harness import (WALL_CLOCK_LIMIT, accuracy_series, figure3_series,
 from .models import (pbsn_comparison_count, pbsn_texture_shape,
                      predict_pbsn_counters, predicted_gpu_sort_time,
                      streaming_modelled_time)
-from .reporting import Table
+from .report import Table
 
 __all__ = [
     "Anchor",

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from ..gpu.presets import AGP_8X, GEFORCE_6800_ULTRA
 from ..gpu.timing import CPU_MODEL_INTEL, BitonicFragmentProgramModel
 from .models import predicted_gpu_sort_time
-from .reporting import Table
+from .report import Table
 
 
 @dataclass(frozen=True)

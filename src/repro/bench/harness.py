@@ -2,7 +2,7 @@
 
 Each ``figureN_series`` function regenerates the data series of the
 paper's corresponding figure and returns it as a
-:class:`~repro.bench.reporting.Table`.  Wall-clock measurements run the
+:class:`~repro.bench.report.Table`.  Wall-clock measurements run the
 full simulated pipeline at laptop-feasible sizes; modelled times (the
 paper-hardware estimates driven by exact op counts — see
 :mod:`repro.bench.models`) extend every series to the paper's scales.
@@ -20,14 +20,14 @@ import time
 
 import numpy as np
 
+from ..backends import resolve_sorter
 from ..core.engine import StreamMiner
 from ..gpu.timing import (CPU_MODEL_INTEL, CPU_MODEL_MSVC,
-                          BitonicFragmentProgramModel, GpuCostModel)
-from ..sorting.gpu_sorter import GpuSorter
+                          BitonicFragmentProgramModel)
 from ..streams.generators import uniform_stream, zipf_stream
-from .models import (pbsn_comparison_count, predict_pbsn_counters,
-                     predicted_gpu_sort_time, streaming_modelled_time)
-from .reporting import Table
+from .models import (pbsn_comparison_count, predicted_gpu_sort_time,
+                     streaming_modelled_time)
+from .report import Table
 
 #: Largest size at which the benchmarks run the real simulated pipeline.
 WALL_CLOCK_LIMIT = 1 << 18
@@ -58,7 +58,7 @@ def figure3_series(sizes: list[int] | None = None,
         gpu = predicted_gpu_sort_time(n).total
         wall = math.nan
         if n <= wall_limit:
-            sorter = GpuSorter()
+            sorter = resolve_sorter("gpu")
             data = rng.random(n).astype(np.float32)
             start = time.perf_counter()
             sorter.sort(data)

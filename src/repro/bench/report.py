@@ -1,4 +1,10 @@
-"""Print every figure reproduction in one run.
+"""Figure-reproduction tables: the renderer and the all-figures runner.
+
+Every benchmark prints the series its figure plots as an aligned text
+table (the closest a terminal gets to the paper's graphs) and can render
+the same rows as Markdown for EXPERIMENTS.md.  This module holds both
+the :class:`Table` renderer and the entry point that regenerates every
+figure at once:
 
 Usage::
 
@@ -14,14 +20,81 @@ accuracy tables.
 from __future__ import annotations
 
 import argparse
-
-from .harness import (accuracy_series, figure3_series, figure4_series,
-                      figure5_series, figure6_series, figure7_series,
-                      sliding_window_series)
+from dataclasses import dataclass, field
+from typing import Any, Sequence
 
 
-def build_all(fast: bool = False) -> list:
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """An aligned text table with a title and a caption."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    caption: str = ""
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns")
+        self.rows.append(values)
+
+    def render(self) -> str:
+        """Render as an aligned plain-text table."""
+        cells = [[_format_cell(v) for v in row] for row in self.rows]
+        widths = [len(c) for c in self.columns]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.rjust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if self.caption:
+            lines.append("")
+            lines.append(self.caption)
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """Render as a GitHub-flavoured Markdown table."""
+        lines = [f"**{self.title}**", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append(
+                "| " + " | ".join(_format_cell(v) for v in row) + " |")
+        if self.caption:
+            lines.append("")
+            lines.append(f"*{self.caption}*")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column by name."""
+        idx = list(self.columns).index(name)
+        return [row[idx] for row in self.rows]
+
+
+def build_all(fast: bool = False) -> list[Table]:
     """Build every figure table (fast mode shrinks wall-clock workloads)."""
+    # Imported lazily: the harness imports Table from this module, so a
+    # module-level import here would cycle.
+    from .harness import (accuracy_series, figure3_series, figure4_series,
+                          figure5_series, figure6_series, figure7_series,
+                          sliding_window_series)
     scale = 1 if fast else 4
     return [
         figure3_series(wall_limit=(1 << 12) * scale),

@@ -22,12 +22,12 @@ import time
 
 import numpy as np
 
+from .backends import resolve_sorter
 from .bench.report import build_all
 from .core.distinct import WindowedDistinctCounter
 from .core.engine import StreamMiner
 from .service.runner import format_result, run_service_demo
 from .sorting.cpu import optimized_sort
-from .sorting.gpu_sorter import GpuSorter
 from .streams.generators import GENERATORS
 
 
@@ -48,7 +48,7 @@ def cmd_sort(args: argparse.Namespace) -> int:
     data = _make_stream(args)
     start = time.perf_counter()
     if args.backend == "gpu":
-        sorter = GpuSorter(network=args.network)
+        sorter = resolve_sorter("gpu", network=args.network)
         out = sorter.sort(data)
         wall = time.perf_counter() - start
         counters = sorter.last_counters

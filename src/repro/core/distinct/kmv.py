@@ -23,6 +23,7 @@ import math
 import numpy as np
 
 from ...errors import QueryError, SummaryError
+from ..estimators import register_estimator
 
 #: 64-bit mixing constants (splitmix64) for the value hash.
 _MIX1 = 0xBF58476D1CE4E5B9
@@ -98,6 +99,42 @@ class KMinValues:
         # *distinct* hashes matter (the pipeline's run-length step
         # deduplicates, mirrored here).
         self._absorb(np.unique(arr)[:self.k])
+
+    # ------------------------------------------------------------------
+    # the uniform Estimator protocol
+    # ------------------------------------------------------------------
+    def prepare_chunk(self, values: np.ndarray) -> np.ndarray:
+        """Pipeline pre-window transform: hash raw values, count them.
+
+        The distinct pipeline sorts *hashes* (the GPU orders them like
+        any other float texture); the k smallest of each sorted window
+        feed the sketch.  Counting happens here because every accepted
+        element contributes to ``count`` whether or not its hash
+        survives the window head.
+        """
+        self.count += int(values.size)
+        return hash_values(values, self.seed).astype(np.float32)
+
+    def update_batch(self, sorted_window: np.ndarray,
+                     histogram=None) -> None:
+        """Protocol entry point: absorb one ascending *hash* window."""
+        self.update_sorted_hashes(
+            np.asarray(sorted_window, dtype=np.float64).ravel())
+
+    def query(self) -> float:
+        """Protocol query: the distinct-count estimate."""
+        return self.estimate()
+
+    def error_bound(self, confidence_sigmas: float = 2.0) -> float:
+        """Relative error bound at the given sigma level."""
+        if confidence_sigmas <= 0:
+            raise QueryError("confidence_sigmas must be positive")
+        return confidence_sigmas * self.relative_standard_error()
+
+    @property
+    def processed(self) -> int:
+        """Stream elements hashed into the sketch."""
+        return self.count
 
     def _absorb(self, hashes: np.ndarray) -> None:
         for h in hashes.tolist():
@@ -216,3 +253,6 @@ class WindowedDistinctCounter:
         if confidence_sigmas <= 0:
             raise QueryError("confidence_sigmas must be positive")
         return confidence_sigmas * self.sketch.relative_standard_error()
+
+
+register_estimator("kmv", KMinValues)

@@ -1,94 +1,60 @@
 """The stream-mining engine: the paper's GPU co-processor loop (Section 5).
 
-:class:`StreamMiner` ties every substrate together the way the paper's
-implementation does:
+:class:`StreamMiner` is a thin composition of the staged pipeline in
+:mod:`repro.core.pipeline`, wired the way the paper's implementation is:
 
-1. the stream is cut into windows (``ceil(1/eps)`` for frequencies, a
-   configurable width for quantiles, the ``eps W / 2`` sub-window for
-   sliding modes);
-2. **four windows are buffered** and packed into the RGBA channels of one
-   texture, then sorted in a single GPU pass (Section 4.1) — or sorted
-   one by one by the CPU baseline;
-3. each sorted window becomes a **histogram** (frequencies) or a sampled
-   **summary** (quantiles);
-4. the result is **merged** into the epsilon-approximate summary and the
-   summary is **compressed**.
+1. a :class:`~repro.core.pipeline.Windower` cuts the stream into windows
+   (``ceil(1/eps)`` for frequencies, a configurable width for quantiles,
+   the ``eps W / 2`` sub-window for sliding modes);
+2. a :class:`~repro.core.pipeline.SortStage` packs **four windows** into
+   the RGBA channels of one texture and sorts them in a single GPU pass
+   (Section 4.1) — or one by one on the CPU baseline; the backend comes
+   from the :mod:`repro.backends` registry;
+3. a :class:`~repro.core.pipeline.SummarizeStage` reduces each sorted
+   window to a **histogram** (frequencies) or passes it through
+   (quantiles, distinct);
+4. a :class:`~repro.core.pipeline.MergeStage` **merges** the result into
+   the epsilon-approximate estimator — any implementation of the uniform
+   :class:`~repro.core.estimators.Estimator` protocol — and the summary
+   is **compressed**.
 
-The engine measures the wall time of each operation on this machine and,
-in parallel, derives *modelled* times on the paper's hardware (GeForce
-6800 Ultra + AGP 8X for the GPU path, Pentium IV for the CPU path) from
-exact operation counts.  Figures 5-7 are regenerated from the modelled
-times; Figure 6's operation-share chart holds for both (the shares come
-from the same counts).
+All stages share one :class:`~repro.core.pipeline.TimingModel`, which
+measures wall time on this machine and, in parallel, derives *modelled*
+times on the paper's hardware (GeForce 6800 Ultra + AGP 8X for the GPU
+path, Pentium IV for the CPU path) from exact operation counts.
+Figures 5-7 are regenerated from the modelled times.
 """
 
 from __future__ import annotations
 
 import math
-import time
-from dataclasses import dataclass, field
 from typing import Iterable
 
 import numpy as np
 
+from ..backends import resolve_sorter
 from ..errors import QueryError, SummaryError
 from ..gpu.device import GpuDevice
 from ..gpu.presets import PENTIUM_IV_3_4GHZ
-from ..sorting.cpu import InstrumentedCpuSorter
-from ..sorting.gpu_sorter import GpuSorter
-from .distinct.kmv import KMinValues, hash_values
+from .distinct.kmv import KMinValues
+from .estimators import estimator_from_state
 from .frequencies.lossy_counting import LossyCounting
-from .histograms import histogram_from_sorted
+from .pipeline import (COMPRESS_CYCLES_PER_ENTRY,  # noqa: F401 (re-export)
+                       HISTOGRAM_CYCLES_PER_ELEMENT, MERGE_CYCLES_PER_ENTRY,
+                       OPERATIONS, EngineReport, MergeStage, SortStage,
+                       SummarizeStage, TimingModel, Windower)
 from .sliding.exponential_histogram import StreamingQuantiles
 from .sliding.window_query import (SlidingWindowFrequencies,
                                    SlidingWindowQuantiles)
 
-#: Modelled Pentium-IV cycles per histogram entry for the summary merge
-#: (hash probe + counter update).  Calibrated so the operation shares
-#: match Figure 6's sort-dominated profile (Section 5.1: sorting is
-#: 80-90% of the frequency pipeline).
-MERGE_CYCLES_PER_ENTRY = 40.0
-
-#: Modelled cycles per summary entry scanned by the compress operation.
-COMPRESS_CYCLES_PER_ENTRY = 10.0
-
-#: Modelled cycles per window element for the run-length histogram scan.
-HISTOGRAM_CYCLES_PER_ELEMENT = 8.0
-
-OPERATIONS = ("sort", "transfer", "histogram", "merge", "compress")
-
-
-@dataclass
-class EngineReport:
-    """Per-operation accounting of one mining run."""
-
-    backend: str
-    statistic: str
-    elements: int = 0
-    windows: int = 0
-    #: wall seconds measured on this machine, per operation.
-    wall: dict[str, float] = field(
-        default_factory=lambda: {op: 0.0 for op in OPERATIONS})
-    #: modelled paper-hardware seconds, per operation.
-    modelled: dict[str, float] = field(
-        default_factory=lambda: {op: 0.0 for op in OPERATIONS})
-
-    @property
-    def wall_total(self) -> float:
-        """Total measured seconds."""
-        return sum(self.wall.values())
-
-    @property
-    def modelled_total(self) -> float:
-        """Total modelled seconds on the paper's hardware."""
-        return sum(self.modelled.values())
-
-    def modelled_shares(self) -> dict[str, float]:
-        """Fraction of modelled time per operation (Figure 6's quantity)."""
-        total = self.modelled_total
-        if total <= 0:
-            return {op: 0.0 for op in OPERATIONS}
-        return {op: t / total for op, t in self.modelled.items()}
+__all__ = [
+    "COMPRESS_CYCLES_PER_ENTRY",
+    "EngineReport",
+    "HISTOGRAM_CYCLES_PER_ELEMENT",
+    "MERGE_CYCLES_PER_ENTRY",
+    "OPERATIONS",
+    "StreamMiner",
+]
 
 
 class StreamMiner:
@@ -101,8 +67,8 @@ class StreamMiner:
     eps:
         Approximation fraction.
     backend:
-        ``"gpu"`` (PBSN on the simulated device), ``"cpu"`` (quicksort
-        baseline), or any object with ``sort_batch``.
+        A name registered in :mod:`repro.backends` (``"gpu"``, ``"cpu"``,
+        ``"gpu-bitonic"``, ...) or any object with ``sort_batch``.
     mode:
         ``"history"`` (queries over the entire past) or ``"sliding"``.
     window_size:
@@ -153,46 +119,56 @@ class StreamMiner:
         self._cpu_speedup = float(cpu_speedup)
         self._stream_length_hint = int(stream_length_hint)
 
-        if isinstance(backend, str):
-            if backend == "gpu":
-                self.sorter = GpuSorter(device)
-            elif backend == "cpu":
-                self.sorter = InstrumentedCpuSorter(speedup=cpu_speedup)
-            else:
-                raise SummaryError(f"unknown backend {backend!r}")
-        else:
-            self.sorter = backend
-        self.backend = getattr(self.sorter, "name", "custom")
+        sorter = resolve_sorter(backend, device=device,
+                                cpu_speedup=cpu_speedup)
+        self.backend = getattr(sorter, "name", "custom")
 
         if mode == "sliding":
             if sliding_window is None:
                 raise SummaryError("sliding mode requires sliding_window")
             if statistic == "quantile":
-                self.estimator = SlidingWindowQuantiles(
+                estimator = SlidingWindowQuantiles(
                     eps, sliding_window, variable=variable)
             else:
-                self.estimator = SlidingWindowFrequencies(
+                estimator = SlidingWindowFrequencies(
                     eps, sliding_window, variable=variable)
-            self.window_size = self.estimator.subwindow
+            self.window_size = estimator.subwindow
         elif statistic == "frequency":
-            self.estimator = LossyCounting(eps)
-            self.window_size = self.estimator.window_size
+            estimator = LossyCounting(eps)
+            self.window_size = estimator.window_size
         elif statistic == "distinct":
             # KMV sketch size from the target error: rel. std. error of
             # the estimator is ~1/sqrt(k-2).
             k = max(16, math.ceil(1.0 / (eps * eps)) + 2)
-            self.estimator = KMinValues(k)
+            estimator = KMinValues(k)
             self.window_size = (int(window_size) if window_size
                                 else 4096)
         else:
             self.window_size = (int(window_size) if window_size
                                 else max(1, math.ceil(1.0 / eps)))
-            self.estimator = StreamingQuantiles(
+            estimator = StreamingQuantiles(
                 eps, self.window_size, stream_length_hint)
 
         self.report = EngineReport(self.backend, statistic)
-        self._pending_windows: list[np.ndarray] = []
-        self._buffer = np.empty(0, dtype=np.float32)
+        self._timing = TimingModel(self.report, self._cpu_spec)
+        self._windower = Windower(self.window_size)
+        self._sort = SortStage(sorter, self._timing)
+        self._summarize = SummarizeStage(
+            self._timing, build_histogram=(statistic == "frequency"))
+        self._merge = MergeStage(estimator, self._timing)
+        self._bind_estimator(estimator)
+
+    def _bind_estimator(self, estimator) -> None:
+        """Point every stage that holds the estimator at ``estimator``.
+
+        The distinct pipeline sorts *hashes*: the sketch's
+        ``prepare_chunk`` (hash + count) runs as the windower's prepare
+        transform, so it must re-bind together with the estimator.
+        """
+        self.estimator = estimator
+        self._merge.estimator = estimator
+        if self.statistic == "distinct":
+            self._windower.prepare = estimator.prepare_chunk
 
     # ------------------------------------------------------------------
     # ingestion
@@ -211,21 +187,7 @@ class StreamMiner:
         GPU path) then moves complete batches through the pipeline — the
         split is what makes a dispatch retryable without data loss.
         """
-        arr = np.asarray(chunk, dtype=np.float32).ravel()
-        if arr.size == 0:
-            return
-        if self.statistic == "distinct":
-            # the pipeline sorts *hashes* for distinct counting; the k
-            # smallest of each sorted window feed the KMV sketch.
-            self.estimator.count += int(arr.size)
-            arr = hash_values(arr, self.estimator.seed).astype(np.float32)
-        data = (np.concatenate([self._buffer, arr])
-                if self._buffer.size else arr)
-        w = self.window_size
-        full = (data.size // w) * w
-        for start in range(0, full, w):
-            self._pending_windows.append(data[start:start + w])
-        self._buffer = data[full:].copy()
+        self._windower.push(chunk)
 
     def pump(self) -> None:
         """Process every complete 4-window texture batch now pending.
@@ -235,7 +197,7 @@ class StreamMiner:
         exception leaves the engine exactly as it was before the batch —
         calling :meth:`pump` again retries it.
         """
-        while len(self._pending_windows) >= 4:
+        while self._windower.pending >= 4:
             self._flush_batch(4)
 
     def process(self, stream: np.ndarray | Iterable) -> None:
@@ -249,93 +211,30 @@ class StreamMiner:
 
     def flush(self) -> None:
         """Process buffered windows; in history mode also the partial tail."""
-        if self._buffer.size and self.mode == "history":
+        if self.mode == "history":
             # Sliding estimators need exact sub-window sizes; history
             # estimators accept a short final window.
-            self._pending_windows.append(self._buffer)
-            self._buffer = np.empty(0, dtype=np.float32)
-        while self._pending_windows:
-            self._flush_batch(min(4, len(self._pending_windows)))
+            self._windower.flush_tail()
+        while self._windower.pending:
+            self._flush_batch(min(4, self._windower.pending))
 
     # ------------------------------------------------------------------
     # the co-processor loop
     # ------------------------------------------------------------------
     def _flush_batch(self, batch_size: int) -> None:
-        windows = self._pending_windows[:batch_size]
-        clock = self._cpu_spec.clock_hz
-
-        start = time.perf_counter()
-        sorted_windows = self.sorter.sort_batch(windows)
-        sort_wall = time.perf_counter() - start
+        windows = self._windower.peek(batch_size)
+        sorted_windows = self._sort.run(windows)
         # The sort succeeded; only now do the windows leave the pending
-        # list (transactionality — see pump()).  The remaining steps are
+        # list (transactionality — see pump()).  The remaining stages are
         # plain CPU summary updates with no injected-fault surface.
-        del self._pending_windows[:batch_size]
-
-        if isinstance(self.sorter, GpuSorter):
-            breakdown = self.sorter.modelled_time()
-            # Buffers are reused across batches in the streaming loop, so
-            # the per-sort setup cost is charged only on the first batch.
-            sort_time = breakdown.sort
-            if self.report.windows:
-                sort_time -= breakdown.setup
-            self.report.modelled["sort"] += sort_time
-            self.report.modelled["transfer"] += breakdown.transfer
-            # Wall time on the simulator includes the (free-in-model)
-            # transfers; attribute it all to sort.
-            self.report.wall["sort"] += sort_wall
-        else:
-            self.report.wall["sort"] += sort_wall
-            model = getattr(self.sorter, "cost_model", None)
-            if model is not None:
-                self.report.modelled["sort"] += sum(
-                    model.time(len(w)) for w in windows)
-
+        self._windower.commit(batch_size)
         for window in sorted_windows:
-            self._ingest_sorted(window, clock)
-
-        self.report.windows += len(windows)
-        self.report.elements += sum(int(len(w)) for w in windows)
-
-    def _ingest_sorted(self, sorted_window: np.ndarray, clock: float) -> None:
-        start = time.perf_counter()
-        histogram = None
-        if self.statistic == "frequency":
-            histogram = histogram_from_sorted(sorted_window)
-        self.report.wall["histogram"] += time.perf_counter() - start
-        self.report.modelled["histogram"] += (
-            sorted_window.size * HISTOGRAM_CYCLES_PER_ELEMENT / clock)
-
-        start = time.perf_counter()
-        if self.mode == "sliding":
-            if self.statistic == "quantile":
-                self.estimator.add_sorted_subwindow(sorted_window)
-            else:
-                self.estimator.add_histogram(histogram)
-        elif self.statistic == "frequency":
-            self.estimator.update_histogram(histogram)
-        elif self.statistic == "distinct":
-            self.estimator.update_sorted_hashes(
-                sorted_window.astype(np.float64))
-        else:
-            self.estimator.add_sorted_window(sorted_window)
-        self.report.wall["merge"] += time.perf_counter() - start
-
-        merged_entries = (histogram.distinct if histogram is not None
-                          else sorted_window.size)
-        self.report.modelled["merge"] += (
-            merged_entries * MERGE_CYCLES_PER_ENTRY / clock)
-        # Compress scans the summary as it stood before deletions: the
-        # surviving entries plus everything this window just merged in.
-        scanned = self._summary_size() + merged_entries
-        self.report.modelled["compress"] += (
-            scanned * COMPRESS_CYCLES_PER_ENTRY / clock)
+            histogram = self._summarize.run(window)
+            self._merge.run(window, histogram)
+        self._timing.record_batch(windows)
 
     def _summary_size(self) -> int:
-        estimator = self.estimator
-        if hasattr(estimator, "space"):
-            return int(estimator.space())
-        return len(estimator)
+        return self._merge.summary_size()
 
     # ------------------------------------------------------------------
     # queries (delegated to the live estimator)
@@ -373,10 +272,18 @@ class StreamMiner:
     # mergeable-state accessors (the sharded service's query layer)
     # ------------------------------------------------------------------
     @property
+    def sorter(self):
+        """The live sorting backend (owned by the sort stage)."""
+        return self._sort.sorter
+
+    @sorter.setter
+    def sorter(self, value) -> None:
+        self.swap_sorter(value)
+
+    @property
     def buffered(self) -> int:
         """Elements accepted but not yet through the pipeline."""
-        return int(self._buffer.size) + sum(
-            int(w.size) for w in self._pending_windows)
+        return self._windower.buffered
 
     def quantile_summaries(self):
         """The mergeable per-bucket summaries (history-mode quantiles)."""
@@ -409,7 +316,7 @@ class StreamMiner:
         the cost model — the summaries, and therefore every answer, are
         identical.  The service's degradation path relies on this.
         """
-        self.sorter = sorter
+        self._sort.swap(sorter)
         self.backend = getattr(sorter, "name", "custom")
 
     # ------------------------------------------------------------------
@@ -426,7 +333,7 @@ class StreamMiner:
         """
         if self.mode != "history":
             raise SummaryError("snapshot supports history mode only")
-        return {
+        state = {
             "version": 1,
             "kind": "stream-miner",
             "statistic": self.statistic,
@@ -435,8 +342,6 @@ class StreamMiner:
             "stream_length_hint": self._stream_length_hint,
             "cpu_speedup": self._cpu_speedup,
             "estimator": self.estimator.to_state(),
-            "buffer": self._buffer.tolist(),
-            "pending_windows": [w.tolist() for w in self._pending_windows],
             "report": {
                 "elements": self.report.elements,
                 "windows": self.report.windows,
@@ -444,6 +349,8 @@ class StreamMiner:
                 "modelled": dict(self.report.modelled),
             },
         }
+        state.update(self._windower.to_state())
+        return state
 
     @classmethod
     def from_snapshot(cls, state: dict, backend: str = "cpu",
@@ -454,6 +361,11 @@ class StreamMiner:
         state is transient (textures live only within one sort), so the
         restored miner may run on different hardware than the one that
         wrote the checkpoint; answers are unaffected.
+
+        The estimator class is resolved from the state's ``"kind"`` tag
+        via the :mod:`repro.core.estimators` registry, so any registered
+        estimator (including future ones) restores without this method
+        changing.
         """
         if state.get("kind") != "stream-miner" or state.get("version") != 1:
             raise SummaryError(
@@ -465,16 +377,8 @@ class StreamMiner:
                     device=device,
                     cpu_speedup=float(state["cpu_speedup"]),
                     stream_length_hint=int(state["stream_length_hint"]))
-        estimator_state = state["estimator"]
-        if state["statistic"] == "quantile":
-            miner.estimator = StreamingQuantiles.from_state(estimator_state)
-        elif state["statistic"] == "frequency":
-            miner.estimator = LossyCounting.from_state(estimator_state)
-        else:
-            miner.estimator = KMinValues.from_state(estimator_state)
-        miner._buffer = np.asarray(state["buffer"], dtype=np.float32)
-        miner._pending_windows = [np.asarray(w, dtype=np.float32)
-                                  for w in state["pending_windows"]]
+        miner._bind_estimator(estimator_from_state(state["estimator"]))
+        miner._windower.restore_state(state)
         report = state.get("report", {})
         miner.report.elements = int(report.get("elements", 0))
         miner.report.windows = int(report.get("windows", 0))

@@ -1,0 +1,91 @@
+"""The uniform estimator protocol and the checkpoint-kind registry.
+
+Every summary structure the pipeline can drive — Greenwald-Khanna,
+the exponential histogram of window summaries, lossy counting, the KMV
+sketch, and the sliding-window estimators — speaks one interface:
+
+``update_batch(sorted_window, histogram=None)``
+    Absorb one ascending window.  Estimators that consume run-length
+    histograms accept the one the pipeline's summarize stage already
+    computed (and compute their own when fed directly).
+``query(...)``
+    The estimator's natural query (phi for quantiles, support for
+    frequencies, nothing for distinct counts).
+``error_bound()``
+    The guarantee the estimator offers, as a fraction (deterministic
+    eps, or a 2-sigma relative error for randomized sketches).
+``to_state()`` / ``from_state(state)``
+    Versioned JSON-serializable checkpointing.
+
+The engine's merge stage and the checkpoint/restore code dispatch
+through this protocol instead of special-casing each statistic; restore
+resolves the concrete class from the state's ``"kind"`` tag via
+:func:`estimator_from_state`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+from ..errors import SummaryError
+
+__all__ = [
+    "Estimator",
+    "estimator_from_state",
+    "register_estimator",
+    "registered_estimator_kinds",
+]
+
+
+@runtime_checkable
+class Estimator(Protocol):
+    """Structural interface every pipeline estimator implements."""
+
+    def update_batch(self, sorted_window, histogram=None) -> None:
+        """Absorb one ascending window (histogram optional, pre-computed)."""
+        ...
+
+    def query(self, *args: Any, **kwargs: Any) -> Any:
+        """Answer the estimator's natural query."""
+        ...
+
+    def error_bound(self) -> float:
+        """The approximation guarantee, as a fraction."""
+        ...
+
+    def to_state(self) -> dict:
+        """Versioned JSON-serializable snapshot."""
+        ...
+
+
+#: state ``"kind"`` tag -> estimator class (populated at import time by
+#: each estimator module).
+_KINDS: dict[str, type] = {}
+
+
+def register_estimator(kind: str, cls: type, *, replace: bool = False) -> None:
+    """Map a checkpoint ``kind`` tag to the class that restores it."""
+    if kind in _KINDS and not replace and _KINDS[kind] is not cls:
+        raise SummaryError(f"estimator kind {kind!r} already registered "
+                           f"to {_KINDS[kind].__name__}")
+    _KINDS[kind] = cls
+
+
+def registered_estimator_kinds() -> tuple[str, ...]:
+    """Sorted checkpoint kinds currently restorable."""
+    return tuple(sorted(_KINDS))
+
+
+def estimator_from_state(state: dict):
+    """Rebuild any registered estimator from its ``to_state`` output.
+
+    Dispatches on ``state["kind"]`` — the one place restore code needs
+    to know which classes exist.
+    """
+    kind = state.get("kind")
+    cls = _KINDS.get(kind)
+    if cls is None:
+        raise SummaryError(
+            f"no estimator registered for state kind {kind!r}; "
+            f"known: {', '.join(registered_estimator_kinds())}")
+    return cls.from_state(state)

@@ -17,8 +17,6 @@ on top of any eps-approximate counter).
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from ...errors import QueryError, SummaryError

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ...errors import InvariantViolation, QueryError, SummaryError
+from ..estimators import register_estimator
 from ..histograms import WindowHistogram, histogram_from_sorted
 
 
@@ -107,6 +108,34 @@ class LossyCounting:
     def _process_window(self, window: np.ndarray) -> None:
         self._merge(histogram_from_sorted(np.sort(window)))
         self._compress()
+
+    # ------------------------------------------------------------------
+    # the uniform Estimator protocol
+    # ------------------------------------------------------------------
+    def update_batch(self, sorted_window: np.ndarray,
+                     histogram: WindowHistogram | None = None) -> None:
+        """Protocol entry point: merge one ascending window.
+
+        Accepts the run-length histogram the pipeline's summarize stage
+        already computed; computes it when fed a bare sorted window.
+        """
+        if histogram is None:
+            histogram = histogram_from_sorted(
+                np.asarray(sorted_window).ravel())
+        self.update_histogram(histogram)
+
+    def query(self, support: float) -> list[tuple[float, int]]:
+        """Protocol query: the heavy hitters above ``support``."""
+        return self.frequent_items(support)
+
+    def error_bound(self) -> float:
+        """Deterministic undercount fraction (``f >= true_f - eps*N``)."""
+        return self.eps
+
+    @property
+    def processed(self) -> int:
+        """Elements accounted for, including the pending partial window."""
+        return self.count + self.pending
 
     def _merge(self, histogram: WindowHistogram) -> None:
         """Merge operation: add or update entries (Section 5.1)."""
@@ -245,3 +274,6 @@ class LossyCounting:
             raise InvariantViolation(
                 f"summary holds {len(self._entries)} entries, far above the "
                 f"theoretical bound {self.space_bound()}")
+
+
+register_estimator("lossy-counting", LossyCounting)

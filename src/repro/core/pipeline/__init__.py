@@ -1,0 +1,37 @@
+"""The staged stream-mining pipeline (window -> sort -> summarize -> merge).
+
+The paper's co-processor loop (Section 5) as explicit, composable
+stages, each independently testable and reusable:
+
+* :class:`~repro.core.pipeline.windower.Windower` — buffer the stream,
+  cut it into fixed-width windows, hand off transactional batches;
+* :class:`~repro.core.pipeline.stages.SortStage` — sort each batch on a
+  swappable backend resolved from :mod:`repro.backends`;
+* :class:`~repro.core.pipeline.stages.SummarizeStage` — run-length
+  histogram (frequencies) or sorted-window pass-through;
+* :class:`~repro.core.pipeline.stages.MergeStage` — feed the estimator
+  via the uniform :class:`~repro.core.estimators.Estimator` protocol;
+* :class:`~repro.core.pipeline.timing.TimingModel` — the modelled
+  paper-hardware cost accounting shared by every stage.
+
+:class:`~repro.core.engine.StreamMiner` is a thin composition of these.
+"""
+
+from .stages import MergeStage, SortStage, SummarizeStage
+from .timing import (COMPRESS_CYCLES_PER_ENTRY, HISTOGRAM_CYCLES_PER_ELEMENT,
+                     MERGE_CYCLES_PER_ENTRY, OPERATIONS, EngineReport,
+                     TimingModel)
+from .windower import Windower
+
+__all__ = [
+    "COMPRESS_CYCLES_PER_ENTRY",
+    "EngineReport",
+    "HISTOGRAM_CYCLES_PER_ELEMENT",
+    "MERGE_CYCLES_PER_ENTRY",
+    "MergeStage",
+    "OPERATIONS",
+    "SortStage",
+    "SummarizeStage",
+    "TimingModel",
+    "Windower",
+]

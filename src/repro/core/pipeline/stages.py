@@ -1,0 +1,105 @@
+"""Sort, summarize, and merge: the co-processor stages of the pipeline.
+
+Each stage is a thin, timed wrapper around one operation of the paper's
+loop (Section 5): the sort runs on the pluggable backend (GPU PBSN, the
+CPU baseline, or anything registered in :mod:`repro.backends`); the
+summarize stage reduces a sorted window to a run-length histogram when
+the estimator consumes counts; the merge stage feeds the estimator
+through the uniform :class:`~repro.core.estimators.Estimator` protocol.
+
+All stages write their accounting into one shared
+:class:`~repro.core.pipeline.timing.TimingModel`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..histograms import WindowHistogram, histogram_from_sorted
+from .timing import TimingModel
+
+
+class SortStage:
+    """Sorts window batches on a swappable backend, recording cost.
+
+    The backend is any object with ``sort_batch``; swapping it mid-
+    stream (the service's degradation path) changes only the cost model
+    because sorting is a pure function of the window.
+    """
+
+    def __init__(self, sorter, timing: TimingModel):
+        self.sorter = sorter
+        self.timing = timing
+
+    @property
+    def name(self) -> str:
+        """The backend label (used by reports and metrics)."""
+        return getattr(self.sorter, "name", "custom")
+
+    def swap(self, sorter) -> None:
+        """Replace the sorting backend in place."""
+        self.sorter = sorter
+
+    def run(self, windows: list[np.ndarray]) -> list[np.ndarray]:
+        """Sort one texture batch (up to four windows), timed."""
+        start = time.perf_counter()
+        sorted_windows = self.sorter.sort_batch(windows)
+        self.timing.record_sort(self.sorter, windows,
+                                time.perf_counter() - start)
+        return sorted_windows
+
+
+class SummarizeStage:
+    """Reduces each sorted window to its per-window summary input.
+
+    For frequency-style estimators that is the run-length histogram
+    (the GPU-accelerated scan of Section 5.1); quantile and distinct
+    estimators consume the sorted window itself, so the stage only
+    accounts the scan it skipped.
+    """
+
+    def __init__(self, timing: TimingModel, build_histogram: bool):
+        self.timing = timing
+        self.build_histogram = bool(build_histogram)
+
+    def run(self, sorted_window: np.ndarray) -> WindowHistogram | None:
+        """The window's histogram, or ``None`` for sorted-window feeds."""
+        start = time.perf_counter()
+        histogram = (histogram_from_sorted(sorted_window)
+                     if self.build_histogram else None)
+        self.timing.record_histogram(int(sorted_window.size),
+                                     time.perf_counter() - start)
+        return histogram
+
+
+class MergeStage:
+    """Merges one summarized window into the estimator, timed.
+
+    Dispatches through the uniform estimator protocol —
+    ``update_batch(sorted_window, histogram=...)`` — so the stage works
+    unchanged for quantiles, frequencies, distinct counts, and the
+    sliding-window estimators.
+    """
+
+    def __init__(self, estimator, timing: TimingModel):
+        self.estimator = estimator
+        self.timing = timing
+
+    def summary_size(self) -> int:
+        """Entries currently held by the estimator."""
+        estimator = self.estimator
+        if hasattr(estimator, "space"):
+            return int(estimator.space())
+        return len(estimator)
+
+    def run(self, sorted_window: np.ndarray,
+            histogram: WindowHistogram | None) -> None:
+        """Merge one window (and compress), recording modelled cost."""
+        start = time.perf_counter()
+        self.estimator.update_batch(sorted_window, histogram=histogram)
+        wall = time.perf_counter() - start
+        merged_entries = (histogram.distinct if histogram is not None
+                          else int(sorted_window.size))
+        self.timing.record_merge(merged_entries, self.summary_size(), wall)

@@ -1,0 +1,108 @@
+"""The pipeline's first stage: buffer the stream and cut it into windows.
+
+Section 4.1 buffers four windows and packs them into the RGBA channels
+of one texture; :class:`Windower` owns the CPU side of that contract:
+accepting arbitrarily-sized chunks, cutting them into fixed-width
+windows, and holding the tail until it fills (or the stream ends).
+
+The windower is deliberately transactional: :meth:`peek` exposes a batch
+without removing it and :meth:`commit` drops it only after the caller's
+(faultable) sort succeeded, so a failed dispatch can be retried without
+data loss.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+class Windower:
+    """Buffer/cut/pack stage: chunks in, fixed-width windows out.
+
+    Parameters
+    ----------
+    window_size:
+        Width of every produced window (the final flushed window may be
+        shorter).
+    prepare:
+        Optional element-wise transform applied to each incoming chunk
+        before windowing — the distinct pipeline hashes values here so
+        the sorter orders *hashes*, exactly as the engine's texture
+        would hold them.
+    """
+
+    def __init__(self, window_size: int,
+                 prepare: Callable[[np.ndarray], np.ndarray] | None = None):
+        self.window_size = int(window_size)
+        self.prepare = prepare
+        self._windows: list[np.ndarray] = []
+        self._tail = np.empty(0, dtype=np.float32)
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def push(self, chunk: np.ndarray | list[float]) -> None:
+        """Accept a chunk; complete windows queue up, the rest is held.
+
+        Pure CPU book-keeping that cannot fault: after this returns,
+        every element of ``chunk`` is safely held in either a pending
+        window or the tail buffer.
+        """
+        arr = np.asarray(chunk, dtype=np.float32).ravel()
+        if arr.size == 0:
+            return
+        if self.prepare is not None:
+            arr = self.prepare(arr)
+        data = (np.concatenate([self._tail, arr])
+                if self._tail.size else arr)
+        w = self.window_size
+        full = (data.size // w) * w
+        for start in range(0, full, w):
+            self._windows.append(data[start:start + w])
+        self._tail = data[full:].copy()
+
+    def flush_tail(self) -> None:
+        """Promote the partial tail to a (short) pending window."""
+        if self._tail.size:
+            self._windows.append(self._tail)
+            self._tail = np.empty(0, dtype=np.float32)
+
+    # ------------------------------------------------------------------
+    # transactional batch hand-off
+    # ------------------------------------------------------------------
+    def peek(self, batch_size: int) -> list[np.ndarray]:
+        """The next ``batch_size`` pending windows, without removing them."""
+        return self._windows[:batch_size]
+
+    def commit(self, batch_size: int) -> None:
+        """Drop the first ``batch_size`` windows (their sort succeeded)."""
+        del self._windows[:batch_size]
+
+    @property
+    def pending(self) -> int:
+        """Complete windows queued for the next texture batch."""
+        return len(self._windows)
+
+    @property
+    def buffered(self) -> int:
+        """Elements accepted but not yet handed to the sort stage."""
+        return int(self._tail.size) + sum(
+            int(w.size) for w in self._windows)
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-serializable buffered state (tail + pending windows)."""
+        return {
+            "buffer": self._tail.tolist(),
+            "pending_windows": [w.tolist() for w in self._windows],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reload :meth:`to_state` output."""
+        self._tail = np.asarray(state["buffer"], dtype=np.float32)
+        self._windows = [np.asarray(w, dtype=np.float32)
+                         for w in state["pending_windows"]]

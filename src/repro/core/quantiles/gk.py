@@ -24,6 +24,50 @@ from typing import Iterable
 import numpy as np
 
 from ...errors import InvariantViolation, QueryError, SummaryError
+from ..estimators import register_estimator
+
+
+def _compress_arrays(values: np.ndarray, g: np.ndarray, delta: np.ndarray,
+                     threshold: int
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One greedy compress pass over tuple arrays, vectorised per group.
+
+    Same semantics as :meth:`GKSummary.compress`: walking left to right,
+    tuple ``j`` joins the group started at ``s`` while the group's
+    combined ``sum(g) + delta_j`` stays within ``threshold``; the group
+    collapses to ``(v_e, sum g, delta_e)`` for its last member ``e``.
+    Tuple 0 is always kept alone so the minimum stays exact.
+
+    A group's ``g`` sum is at most ``threshold`` and every ``g >= 1``,
+    so each group spans at most ``threshold + 1`` tuples — the scan for
+    the group end is a bounded vectorised comparison instead of a
+    per-tuple Python loop.
+    """
+    n = int(values.size)
+    if n < 3:
+        return values, g, delta
+    cumg = np.cumsum(g)
+    reach = cumg + delta  # reach[j] <= threshold + cumg[s-1] => absorbable
+    keep_v = [float(values[0])]
+    keep_g = [int(g[0])]
+    keep_d = [int(delta[0])]
+    span = int(threshold) + 2
+    s = 1
+    while s < n:
+        base = int(cumg[s - 1])
+        hi = min(s + span, n)
+        fails = reach[s + 1:hi] > threshold + base
+        if fails.any():
+            end = s + int(np.argmax(fails))
+        else:
+            end = hi - 1
+        keep_v.append(float(values[end]))
+        keep_g.append(int(cumg[end] - base))
+        keep_d.append(int(delta[end]))
+        s = end + 1
+    return (np.asarray(keep_v, dtype=np.float64),
+            np.asarray(keep_g, dtype=np.int64),
+            np.asarray(keep_d, dtype=np.int64))
 
 
 class GKSummary:
@@ -81,8 +125,16 @@ class GKSummary:
     def insert_sorted(self, values: Iterable[float] | np.ndarray) -> None:
         """Insert an ascending batch (the window model: sort first, then feed).
 
-        Equivalent to inserting one by one but performs a single merge walk
-        instead of repeated bisection.
+        Vectorised O(n + |S|) merge: every batch element receives exactly
+        the tuple ``(v, 1, delta)`` the single-element path would give it
+        — ``delta = 0`` for a new minimum or maximum, otherwise
+        ``max(0, floor(2 eps n_before) - 1)`` for its own pre-insertion
+        count — followed by **one** compress over the merged arrays.
+        This matches inserting the batch element by element with
+        compression deferred to the end of the batch (the scalar path
+        with ``_compress_period`` larger than the batch, then one
+        explicit :meth:`compress`); periodic mid-batch compression only
+        reorders which legal tuples survive, never the guarantee.
         """
         batch = np.asarray(list(values) if not isinstance(values, np.ndarray)
                            else values, dtype=np.float64).ravel()
@@ -92,8 +144,56 @@ class GKSummary:
             raise SummaryError("cannot insert NaN")
         if np.any(batch[1:] < batch[:-1]):
             raise SummaryError("insert_sorted requires ascending input")
-        for value in batch.tolist():
-            self.insert(value)
+        orig_v = np.asarray(self._values, dtype=np.float64)
+        orig_g = np.asarray(self._g, dtype=np.int64)
+        orig_d = np.asarray(self._delta, dtype=np.int64)
+        # Where each batch element lands: bisect_right against the
+        # original tuples; equal batch elements keep arrival order, so
+        # np.insert's stable placement reproduces sequential insertion.
+        pos = np.searchsorted(orig_v, batch, side="right")
+        pre_counts = self.count + np.arange(batch.size, dtype=np.int64)
+        delta = np.maximum(
+            0, (2.0 * self.eps * pre_counts).astype(np.int64) - 1)
+        # An element with pos == len(orig) is >= every original value and
+        # (batch ascending) every earlier batch element: a running
+        # maximum, inserted at the end -> delta = 0.  Only the first
+        # batch element can be a new minimum: later ones sit at or after
+        # it, so their insertion index is never 0.
+        delta[pos == orig_v.size] = 0
+        if orig_v.size and pos[0] == 0:
+            delta[0] = 0
+        if orig_v.size == 0:
+            # First window: the merge IS the batch.
+            merged_v = batch
+            merged_g = np.ones(batch.size, dtype=np.int64)
+            merged_d = delta
+        else:
+            # Stable scatter-merge: batch element i ends up pos[i] slots
+            # past its bisect point (one per earlier batch element), the
+            # original tuples fill the remaining slots in order.
+            # Equivalent to np.insert at ``pos`` but without its
+            # internal argsort.
+            total = orig_v.size + batch.size
+            batch_idx = pos + np.arange(batch.size, dtype=np.int64)
+            orig_mask = np.ones(total, dtype=bool)
+            orig_mask[batch_idx] = False
+            merged_v = np.empty(total, dtype=np.float64)
+            merged_g = np.empty(total, dtype=np.int64)
+            merged_d = np.empty(total, dtype=np.int64)
+            merged_v[batch_idx] = batch
+            merged_g[batch_idx] = 1
+            merged_d[batch_idx] = delta
+            merged_v[orig_mask] = orig_v
+            merged_g[orig_mask] = orig_g
+            merged_d[orig_mask] = orig_d
+        self.count += int(batch.size)
+        threshold = math.floor(2.0 * self.eps * self.count)
+        out_v, out_g, out_d = _compress_arrays(
+            merged_v, merged_g, merged_d, threshold)
+        self._values = out_v.tolist()
+        self._g = out_g.tolist()
+        self._delta = out_d.tolist()
+        self._since_compress = 0
 
     def compress(self) -> None:
         """Merge adjacent tuples whose combined uncertainty stays legal.
@@ -122,6 +222,57 @@ class GKSummary:
                 out_g.append(g[i])
                 out_d.append(delta[i])
         self._values, self._g, self._delta = out_v, out_g, out_d
+
+    # ------------------------------------------------------------------
+    # the uniform Estimator protocol
+    # ------------------------------------------------------------------
+    def update_batch(self, sorted_window: np.ndarray,
+                     histogram=None) -> None:
+        """Protocol entry point: absorb one ascending window."""
+        self.insert_sorted(np.asarray(sorted_window).ravel())
+
+    def query(self, phi: float) -> float:
+        """Protocol query: the phi-quantile."""
+        return self.quantile(phi)
+
+    def error_bound(self) -> float:
+        """Deterministic rank-error fraction."""
+        return self.eps
+
+    @property
+    def processed(self) -> int:
+        """Stream elements inserted so far."""
+        return self.count
+
+    # ------------------------------------------------------------------
+    # serialization (checkpoint/restore)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Versioned JSON-serializable snapshot of the summary."""
+        return {
+            "version": 1,
+            "kind": "gk-summary",
+            "eps": self.eps,
+            "count": self.count,
+            "tuples": [[float(v), int(g), int(d)] for v, g, d
+                       in zip(self._values, self._g, self._delta)],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "GKSummary":
+        """Rebuild a summary from :meth:`to_state` output."""
+        if state.get("kind") != "gk-summary" or state.get("version") != 1:
+            raise SummaryError(
+                f"not a v1 gk-summary state: {state.get('kind')!r} "
+                f"v{state.get('version')!r}")
+        summary = cls(float(state["eps"]))
+        summary.count = int(state["count"])
+        tuples = state["tuples"]
+        summary._values = [float(v) for v, _, _ in tuples]
+        summary._g = [int(g) for _, g, _ in tuples]
+        summary._delta = [int(d) for _, _, d in tuples]
+        summary.check_invariant()
+        return summary
 
     # ------------------------------------------------------------------
     # queries
@@ -174,3 +325,6 @@ class GKSummary:
         if any(self._values[i] > self._values[i + 1]
                for i in range(len(self._values) - 1)):
             raise InvariantViolation("tuple values out of order")
+
+
+register_estimator("gk-summary", GKSummary)

@@ -27,6 +27,7 @@ import math
 import numpy as np
 
 from ...errors import InvariantViolation, QueryError, SummaryError
+from ..estimators import register_estimator
 from ..quantiles.window import QuantileSummary
 
 
@@ -116,6 +117,27 @@ class StreamingQuantiles:
         self.add_sorted_window(np.sort(np.asarray(window).ravel()))
 
     # ------------------------------------------------------------------
+    # the uniform Estimator protocol
+    # ------------------------------------------------------------------
+    def update_batch(self, sorted_window: np.ndarray,
+                     histogram=None) -> None:
+        """Protocol entry point: absorb one ascending window."""
+        self.add_sorted_window(sorted_window)
+
+    def query(self, phi: float) -> float:
+        """Protocol query: the phi-quantile over the whole history."""
+        return self.quantile(phi)
+
+    def error_bound(self) -> float:
+        """Deterministic rank-error fraction over the whole stream."""
+        return self.eps
+
+    @property
+    def processed(self) -> int:
+        """Elements fully absorbed into the histogram."""
+        return self.count
+
+    # ------------------------------------------------------------------
     # serialization (checkpoint/restore)
     # ------------------------------------------------------------------
     def to_state(self) -> dict:
@@ -203,3 +225,6 @@ class StreamingQuantiles:
         if total != self.count:
             raise InvariantViolation(
                 f"bucket populations sum to {total}, expected {self.count}")
+
+
+register_estimator("streaming-quantiles", StreamingQuantiles)

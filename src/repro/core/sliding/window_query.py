@@ -124,6 +124,27 @@ class SlidingWindowQuantiles:
             self._summaries.popleft()
 
     # ------------------------------------------------------------------
+    # the uniform Estimator protocol
+    # ------------------------------------------------------------------
+    def update_batch(self, sorted_window: np.ndarray,
+                     histogram: WindowHistogram | None = None) -> None:
+        """Protocol entry point: absorb one ascending sub-window."""
+        self.add_sorted_subwindow(sorted_window)
+
+    def query(self, phi: float, width: int | None = None) -> float:
+        """Protocol query: the phi-quantile of the sliding window."""
+        return self.quantile(phi, width)
+
+    def error_bound(self) -> float:
+        """Deterministic rank-error fraction over the queried width."""
+        return self.eps
+
+    @property
+    def processed(self) -> int:
+        """Elements absorbed into completed sub-windows."""
+        return self.count
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def _covering(self, width: int) -> list[QuantileSummary]:
@@ -219,6 +240,35 @@ class SlidingWindowFrequencies:
         capacity = math.ceil(self.window / self.subwindow) + 1
         while len(self._histograms) > capacity:
             self._histograms.popleft()
+
+    # ------------------------------------------------------------------
+    # the uniform Estimator protocol
+    # ------------------------------------------------------------------
+    def update_batch(self, sorted_window: np.ndarray,
+                     histogram: WindowHistogram | None = None) -> None:
+        """Protocol entry point: absorb one sub-window histogram.
+
+        Accepts the run-length histogram from the pipeline's summarize
+        stage, or derives it from a bare ascending sub-window.
+        """
+        if histogram is None:
+            histogram = histogram_from_sorted(
+                np.asarray(sorted_window).ravel())
+        self.add_histogram(histogram)
+
+    def query(self, support: float,
+              width: int | None = None) -> list[tuple[float, int]]:
+        """Protocol query: heavy hitters of the sliding window."""
+        return self.frequent_items(support, width)
+
+    def error_bound(self) -> float:
+        """Deterministic undercount fraction over the queried width."""
+        return self.eps
+
+    @property
+    def processed(self) -> int:
+        """Elements absorbed into completed sub-windows."""
+        return self.count
 
     def _covering(self, width: int) -> list[dict[float, int]]:
         needed = min(math.ceil(width / self.subwindow), len(self._histograms))

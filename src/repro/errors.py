@@ -44,6 +44,16 @@ class SummaryError(ReproError):
     """An epsilon-approximate summary was misused."""
 
 
+class BackendError(SummaryError):
+    """A sorting backend could not be resolved or registered.
+
+    Subclasses :class:`SummaryError` because backend selection has
+    historically surfaced through the summary engines (``StreamMiner``
+    raised ``SummaryError`` for unknown backends); existing handlers
+    keep working.
+    """
+
+
 class InvariantViolation(SummaryError):
     """An internal invariant of a summary data structure was broken.
 

@@ -11,10 +11,12 @@ policy, not mechanism:
   jitter, so concurrent shards don't retry in lockstep);
 * :class:`CircuitBreaker` — when to stop trusting the GPU path
   entirely.  After ``failure_threshold`` consecutive faulted batches
-  the breaker *opens* and the shard degrades to the CPU sorting
-  baseline (:class:`~repro.sorting.cpu.InstrumentedCpuSorter`) — the
-  sorted output is identical, only the cost model differs, so
-  degradation is invisible to every epsilon guarantee.  After
+  the breaker *opens* and the shard degrades to the CPU fallback that
+  :func:`repro.backends.cpu_fallback_for` resolved from the backend
+  registry when the shard was built — the sorted output is identical,
+  only the cost model differs, so degradation is invisible to every
+  epsilon guarantee.  (Only the simulated-GPU sorter earns a fallback;
+  a custom registered backend without one escalates instead.)  After
   ``cooldown_batches`` successful fallback batches the breaker goes
   *half-open* and probes the GPU once: success closes it, another
   fault re-opens it.

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..backends import registered_backends
 from ..errors import ServiceError
 from ..gpu.faults import FaultPlan
 from ..streams.generators import GENERATORS
@@ -177,6 +178,12 @@ def run_service_demo(statistic: str = "quantile", n: int = 100_000,
     """Run the end-to-end demo; see the module docstring."""
     if producers < 1:
         raise ServiceError(f"need >= 1 producer, got {producers}")
+    if backend not in registered_backends():
+        # Fail before any shard is built: the registry is the single
+        # source of truth for what "backend" can name.
+        raise ServiceError(
+            f"unknown backend {backend!r}; registered backends: "
+            f"{', '.join(registered_backends())}")
     if not 0.0 <= fault_rate < 1.0:
         raise ServiceError(
             f"fault_rate must be in [0, 1), got {fault_rate}")

@@ -51,16 +51,15 @@ import time
 
 import numpy as np
 
+from ..backends import cpu_fallback_for
 from ..core.engine import EngineReport, StreamMiner
 from ..core.quantiles.window import QuantileSummary
 from ..errors import QueryError, ServiceError, ShardFailedError
 from ..gpu.device import GpuDevice
 from ..gpu.faults import TRANSIENT_GPU_ERRORS, FaultInjector, FaultPlan
-from ..sorting.cpu import InstrumentedCpuSorter
-from ..sorting.gpu_sorter import GpuSorter
 from .metrics import ServiceMetrics, ShardMetrics
 from .resilience import CircuitBreaker, RetryPolicy
-from .sharding import HashPartitioner, default_partitioner
+from .sharding import default_partitioner
 
 
 class ShardedMiner:
@@ -170,8 +169,7 @@ class ShardedMiner:
         # A CPU fallback exists wherever the primary sorts on the (fault-
         # prone) simulated GPU; results are identical either way.
         self._fallback_sorters = [
-            InstrumentedCpuSorter(speedup=m._cpu_speedup)
-            if isinstance(m.sorter, GpuSorter) else None
+            cpu_fallback_for(m.sorter, cpu_speedup=m._cpu_speedup)
             for m in self._miners]
         self._breakers = [CircuitBreaker(*self._breaker_config)
                           for _ in range(self.num_shards)]
@@ -295,11 +293,13 @@ class ShardedMiner:
 
     @property
     def processed(self) -> int:
-        """Elements fully through the per-shard pipelines."""
-        if self.statistic == "frequency":
-            return sum(m.estimator.count + m.estimator.pending
-                       for m in self._miners)
-        return sum(m.estimator.count for m in self._miners)
+        """Elements fully through the per-shard pipelines.
+
+        Uniform across statistics via the estimator protocol's
+        ``processed`` property (frequency estimators fold their pending
+        partial window in themselves).
+        """
+        return sum(m.estimator.processed for m in self._miners)
 
     @property
     def buffered(self) -> int:
@@ -429,9 +429,8 @@ class ShardedMiner:
             device=self._devices[shard_id])
         self._miners[shard_id] = restored
         self._primary_sorters[shard_id] = restored.sorter
-        self._fallback_sorters[shard_id] = (
-            InstrumentedCpuSorter(speedup=restored._cpu_speedup)
-            if isinstance(restored.sorter, GpuSorter) else None)
+        self._fallback_sorters[shard_id] = cpu_fallback_for(
+            restored.sorter, cpu_speedup=restored._cpu_speedup)
         self._breakers[shard_id] = CircuitBreaker(*self._breaker_config)
         shard = self.metrics.shards[shard_id]
         shard.elements = int(shard_state.get("elements", 0))

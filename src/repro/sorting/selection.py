@@ -41,7 +41,10 @@ def gpu_kth_smallest(values: np.ndarray, k: int | list[int],
     for kk in ks:
         _validate_k(arr.size, kk)
     if sorter is None:
-        sorter = GpuSorter()
+        # Imported lazily: repro.backends imports this package to define
+        # the built-in factories, so a module-level import would cycle.
+        from ..backends import resolve_sorter
+        sorter = resolve_sorter("gpu")
     ordered = sorter.sort(arr)
     results = [float(ordered[kk - 1]) for kk in ks]
     return results[0] if isinstance(k, int) else results

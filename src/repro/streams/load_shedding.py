@@ -23,7 +23,7 @@ represents one arrival interval during which the processor can absorb
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -98,5 +98,6 @@ class DataStream:
     def __iter__(self) -> Iterator[float]:
         """Iterate value by value (the single-element insertion model)."""
         for window in self.windows(65536):
-            for value in window:
-                yield float(value)
+            # tolist() converts the whole window to Python floats in one C
+            # call — far cheaper than a float() per NumPy scalar.
+            yield from window.tolist()

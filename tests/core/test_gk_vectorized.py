@@ -1,0 +1,137 @@
+"""Vectorized GK batch insertion is exactly the scalar algorithm.
+
+``GKSummary.insert_sorted`` claims tuple-for-tuple equivalence with the
+single-element path run with compression deferred to the end of the
+batch.  These tests pin that equivalence down — by property (hypothesis
+drives summaries into arbitrary states) and on adversarial fixed cases —
+plus the invariant and serialization behaviour of the batched path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quantiles import GKSummary
+from repro.errors import SummaryError
+
+
+def scalar_reference(summary: GKSummary, batch: np.ndarray) -> GKSummary:
+    """The specification: per-element inserts, one compress at the end."""
+    ref = GKSummary(summary.eps)
+    ref.count = summary.count
+    ref._values = list(summary._values)
+    ref._g = list(summary._g)
+    ref._delta = list(summary._delta)
+    ref._compress_period = 10 ** 18  # defer: one compress after the batch
+    for value in batch:
+        ref.insert(float(value))
+    ref.compress()
+    return ref
+
+
+def assert_tuples_equal(got: GKSummary, want: GKSummary) -> None:
+    assert got.count == want.count
+    assert got._values == want._values
+    assert got._g == want._g
+    assert got._delta == want._delta
+
+
+# Integer-valued floats in a narrow range force heavy duplication —
+# the hard case for stable placement of equal keys.
+values = st.integers(min_value=0, max_value=60).map(float)
+
+
+class TestEquivalenceProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(prefix=st.lists(values, max_size=120),
+           batch=st.lists(values, min_size=1, max_size=200),
+           eps=st.sampled_from([0.25, 0.1, 0.05, 0.02]))
+    def test_matches_scalar_insertion_exactly(self, prefix, batch, eps):
+        summary = GKSummary(eps)
+        for value in prefix:
+            summary.insert(value)  # arbitrary pre-existing state
+        batch = np.sort(np.asarray(batch, dtype=np.float64))
+        want = scalar_reference(summary, batch)
+        summary.insert_sorted(batch)
+        assert_tuples_equal(summary, want)
+        summary.check_invariant()
+
+    @settings(max_examples=60, deadline=None)
+    @given(batches=st.lists(
+        st.lists(values, min_size=1, max_size=80), min_size=1, max_size=6),
+        eps=st.sampled_from([0.1, 0.03]))
+    def test_repeated_batches_keep_the_invariant(self, batches, eps):
+        summary = GKSummary(eps)
+        total = 0
+        for batch in batches:
+            arr = np.sort(np.asarray(batch, dtype=np.float64))
+            summary.insert_sorted(arr)
+            total += arr.size
+            summary.check_invariant()
+        assert summary.count == total
+
+
+class TestFixedCases:
+    def test_empty_batch_is_a_no_op(self):
+        summary = GKSummary(0.1)
+        summary.insert_sorted([])
+        assert summary.count == 0 and len(summary) == 0
+
+    def test_first_batch_into_an_empty_summary(self):
+        summary = GKSummary(0.1)
+        summary.insert_sorted(np.arange(100, dtype=np.float64))
+        want = scalar_reference(GKSummary(0.1),
+                                np.arange(100, dtype=np.float64))
+        assert_tuples_equal(summary, want)
+
+    def test_all_equal_batch(self):
+        summary = GKSummary(0.05)
+        summary.insert(5.0)
+        batch = np.full(64, 5.0)
+        want = scalar_reference(summary, batch)
+        summary.insert_sorted(batch)
+        assert_tuples_equal(summary, want)
+
+    def test_batch_entirely_below_the_minimum(self):
+        summary = GKSummary(0.1)
+        for value in (10.0, 11.0, 12.0):
+            summary.insert(value)
+        batch = np.asarray([1.0, 2.0, 3.0])
+        want = scalar_reference(summary, batch)
+        summary.insert_sorted(batch)
+        assert_tuples_equal(summary, want)
+
+    def test_descending_input_is_rejected(self):
+        summary = GKSummary(0.1)
+        with pytest.raises(SummaryError, match="ascending"):
+            summary.insert_sorted(np.asarray([3.0, 1.0]))
+
+    def test_nan_is_rejected(self):
+        summary = GKSummary(0.1)
+        with pytest.raises(SummaryError, match="NaN"):
+            summary.insert_sorted(np.asarray([1.0, np.nan]))
+
+    def test_rank_error_bound_on_a_large_batch(self):
+        eps = 0.01
+        n = 200_000
+        data = np.sort(np.random.default_rng(9).random(n))
+        summary = GKSummary(eps)
+        summary.insert_sorted(data)
+        summary.check_invariant()
+        for phi in np.linspace(0.0, 1.0, 21):
+            rank = max(1, int(np.ceil(phi * n)))
+            est = summary.quantile(phi)
+            lo = int(np.searchsorted(data, est, "left")) + 1
+            hi = int(np.searchsorted(data, est, "right"))
+            assert max(lo - rank, rank - hi, 0) <= max(1, eps * n)
+
+    def test_state_round_trip_after_batched_insert(self):
+        summary = GKSummary(0.02)
+        summary.insert_sorted(np.sort(
+            np.random.default_rng(1).random(10_000)))
+        clone = GKSummary.from_state(summary.to_state())
+        assert_tuples_equal(clone, summary)
+        assert clone.quantile(0.5) == summary.quantile(0.5)

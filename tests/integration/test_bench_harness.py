@@ -155,7 +155,7 @@ class TestCalibrationAnchors:
 class TestReportModule:
     def test_main_with_stubbed_builders(self, monkeypatch, capsys):
         from repro.bench import report
-        from repro.bench.reporting import Table
+        from repro.bench.report import Table
 
         stub = Table("Stub", ["x"])
         stub.add_row(1)
@@ -165,7 +165,7 @@ class TestReportModule:
 
     def test_markdown_flag(self, monkeypatch, capsys):
         from repro.bench import report
-        from repro.bench.reporting import Table
+        from repro.bench.report import Table
 
         stub = Table("Stub", ["x"])
         stub.add_row(1)

@@ -3,7 +3,6 @@
 from collections import Counter
 
 import numpy as np
-import pytest
 
 from repro import (DataStream, GpuDevice, GpuSorter, StreamMiner,
                    network_trace_stream, uniform_stream, zipf_stream)

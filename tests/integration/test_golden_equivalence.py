@@ -1,0 +1,209 @@
+"""Golden-equivalence suite for the staged-pipeline refactor.
+
+Every value below was captured from the pre-refactor monolithic
+``StreamMiner`` (and ``ShardedMiner``) on fixed seeds.  The decomposition
+into Windower/SortStage/SummarizeStage/MergeStage, the backend registry,
+the uniform estimator protocol, and the vectorised GK ingestion must all
+be answer-preserving *and* cost-model-preserving: identical floats, not
+approximately-equal ones.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import StreamMiner
+from repro.service.sharded import ShardedMiner
+from repro.streams.generators import GENERATORS
+
+PHIS = (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+
+GOLDEN_QUANTILES = [3.4610648155212402, 103.08782196044922,
+                    253.09060668945312, 503.3665466308594,
+                    756.4453125, 903.4747924804688,
+                    995.4813232421875]
+
+GOLDEN_FREQUENT_ITEMS = [(1.0, 8409), (2.0, 3727), (3.0, 2189)]
+GOLDEN_FREQUENCY_ESTIMATE = 8409
+
+GOLDEN_DISTINCT = 5141.062856705098
+
+GOLDEN_SLIDING_QUANTILES = [433.93731689453125, 501.82257080078125,
+                            635.8214721679688]
+GOLDEN_SLIDING_FREQUENT = [(1.0, 838)]
+
+GOLDEN_RESUMED_QUANTILES = [103.08782196044922, 503.3665466308594,
+                            995.4813232421875]
+
+GOLDEN_SHARDED_QUANTILES = [102.73837280273438, 502.8869934082031,
+                            999.903564453125]
+
+# Modelled paper-hardware seconds are pure functions of operation counts,
+# so the TimingModel extraction must reproduce them bit for bit.
+GOLDEN_MODELLED_QUANTILE_CPU = {
+    "sort": 0.0016374610640163194,
+    "transfer": 0.0,
+    "histogram": 7.058823529411763e-05,
+    "merge": 0.0003529411764705887,
+    "compress": 0.00020643823529411764,
+}
+GOLDEN_MODELLED_QUANTILE_GPU = {
+    "sort": 0.014218199999999997,
+    "transfer": 0.0018072000000000008,
+    "histogram": 7.058823529411763e-05,
+    "merge": 0.0003529411764705887,
+    "compress": 0.00020643823529411764,
+}
+GOLDEN_MODELLED_FREQUENCY_CPU = {
+    "sort": 0.0016258802522256676,
+    "transfer": 0.0,
+    "histogram": 9.4117647058823e-05,
+    "merge": 0.00024741176470588234,
+    "compress": 8.337941176470591e-05,
+}
+
+
+def quantile_stream() -> np.ndarray:
+    return GENERATORS["uniform"](30_000, seed=7)
+
+
+def frequency_stream() -> np.ndarray:
+    return GENERATORS["zipf"](40_000, seed=11)
+
+
+def distinct_stream() -> np.ndarray:
+    rng = np.random.default_rng(3)
+    return rng.integers(0, 5000, size=60_000).astype(np.float32)
+
+
+class TestGoldenAnswers:
+    @pytest.mark.parametrize("backend", ["cpu", "gpu"])
+    def test_quantiles(self, backend):
+        miner = StreamMiner("quantile", eps=0.02, backend=backend,
+                            window_size=512, stream_length_hint=30_000)
+        miner.process(quantile_stream())
+        assert [miner.quantile(phi) for phi in PHIS] == GOLDEN_QUANTILES
+
+    def test_frequency(self):
+        miner = StreamMiner("frequency", eps=0.01, backend="cpu")
+        miner.process(frequency_stream())
+        items = [(v, c) for v, c in miner.frequent_items(0.05)]
+        assert items == GOLDEN_FREQUENT_ITEMS
+        assert miner.estimate(1.0) == GOLDEN_FREQUENCY_ESTIMATE
+
+    def test_distinct(self):
+        miner = StreamMiner("distinct", eps=0.05, backend="cpu",
+                            window_size=1024)
+        miner.process(distinct_stream())
+        assert miner.distinct() == GOLDEN_DISTINCT
+
+    def test_sliding_quantiles(self):
+        data = GENERATORS["normal"](20_000, seed=5)
+        miner = StreamMiner("quantile", eps=0.1, backend="cpu",
+                            mode="sliding", sliding_window=4000)
+        miner.process(data)
+        got = [miner.quantile(phi) for phi in (0.25, 0.5, 0.9)]
+        assert got == GOLDEN_SLIDING_QUANTILES
+
+    def test_sliding_frequency(self):
+        data = GENERATORS["zipf"](20_000, seed=5)
+        miner = StreamMiner("frequency", eps=0.1, backend="cpu",
+                            mode="sliding", sliding_window=4000)
+        miner.process(data)
+        assert miner.frequent_items(0.2) == GOLDEN_SLIDING_FREQUENT
+
+
+class TestGoldenModelledTiming:
+    """The TimingModel extraction preserves the modelled cost math."""
+
+    def test_quantile_cpu(self):
+        miner = StreamMiner("quantile", eps=0.02, backend="cpu",
+                            window_size=512, stream_length_hint=30_000)
+        miner.process(quantile_stream())
+        assert miner.report.modelled == GOLDEN_MODELLED_QUANTILE_CPU
+        assert miner.report.elements == 30_000
+        assert miner.report.windows == 59
+
+    def test_quantile_gpu(self):
+        miner = StreamMiner("quantile", eps=0.02, backend="gpu",
+                            window_size=512, stream_length_hint=30_000)
+        miner.process(quantile_stream())
+        assert miner.report.modelled == GOLDEN_MODELLED_QUANTILE_GPU
+        assert miner.report.elements == 30_000
+        assert miner.report.windows == 59
+
+    def test_frequency_cpu(self):
+        miner = StreamMiner("frequency", eps=0.01, backend="cpu")
+        miner.process(frequency_stream())
+        assert miner.report.modelled == GOLDEN_MODELLED_FREQUENCY_CPU
+        assert miner.report.elements == 40_000
+        assert miner.report.windows == 400
+
+
+class TestGoldenCheckpointResume:
+    def test_miner_snapshot_resume(self):
+        data = quantile_stream()
+        miner = StreamMiner("quantile", eps=0.02, backend="cpu",
+                            window_size=512, stream_length_hint=30_000)
+        miner.update(data[:17_000])
+        blob = json.dumps(miner.snapshot())
+        resumed = StreamMiner.from_snapshot(json.loads(blob), backend="cpu")
+        resumed.update(data[17_000:])
+        resumed.flush()
+        got = [resumed.quantile(phi) for phi in (0.1, 0.5, 0.99)]
+        assert got == GOLDEN_RESUMED_QUANTILES
+
+    def test_snapshot_restores_distinct_prepare(self):
+        """The restored distinct miner keeps hashing through its sketch."""
+        data = distinct_stream()
+        miner = StreamMiner("distinct", eps=0.05, backend="cpu",
+                            window_size=1024)
+        miner.update(data[:30_000])
+        blob = json.dumps(miner.snapshot())
+        resumed = StreamMiner.from_snapshot(json.loads(blob), backend="cpu")
+        resumed.update(data[30_000:])
+        resumed.flush()
+        assert resumed.distinct() == GOLDEN_DISTINCT
+
+
+class TestGoldenSharded:
+    def test_sharded_quantiles(self):
+        pool = ShardedMiner("quantile", eps=0.05, num_shards=4,
+                            backend="cpu", window_size=512,
+                            stream_length_hint=30_000)
+        pool.ingest(quantile_stream())
+        pool.drain()
+        got = [pool.quantile(phi) for phi in (0.1, 0.5, 0.99)]
+        assert got == GOLDEN_SHARDED_QUANTILES
+
+    def test_sharded_frequency(self):
+        pool = ShardedMiner("frequency", eps=0.01, num_shards=4,
+                            backend="cpu")
+        pool.ingest(frequency_stream())
+        pool.drain()
+        items = [(v, c) for v, c in pool.frequent_items(0.05)]
+        assert items == GOLDEN_FREQUENT_ITEMS
+        assert pool.processed == 40_000
+
+    def test_sharded_distinct(self):
+        pool = ShardedMiner("distinct", eps=0.05, num_shards=3,
+                            backend="cpu", window_size=1024)
+        pool.ingest(distinct_stream())
+        pool.drain()
+        assert pool.distinct() == GOLDEN_DISTINCT
+
+    def test_sharded_checkpoint_resume(self):
+        data = quantile_stream()
+        pool = ShardedMiner("quantile", eps=0.05, num_shards=4,
+                            backend="cpu", window_size=512,
+                            stream_length_hint=30_000)
+        pool.ingest(data[:17_000])
+        blob = json.dumps(pool.snapshot())
+        resumed = ShardedMiner.from_snapshot(json.loads(blob))
+        resumed.ingest(data[17_000:])
+        resumed.drain()
+        got = [resumed.quantile(phi) for phi in (0.1, 0.5, 0.99)]
+        assert got == GOLDEN_SHARDED_QUANTILES

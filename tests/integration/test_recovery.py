@@ -14,7 +14,6 @@ from repro.errors import ShardFailedError
 from repro.gpu.faults import FaultPlan
 from repro.service import (CheckpointStore, RetryPolicy, ShardedMiner,
                            StreamService)
-from repro.service.resilience import CircuitBreaker
 from repro.streams import uniform_stream, zipf_stream
 
 from ..conftest import rank_error

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import SortError
-from repro.gpu import BlendOp, GpuDevice, Texture2D
 from repro.sorting import pbsn_sort_texture, sort_step
 from repro.sorting.pbsn import (compute_max, compute_min, compute_row_max,
                                 compute_row_min)

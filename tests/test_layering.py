@@ -1,0 +1,61 @@
+"""The layer diagram holds: algorithm layers never import upward.
+
+Runs the same stdlib-AST lint CI runs (``tools/check_layers.py``) so a
+layering regression fails locally before it fails in CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+TOOLS = pathlib.Path(__file__).resolve().parents[1] / "tools"
+
+
+def load_check_layers():
+    spec = importlib.util.spec_from_file_location(
+        "check_layers", TOOLS / "check_layers.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_no_layering_violations():
+    checker = load_check_layers()
+    assert checker.violations() == []
+
+
+def test_lint_exits_zero(capsys):
+    checker = load_check_layers()
+    assert checker.main() == 0
+    assert "layering clean" in capsys.readouterr().out
+
+
+def test_lint_catches_a_planted_violation(tmp_path, monkeypatch):
+    """The lint actually detects upward imports (guard the guard)."""
+    checker = load_check_layers()
+    src = tmp_path / "src" / "repro"
+    (src / "core").mkdir(parents=True)
+    (src / "core" / "bad.py").write_text(
+        "from ..service.sharded import ShardedMiner\n"
+        "import repro.bench\n")
+    monkeypatch.setattr(checker, "REPO_ROOT", tmp_path)
+    monkeypatch.setattr(checker, "SRC_ROOT", src)
+    problems = checker.violations()
+    assert len(problems) == 2
+    assert any("repro.service.sharded" in p for p in problems)
+    assert any("repro.bench" in p for p in problems)
+
+
+def test_lint_is_stdlib_only():
+    """CI runs the lint before installing anything; keep it stdlib."""
+    import ast
+    tree = ast.parse((TOOLS / "check_layers.py").read_text())
+    imported = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            imported.update(alias.name.split(".")[0] for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            imported.add((node.module or "").split(".")[0])
+    assert imported <= set(sys.stdlib_module_names)

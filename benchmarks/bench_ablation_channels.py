@@ -14,7 +14,7 @@ from repro.bench.models import predict_pbsn_counters
 from repro.gpu.timing import GpuCostModel
 from repro.sorting import GpuSorter, merge_sorted_runs
 
-from conftest import SCALE, emit
+from conftest import emit, scaled
 
 
 def single_channel_blend_ops(n: int) -> int:
@@ -115,7 +115,7 @@ class TestSixteenBitBuffers:
 
 class TestChannelKernels:
     def test_four_windows_one_pass(self, benchmark, rng):
-        windows = [rng.random(1024 * SCALE).astype(np.float32)
+        windows = [rng.random(scaled(1024)).astype(np.float32)
                    for _ in range(4)]
         sorter = GpuSorter()
 

@@ -17,14 +17,14 @@ from repro.bench import Table
 from repro.core import GKSummary, StreamingQuantiles
 from repro.streams import uniform_stream
 
-from conftest import SCALE, emit, rank_error
+from conftest import emit, rank_error, scaled
 
 
 class TestInsertionModelAblation:
     @pytest.fixture(scope="class")
     def table(self):
         eps = 0.01
-        n = 60_000 * SCALE
+        n = scaled(60_000)
         data = uniform_stream(n, seed=17)
         reference = np.sort(data)
         table = Table(

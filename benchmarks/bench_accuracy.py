@@ -17,13 +17,13 @@ from repro.core import (LossyCounting, MisraGries, SpaceSaving,
                         StickySampling)
 from repro.streams import zipf_stream
 
-from conftest import SCALE, emit
+from conftest import emit, scaled
 
 
 class TestAccuracyTable:
     @pytest.fixture(scope="class")
     def table(self):
-        table = accuracy_series(run_elements=60_000 * SCALE)
+        table = accuracy_series(run_elements=scaled(60_000))
         emit(table)
         return table
 
@@ -42,7 +42,7 @@ class TestBaselineComparison:
     @pytest.fixture(scope="class")
     def table(self):
         eps, support = 0.001, 0.01
-        data = zipf_stream(100_000 * SCALE, alpha=1.2, universe=20_000,
+        data = zipf_stream(scaled(100_000), alpha=1.2, universe=20_000,
                            seed=99)
         n = data.size
         true = Counter(data.tolist())
@@ -88,7 +88,7 @@ class TestBaselineComparison:
 
 class TestAccuracyKernels:
     def test_lossy_counting_update_throughput(self, benchmark):
-        data = zipf_stream(50_000 * SCALE, alpha=1.3, universe=5000,
+        data = zipf_stream(scaled(50_000), alpha=1.3, universe=5000,
                            seed=100)
 
         def run():

@@ -16,7 +16,7 @@ from repro.gpu.timing import (CPU_MODEL_INTEL, CPU_MODEL_MSVC,
 from repro.bench.models import predicted_gpu_sort_time
 from repro.sorting import GpuSorter, optimized_sort
 
-from conftest import SCALE, emit
+from conftest import emit, scaled
 
 
 class TestFigure3Shape:
@@ -24,7 +24,7 @@ class TestFigure3Shape:
 
     @pytest.fixture(scope="class")
     def table(self):
-        table = figure3_series(wall_limit=(1 << 14) * SCALE)
+        table = figure3_series(wall_limit=scaled(1 << 14))
         emit(table)
         return table
 
@@ -60,19 +60,19 @@ class TestFigure3Kernels:
     """Wall-clock kernels behind the figure (pytest-benchmark)."""
 
     def test_gpu_pbsn_sort(self, benchmark, rng):
-        data = rng.random(4096 * SCALE).astype(np.float32)
+        data = rng.random(scaled(4096)).astype(np.float32)
         sorter = GpuSorter()
         out = benchmark(sorter.sort, data)
         assert np.array_equal(out, np.sort(data))
 
     def test_gpu_bitonic_sort(self, benchmark, rng):
-        data = rng.random(4096 * SCALE).astype(np.float32)
+        data = rng.random(scaled(4096)).astype(np.float32)
         sorter = GpuSorter(network="bitonic")
         out = benchmark(sorter.sort, data)
         assert np.array_equal(out, np.sort(data))
 
     def test_cpu_reference_sort(self, benchmark, rng):
-        data = rng.random(4096 * SCALE).astype(np.float32)
+        data = rng.random(scaled(4096)).astype(np.float32)
         out = benchmark(optimized_sort, data)
         assert np.array_equal(out, np.sort(data))
 

@@ -12,7 +12,7 @@ import pytest
 from repro.bench import figure4_series, predict_pbsn_counters
 from repro.sorting import GpuSorter
 
-from conftest import SCALE, emit
+from conftest import emit, scaled
 
 
 class TestFigure4Shape:
@@ -62,7 +62,7 @@ class TestCounterValidation:
 
 class TestFigure4Kernels:
     def test_upload_sort_readback_kernel(self, benchmark, rng):
-        data = rng.random(16384 * SCALE).astype(np.float32)
+        data = rng.random(scaled(16384)).astype(np.float32)
         sorter = GpuSorter()
 
         def pipeline():

@@ -12,13 +12,13 @@ from repro.bench import figure5_series
 from repro.core import StreamMiner
 from repro.streams import uniform_stream
 
-from conftest import SCALE, emit
+from conftest import emit, scaled
 
 
 class TestFigure5Shape:
     @pytest.fixture(scope="class")
     def table(self):
-        table = figure5_series(run_elements=100_000 * SCALE)
+        table = figure5_series(run_elements=scaled(100_000))
         emit(table)
         return table
 
@@ -43,7 +43,7 @@ class TestFigure5Shape:
 class TestFigure5Kernels:
     @pytest.mark.parametrize("backend", ["gpu", "cpu"])
     def test_frequency_pipeline(self, benchmark, backend):
-        data = uniform_stream(20_000 * SCALE, seed=55)
+        data = uniform_stream(scaled(20_000), seed=55)
 
         def run():
             miner = StreamMiner("frequency", eps=1e-3, backend=backend)

@@ -11,14 +11,14 @@ from repro.bench import figure6_series
 from repro.core import StreamMiner
 from repro.streams import uniform_stream, zipf_stream
 
-from conftest import SCALE, emit
+from conftest import emit, scaled
 
 
 class TestFigure6Shape:
     @pytest.fixture(scope="class")
     def table(self):
         table = figure6_series([1e-2, 1e-3, 1e-4],
-                               run_elements=200_000 * SCALE)
+                               run_elements=scaled(200_000))
         emit(table)
         return table
 
@@ -45,7 +45,7 @@ class TestFigure6Shape:
 class TestSkewDoesNotChangeStory:
     def test_zipf_stream_still_sort_dominated(self):
         miner = StreamMiner("frequency", eps=1e-3, backend="cpu")
-        miner.process(zipf_stream(100_000 * SCALE, alpha=1.2,
+        miner.process(zipf_stream(scaled(100_000), alpha=1.2,
                                   universe=50_000, seed=66))
         shares = miner.report.modelled_shares()
         assert shares["sort"] > 0.5
@@ -54,7 +54,7 @@ class TestSkewDoesNotChangeStory:
 class TestFigure6Kernels:
     def test_summary_op_accounting_overhead(self, benchmark):
         """The instrumentation itself must stay cheap."""
-        data = uniform_stream(20_000 * SCALE, seed=67)
+        data = uniform_stream(scaled(20_000), seed=67)
 
         def run():
             miner = StreamMiner("frequency", eps=1e-3, backend="cpu")

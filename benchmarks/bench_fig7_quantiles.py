@@ -14,13 +14,13 @@ from repro.core import StreamMiner
 from repro.gpu.presets import PENTIUM_IV_3_4GHZ
 from repro.streams import uniform_stream
 
-from conftest import SCALE, emit, rank_error
+from conftest import emit, rank_error, scaled
 
 
 class TestFigure7Shape:
     @pytest.fixture(scope="class")
     def table(self):
-        table = figure7_series(run_elements=100_000 * SCALE)
+        table = figure7_series(run_elements=scaled(100_000))
         emit(table)
         return table
 
@@ -46,7 +46,7 @@ class TestFigure7Shape:
 class TestFigure7Kernels:
     @pytest.mark.parametrize("backend", ["gpu", "cpu"])
     def test_quantile_pipeline(self, benchmark, backend):
-        data = uniform_stream(20_000 * SCALE, seed=77)
+        data = uniform_stream(scaled(20_000), seed=77)
 
         def run():
             miner = StreamMiner("quantile", eps=0.01, backend=backend,

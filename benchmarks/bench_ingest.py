@@ -16,9 +16,11 @@ import pytest
 from repro.bench import Table
 from repro.core import GKSummary
 
-from conftest import SCALE, emit, rank_error
+from conftest import emit, rank_error, scaled
 
-N = 1_000_000 * SCALE
+# The smoke floor keeps the scalar-vs-vectorized speedup measurable
+# above interpreter fixed costs.
+N = scaled(1_000_000, smoke=100_000)
 EPS = 0.01
 
 

@@ -19,9 +19,11 @@ from repro.gpu.faults import FaultPlan
 from repro.service import CheckpointStore, RetryPolicy, ShardedMiner
 from repro.streams import uniform_stream
 
-from conftest import SCALE, emit
+from conftest import emit, scaled
 
-ELEMENTS = 60_000 * SCALE
+# Smoke floor: enough uploads/readbacks that a 2% fault rate still
+# fires at least once per seeded schedule.
+ELEMENTS = scaled(60_000, smoke=24_000)
 FAULT_RATES = [0.0, 0.02, 0.05, 0.2]
 EPS = 0.02
 WINDOW = 512
@@ -87,7 +89,7 @@ class TestFaultRateOverhead:
         """The fault hook costs ~nothing when no plan is configured."""
         pool = ShardedMiner("quantile", eps=EPS, num_shards=2,
                             backend="gpu", window_size=WINDOW)
-        data = uniform_stream(8192 * SCALE, seed=3)
+        data = uniform_stream(scaled(8192), seed=3)
 
         def ingest_and_drain():
             pool.ingest(data)

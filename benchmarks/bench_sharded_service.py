@@ -18,9 +18,11 @@ from repro.bench.report import Table
 from repro.service import ShardedMiner, run_service_demo
 from repro.streams import uniform_stream
 
-from conftest import SCALE, emit
+from conftest import emit, scaled
 
-ELEMENTS = 120_000 * SCALE
+# Smoke floor: several 4096-element chunks per shard so the balance
+# and conservation checks stay meaningful.
+ELEMENTS = scaled(120_000, smoke=16_000)
 SHARD_COUNTS = [1, 2, 4, 8]
 EPS = 0.02
 

@@ -16,14 +16,18 @@ from repro.bench import sliding_window_series
 from repro.core import StreamMiner
 from repro.streams import uniform_stream, zipf_stream
 
-from conftest import SCALE, emit
+from conftest import SMOKE, emit, scaled
+
+# Windows must be several times smaller than the run, so smoke mode
+# shrinks both together.
+WINDOWS = [400, 1_000, 2_500] if SMOKE else [2_000, 10_000, 50_000]
 
 
 class TestSlidingShape:
     @pytest.fixture(scope="class")
     def table(self):
-        table = sliding_window_series([2_000, 10_000, 50_000],
-                                      run_elements=150_000 * SCALE)
+        table = sliding_window_series(
+            WINDOWS, run_elements=scaled(150_000, smoke=12_000))
         emit(table)
         return table
 
@@ -72,7 +76,7 @@ class TestVariableWidthWindows:
 class TestSlidingKernels:
     @pytest.mark.parametrize("backend", ["gpu", "cpu"])
     def test_sliding_quantile_pipeline(self, benchmark, backend):
-        data = uniform_stream(30_000 * SCALE, seed=91)
+        data = uniform_stream(scaled(30_000, smoke=12_000), seed=91)
 
         def run():
             miner = StreamMiner("quantile", eps=0.02, backend=backend,

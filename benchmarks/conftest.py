@@ -9,6 +9,10 @@ Environment knobs:
 
 * ``REPRO_BENCH_SCALE`` — multiplies the wall-clock workload sizes
   (default 1; set to 4+ on a fast machine for tighter numbers).
+* ``REPRO_BENCH_SMOKE`` — when set (and not "0"), shrinks every
+  workload to smoke-test size so the whole suite runs in seconds; the
+  CI smoke test uses this to prove every benchmark file still executes
+  and its qualitative assertions still hold.
 """
 
 from __future__ import annotations
@@ -19,6 +23,20 @@ import numpy as np
 import pytest
 
 SCALE = max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("", "0")
+
+
+def scaled(n: int, smoke: int | None = None) -> int:
+    """Workload size: ``n * SCALE`` normally, tiny under smoke mode.
+
+    ``smoke`` overrides the default shrink (``n // 16``, floored at 256)
+    for benchmarks whose assertions need a minimum size — e.g. enough
+    elements for fault injection to fire, or for a speedup to be
+    measurable above fixed costs.
+    """
+    if SMOKE:
+        return smoke if smoke is not None else max(256, n // 16)
+    return n * SCALE
 
 
 @pytest.fixture

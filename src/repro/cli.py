@@ -7,6 +7,8 @@ Usage::
     python -m repro frequent  --n 500000 --eps 0.001 --support 0.01
     python -m repro distinct  --n 500000 --universe 50000
     python -m repro serve     --n 200000 --shards 4 --producers 2
+    python -m repro serve     --n 200000 --metrics-port 9107
+    python -m repro trace     --n 100000 --statistic quantile
     python -m repro figures   --fast
 
 Each subcommand generates a synthetic stream (``--workload`` picks the
@@ -26,6 +28,8 @@ from .backends import resolve_sorter
 from .bench.report import build_all
 from .core.distinct import WindowedDistinctCounter
 from .core.engine import StreamMiner
+from .core.pipeline.timing import OPERATIONS
+from .obs import collecting, render_tree, stage_shares
 from .service.runner import format_result, run_service_demo
 from .sorting.cpu import optimized_sort
 from .streams.generators import GENERATORS
@@ -124,9 +128,60 @@ def cmd_serve(args: argparse.Namespace) -> int:
         phi=tuple(args.phi), support=args.support,
         fault_rate=args.fault_rate,
         checkpoint_dir=args.checkpoint_dir,
-        checkpoint_interval=args.checkpoint_interval)
+        checkpoint_interval=args.checkpoint_interval,
+        metrics_port=args.metrics_port)
     print(format_result(result))
     return 0 if result.all_within_bounds else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: run a workload under tracing, print a live Fig. 4.
+
+    The span tree shows where the simulator's wall time went; the stage
+    table recomputes Figure 4/6's operation percentages from the
+    ``modelled`` attributes the pipeline spans carry and checks them
+    against the :class:`~repro.core.pipeline.timing.EngineReport` the
+    engine billed for the same run.
+    """
+    data = _make_stream(args)
+    start = time.perf_counter()
+    with collecting() as col:
+        miner = StreamMiner(args.statistic, eps=args.eps,
+                            backend=args.backend, window_size=args.window,
+                            stream_length_hint=args.n)
+        miner.process(data)
+        if args.statistic == "quantile":
+            for phi in args.phi:
+                miner.quantile(phi)
+        elif args.statistic == "frequency":
+            miner.frequent_items(args.support)
+        else:
+            miner.distinct()
+        spans = col.snapshot()
+    wall = time.perf_counter() - start
+
+    print(f"trace: {args.n:,} elements ({args.workload}), "
+          f"statistic={args.statistic}, backend={miner.backend}, "
+          f"eps={args.eps}, {len(spans)} spans in {wall:.3f} s")
+    print()
+    print(render_tree(spans, total=wall))
+    print()
+
+    live = stage_shares(spans)
+    modelled = miner.report.modelled_shares()
+    print("stage breakdown (modelled paper-hardware seconds, Fig. 4/6):")
+    print(f"  {'stage':<10} {'live spans':>10} {'engine':>10} {'delta':>8}")
+    worst = 0.0
+    for stage in OPERATIONS:
+        delta = abs(live.get(stage, 0.0) - modelled.get(stage, 0.0))
+        worst = max(worst, delta)
+        print(f"  {stage:<10} {live.get(stage, 0.0):>10.2%} "
+              f"{modelled.get(stage, 0.0):>10.2%} {delta:>8.2%}")
+    if worst > 0.05:
+        print(f"  MISMATCH: live spans diverge from the engine report "
+              f"by {worst:.2%}")
+        return 1
+    return 0
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -211,7 +266,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint-interval", type=float, default=None,
                    help="seconds between periodic checkpoints (needs "
                         "--checkpoint-dir; default: final only)")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   help="serve Prometheus /metrics and /healthz on this "
+                        "port for the duration of the run (0 = ephemeral)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("trace",
+                       help="trace a workload and print the span tree")
+    _add_stream_args(p)
+    p.add_argument("--statistic",
+                   choices=["quantile", "frequency", "distinct"],
+                   default="quantile")
+    p.add_argument("--backend", choices=["gpu", "cpu"], default="gpu")
+    p.add_argument("--eps", type=float, default=0.01)
+    p.add_argument("--window", type=int, default=None)
+    p.add_argument("--phi", type=float, nargs="+", default=[0.5, 0.99])
+    p.add_argument("--support", type=float, default=0.01)
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("figures", help="regenerate the paper's figures")
     p.add_argument("--fast", action="store_true")

@@ -118,3 +118,10 @@ class FlajoletMartin:
     def relative_standard_error(self) -> float:
         """Expected relative error (Flajolet & Martin 1985)."""
         return 0.78 / math.sqrt(self.m)
+
+    def error_bound(self, confidence_sigmas: float = 2.0) -> float:
+        """Relative error bound at the requested confidence level."""
+        if confidence_sigmas <= 0:
+            raise SummaryError(
+                f"confidence_sigmas must be > 0, got {confidence_sigmas}")
+        return confidence_sigmas * self.relative_standard_error()

@@ -28,12 +28,14 @@ Figures 5-7 are regenerated from the modelled times.
 from __future__ import annotations
 
 import math
+import time
 from typing import Iterable
 
 import numpy as np
 
 from ..backends import resolve_sorter
 from ..errors import QueryError, SummaryError
+from ..obs import collector
 from ..gpu.device import GpuDevice
 from ..gpu.presets import PENTIUM_IV_3_4GHZ
 from .distinct.kmv import KMinValues
@@ -222,6 +224,17 @@ class StreamMiner:
     # the co-processor loop
     # ------------------------------------------------------------------
     def _flush_batch(self, batch_size: int) -> None:
+        col = collector()
+        if col.enabled:
+            # The batch span parents the per-stage spans the TimingModel
+            # emits, so `repro trace` nests sort/histogram/merge under it.
+            with col.span("pipeline.batch", windows=batch_size,
+                          backend=self.backend):
+                self._run_batch(batch_size)
+        else:
+            self._run_batch(batch_size)
+
+    def _run_batch(self, batch_size: int) -> None:
         windows = self._windower.peek(batch_size)
         sorted_windows = self._sort.run(windows)
         # The sort succeeded; only now do the windows leave the pending
@@ -239,13 +252,26 @@ class StreamMiner:
     # ------------------------------------------------------------------
     # queries (delegated to the live estimator)
     # ------------------------------------------------------------------
+    def _timed_query(self, name: str, compute, **attrs):
+        """Run one query, recording a ``query.*`` span when collecting."""
+        col = collector()
+        if not col.enabled:
+            return compute()
+        began = time.perf_counter()
+        result = compute()
+        col.record(name, time.perf_counter() - began, **attrs)
+        return result
+
     def quantile(self, phi: float, width: int | None = None) -> float:
         """The phi-quantile (quantile statistic only)."""
         if self.statistic != "quantile":
             raise QueryError("this miner estimates frequencies")
         if self.mode == "sliding":
-            return self.estimator.quantile(phi, width)
-        return self.estimator.quantile(phi)
+            return self._timed_query(
+                "query.quantile",
+                lambda: self.estimator.quantile(phi, width), phi=phi)
+        return self._timed_query(
+            "query.quantile", lambda: self.estimator.quantile(phi), phi=phi)
 
     def frequent_items(self, support: float,
                        width: int | None = None) -> list[tuple[float, int]]:
@@ -253,20 +279,27 @@ class StreamMiner:
         if self.statistic != "frequency":
             raise QueryError("this miner estimates quantiles")
         if self.mode == "sliding":
-            return self.estimator.frequent_items(support, width)
-        return self.estimator.frequent_items(support)
+            return self._timed_query(
+                "query.frequent_items",
+                lambda: self.estimator.frequent_items(support, width),
+                support=support)
+        return self._timed_query(
+            "query.frequent_items",
+            lambda: self.estimator.frequent_items(support), support=support)
 
     def estimate(self, value: float) -> int:
         """Estimated frequency of one value (frequency statistic only)."""
         if self.statistic != "frequency":
             raise QueryError("this miner estimates quantiles")
-        return self.estimator.estimate(value)
+        return self._timed_query(
+            "query.estimate", lambda: self.estimator.estimate(value))
 
     def distinct(self) -> float:
         """Estimated distinct values seen (distinct statistic only)."""
         if self.statistic != "distinct":
             raise QueryError("this miner does not count distinct values")
-        return self.estimator.estimate()
+        return self._timed_query(
+            "query.distinct", lambda: self.estimator.estimate())
 
     # ------------------------------------------------------------------
     # mergeable-state accessors (the sharded service's query layer)

@@ -76,6 +76,10 @@ class MisraGries:
         """Estimated frequency (never overestimates)."""
         return self._counters.get(float(np.float32(value)), 0)
 
+    def error_bound(self) -> float:
+        """Deterministic undercount fraction (``f >= true_f - eps*N``)."""
+        return self.eps
+
     def frequent_items(self, support: float) -> list[tuple[float, int]]:
         """Values whose estimate reaches ``(support - eps) * N``.
 

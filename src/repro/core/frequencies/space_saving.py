@@ -78,6 +78,10 @@ class SpaceSaving:
         key = float(np.float32(value))
         return self._counts.get(key, 0) - self._errors.get(key, 0)
 
+    def error_bound(self) -> float:
+        """Deterministic overcount fraction (``f <= true_f + eps*N``)."""
+        return self.eps
+
     def frequent_items(self, support: float) -> list[tuple[float, int]]:
         """Values whose estimate reaches ``support * N``.
 

@@ -99,6 +99,10 @@ class StickySampling:
         """Estimated frequency (undercounts with high probability)."""
         return self._counters.get(float(np.float32(value)), 0)
 
+    def error_bound(self) -> float:
+        """Undercount fraction, honoured with probability >= 1 - delta."""
+        return self.eps
+
     def frequent_items(self, support: float | None = None) -> list[tuple[float, int]]:
         """Values whose estimate reaches ``(support - eps) * N``."""
         support = self.support if support is None else support

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ...gpu.presets import PENTIUM_IV_3_4GHZ, CpuSpec
+from ...obs import collector
 from ...sorting.gpu_sorter import GpuSorter
 
 #: Modelled Pentium-IV cycles per histogram entry for the summary merge
@@ -94,13 +95,16 @@ class TimingModel:
         batch.  CPU-style backends bill their analytic cost model, when
         they have one.
         """
+        modelled_sort = 0.0
+        modelled_transfer = 0.0
         if isinstance(sorter, GpuSorter):
             breakdown = sorter.modelled_time()
-            sort_time = breakdown.sort
+            modelled_sort = breakdown.sort
             if self.report.windows:
-                sort_time -= breakdown.setup
-            self.report.modelled["sort"] += sort_time
-            self.report.modelled["transfer"] += breakdown.transfer
+                modelled_sort -= breakdown.setup
+            modelled_transfer = breakdown.transfer
+            self.report.modelled["sort"] += modelled_sort
+            self.report.modelled["transfer"] += modelled_transfer
             # Wall time on the simulator includes the (free-in-model)
             # transfers; attribute it all to sort.
             self.report.wall["sort"] += wall_seconds
@@ -108,14 +112,27 @@ class TimingModel:
             self.report.wall["sort"] += wall_seconds
             model = getattr(sorter, "cost_model", None)
             if model is not None:
-                self.report.modelled["sort"] += sum(
-                    model.time(len(w)) for w in windows)
+                modelled_sort = sum(model.time(len(w)) for w in windows)
+                self.report.modelled["sort"] += modelled_sort
+        col = collector()
+        if col.enabled:
+            # The spans carry the exact modelled deltas just billed, so
+            # span-derived stage shares reproduce Figure 4/6 precisely.
+            col.record("pipeline.sort", wall_seconds,
+                       windows=len(windows), modelled=modelled_sort)
+            if modelled_transfer:
+                col.record("pipeline.transfer", 0.0,
+                           modelled=modelled_transfer)
 
     def record_histogram(self, elements: int, wall_seconds: float) -> None:
         """Account the run-length histogram scan of one sorted window."""
+        modelled = elements * HISTOGRAM_CYCLES_PER_ELEMENT / self.clock_hz
         self.report.wall["histogram"] += wall_seconds
-        self.report.modelled["histogram"] += (
-            elements * HISTOGRAM_CYCLES_PER_ELEMENT / self.clock_hz)
+        self.report.modelled["histogram"] += modelled
+        col = collector()
+        if col.enabled:
+            col.record("pipeline.histogram", wall_seconds,
+                       elements=elements, modelled=modelled)
 
     def record_merge(self, merged_entries: int, summary_size: int,
                      wall_seconds: float) -> None:
@@ -125,12 +142,20 @@ class TimingModel:
         compress scans the summary as it stood before deletions — the
         surviving entries plus everything this window just merged in.
         """
-        self.report.wall["merge"] += wall_seconds
-        self.report.modelled["merge"] += (
-            merged_entries * MERGE_CYCLES_PER_ENTRY / self.clock_hz)
+        modelled_merge = merged_entries * MERGE_CYCLES_PER_ENTRY / \
+            self.clock_hz
         scanned = summary_size + merged_entries
-        self.report.modelled["compress"] += (
-            scanned * COMPRESS_CYCLES_PER_ENTRY / self.clock_hz)
+        modelled_compress = scanned * COMPRESS_CYCLES_PER_ENTRY / \
+            self.clock_hz
+        self.report.wall["merge"] += wall_seconds
+        self.report.modelled["merge"] += modelled_merge
+        self.report.modelled["compress"] += modelled_compress
+        col = collector()
+        if col.enabled:
+            col.record("pipeline.merge", wall_seconds,
+                       entries=merged_entries, modelled=modelled_merge)
+            col.record("pipeline.compress", 0.0, entries=scanned,
+                       modelled=modelled_compress)
 
     def record_batch(self, windows) -> None:
         """Account the window/element totals of one completed batch."""

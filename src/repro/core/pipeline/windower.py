@@ -13,9 +13,12 @@ data loss.
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 import numpy as np
+
+from ...obs import collector
 
 
 class Windower:
@@ -50,6 +53,8 @@ class Windower:
         every element of ``chunk`` is safely held in either a pending
         window or the tail buffer.
         """
+        col = collector()
+        began = time.perf_counter() if col.enabled else 0.0
         arr = np.asarray(chunk, dtype=np.float32).ravel()
         if arr.size == 0:
             return
@@ -62,6 +67,9 @@ class Windower:
         for start in range(0, full, w):
             self._windows.append(data[start:start + w])
         self._tail = data[full:].copy()
+        if col.enabled:
+            col.record("pipeline.window", time.perf_counter() - began,
+                       elements=int(arr.size), windows=full // w)
 
     def flush_tail(self) -> None:
         """Promote the partial tail to a (short) pending window."""

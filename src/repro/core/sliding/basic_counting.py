@@ -104,6 +104,10 @@ class DgimCounter:
         self._expire()
         return sum(b.size for b in self._buckets)
 
+    def error_bound(self) -> float:
+        """Deterministic relative counting error."""
+        return self.eps
+
     def __len__(self) -> int:
         """Number of buckets currently held."""
         return len(self._buckets)

@@ -10,9 +10,12 @@ billing happens.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..errors import BusError
+from ..obs import collector
 from .counters import PerfCounters
 from .presets import AGP_8X, BusSpec
 
@@ -46,8 +49,14 @@ class Bus:
             raise BusError("refusing to upload an empty array")
         if self.fault_injector is not None:
             self.fault_injector.check("upload")
+        col = collector()
+        began = time.perf_counter() if col.enabled else 0.0
         device_copy = np.ascontiguousarray(data, dtype=np.float32)
         self.counters.record_upload(device_copy.nbytes)
+        if col.enabled:
+            col.record("gpu.upload", time.perf_counter() - began,
+                       bytes=device_copy.nbytes,
+                       modelled=self.transfer_time(device_copy.nbytes))
         return device_copy
 
     def readback(self, data: np.ndarray) -> np.ndarray:
@@ -56,8 +65,14 @@ class Bus:
             raise BusError("refusing to read back an empty array")
         if self.fault_injector is not None:
             self.fault_injector.check("readback")
+        col = collector()
+        began = time.perf_counter() if col.enabled else 0.0
         host_copy = np.array(data, dtype=np.float32, copy=True)
         self.counters.record_readback(host_copy.nbytes)
+        if col.enabled:
+            col.record("gpu.readback", time.perf_counter() - began,
+                       bytes=host_copy.nbytes,
+                       modelled=self.transfer_time(host_copy.nbytes))
         return host_copy
 
     def transfer_time(self, nbytes: int, transfers: int = 1) -> float:

@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import GpuError, TextureError, VideoMemoryError
+from ..obs import collector
 from .blend import BlendOp
 from .bus import Bus
 from .counters import PerfCounters
@@ -74,6 +75,9 @@ class GpuDevice:
         self.framebuffer: FrameBuffer | None = None
         self._textures: dict[str, Texture2D] = {}
         self._texture_seq = 0
+        #: (label, blend) -> [passes, fragments] accumulated since the
+        #: last transfer; see :meth:`flush_pass_spans`.
+        self._pass_acc: dict[tuple[str, str], list] = {}
 
     # ------------------------------------------------------------------
     # video memory management
@@ -142,11 +146,13 @@ class GpuDevice:
 
     def readback_texture(self, texture: Texture2D) -> np.ndarray:
         """Transfer a texture's contents back to the host."""
+        self.flush_pass_spans()
         return self.bus.readback(texture.view()).reshape(texture.shape)
 
     def readback_framebuffer(self) -> np.ndarray:
         """Transfer the bound frame buffer's pixels back to the host."""
         fb = self._require_framebuffer()
+        self.flush_pass_spans()
         return self.bus.readback(fb.pixels()).reshape(
             (fb.height, fb.width, CHANNELS))
 
@@ -176,15 +182,53 @@ class GpuDevice:
         fb = self._require_framebuffer()
         if self.fault_injector is not None:
             self.fault_injector.check("raster")
-        return draw_quad(fb, texture, dst_rect, tex_rect, self.counters,
-                         label)
+        fragments = draw_quad(fb, texture, dst_rect, tex_rect, self.counters,
+                              label)
+        if collector().enabled:
+            # A sorting network issues thousands of passes per batch, so
+            # per-pass Span objects would blow the <5% overhead budget
+            # (bench_obs_overhead.py); accumulate and flush instead.
+            acc = self._pass_acc.get((label, fb.blend_op.value))
+            if acc is None:
+                self._pass_acc[(label, fb.blend_op.value)] = [1, fragments]
+            else:
+                acc[0] += 1
+                acc[1] += fragments
+        return fragments
 
     def copy_texture_to_framebuffer(self, texture: Texture2D) -> int:
         """Routine 4.1: blit ``texture`` into the frame buffer."""
         fb = self._require_framebuffer()
         if self.fault_injector is not None:
             self.fault_injector.check("raster")
-        return copy_texture(fb, texture, self.counters)
+        fragments = copy_texture(fb, texture, self.counters)
+        if collector().enabled:
+            acc = self._pass_acc.get(("copy", "none"))
+            if acc is None:
+                self._pass_acc[("copy", "none")] = [1, fragments]
+            else:
+                acc[0] += 1
+                acc[1] += fragments
+        return fragments
+
+    def flush_pass_spans(self) -> None:
+        """Emit one aggregated ``gpu.pass`` span per (label, blend) group.
+
+        The paper's algorithms all follow "upload once, render, read back
+        once", so flushing at the transfer boundaries (this is called by
+        the readback methods) scopes the aggregation to one logical GPU
+        operation.  Pass/fragment totals are exact; the simulated
+        rasterization wall time is attributed to the enclosing pipeline
+        stage span rather than timed per pass.
+        """
+        if not self._pass_acc:
+            return
+        col = collector()
+        if col.enabled:
+            for (label, blend), (passes, fragments) in self._pass_acc.items():
+                col.record("gpu.pass", 0.0, passes=passes,
+                           fragments=fragments, label=label, blend=blend)
+        self._pass_acc.clear()
 
     def copy_framebuffer_to_texture(self, texture: Texture2D) -> None:
         """GPU-internal copy of the frame buffer into ``texture``.

@@ -1,0 +1,157 @@
+"""Exporters: Prometheus text format 0.0.4 and JSON.
+
+Both consume the :class:`~repro.obs.metrics.Sample` list a
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` returns.  A minimal
+:func:`parse_prometheus` is included so the test suite can round-trip
+what ``/metrics`` serves — it understands exactly what
+:func:`to_prometheus` emits (one metric per line, optional labels,
+``# HELP``/``# TYPE`` comments), not the full exposition grammar.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from .metrics import HistogramValue, Sample
+
+__all__ = ["parse_prometheus", "to_json", "to_prometheus"]
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _labels_text(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{_escape_label(str(value))}"'
+                     for key, value in labels)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(float(value))
+
+
+def to_prometheus(samples: list[Sample]) -> str:
+    """Render samples in the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for sample in samples:
+        if sample.name not in seen_headers:
+            seen_headers.add(sample.name)
+            if sample.help:
+                lines.append(f"# HELP {sample.name} {sample.help}")
+            lines.append(f"# TYPE {sample.name} {sample.kind}")
+        if isinstance(sample.value, HistogramValue):
+            value = sample.value
+            for bound, count in zip((*value.bounds, math.inf),
+                                    value.counts):
+                bucket_labels = sample.labels + (
+                    ("le", _format_value(bound)),)
+                lines.append(f"{sample.name}_bucket"
+                             f"{_labels_text(bucket_labels)} {count}")
+            lines.append(f"{sample.name}_sum{_labels_text(sample.labels)} "
+                         f"{_format_value(value.sum)}")
+            lines.append(f"{sample.name}_count{_labels_text(sample.labels)} "
+                         f"{value.count}")
+        else:
+            lines.append(f"{sample.name}{_labels_text(sample.labels)} "
+                         f"{_format_value(sample.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def to_json(samples: list[Sample]) -> str:
+    """Render samples as a JSON document (stable key order)."""
+    rows = []
+    for sample in samples:
+        row: dict = {
+            "name": sample.name,
+            "kind": sample.kind,
+            "labels": dict(sample.labels),
+        }
+        if isinstance(sample.value, HistogramValue):
+            row["value"] = {
+                "bounds": list(sample.value.bounds),
+                "counts": list(sample.value.counts),
+                "sum": sample.value.sum,
+                "count": sample.value.count,
+            }
+        else:
+            row["value"] = sample.value
+        if sample.help:
+            row["help"] = sample.help
+        rows.append(row)
+    return json.dumps({"metrics": rows}, indent=2, sort_keys=True)
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def _parse_labels(text: str) -> tuple[tuple[str, str], ...]:
+    labels: list[tuple[str, str]] = []
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        key = text[i:eq].strip().lstrip(",").strip()
+        assert text[eq + 1] == '"', f"unquoted label value near {text[eq:]!r}"
+        j = eq + 2
+        value: list[str] = []
+        while text[j] != '"':
+            if text[j] == "\\":
+                j += 1
+                value.append({"n": "\n", '"': '"', "\\": "\\"}[text[j]])
+            else:
+                value.append(text[j])
+            j += 1
+        labels.append((key, "".join(value)))
+        i = j + 1
+    return tuple(sorted(labels))
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse :func:`to_prometheus` output back into readings.
+
+    Returns ``{(name, labels): value}`` with labels as a sorted tuple of
+    pairs — histogram series appear under their ``_bucket``/``_sum``/
+    ``_count`` names.  Also validates the line grammar strictly enough
+    that a malformed exposition fails the round-trip test.
+    """
+    readings: dict = {}
+    types: dict[str, str] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                assert parts[3] in ("counter", "gauge", "histogram"), \
+                    f"unknown TYPE {parts[3]!r}"
+                types[parts[2]] = parts[3]
+            continue
+        if "{" in line:
+            name = line[:line.index("{")]
+            rest = line[line.index("{") + 1:]
+            labels_text, _, value_text = rest.rpartition("}")
+            labels = _parse_labels(labels_text)
+        else:
+            name, _, value_text = line.partition(" ")
+            labels = ()
+        key = (name, labels)
+        assert key not in readings, f"duplicate series {key}"
+        readings[key] = _parse_value(value_text.strip())
+    return readings

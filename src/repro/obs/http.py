@@ -1,0 +1,129 @@
+"""A stdlib HTTP endpoint for ``/metrics`` and ``/healthz``.
+
+``repro serve --metrics-port`` starts one of these next to the asyncio
+service: a daemon-threaded :class:`http.server.ThreadingHTTPServer`
+that renders the shared :class:`~repro.obs.metrics.MetricsRegistry` in
+the Prometheus text format on every scrape.  There is deliberately no
+framework and no dependency — the whole point of the pull model is that
+serving metrics is just "snapshot, render, write".
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .export import to_json, to_prometheus
+from .metrics import MetricsRegistry
+
+__all__ = ["MetricsServer"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serves a registry over HTTP from a background daemon thread.
+
+    Parameters
+    ----------
+    registry:
+        The registry to snapshot on every ``/metrics`` request.
+    port:
+        TCP port to bind; ``0`` (the default) picks a free one — read
+        :attr:`port` after :meth:`start` for the bound value.
+    host:
+        Bind address; loopback by default (a reverse proxy or the
+        operator's scrape config decides what is public).
+    healthy:
+        Optional zero-argument callable; ``/healthz`` returns 200 while
+        it is truthy and 503 once it is not (e.g. a shard failed
+        permanently).  ``None`` means always healthy.
+    """
+
+    def __init__(self, registry: MetricsRegistry, port: int = 0,
+                 host: str = "127.0.0.1", healthy=None):
+        self.registry = registry
+        self.requested_port = int(port)
+        self.host = host
+        self.healthy = healthy
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._server is None:
+            return self.requested_port
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running endpoint."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        """Bind the socket and start serving from a daemon thread."""
+        if self._server is not None:
+            return self
+        server = ThreadingHTTPServer((self.host, self.requested_port),
+                                     _handler_for(self))
+        server.daemon_threads = True
+        self._server = server
+        self._thread = threading.Thread(target=server.serve_forever,
+                                        name="metrics-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def _handler_for(owner: MetricsServer):
+    """Build a request-handler class bound to one :class:`MetricsServer`."""
+
+    class Handler(BaseHTTPRequestHandler):
+        def _send(self, status: int, content_type: str,
+                  body: str) -> None:
+            payload = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            path = self.path.split("?", 1)[0]
+            if path == "/metrics":
+                self._send(200, PROMETHEUS_CONTENT_TYPE,
+                           to_prometheus(owner.registry.snapshot()))
+            elif path == "/metrics.json":
+                self._send(200, "application/json",
+                           to_json(owner.registry.snapshot()))
+            elif path == "/healthz":
+                ok = owner.healthy is None or bool(owner.healthy())
+                self._send(200 if ok else 503, "application/json",
+                           '{"status": "ok"}\n' if ok
+                           else '{"status": "unhealthy"}\n')
+            else:
+                self._send(404, "text/plain; charset=utf-8",
+                           "not found; try /metrics or /healthz\n")
+
+        def log_message(self, *args) -> None:
+            """Silence per-request stderr logging (scrapes are periodic)."""
+
+    return Handler

@@ -1,0 +1,243 @@
+"""Counters, gauges, histograms, and the registry that unifies them.
+
+The package grew three disconnected counter modules — the GPU's
+:class:`~repro.gpu.counters.PerfCounters`, the pipeline's
+:class:`~repro.core.pipeline.timing.EngineReport`, and the service's
+:class:`~repro.service.metrics.ServiceMetrics`.  Each keeps its public
+API (they are cheap, purpose-built, and heavily asserted against), and
+this registry absorbs them by *pulling*: a registered source callable is
+invoked at snapshot time and contributes :class:`Sample` rows next to
+the registry's own instruments.  The hot paths therefore pay nothing for
+unification — translation happens only when somebody scrapes.
+
+Consistency: every instrument created by a registry shares that
+registry's lock, ``snapshot()`` reads all of them under it, and
+:meth:`MetricsRegistry.atomically` lets writers apply *paired* updates
+(e.g. ``elements`` + ``batches``) that no snapshot can observe half-way
+— the no-tearing claim the torn-snapshot test hammers.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramValue",
+    "MetricsRegistry",
+    "Sample",
+]
+
+#: Default histogram bucket upper bounds (seconds-flavoured, like
+#: Prometheus' own defaults for latency histograms).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+
+@dataclass(frozen=True)
+class HistogramValue:
+    """An immutable histogram reading: cumulative buckets + sum + count."""
+
+    bounds: tuple[float, ...]
+    #: cumulative counts per bound, plus the +Inf bucket last.
+    counts: tuple[int, ...]
+    sum: float
+    count: int
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exported metric reading (the unit every exporter consumes)."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    value: float | HistogramValue
+    labels: tuple[tuple[str, str], ...] = ()
+    help: str = ""
+
+
+def _label_key(labels: dict[str, str] | None) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((labels or {}).items()))
+
+
+class Counter:
+    """Monotonically increasing value; create via ``registry.counter``."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labels, lock):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease "
+                             f"(inc({amount}))")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _sample(self) -> Sample:
+        return Sample(self.name, self.kind, self._value, self.labels,
+                      self.help)
+
+
+class Gauge(Counter):
+    """A value that can go both ways; create via ``registry.gauge``."""
+
+    kind = "gauge"
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class Histogram:
+    """Cumulative-bucket histogram; create via ``registry.histogram``."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, labels, lock,
+                 buckets=DEFAULT_BUCKETS):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._lock = lock
+        self.bounds = tuple(sorted(float(b) for b in buckets))
+        if not self.bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self._counts = [0] * (len(self.bounds) + 1)  # +Inf last
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._counts[i] += 1
+                    break
+            else:
+                self._counts[-1] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def value(self) -> HistogramValue:
+        with self._lock:
+            return self._read()
+
+    def _read(self) -> HistogramValue:
+        cumulative: list[int] = []
+        running = 0
+        for count in self._counts:
+            running += count
+            cumulative.append(running)
+        return HistogramValue(self.bounds, tuple(cumulative), self._sum,
+                              self._count)
+
+    def _sample(self) -> Sample:
+        return Sample(self.name, self.kind, self._read(), self.labels,
+                      self.help)
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store + pull-model sources + snapshot.
+
+    >>> from repro.obs import MetricsRegistry
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("repro_demo_total", "demo").inc(3)
+    >>> [s.value for s in registry.snapshot()]
+    [3.0]
+    """
+
+    def __init__(self):
+        # One reentrant lock for the whole registry: instruments share
+        # it, so a snapshot is a single consistent cut and atomically()
+        # can nest instrument updates without deadlocking.
+        self._lock = threading.RLock()
+        self._instruments: dict = {}
+        self._sources: list = []
+
+    # -- instrument construction (get-or-create) -----------------------
+    def _get(self, cls, name: str, help: str, labels, **kwargs):
+        key = (name, _label_key(labels))
+        with self._lock:
+            existing = self._instruments.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}")
+                return existing
+            instrument = cls(name, help, _label_key(labels), self._lock,
+                             **kwargs)
+            self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "",
+                labels: dict[str, str] | None = None) -> Counter:
+        """Get or create a counter."""
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: dict[str, str] | None = None) -> Gauge:
+        """Get or create a gauge."""
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: dict[str, str] | None = None,
+                  buckets=DEFAULT_BUCKETS) -> Histogram:
+        """Get or create a histogram."""
+        return self._get(Histogram, name, help, labels, buckets=buckets)
+
+    # -- pull-model unification ----------------------------------------
+    def register_source(self, source) -> None:
+        """Add a callable returning an iterable of :class:`Sample`.
+
+        Sources are how the existing counter modules join the registry
+        without changing their APIs: a source closure reads the live
+        object (``PerfCounters``, ``EngineReport``, ``ServiceMetrics``,
+        ...) and translates it to samples *at scrape time*.
+        """
+        with self._lock:
+            self._sources.append(source)
+
+    # -- consistency ---------------------------------------------------
+    @contextmanager
+    def atomically(self):
+        """Apply several instrument updates as one indivisible step.
+
+        Holding the registry lock across the block means no concurrent
+        ``snapshot()`` can observe the first update without the second —
+        use it for invariants like "elements only grows with batches".
+        """
+        with self._lock:
+            yield
+
+    def snapshot(self) -> list[Sample]:
+        """One consistent reading of every instrument and source."""
+        with self._lock:
+            samples = [instrument._sample()
+                       for instrument in self._instruments.values()]
+            for source in self._sources:
+                samples.extend(source())
+        return samples

@@ -1,0 +1,297 @@
+"""Zero-dependency tracing: spans, collectors, and the span tree.
+
+The paper's whole evaluation is per-stage measurement — Figure 3's
+transfer-vs-compute split and Figure 4's sort/histogram/merge/compress
+breakdown.  This module makes that measurement a first-class runtime
+artifact instead of something only the benchmark harness can see: every
+layer of the pipeline emits :class:`Span` records into the installed
+collector, and ``repro trace`` renders them as a live Figure 4.
+
+Design rules (they are what keeps the overhead bound honest):
+
+* the default collector is :class:`NullCollector` with ``enabled`` set
+  to ``False`` — hot paths guard with ``if collector().enabled:`` so an
+  uninstrumented run pays one attribute read per potential span;
+* callers that already measured a duration (the pipeline stages time
+  themselves for the :class:`~repro.core.pipeline.timing.EngineReport`)
+  hand it over via :meth:`SpanCollector.record` instead of paying for a
+  second ``perf_counter`` pair inside a context manager;
+* parenting is a thread-local stack, so concurrently dispatching shards
+  build separate, correctly-nested subtrees into one shared collector.
+
+This module imports nothing from the rest of the package (enforced by
+``tools/check_layers.py``): ``obs`` is a leaf every other layer may use.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "NullCollector",
+    "Span",
+    "SpanCollector",
+    "aggregate",
+    "collecting",
+    "collector",
+    "render_tree",
+    "set_collector",
+    "stage_shares",
+]
+
+
+@dataclass
+class Span:
+    """One timed, named interval with optional numeric/string attributes."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    #: ``perf_counter`` seconds at start/end (same clock for all spans).
+    start: float
+    end: float
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def wall(self) -> float:
+        """Measured duration in seconds."""
+        return self.end - self.start
+
+
+class NullCollector:
+    """The default collector: collects nothing, costs (almost) nothing.
+
+    ``enabled`` is ``False`` so instrumented hot paths can skip even the
+    argument construction of a ``record`` call.  The methods still exist
+    (and do nothing) so un-guarded call sites stay correct.
+    """
+
+    enabled = False
+
+    def record(self, name: str, wall: float, **attrs) -> None:
+        """Discard a pre-measured interval."""
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """No-op context manager (yields ``None``)."""
+        yield None
+
+
+class SpanCollector:
+    """Accumulates spans from every layer, thread-safely.
+
+    One collector instance is installed globally (see :func:`collecting`)
+    and shared by the pipeline, the GPU device, and the service workers;
+    each thread keeps its own parent stack so nesting stays correct
+    under the service's ``asyncio.to_thread`` dispatches.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        #: finished context-manager spans (have ids; may be parents).
+        self._closed: list[Span] = []
+        #: per-thread leaf buffers of (name, parent, wall, end, attrs)
+        #: tuples — recorded without ids or locks (see :meth:`record`).
+        self._buffers: list[list] = []
+
+    # -- parenting -----------------------------------------------------
+    def _thread_state(self):
+        local = self._local
+        try:
+            return local.stack, local.buffer
+        except AttributeError:
+            local.stack = []
+            local.buffer = []
+            with self._lock:
+                self._buffers.append(local.buffer)
+            return local.stack, local.buffer
+
+    def current_parent(self) -> int | None:
+        """The innermost open span id on this thread, if any."""
+        stack, _ = self._thread_state()
+        return stack[-1] if stack else None
+
+    # -- emission ------------------------------------------------------
+    def record(self, name: str, wall: float, **attrs) -> None:
+        """Record an interval that the caller already measured.
+
+        This is the hot path (the GPU emits one span per rendering
+        pass), so it is a plain append to a thread-owned buffer: no
+        lock, no id allocation, no object construction.  The interval
+        is anchored so it *ends* now, which spares a second clock read;
+        :meth:`snapshot` materialises the buffered tuples into
+        :class:`Span` objects.  Recorded intervals are always leaves —
+        only :meth:`span` blocks can parent other spans.
+        """
+        stack, buffer = self._thread_state()
+        buffer.append((name, stack[-1] if stack else None, wall,
+                       time.perf_counter(), attrs))
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a span around a block; children nest under it."""
+        span = Span(name, next(self._ids), self.current_parent(),
+                    time.perf_counter(), 0.0, attrs)
+        stack, _ = self._thread_state()
+        stack.append(span.span_id)
+        try:
+            yield span
+        finally:
+            stack.pop()
+            span.end = time.perf_counter()
+            with self._lock:
+                self._closed.append(span)
+
+    # -- reading -------------------------------------------------------
+    def snapshot(self) -> list[Span]:
+        """Every span recorded so far, as materialised :class:`Span` s.
+
+        Leaf tuples get ids here (fresh ones per call — only parent
+        links matter for the tree).  Safe to call while other threads
+        keep recording: buffers are append-only and read by index.
+        """
+        with self._lock:
+            spans = list(self._closed)
+            buffers = list(self._buffers)
+        for buffer in buffers:
+            for name, parent, wall, end, attrs in buffer[:len(buffer)]:
+                spans.append(Span(name, next(self._ids), parent,
+                                  end - wall, end, attrs))
+        return spans
+
+
+# ----------------------------------------------------------------------
+# the installed collector
+# ----------------------------------------------------------------------
+_NULL = NullCollector()
+_collector = _NULL
+
+
+def collector():
+    """The currently installed collector (the no-op one by default)."""
+    return _collector
+
+
+def set_collector(new) -> None:
+    """Install ``new`` as the process-wide collector (``None`` resets)."""
+    global _collector
+    _collector = _NULL if new is None else new
+
+
+@contextmanager
+def collecting():
+    """Install a fresh :class:`SpanCollector` for the duration of a block.
+
+    >>> from repro.obs import collecting
+    >>> with collecting() as spans:
+    ...     pass  # run an instrumented workload
+    >>> spans.snapshot()
+    []
+    """
+    previous = _collector
+    fresh = SpanCollector()
+    set_collector(fresh)
+    try:
+        yield fresh
+    finally:
+        set_collector(previous)
+
+
+# ----------------------------------------------------------------------
+# span-tree aggregation and rendering
+# ----------------------------------------------------------------------
+@dataclass
+class SpanGroup:
+    """All spans that share one name-path from the root."""
+
+    path: tuple[str, ...]
+    count: int = 0
+    wall: float = 0.0
+    #: sums of every numeric attribute seen on the grouped spans.
+    attr_totals: dict[str, float] = field(default_factory=dict)
+    children: dict[str, "SpanGroup"] = field(default_factory=dict)
+
+
+def aggregate(spans: list[Span]) -> SpanGroup:
+    """Fold a span list into a tree of :class:`SpanGroup` nodes.
+
+    Spans recur (one per window, per pass, per batch); grouping by the
+    name-path keeps the render readable at any stream length while
+    preserving totals exactly.
+    """
+    by_id = {span.span_id: span for span in spans}
+
+    def path_of(span: Span) -> tuple[str, ...]:
+        names: list[str] = []
+        node: Span | None = span
+        while node is not None:
+            names.append(node.name)
+            node = by_id.get(node.parent_id) if node.parent_id else None
+        return tuple(reversed(names))
+
+    root = SpanGroup(path=())
+    for span in spans:
+        node = root
+        for name in path_of(span):
+            node = node.children.setdefault(
+                name, SpanGroup(path=node.path + (name,)))
+        node.count += 1
+        node.wall += span.wall
+        for key, value in span.attrs.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                node.attr_totals[key] = node.attr_totals.get(key, 0.0) + value
+    return root
+
+
+def render_tree(spans: list[Span], total: float | None = None) -> str:
+    """Human-readable indented tree of the aggregated spans."""
+    root = aggregate(spans)
+    if total is None:
+        total = sum(g.wall for g in root.children.values()) or 1.0
+    lines: list[str] = []
+
+    def walk(group: SpanGroup, depth: int) -> None:
+        for name in sorted(group.children,
+                           key=lambda n: -group.children[n].wall):
+            child = group.children[name]
+            extras = "".join(
+                f"  {k}={v:,.6g}" for k, v in sorted(
+                    child.attr_totals.items()))
+            lines.append(
+                f"{'  ' * depth}{name:<{max(1, 24 - 2 * depth)}} "
+                f"x{child.count:<6} {child.wall * 1e3:>9.3f} ms "
+                f"{child.wall / total:>6.1%}{extras}")
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return "\n".join(lines)
+
+
+def stage_shares(spans: list[Span], attr: str = "modelled",
+                 prefix: str = "pipeline.") -> dict[str, float]:
+    """Per-stage fractions of a summed numeric span attribute.
+
+    With the default arguments this recomputes Figure 4/6's operation
+    shares *from the live spans*: the pipeline's spans carry the
+    modelled paper-hardware seconds the
+    :class:`~repro.core.pipeline.timing.TimingModel` billed, so the
+    result matches ``EngineReport.modelled_shares()`` for the same run.
+    """
+    totals: dict[str, float] = {}
+    for span in spans:
+        if not span.name.startswith(prefix) or attr not in span.attrs:
+            continue
+        stage = span.name[len(prefix):]
+        totals[stage] = totals.get(stage, 0.0) + float(span.attrs[attr])
+    grand = sum(totals.values())
+    if grand <= 0:
+        return {stage: 0.0 for stage in totals}
+    return {stage: value / grand for stage, value in totals.items()}

@@ -38,11 +38,13 @@ the service is an in-process component that a transport (or the
 from __future__ import annotations
 
 import asyncio
+import time
 from contextlib import AsyncExitStack
 
 import numpy as np
 
 from ..errors import ServiceError, ShardFailedError
+from ..obs import collector
 from ..streams.load_shedding import LoadShedder
 from .checkpoint import CheckpointStore
 from .metrics import ServiceMetrics
@@ -195,6 +197,8 @@ class StreamService:
         """
         if not self._started:
             raise ServiceError("service not started")
+        col = collector()
+        began = time.perf_counter() if col.enabled else 0.0
         parts = self.miner.partitioner.split(chunk)
         for shard_id, part in enumerate(parts):
             # Fail fast before queueing anything: accepting data for a
@@ -205,8 +209,12 @@ class StreamService:
         for shard_id, part in enumerate(parts):
             shedder = self._shedders[shard_id]
             if shedder is not None:
+                shed_before = shedder.stats.shed
                 part = shedder.offer(part)
                 self.miner.metrics.shards[shard_id].shed = shedder.stats.shed
+                if col.enabled and shedder.stats.shed > shed_before:
+                    col.record("service.shed", 0.0, shard=shard_id,
+                               elements=shedder.stats.shed - shed_before)
             if part.size == 0:
                 continue
             queue = self._queues[shard_id]
@@ -216,6 +224,9 @@ class StreamService:
             shard.queue_high_water = max(shard.queue_high_water,
                                          queue.qsize())
         self.miner.metrics.ingested += accepted
+        if col.enabled:
+            col.record("service.enqueue", time.perf_counter() - began,
+                       elements=accepted)
         return accepted
 
     async def _worker(self, shard_id: int) -> None:
@@ -241,6 +252,10 @@ class StreamService:
                 parts.append(extra)
                 size += int(extra.size)
             batch = np.concatenate(parts) if len(parts) > 1 else chunk
+            col = collector()
+            if col.enabled:
+                col.record("service.coalesce", 0.0, shard=shard_id,
+                           chunks=len(parts), elements=size)
             try:
                 # The lock makes checkpoints cut at batch boundaries:
                 # a checkpoint holds every shard's lock, so it never
@@ -334,6 +349,8 @@ class StreamService:
             raise ServiceError("no checkpoint store configured")
         if not self._started:
             raise ServiceError("service not started")
+        col = collector()
+        began = time.perf_counter() if col.enabled else 0.0
         await asyncio.gather(*(queue.join() for queue in self._queues))
         async with AsyncExitStack() as stack:
             for lock in self._locks:
@@ -341,6 +358,9 @@ class StreamService:
             state = self.miner.snapshot()
         path = await asyncio.to_thread(self.checkpoint_store.save, state)
         self.miner.metrics.checkpoints += 1
+        if col.enabled:
+            col.record("service.checkpoint", time.perf_counter() - began,
+                       shards=self.miner.num_shards)
         return path
 
     async def _checkpoint_loop(self) -> None:

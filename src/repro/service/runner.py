@@ -22,6 +22,7 @@ from __future__ import annotations
 import asyncio
 import math
 import signal
+import urllib.request
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,6 +30,8 @@ import numpy as np
 from ..backends import registered_backends
 from ..errors import ServiceError
 from ..gpu.faults import FaultPlan
+from ..obs import (MetricsRegistry, MetricsServer, register_engine_reports,
+                   register_service_metrics)
 from ..streams.generators import GENERATORS
 from .async_service import StreamService
 from .checkpoint import CheckpointStore
@@ -55,6 +58,10 @@ class ServeResult:
     interrupted: bool = False
     #: most recent checkpoint file, if a checkpoint dir was configured.
     checkpoint_path: str | None = None
+    #: base URL of the metrics endpoint, when ``metrics_port`` was set.
+    metrics_url: str | None = None
+    #: final self-scrape of ``/metrics`` (Prometheus text format).
+    metrics_scrape: str | None = None
 
     @property
     def all_within_bounds(self) -> bool:
@@ -173,8 +180,8 @@ def run_service_demo(statistic: str = "quantile", n: int = 100_000,
                      support: float = 0.05,
                      fault_rate: float = 0.0,
                      checkpoint_dir: str | None = None,
-                     checkpoint_interval: float | None = None
-                     ) -> ServeResult:
+                     checkpoint_interval: float | None = None,
+                     metrics_port: int | None = None) -> ServeResult:
     """Run the end-to-end demo; see the module docstring."""
     if producers < 1:
         raise ServiceError(f"need >= 1 producer, got {producers}")
@@ -201,7 +208,29 @@ def run_service_demo(statistic: str = "quantile", n: int = 100_000,
                             checkpoint_interval=checkpoint_interval)
     result = ServeResult(statistic, n, eps, num_shards, producers)
     slices = np.array_split(data, producers)
-    asyncio.run(_run(service, result, slices, chunk_size, phi, support))
+
+    server: MetricsServer | None = None
+    if metrics_port is not None:
+        # Pull-model observability: the registry reads the live service
+        # and per-shard engine state only when a scraper asks, so the
+        # ingest path pays nothing for the endpoint being up.
+        registry = MetricsRegistry()
+        register_service_metrics(registry, lambda: service.metrics)
+        register_engine_reports(registry, miner.shard_reports)
+        server = MetricsServer(
+            registry, port=metrics_port,
+            healthy=lambda: not service.metrics.failed_shards)
+        server.start()
+    try:
+        asyncio.run(_run(service, result, slices, chunk_size, phi, support))
+        if server is not None:
+            result.metrics_url = server.url
+            with urllib.request.urlopen(server.url + "/metrics",
+                                        timeout=5) as response:
+                result.metrics_scrape = response.read().decode("utf-8")
+    finally:
+        if server is not None:
+            server.stop()
     return result
 
 
@@ -246,4 +275,12 @@ def format_result(result: ServeResult) -> str:
                 f"mean {shard.mean_batch_seconds * 1e3:7.2f} ms  "
                 f"max {shard.max_batch_seconds * 1e3:7.2f} ms  "
                 f"queue high-water {shard.queue_high_water}")
+    if result.metrics_url is not None:
+        series = [line for line in (result.metrics_scrape or "").splitlines()
+                  if line and not line.startswith("#")]
+        lines.append("  [observability]")
+        lines.append(f"    served {result.metrics_url}/metrics "
+                     f"({len(series)} series) and /healthz")
+        for sample in series[:4]:
+            lines.append(f"      {sample}")
     return "\n".join(lines)

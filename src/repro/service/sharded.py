@@ -56,6 +56,7 @@ from ..core.engine import EngineReport, StreamMiner
 from ..core.quantiles.window import QuantileSummary
 from ..errors import QueryError, ServiceError, ShardFailedError
 from ..gpu.device import GpuDevice
+from ..obs import collector
 from ..gpu.faults import TRANSIENT_GPU_ERRORS, FaultInjector, FaultPlan
 from .metrics import ServiceMetrics, ShardMetrics
 from .resilience import CircuitBreaker, RetryPolicy
@@ -208,8 +209,17 @@ class ShardedMiner:
             return
         start = time.perf_counter()
         miner = self._miners[shard_id]
-        miner.buffer_chunk(arr)
-        self._run_protected(shard_id, miner.pump)
+        col = collector()
+        if col.enabled:
+            # The dispatch span parents every pipeline.* span the engine
+            # emits while pumping this batch.
+            with col.span("service.dispatch", shard=shard_id,
+                          elements=int(arr.size)):
+                miner.buffer_chunk(arr)
+                self._run_protected(shard_id, miner.pump)
+        else:
+            miner.buffer_chunk(arr)
+            self._run_protected(shard_id, miner.pump)
         self.metrics.shards[shard_id].record_batch(
             arr.size, time.perf_counter() - start)
 
@@ -261,6 +271,10 @@ class ShardedMiner:
             # Degraded path: breaker open, or this batch exhausted its
             # retries on the primary.
             miner.swap_sorter(fallback)
+            col = collector()
+            if col.enabled:
+                col.record("service.degrade", 0.0, shard=shard_id,
+                           breaker=breaker.state)
             try:
                 step()
             except Exception as exc:

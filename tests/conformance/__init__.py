@@ -1,0 +1,9 @@
+"""Epsilon-guarantee conformance suite.
+
+Every approximate structure in the package states a guarantee through
+``error_bound()``; these tests check each one against an exact offline
+oracle across adversarial stream orders (sorted, reversed,
+duplicate-heavy, zipf, sawtooth).  A mutation canary proves the checks
+have teeth: tightening a bound below what the algorithm promises must
+fail.
+"""

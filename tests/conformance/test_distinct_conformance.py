@@ -1,0 +1,57 @@
+"""Distinct-count sketches stay inside their stated relative error.
+
+Both sketches are randomized, so the check uses each sketch's own
+``error_bound()`` at a 3-sigma confidence with fixed hash seeds — the
+suite is deterministic, and a hash or estimator regression that skews
+the estimate past three standard errors fails loudly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distinct.fm import FlajoletMartin
+from repro.core.distinct.kmv import KMinValues
+
+from .conftest import make_workload, quantize
+
+N = 8192
+SIGMAS = 3.0
+
+
+@pytest.fixture
+def stream(workload_name) -> np.ndarray:
+    # The quantized alphabet keeps the exact distinct count small and
+    # workload-dependent; the raw floats exercise larger cardinalities.
+    return make_workload(workload_name, N)
+
+
+class TestKMinValues:
+    @pytest.mark.parametrize("quantized", [False, True])
+    def test_relative_error_within_bound(self, stream, quantized):
+        data = quantize(stream) if quantized else stream
+        kmv = KMinValues(k=1024, seed=0)
+        kmv.update(data)
+        exact = float(np.unique(data).size)
+        bound = kmv.error_bound(confidence_sigmas=SIGMAS)
+        assert abs(kmv.estimate() - exact) <= bound * exact + 1, \
+            f"KMV off by {abs(kmv.estimate() - exact) / exact:.2%} " \
+            f"(bound {bound:.2%})"
+
+
+class TestFlajoletMartin:
+    def test_relative_error_within_bound(self, stream):
+        # PCSA's guarantee assumes many distinct values per bitmap (the
+        # small-cardinality regime is biased high by construction), so
+        # rank-transform the stream: every value becomes distinct while
+        # the adversarial arrival order is preserved exactly.
+        ranks = np.argsort(np.argsort(stream, kind="stable"),
+                           kind="stable").astype(np.float32)
+        fm = FlajoletMartin(bitmaps=256, seed=0)
+        fm.update(ranks)
+        exact = float(np.unique(ranks).size)
+        bound = fm.error_bound(confidence_sigmas=SIGMAS)
+        assert abs(fm.estimate() - exact) <= bound * exact + 1, \
+            f"FM off by {abs(fm.estimate() - exact) / exact:.2%} " \
+            f"(bound {bound:.2%})"

@@ -1,0 +1,93 @@
+"""Frequency summaries honour their stated over/undercount bounds.
+
+Directionality matters and differs per algorithm: lossy counting,
+Misra-Gries and sticky sampling never overcount and undercount by at
+most ``error_bound() * N``; Space-Saving never undercounts a monitored
+value and overcounts by at most ``error_bound() * N``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.frequencies.lossy_counting import LossyCounting
+from repro.core.frequencies.misra_gries import MisraGries
+from repro.core.frequencies.space_saving import SpaceSaving
+from repro.core.frequencies.sticky_sampling import StickySampling
+
+from .conftest import exact_counts, make_workload, quantize
+
+N = 8192
+EPS = 0.01
+SUPPORT = 0.05
+
+
+@pytest.fixture
+def stream(workload_name) -> np.ndarray:
+    return quantize(make_workload(workload_name, N))
+
+
+class TestLossyCounting:
+    def test_undercount_within_bound(self, stream):
+        lc = LossyCounting(eps=EPS)
+        lc.update(stream)
+        budget = lc.error_bound() * lc.processed
+        for value, true in exact_counts(stream).items():
+            est = lc.estimate(value)
+            assert est <= true, f"lossy counting overcounts {value}"
+            assert true - est <= budget, \
+                f"lossy counting undercounts {value} by {true - est}"
+
+    def test_heavy_hitters_all_reported(self, stream):
+        lc = LossyCounting(eps=EPS)
+        lc.update(stream)
+        reported = {value for value, _ in lc.frequent_items(SUPPORT)}
+        heavy = {value for value, count in exact_counts(stream).items()
+                 if count >= SUPPORT * stream.size}
+        assert heavy <= reported
+
+
+class TestMisraGries:
+    def test_undercount_within_bound(self, stream):
+        mg = MisraGries(eps=EPS)
+        mg.update(stream)
+        budget = mg.error_bound() * mg.count
+        for value, true in exact_counts(stream).items():
+            est = mg.estimate(value)
+            assert est <= true, f"misra-gries overcounts {value}"
+            assert true - est <= budget, \
+                f"misra-gries undercounts {value} by {true - est}"
+
+
+class TestSpaceSaving:
+    def test_overcount_within_bound(self, stream):
+        ss = SpaceSaving(eps=EPS)
+        ss.update(stream)
+        budget = ss.error_bound() * ss.count
+        for value, true in exact_counts(stream).items():
+            est = ss.estimate(value)
+            if est == 0:
+                # Unmonitored values are guaranteed infrequent.
+                assert true <= budget
+            else:
+                assert est >= ss.guaranteed_count(value)
+                assert true <= est <= true + budget, \
+                    f"space-saving estimate {est} vs true {true}"
+
+
+class TestStickySampling:
+    def test_undercount_within_bound(self, stream):
+        ss = StickySampling(support=SUPPORT, eps=EPS, seed=0)
+        ss.update(stream)
+        budget = ss.error_bound() * ss.count
+        truth = exact_counts(stream)
+        for value, true in truth.items():
+            est = ss.estimate(value)
+            assert est <= true, f"sticky sampling overcounts {value}"
+            if true >= SUPPORT * stream.size:
+                assert true - est <= budget, \
+                    f"sticky sampling undercounts heavy {value}"
+        heavy = {value for value, count in truth.items()
+                 if count >= SUPPORT * stream.size}
+        reported = {value for value, _ in ss.frequent_items()}
+        assert heavy <= reported

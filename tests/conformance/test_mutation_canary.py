@@ -1,0 +1,49 @@
+"""Mutation canary: the conformance checks must be able to fail.
+
+A conformance suite that would pass under any bound proves nothing.
+These tests tighten a bound past what the algorithm promises and assert
+the check *fails* — if a refactor ever made the assertions vacuous
+(e.g. comparing against the wrong N, or an estimate that is secretly
+exact), the canary dies first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.frequencies.misra_gries import MisraGries
+from repro.core.quantiles.gk import GKSummary
+
+from ..conftest import worst_quantile_error
+from .conftest import make_workload
+
+
+class TestCanary:
+    def test_tightened_frequency_bound_fails(self):
+        # Four equally frequent values against two counters: every
+        # estimate undercounts by ~N/4, deterministically.
+        data = np.tile(np.float32([1.0, 2.0, 3.0, 4.0]), 2500)
+        mg = MisraGries(eps=0.5)
+        mg.update(data)
+        true = 2500
+        undercount = true - mg.estimate(1.0)
+
+        # The honest bound holds...
+        assert undercount <= mg.error_bound() * mg.count
+        # ...and a bound tightened 100x below the guarantee must not.
+        with pytest.raises(AssertionError):
+            assert undercount <= (mg.error_bound() / 100) * mg.count
+
+    def test_tightened_quantile_bound_fails(self):
+        data = make_workload("zipf", 8192)
+        gk = GKSummary(eps=0.05)
+        for start in range(0, data.size, 256):
+            gk.insert_sorted(np.sort(data[start:start + 256]))
+        worst = worst_quantile_error(np.sort(data), gk.quantile)
+
+        assert worst <= max(1, gk.error_bound() * data.size)
+        # GK compresses aggressively at eps=0.05, so the real rank error
+        # is well above zero; demanding exactness must fail.
+        with pytest.raises(AssertionError):
+            assert worst <= 0

@@ -1,0 +1,47 @@
+"""Quantile summaries honour their stated rank-error bound."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.quantiles.gk import GKSummary
+from repro.core.sliding.exponential_histogram import StreamingQuantiles
+
+from ..conftest import worst_quantile_error
+from .conftest import make_workload
+
+N = 4096
+WINDOW = 256
+
+
+def _windows(data: np.ndarray):
+    for start in range(0, data.size, WINDOW):
+        yield np.sort(data[start:start + WINDOW])
+
+
+@pytest.mark.parametrize("eps", [0.05, 0.01])
+class TestGreenwaldKhanna:
+    def test_rank_error_within_bound(self, workload_name, eps):
+        data = make_workload(workload_name, N)
+        gk = GKSummary(eps=eps)
+        for window in _windows(data):
+            gk.insert_sorted(window)
+        reference = np.sort(data)
+        worst = worst_quantile_error(reference, gk.quantile)
+        assert worst <= max(1, gk.error_bound() * N), \
+            f"GK rank error {worst} breaks eps={eps} on {workload_name}"
+
+
+@pytest.mark.parametrize("eps", [0.05, 0.02])
+class TestExponentialHistogram:
+    def test_rank_error_within_bound(self, workload_name, eps):
+        data = make_workload(workload_name, N)
+        sq = StreamingQuantiles(eps=eps, window_size=WINDOW,
+                                stream_length_hint=N)
+        for window in _windows(data):
+            sq.update_batch(window)
+        reference = np.sort(data)
+        worst = worst_quantile_error(reference, sq.quantile)
+        assert worst <= max(1, sq.error_bound() * N), \
+            f"EH rank error {worst} breaks eps={eps} on {workload_name}"

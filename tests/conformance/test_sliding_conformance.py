@@ -1,0 +1,41 @@
+"""Sliding-window estimators honour their bounds as elements expire."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sliding.basic_counting import DgimCounter
+from repro.core.sliding.window_query import SlidingWindowQuantiles
+
+from ..conftest import worst_quantile_error
+from .conftest import make_workload
+
+N = 6000
+WINDOW = 1000
+
+
+class TestDgimCounter:
+    def test_count_within_relative_bound(self, workload_name):
+        data = make_workload(workload_name, N)
+        bits = data > float(np.median(data))
+        counter = DgimCounter(window=WINDOW, eps=0.1)
+        for bit in bits.tolist():
+            counter.update(bit)
+        exact = int(bits[-WINDOW:].sum())
+        error = abs(counter.estimate() - exact)
+        assert error <= counter.error_bound() * max(1, exact) + 1, \
+            f"DGIM count off by {error} of {exact} on {workload_name}"
+        counter.check_invariant()
+
+
+class TestSlidingWindowQuantiles:
+    @pytest.mark.parametrize("eps", [0.05])
+    def test_window_rank_error_within_bound(self, workload_name, eps):
+        data = make_workload(workload_name, N)
+        sw = SlidingWindowQuantiles(eps=eps, window=WINDOW)
+        sw.extend(data)
+        reference = np.sort(data[-WINDOW:])
+        worst = worst_quantile_error(reference, sw.query)
+        assert worst <= max(1, sw.error_bound() * WINDOW), \
+            f"sliding rank error {worst} breaks eps={eps} on {workload_name}"

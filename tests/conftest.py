@@ -2,10 +2,27 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.gpu import GpuDevice
+
+try:
+    from hypothesis import settings as _hypothesis_settings
+
+    # "ci" is fully deterministic (derandomized, no deadline flakes);
+    # CI selects it with HYPOTHESIS_PROFILE=ci, local runs keep the
+    # default shrinking/replay behaviour under "dev".
+    _hypothesis_settings.register_profile(
+        "ci", derandomize=True, max_examples=25, deadline=None,
+        print_blob=True)
+    _hypothesis_settings.register_profile("dev", deadline=None)
+    _hypothesis_settings.load_profile(
+        os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # hypothesis-based suites will skip themselves
+    pass
 
 
 @pytest.fixture

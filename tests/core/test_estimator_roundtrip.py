@@ -1,0 +1,90 @@
+"""Checkpoint round-trips preserve behaviour bit-identically.
+
+Property-based: for every registered estimator kind, feed random sorted
+windows, snapshot with ``to_state()``, rebuild via the registry's
+``estimator_from_state`` (through a JSON round-trip, since checkpoints
+are files), feed both copies identical further windows, and require
+every subsequent query answer to match exactly — not approximately.
+A restored estimator that drifts by one ULP is a checkpoint bug.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distinct.kmv import KMinValues
+from repro.core.estimators import (estimator_from_state,
+                                   registered_estimator_kinds)
+from repro.core.frequencies.lossy_counting import LossyCounting
+from repro.core.quantiles.gk import GKSummary
+from repro.core.sliding.exponential_histogram import StreamingQuantiles
+
+WINDOW = 32
+
+#: kind tag -> fresh estimator; must cover every registered kind.
+KIND_FACTORIES = {
+    "gk-summary": lambda: GKSummary(eps=0.05),
+    "kmv": lambda: KMinValues(k=64, seed=3),
+    # eps=1/WINDOW makes lossy counting's internal window match ours.
+    "lossy-counting": lambda: LossyCounting(eps=1.0 / WINDOW),
+    "streaming-quantiles": lambda: StreamingQuantiles(
+        eps=0.1, window_size=WINDOW, stream_length_hint=10_000),
+}
+
+PHIS = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+def test_every_registered_kind_is_covered():
+    """Adding an estimator kind must extend this suite, not skip it."""
+    assert set(KIND_FACTORIES) == set(registered_estimator_kinds()), \
+        "KIND_FACTORIES out of sync with the estimator registry — " \
+        "add the new kind to the round-trip property test"
+
+
+def _answers(kind: str, estimator, probes: np.ndarray) -> list:
+    """Every query answer the estimator can give, exactly."""
+    if kind in ("gk-summary", "streaming-quantiles"):
+        return [estimator.query(phi) for phi in PHIS]
+    if kind == "kmv":
+        return [estimator.query()]
+    if kind == "lossy-counting":
+        return [estimator.frequent_items(0.2),
+                [estimator.estimate(v) for v in probes.tolist()]]
+    raise AssertionError(f"unhandled kind {kind}")
+
+
+def _window(values: list[float]) -> np.ndarray:
+    return np.sort(np.asarray(values, dtype=np.float32))
+
+
+window_strategy = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=32),
+    min_size=WINDOW, max_size=WINDOW)
+
+
+@pytest.mark.parametrize("kind", sorted(KIND_FACTORIES))
+@given(pre=st.lists(window_strategy, min_size=1, max_size=4),
+       post=st.lists(window_strategy, min_size=0, max_size=3))
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_preserves_every_answer(kind, pre, post):
+    original = KIND_FACTORIES[kind]()
+    for values in pre:
+        original.update_batch(_window(values))
+
+    state = json.loads(json.dumps(original.to_state()))
+    restored = estimator_from_state(state)
+    assert type(restored) is type(original)
+
+    for values in post:
+        window = _window(values)
+        original.update_batch(window)
+        restored.update_batch(window)
+
+    probes = _window(pre[0])
+    assert _answers(kind, original, probes) == \
+        _answers(kind, restored, probes)

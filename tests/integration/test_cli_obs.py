@@ -1,0 +1,72 @@
+"""CLI observability surfaces: ``repro trace`` and serve --metrics-port."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.obs import parse_prometheus
+from repro.service.runner import format_result, run_service_demo
+
+
+class TestTraceCommand:
+    def test_trace_quantile_matches_engine(self, capsys):
+        assert main(["trace", "--n", "20000", "--statistic", "quantile",
+                     "--backend", "cpu", "--eps", "0.05",
+                     "--window", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "stage breakdown" in out
+        assert "pipeline.sort" in out
+        assert "MISMATCH" not in out
+
+    def test_trace_frequency_zipf(self, capsys):
+        assert main(["trace", "--n", "20000", "--statistic", "frequency",
+                     "--workload", "zipf", "--backend", "cpu"]) == 0
+        out = capsys.readouterr().out
+        assert "statistic=frequency" in out
+        assert "spans in" in out
+
+    def test_trace_gpu_backend_includes_device_spans(self, capsys):
+        assert main(["trace", "--n", "8000", "--statistic", "quantile",
+                     "--backend", "gpu", "--eps", "0.05",
+                     "--window", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "gpu.pass" in out
+        assert "MISMATCH" not in out
+
+
+class TestServeMetrics:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_service_demo(
+            statistic="quantile", n=20_000, eps=0.05, num_shards=2,
+            backend="cpu", window_size=1024, metrics_port=0)
+
+    def test_self_scrape_round_trips(self, result):
+        assert result.metrics_url is not None
+        readings = parse_prometheus(result.metrics_scrape)
+        assert readings[("repro_service_ingested_total", ())] == 20_000.0
+        assert readings[("repro_service_failed_shards", ())] == 0.0
+        shard_elements = sum(
+            value for (name, labels), value in readings.items()
+            if name == "repro_shard_elements_total")
+        assert shard_elements == 20_000.0
+
+    def test_per_shard_engine_series_present(self, result):
+        readings = parse_prometheus(result.metrics_scrape)
+        series = {name for name, _ in readings}
+        assert "repro_pipeline_modelled_seconds_total" in series
+        assert "repro_shard_healthy" in series
+
+    def test_format_result_reports_the_endpoint(self, result):
+        text = format_result(result)
+        assert "[observability]" in text
+        assert "/metrics" in text
+        assert "/healthz" in text
+
+    def test_serve_without_metrics_port_skips_observability(self):
+        result = run_service_demo(
+            statistic="quantile", n=5_000, eps=0.05, num_shards=2,
+            backend="cpu", window_size=1024)
+        assert result.metrics_url is None
+        assert "[observability]" not in format_result(result)

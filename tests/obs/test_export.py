@@ -1,0 +1,102 @@
+"""Exporter round-trips: Prometheus text format 0.0.4 and JSON."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (HistogramValue, MetricsRegistry, Sample, parse_prometheus,
+                       to_json, to_prometheus)
+
+
+def _registry_with_everything() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("repro_elements_total", "elements seen").inc(1234)
+    registry.counter("repro_elements_total", "elements seen",
+                     labels={"shard": "1"}).inc(99)
+    registry.gauge("repro_queue_depth", "queued chunks").set(-2.5)
+    h = registry.histogram("repro_batch_seconds", "batch latency",
+                           buckets=(0.01, 0.1))
+    h.observe(0.005)
+    h.observe(0.05)
+    h.observe(5.0)
+    return registry
+
+
+class TestToPrometheus:
+    def test_round_trip_preserves_every_series(self):
+        samples = _registry_with_everything().snapshot()
+        readings = parse_prometheus(to_prometheus(samples))
+        assert readings[("repro_elements_total", ())] == 1234.0
+        assert readings[("repro_elements_total",
+                         (("shard", "1"),))] == 99.0
+        assert readings[("repro_queue_depth", ())] == -2.5
+        assert readings[("repro_batch_seconds_bucket",
+                         (("le", "0.01"),))] == 1
+        assert readings[("repro_batch_seconds_bucket",
+                         (("le", "0.1"),))] == 2
+        assert readings[("repro_batch_seconds_bucket",
+                         (("le", "+Inf"),))] == 3
+        assert readings[("repro_batch_seconds_sum", ())] == \
+            pytest.approx(5.055)
+        assert readings[("repro_batch_seconds_count", ())] == 3
+
+    def test_help_and_type_emitted_once_per_name(self):
+        text = to_prometheus(_registry_with_everything().snapshot())
+        assert text.count("# TYPE repro_elements_total counter") == 1
+        assert text.count("# HELP repro_elements_total elements seen") == 1
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "# TYPE repro_batch_seconds histogram" in text
+
+    def test_label_values_escaped_and_restored(self):
+        hostile = 'quote " backslash \\ newline \n end'
+        sample = Sample("repro_x", "gauge", 1.0, (("path", hostile),))
+        readings = parse_prometheus(to_prometheus([sample]))
+        assert readings == {("repro_x", (("path", hostile),)): 1.0}
+
+    def test_special_float_values(self):
+        samples = [Sample("repro_inf", "gauge", math.inf),
+                   Sample("repro_nan", "gauge", math.nan)]
+        readings = parse_prometheus(to_prometheus(samples))
+        assert readings[("repro_inf", ())] == math.inf
+        assert math.isnan(readings[("repro_nan", ())])
+
+    def test_ends_with_newline(self):
+        assert to_prometheus([]).endswith("\n")
+
+
+class TestParsePrometheus:
+    def test_duplicate_series_rejected(self):
+        text = "repro_x 1\nrepro_x 2\n"
+        with pytest.raises(AssertionError, match="duplicate"):
+            parse_prometheus(text)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(AssertionError, match="unknown TYPE"):
+            parse_prometheus("# TYPE repro_x summary\nrepro_x 1\n")
+
+    def test_comments_and_blank_lines_ignored(self):
+        readings = parse_prometheus("\n# HELP repro_x stuff\nrepro_x 7\n\n")
+        assert readings == {("repro_x", ()): 7.0}
+
+
+class TestToJson:
+    def test_json_is_valid_and_complete(self):
+        samples = _registry_with_everything().snapshot()
+        doc = json.loads(to_json(samples))
+        rows = {row["name"]: row for row in doc["metrics"]
+                if not row["labels"]}
+        assert rows["repro_elements_total"]["value"] == 1234.0
+        assert rows["repro_elements_total"]["kind"] == "counter"
+        assert rows["repro_elements_total"]["help"] == "elements seen"
+        hist = rows["repro_batch_seconds"]["value"]
+        assert hist["bounds"] == [0.01, 0.1]
+        assert hist["counts"] == [1, 2, 3]
+        assert hist["count"] == 3
+
+    def test_histogram_value_survives_sample_identity(self):
+        value = HistogramValue((1.0,), (2, 5), 3.5, 5)
+        doc = json.loads(to_json([Sample("repro_h", "histogram", value)]))
+        assert doc["metrics"][0]["value"]["sum"] == 3.5

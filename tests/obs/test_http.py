@@ -1,0 +1,100 @@
+"""The /metrics and /healthz endpoint served by MetricsServer.
+
+The acceptance criterion lives here: what ``/metrics`` serves must be
+valid Prometheus text that :func:`repro.obs.parse_prometheus` round-trips
+back to the registry's readings.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry, MetricsServer, parse_prometheus
+from repro.obs.http import PROMETHEUS_CONTENT_TYPE
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("repro_elements_total", "elements").inc(4096)
+    registry.gauge("repro_queue_depth", "depth",
+                   labels={"shard": "0"}).set(3)
+    return registry
+
+
+def _get(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, dict(response.headers), \
+                response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), \
+            error.read().decode("utf-8")
+
+
+class TestMetricsServer:
+    def test_scrape_round_trips_through_parser(self, registry):
+        with MetricsServer(registry) as server:
+            status, headers, body = _get(f"{server.url}/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        readings = parse_prometheus(body)
+        assert readings[("repro_elements_total", ())] == 4096.0
+        assert readings[("repro_queue_depth", (("shard", "0"),))] == 3.0
+
+    def test_scrapes_are_live_not_cached(self, registry):
+        counter = registry.counter("repro_elements_total")
+        with MetricsServer(registry) as server:
+            _, _, before = _get(f"{server.url}/metrics")
+            counter.inc(4)
+            _, _, after = _get(f"{server.url}/metrics")
+        assert parse_prometheus(before)[("repro_elements_total", ())] \
+            == 4096.0
+        assert parse_prometheus(after)[("repro_elements_total", ())] \
+            == 4100.0
+
+    def test_metrics_json_endpoint(self, registry):
+        with MetricsServer(registry) as server:
+            status, headers, body = _get(f"{server.url}/metrics.json")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        names = {row["name"] for row in json.loads(body)["metrics"]}
+        assert "repro_elements_total" in names
+
+    def test_healthz_tracks_the_callable(self, registry):
+        healthy = {"ok": True}
+        with MetricsServer(registry,
+                           healthy=lambda: healthy["ok"]) as server:
+            status, _, body = _get(f"{server.url}/healthz")
+            assert (status, json.loads(body)["status"]) == (200, "ok")
+            healthy["ok"] = False
+            status, _, body = _get(f"{server.url}/healthz")
+            assert (status, json.loads(body)["status"]) == \
+                (503, "unhealthy")
+
+    def test_healthz_defaults_to_healthy(self, registry):
+        with MetricsServer(registry) as server:
+            status, _, _ = _get(f"{server.url}/healthz")
+        assert status == 200
+
+    def test_unknown_path_is_404(self, registry):
+        with MetricsServer(registry) as server:
+            status, _, body = _get(f"{server.url}/nope")
+        assert status == 404
+        assert "/metrics" in body
+
+    def test_port_zero_binds_an_ephemeral_port(self, registry):
+        server = MetricsServer(registry, port=0)
+        assert server.requested_port == 0
+        with server:
+            assert server.port != 0
+            assert str(server.port) in server.url
+
+    def test_stop_is_idempotent(self, registry):
+        server = MetricsServer(registry).start()
+        server.stop()
+        server.stop()

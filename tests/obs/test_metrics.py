@@ -1,0 +1,132 @@
+"""Instrument semantics and registry consistency (incl. no-tearing)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (Counter, Gauge, Histogram, HistogramValue,
+                       MetricsRegistry, Sample)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        c = registry.counter("repro_test_total", "help text")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self, registry):
+        c = registry.counter("repro_test_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.value == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("repro_depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7.0
+
+    def test_gauge_may_go_negative(self, registry):
+        g = registry.gauge("repro_delta")
+        g.dec(3)
+        assert g.value == -3.0
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self, registry):
+        h = registry.histogram("repro_latency_seconds",
+                               buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(value)
+        reading = h.value
+        assert isinstance(reading, HistogramValue)
+        assert reading.bounds == (0.1, 1.0, 10.0)
+        # cumulative: <=0.1, <=1.0, <=10.0, +Inf
+        assert reading.counts == (1, 3, 4, 5)
+        assert reading.count == 5
+        assert reading.sum == pytest.approx(56.05)
+
+    def test_bucketless_histogram_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("repro_bad", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self, registry):
+        a = registry.counter("repro_x_total", "first")
+        b = registry.counter("repro_x_total", "second")
+        assert a is b
+
+    def test_labels_distinguish_instruments(self, registry):
+        a = registry.counter("repro_x_total", labels={"shard": "0"})
+        b = registry.counter("repro_x_total", labels={"shard": "1"})
+        assert a is not b
+        a.inc(5)
+        assert b.value == 0.0
+
+    def test_kind_mismatch_raises(self, registry):
+        registry.counter("repro_x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_x_total")
+
+    def test_snapshot_covers_instruments_and_sources(self, registry):
+        registry.counter("repro_a_total").inc(1)
+        registry.register_source(
+            lambda: [Sample("repro_external", "gauge", 42.0)])
+        samples = {s.name: s for s in registry.snapshot()}
+        assert samples["repro_a_total"].value == 1.0
+        assert samples["repro_external"].value == 42.0
+        assert samples["repro_a_total"].kind == "counter"
+
+    def test_instances_are_independent(self):
+        one, two = MetricsRegistry(), MetricsRegistry()
+        one.counter("repro_a_total").inc()
+        assert two.snapshot() == []
+
+
+class TestNoTearing:
+    """``atomically()`` blocks must be invisible to ``snapshot()``."""
+
+    def test_paired_updates_never_observed_half_applied(self, registry):
+        elements = registry.counter("repro_elements_total")
+        batches = registry.counter("repro_batches_total")
+        stop = threading.Event()
+
+        def writer() -> None:
+            while not stop.is_set():
+                with registry.atomically():
+                    elements.inc(64)
+                    batches.inc()
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(300):
+                values = {s.name: s.value for s in registry.snapshot()}
+                assert values["repro_elements_total"] == \
+                    64 * values["repro_batches_total"], \
+                    "snapshot observed a torn paired update"
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert batches.value > 0
+
+    def test_atomically_nests_with_instrument_locks(self, registry):
+        counter = registry.counter("repro_n_total")
+        with registry.atomically():
+            counter.inc()  # same RLock — must not deadlock
+            assert counter.value == 1.0

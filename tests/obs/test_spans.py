@@ -1,0 +1,145 @@
+"""Span collection: emission, nesting, aggregation, stage shares."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (NullCollector, SpanCollector, aggregate, collecting,
+                       collector, render_tree, set_collector, stage_shares)
+
+
+class TestInstallation:
+    def test_default_is_null_and_disabled(self):
+        assert isinstance(collector(), NullCollector)
+        assert collector().enabled is False
+
+    def test_collecting_installs_and_restores(self):
+        before = collector()
+        with collecting() as col:
+            assert collector() is col
+            assert col.enabled is True
+        assert collector() is before
+
+    def test_set_collector_none_resets(self):
+        fresh = SpanCollector()
+        set_collector(fresh)
+        try:
+            assert collector() is fresh
+        finally:
+            set_collector(None)
+        assert isinstance(collector(), NullCollector)
+
+    def test_null_collector_accepts_everything(self):
+        null = NullCollector()
+        null.record("x", 0.5, attr=1)
+        with null.span("y") as span:
+            assert span is None
+
+
+class TestSpanCollector:
+    def test_record_materialises_leaf_spans(self):
+        col = SpanCollector()
+        col.record("pipeline.sort", 0.25, windows=4)
+        (span,) = col.snapshot()
+        assert span.name == "pipeline.sort"
+        assert span.parent_id is None
+        assert span.attrs == {"windows": 4}
+        assert span.wall == pytest.approx(0.25)
+
+    def test_span_context_parents_records(self):
+        col = SpanCollector()
+        with col.span("pipeline.batch") as batch:
+            col.record("pipeline.sort", 0.1)
+            with col.span("inner"):
+                col.record("deep", 0.01)
+        spans = {s.name: s for s in col.snapshot()}
+        assert spans["pipeline.sort"].parent_id == batch.span_id
+        assert spans["inner"].parent_id == batch.span_id
+        assert spans["deep"].parent_id == spans["inner"].span_id
+        assert batch.wall > 0
+
+    def test_threads_keep_independent_parent_stacks(self):
+        col = SpanCollector()
+
+        def worker(tag: str) -> None:
+            with col.span(f"outer.{tag}"):
+                col.record(f"leaf.{tag}", 0.01)
+
+        threads = [threading.Thread(target=worker, args=(str(i),))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = {s.name: s for s in col.snapshot()}
+        assert len(spans) == 8
+        for i in range(4):
+            assert spans[f"leaf.{i}"].parent_id == \
+                spans[f"outer.{i}"].span_id
+
+    def test_snapshot_while_recording_never_tears(self):
+        col = SpanCollector()
+        total = 20_000
+
+        def writer() -> None:
+            for _ in range(total):
+                col.record("hot", 0.0, n=1)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            sizes = []
+            for _ in range(50):
+                spans = col.snapshot()
+                for span in spans:
+                    assert span.name == "hot"
+                sizes.append(len(spans))
+        finally:
+            thread.join()
+        assert sizes == sorted(sizes), "snapshot sizes went backwards"
+        assert len(col.snapshot()) == total
+
+
+class TestAggregation:
+    def _sample_spans(self):
+        col = SpanCollector()
+        for _ in range(3):
+            with col.span("pipeline.batch"):
+                col.record("pipeline.sort", 0.2, modelled=0.6, windows=2)
+                col.record("pipeline.merge", 0.1, modelled=0.3)
+                col.record("pipeline.compress", 0.0, modelled=0.1)
+        return col.snapshot()
+
+    def test_aggregate_groups_by_name_path(self):
+        root = aggregate(self._sample_spans())
+        batch = root.children["pipeline.batch"]
+        assert batch.count == 3
+        sort = batch.children["pipeline.sort"]
+        assert sort.count == 3
+        assert sort.wall == pytest.approx(0.6)
+        assert sort.attr_totals["modelled"] == pytest.approx(1.8)
+        assert sort.attr_totals["windows"] == 6
+
+    def test_aggregate_skips_non_numeric_attrs(self):
+        col = SpanCollector()
+        col.record("gpu.pass", 0.0, label="min", passes=3, blended=True)
+        root = aggregate(col.snapshot())
+        totals = root.children["gpu.pass"].attr_totals
+        assert totals == {"passes": 3}
+
+    def test_render_tree_mentions_every_name(self):
+        text = render_tree(self._sample_spans())
+        for name in ("pipeline.batch", "pipeline.sort", "pipeline.merge"):
+            assert name in text
+        assert "%" in text
+
+    def test_stage_shares_normalises_modelled_attr(self):
+        shares = stage_shares(self._sample_spans())
+        assert shares == pytest.approx(
+            {"sort": 0.6, "merge": 0.3, "compress": 0.1})
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_stage_shares_empty_input(self):
+        assert stage_shares([]) == {}

@@ -1,0 +1,77 @@
+"""End-to-end: spans collected from a real engine run are exact.
+
+Two acceptance-level claims:
+
+* ``stage_shares`` over the live spans reproduces
+  ``EngineReport.modelled_shares()`` — the spans carry the exact
+  modelled seconds the :class:`TimingModel` billed, so ``repro trace``
+  is a live Figure 4, not an approximation of one;
+* the aggregated ``gpu.pass`` spans account for every rendering pass
+  and fragment the device's ``PerfCounters`` counted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import StreamMiner
+from repro.core.pipeline.timing import OPERATIONS
+from repro.obs import collecting, render_tree, stage_shares
+from repro.sorting.gpu_sorter import GpuSorter
+
+
+@pytest.fixture
+def stream(rng):
+    return rng.random(16384).astype(np.float32)
+
+
+class TestStageShares:
+    def test_span_shares_match_engine_report_exactly(self, stream):
+        with collecting() as col:
+            miner = StreamMiner("quantile", eps=0.02)
+            miner.process(stream)
+            spans = col.snapshot()
+        from_spans = stage_shares(spans)
+        from_report = miner.report.modelled_shares()
+        assert set(from_spans) == set(OPERATIONS)
+        for op in OPERATIONS:
+            assert from_spans[op] == pytest.approx(from_report[op],
+                                                   abs=1e-12), op
+
+    def test_render_tree_covers_the_pipeline(self, stream):
+        with collecting() as col:
+            StreamMiner("quantile", eps=0.02).process(stream)
+            text = render_tree(col.snapshot())
+        for op in OPERATIONS:
+            assert f"pipeline.{op}" in text
+
+
+class TestGpuPassSpans:
+    def test_aggregated_pass_spans_match_perf_counters(self, stream):
+        sorter = GpuSorter()
+        with collecting() as col:
+            sorter.sort(stream[:4096])
+            spans = col.snapshot()
+        passes = [s for s in spans if s.name == "gpu.pass"]
+        assert passes, "device emitted no gpu.pass spans"
+        counters = sorter.device.counters
+        assert sum(s.attrs["passes"] for s in passes) == counters.passes
+        assert sum(s.attrs["fragments"] for s in passes) \
+            == counters.fragments
+
+    def test_pass_spans_grouped_by_label_and_blend(self, stream):
+        sorter = GpuSorter()
+        with collecting() as col:
+            sorter.sort(stream[:1024])
+            spans = col.snapshot()
+        groups = {(s.attrs["label"], s.attrs["blend"])
+                  for s in spans if s.name == "gpu.pass"}
+        assert len(groups) == len(
+            [s for s in spans if s.name == "gpu.pass"]), \
+            "each (label, blend) pair should aggregate to one span"
+
+    def test_disabled_collector_accumulates_nothing(self, stream):
+        sorter = GpuSorter()
+        sorter.sort(stream[:1024])  # NullCollector installed
+        assert sorter.device._pass_acc == {}

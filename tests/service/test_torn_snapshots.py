@@ -1,0 +1,137 @@
+"""Torn-snapshot hammering: observe a live service without tearing.
+
+A reader thread hammers ``ServiceMetrics.snapshot()`` (and a
+``MetricsRegistry`` wired to it via ``register_service_metrics``) while
+the asyncio service ingests.  Every snapshot must be an independent,
+internally consistent copy: monotonic counters never run backwards, the
+shard totals never exceed what ingest accepted, and the Prometheus
+translation never sees a half-written state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry, register_service_metrics, to_prometheus
+from repro.service import ShardedMiner, StreamService
+
+N_CHUNKS = 60
+CHUNK = 1_000
+SHARDS = 2
+
+
+def _service() -> StreamService:
+    return StreamService(
+        ShardedMiner("quantile", eps=0.05, num_shards=SHARDS,
+                     backend="cpu", window_size=512,
+                     stream_length_hint=N_CHUNKS * CHUNK))
+
+
+class _Reader(threading.Thread):
+    """Snapshots metrics as fast as possible, recording violations."""
+
+    def __init__(self, service: StreamService):
+        super().__init__(name="metrics-reader")
+        self.service = service
+        self.registry = MetricsRegistry()
+        register_service_metrics(self.registry,
+                                 lambda: self.service.metrics)
+        self.stop = threading.Event()
+        self.violations: list[str] = []
+        self.iterations = 0
+
+    def run(self) -> None:
+        last_ingested = 0
+        last_elements = [0] * SHARDS
+        while not self.stop.is_set():
+            snap = self.service.metrics.snapshot()
+            if snap.ingested < last_ingested:
+                self.violations.append(
+                    f"ingested ran backwards: {snap.ingested} < "
+                    f"{last_ingested}")
+            last_ingested = snap.ingested
+            dispatched = 0
+            for i, shard in enumerate(snap.shards):
+                if shard.elements < last_elements[i]:
+                    self.violations.append(
+                        f"shard {i} elements ran backwards")
+                last_elements[i] = shard.elements
+                dispatched += shard.elements
+            if dispatched > snap.ingested:
+                self.violations.append(
+                    f"shards dispatched {dispatched} > ingested "
+                    f"{snap.ingested}")
+            try:
+                # The pull-model translation must also hold mid-ingest.
+                to_prometheus(self.registry.snapshot())
+            except Exception as error:  # noqa: BLE001 - recorded below
+                self.violations.append(f"translation raised: {error!r}")
+            self.iterations += 1
+
+
+class TestTornSnapshots:
+    def test_reader_thread_never_observes_torn_state(self):
+        service = _service()
+        reader = _Reader(service)
+        data = np.random.default_rng(99).random(N_CHUNKS * CHUNK) \
+            .astype(np.float32)
+
+        async def ingest_everything() -> None:
+            async with service:
+                reader.start()
+                for start in range(0, data.size, CHUNK):
+                    await service.ingest(data[start:start + CHUNK])
+                await service.drain()
+
+        try:
+            asyncio.run(ingest_everything())
+        finally:
+            reader.stop.set()
+            reader.join(timeout=10)
+
+        assert reader.iterations > 10, \
+            "reader barely ran; the hammer proves nothing"
+        assert reader.violations == []
+        assert service.metrics.ingested == data.size
+
+    def test_snapshots_are_independent_copies(self):
+        service = _service()
+
+        async def run() -> None:
+            async with service:
+                await service.ingest(np.arange(2_000, dtype=np.float32))
+                await service.drain()
+
+        asyncio.run(run())
+        live = service.metrics
+        snap = live.snapshot()
+        snap.ingested += 777
+        snap.shards[0].elements += 777
+        assert live.ingested == 2_000
+        assert live.shards[0].elements != snap.shards[0].elements
+        assert snap.snapshot().shards[0] is not snap.shards[0]
+
+    def test_registry_snapshot_is_consistent_after_drain(self):
+        service = _service()
+        registry = MetricsRegistry()
+        register_service_metrics(registry, lambda: service.metrics)
+
+        async def run() -> None:
+            async with service:
+                await service.ingest(np.arange(3_000, dtype=np.float32))
+                await service.drain()
+                assert await service.quantile(0.5) == pytest.approx(
+                    1500, rel=0.1)
+
+        asyncio.run(run())
+        values = {(s.name, s.labels): s.value for s in registry.snapshot()}
+        assert values[("repro_service_ingested_total", ())] == 3_000.0
+        dispatched = sum(
+            value for (name, labels), value in values.items()
+            if name == "repro_shard_elements_total")
+        assert dispatched == 3_000.0
+        assert values[("repro_service_failed_shards", ())] == 0.0

@@ -14,6 +14,7 @@ Rules::
     repro.sorting.*  may not import repro.service.* or repro.bench.*
     repro.gpu.*      may not import repro.service.* or repro.bench.*
     repro.backends   may not import repro.service.* or repro.bench.*
+    repro.obs.*      may not import any other repro layer (leaf)
 
 Run from the repository root::
 
@@ -39,6 +40,10 @@ RULES: dict[str, tuple[str, ...]] = {
     "sorting": ("service", "bench"),
     "gpu": ("service", "bench"),
     "backends": ("service", "bench"),
+    # obs is the leaf every layer may emit into; it must never look
+    # back up the stack (its sources are duck-typed for exactly this).
+    "obs": ("core", "streams", "sorting", "gpu", "backends", "service",
+            "bench", "cli"),
 }
 
 
@@ -99,7 +104,7 @@ def main() -> int:
         print(f"{len(problems)} layering violation(s)", file=sys.stderr)
         return 1
     print("layering clean: core/streams/sorting/gpu/backends never "
-          "import service or bench")
+          "import service or bench; obs imports no other layer")
     return 0
 
 

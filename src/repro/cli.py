@@ -30,6 +30,7 @@ from .core.distinct import WindowedDistinctCounter
 from .core.engine import StreamMiner
 from .core.pipeline.timing import OPERATIONS
 from .obs import collecting, render_tree, stage_shares
+from .service.executors import registered_executors
 from .service.runner import format_result, run_service_demo
 from .sorting.cpu import optimized_sort
 from .streams.generators import GENERATORS
@@ -124,6 +125,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         num_shards=args.shards, producers=args.producers,
         backend=args.backend, window_size=args.window,
         workload=args.workload, seed=args.seed,
+        executor=args.executor, workers=args.workers,
         chunk_size=args.chunk, shed_capacity=args.shed_capacity,
         phi=tuple(args.phi), support=args.support,
         fault_rate=args.fault_rate,
@@ -247,6 +249,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=["gpu", "cpu"], default="cpu")
     p.add_argument("--eps", type=float, default=0.02)
     p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--executor", choices=list(registered_executors()),
+                   default="async",
+                   help="where the shards run: inline (synchronous "
+                        "baseline), async (in-process queues), or mp "
+                        "(one worker process per shard over shared "
+                        "memory)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker/shard count override (alias for "
+                        "--shards, reads naturally with --executor mp)")
     p.add_argument("--producers", type=int, default=2)
     p.add_argument("--window", type=int, default=None,
                    help="per-shard window width (quantile/distinct)")

@@ -114,6 +114,12 @@ def service_metrics_samples(metrics) -> list[Sample]:
         ("faults", "counter", "transient GPU faults observed"),
         ("retries", "counter", "backoff retries performed"),
         ("degraded_batches", "counter", "batches on the CPU fallback"),
+        ("shm_batches", "counter", "batches via the shared-memory ring"),
+        ("pickle_batches", "counter", "batches via the pipe fallback"),
+        ("replayed_batches", "counter",
+         "batches re-sent to restarted workers"),
+        ("transport_seconds", "counter",
+         "parent-side batch transport seconds"),
         ("failures", "counter", "worker crashes"),
         ("restarts", "counter", "supervised worker restarts"),
         ("lost_elements", "counter", "elements lost to failed shards"),

@@ -13,35 +13,54 @@ horizontal scaling free.  This package supplies the layer that uses it:
 * :class:`ServiceMetrics` / :class:`ShardMetrics` — the observability
   surface (ingest rate, queue depth, per-shard latencies, shed count,
   fault/retry/degradation counters, shard health);
-* fault tolerance — :class:`RetryPolicy` and :class:`CircuitBreaker`
-  (:mod:`~repro.service.resilience`) around the dispatch path, and
-  :class:`CheckpointStore` (:mod:`~repro.service.checkpoint`) for
-  durable snapshot/restore of the whole pool;
+* :class:`MpShardedMiner` — the multiprocess executor: one worker
+  *process* per shard, shared-memory batch transport
+  (:mod:`~repro.service.shm_ring`), supervised restart with
+  ack/replay, merge-on-query over gathered estimator states;
+* the executor registry (:mod:`~repro.service.executors`) naming the
+  three ways to run the pool — ``inline`` / ``async`` / ``mp`` — all
+  answer-identical, differing only in throughput;
+* fault tolerance — :class:`RetryPolicy`, :class:`CircuitBreaker` and
+  :class:`ShardGuard` (:mod:`~repro.service.resilience`) around the
+  dispatch path, and :class:`CheckpointStore`
+  (:mod:`~repro.service.checkpoint`) for durable snapshot/restore of
+  the whole pool under any executor;
 * partitioners in :mod:`~repro.service.sharding` and the ``repro
   serve`` demo driver in :mod:`~repro.service.runner`.
 """
 
 from .async_service import StreamService
 from .checkpoint import CheckpointStore
+from .executors import (InlineService, register_executor,
+                        registered_executors, resolve_executor)
 from .metrics import ServiceMetrics, ShardMetrics
-from .resilience import CircuitBreaker, RetryPolicy
+from .mp_executor import MpShardedMiner
+from .resilience import CircuitBreaker, RetryPolicy, ShardGuard
 from .runner import ServeResult, format_result, run_service_demo
 from .sharded import ShardedMiner
 from .sharding import (HashPartitioner, RoundRobinPartitioner,
                        default_partitioner)
+from .shm_ring import ShmRing
 
 __all__ = [
     "CheckpointStore",
     "CircuitBreaker",
     "HashPartitioner",
+    "InlineService",
+    "MpShardedMiner",
     "RetryPolicy",
     "RoundRobinPartitioner",
     "ServeResult",
     "ServiceMetrics",
+    "ShardGuard",
     "ShardMetrics",
     "ShardedMiner",
+    "ShmRing",
     "StreamService",
     "default_partitioner",
     "format_result",
+    "register_executor",
+    "registered_executors",
+    "resolve_executor",
     "run_service_demo",
 ]

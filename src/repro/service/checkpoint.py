@@ -20,6 +20,8 @@ from __future__ import annotations
 import json
 import os
 import re
+import threading
+import uuid
 from pathlib import Path
 
 from ..errors import CheckpointError
@@ -27,9 +29,39 @@ from ..errors import CheckpointError
 #: File-name pattern: checkpoint-<sequence>.json.
 _CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{8})\.json$")
 
+_LOCK_NAME = ".checkpoint.lock"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a lock holder on this machine."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - alive, different user
+        return True
+    except OSError:  # pragma: no cover
+        return False
+    return True
+
 
 class CheckpointStore:
     """Atomic, versioned JSON checkpoints in one directory.
+
+    The temp-file + rename of each individual save was always atomic,
+    but the *sequence rotation* was not: two writers pointed at the same
+    directory (a parent process and a restarted worker, say) would both
+    enumerate the directory, compute the same next sequence number, and
+    the second rename would silently overwrite the first's checkpoint.
+    Saves therefore serialise on an **owner lockfile**: ``save`` creates
+    ``.checkpoint.lock`` with ``O_CREAT | O_EXCL`` (atomic on POSIX and
+    Windows), records its owner token + pid inside, and deletes it when
+    the rotation completes.  A second live writer gets a
+    :class:`~repro.errors.CheckpointError` instead of a lost checkpoint;
+    a lock left behind by a *dead* process (crash between create and
+    delete) is detected by pid liveness and stolen.
 
     Parameters
     ----------
@@ -38,6 +70,9 @@ class CheckpointStore:
     keep:
         How many most-recent checkpoints to retain (older ones are
         deleted after each successful save).
+    owner:
+        Writer identity recorded in the lockfile; defaults to a
+        pid-qualified random token unique to this store instance.
 
     Examples
     --------
@@ -49,17 +84,78 @@ class CheckpointStore:
     'world'
     """
 
-    def __init__(self, directory: str | Path, keep: int = 3):
+    def __init__(self, directory: str | Path, keep: int = 3,
+                 owner: str | None = None):
         if keep < 1:
             raise CheckpointError(f"keep must be >= 1, got {keep}")
         self.directory = Path(directory)
         self.keep = int(keep)
+        self.owner = (owner if owner is not None
+                      else f"{os.getpid()}-{uuid.uuid4().hex[:8]}")
+        self._thread_lock = threading.Lock()
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
             raise CheckpointError(
                 f"cannot create checkpoint directory {self.directory}: "
                 f"{exc}") from exc
+
+    # ------------------------------------------------------------------
+    # writer lock
+    # ------------------------------------------------------------------
+    @property
+    def lock_path(self) -> Path:
+        """The on-disk writer lock serialising sequence rotation."""
+        return self.directory / _LOCK_NAME
+
+    def _read_lock_holder(self) -> dict | None:
+        try:
+            holder = json.loads(self.lock_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            # Unreadable lock: its writer died mid-create; treat as
+            # stale (a healthy holder finishes the tiny write before
+            # anyone can observe the file — O_EXCL creation precedes it
+            # by microseconds).
+            return {}
+        return holder if isinstance(holder, dict) else {}
+
+    def _acquire_lock(self) -> None:
+        payload = json.dumps({"owner": self.owner, "pid": os.getpid()})
+        for _ in range(16):  # bounded steal-and-retry, never spins forever
+            try:
+                fd = os.open(self.lock_path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except FileExistsError:
+                holder = self._read_lock_holder()
+                if holder is None:
+                    continue  # released between EXCL failure and read
+                if holder.get("owner") == self.owner:
+                    # Our own token: a previous save of this instance
+                    # died between create and delete; reclaim.
+                    return
+                if _pid_alive(int(holder.get("pid", 0))):
+                    raise CheckpointError(
+                        f"checkpoint directory {self.directory} is "
+                        f"locked by writer {holder.get('owner')!r} "
+                        f"(pid {holder.get('pid')}); refusing a "
+                        "concurrent rotation")
+                # Stale lock from a dead process: steal it.
+                self.lock_path.unlink(missing_ok=True)
+                continue
+            except OSError as exc:  # pragma: no cover
+                raise CheckpointError(
+                    f"cannot lock checkpoint directory "
+                    f"{self.directory}: {exc}") from exc
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            return
+        raise CheckpointError(  # pragma: no cover - needs adversarial fs
+            f"could not acquire checkpoint lock in {self.directory}")
+
+    def _release_lock(self) -> None:
+        self.lock_path.unlink(missing_ok=True)
 
     # ------------------------------------------------------------------
     # enumeration
@@ -87,9 +183,20 @@ class CheckpointStore:
 
         The JSON goes to a temp file in the same directory first and is
         then renamed into place — readers never observe a partial file.
+        The whole rotation (sequence enumeration, write, retention
+        pruning) runs under the writer lock, so concurrent writers can
+        never compute the same sequence number and overwrite each other.
         """
         if not isinstance(state, dict) or "version" not in state:
             raise CheckpointError("checkpoint state must be a versioned dict")
+        with self._thread_lock:
+            self._acquire_lock()
+            try:
+                return self._save_locked(state)
+            finally:
+                self._release_lock()
+
+    def _save_locked(self, state: dict) -> Path:
         existing = self.checkpoints()
         sequence = 1
         if existing:

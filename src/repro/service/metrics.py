@@ -45,6 +45,16 @@ class ShardMetrics:
     #: circuit-breaker state at the last dispatch ("closed" means the
     #: primary backend is trusted).
     breaker_state: str = "closed"
+    #: batches shipped to a worker process via the shared-memory ring.
+    shm_batches: int = 0
+    #: batches that took the pickle-over-pipe fallback (small or
+    #: ring-overflowing batches; mp executor only).
+    pickle_batches: int = 0
+    #: batches re-sent to a restarted worker from the replay log.
+    replayed_batches: int = 0
+    #: parent-side wall seconds spent framing/sending batches to the
+    #: worker process (mp executor only).
+    transport_seconds: float = 0.0
     #: worker crashes (exceptions that escaped a dispatch).
     failures: int = 0
     #: supervised worker restarts consumed (bounded by the service).
@@ -120,6 +130,16 @@ class ServiceMetrics:
     def degraded_batches(self) -> int:
         """Batches that ran on the CPU fallback across all shards."""
         return sum(s.degraded_batches for s in self.shards)
+
+    @property
+    def replayed_batches(self) -> int:
+        """Batches re-sent to restarted workers across all shards."""
+        return sum(s.replayed_batches for s in self.shards)
+
+    @property
+    def transport_seconds(self) -> float:
+        """Parent-side batch transport seconds across all shards."""
+        return sum(s.transport_seconds for s in self.shards)
 
     @property
     def lost_elements(self) -> int:

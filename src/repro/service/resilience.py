@@ -27,14 +27,17 @@ wall-clock reads — so failure scenarios replay exactly in tests.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ServiceError
+from ..errors import ServiceError, ShardFailedError
 from ..gpu.faults import TRANSIENT_GPU_ERRORS
+from ..obs import collector
 
-__all__ = ["CircuitBreaker", "RetryPolicy", "TRANSIENT_GPU_ERRORS"]
+__all__ = ["CircuitBreaker", "RetryPolicy", "ShardGuard",
+           "TRANSIENT_GPU_ERRORS"]
 
 
 @dataclass(frozen=True)
@@ -147,3 +150,93 @@ class CircuitBreaker:
             self.state = self.OPEN
             self.opens += 1
             self._cooldown_left = self.cooldown_batches
+
+
+class ShardGuard:
+    """Retry + circuit-breaking + degradation around one shard's engine.
+
+    This is the per-shard dispatch policy extracted into a reusable
+    object so *every* executor applies it identically: the in-process
+    :class:`~repro.service.sharded.ShardedMiner` holds one guard per
+    shard, and each multiprocess worker
+    (:mod:`repro.service.mp_executor`) holds one around its private
+    miner — degradation semantics do not depend on where the shard
+    lives.
+
+    ``step`` callables passed to :meth:`run` must be transactional
+    (:meth:`StreamMiner.pump` / :meth:`StreamMiner.flush` are): a
+    transient fault leaves the engine untouched so re-running the step
+    is exactly a retry of the failed texture batch.  Policy:
+
+    1. breaker open -> run directly on the CPU fallback (degraded);
+    2. otherwise try the primary, sleeping a jittered backoff after
+       each transient fault, up to ``retry.max_attempts`` tries;
+    3. retries exhausted -> count a breaker failure and run this batch
+       on the fallback anyway (no batch is ever dropped);
+    4. no fallback exists (already-CPU shard) -> escalate to
+       :class:`~repro.errors.ShardFailedError`.
+    """
+
+    def __init__(self, shard_id: int, miner, primary, fallback,
+                 retry: RetryPolicy, breaker: CircuitBreaker,
+                 rng: np.random.Generator, metrics):
+        self.shard_id = int(shard_id)
+        self.miner = miner
+        self.primary = primary
+        self.fallback = fallback
+        self.retry = retry
+        self.breaker = breaker
+        self.rng = rng
+        #: duck-typed :class:`~repro.service.metrics.ShardMetrics`
+        #: (faults / retries / degraded_batches / breaker_state /
+        #: last_error are the attributes written here).
+        self.metrics = metrics
+
+    def run(self, step) -> None:
+        """Run one faultable engine step under the full policy."""
+        shard = self.metrics
+        breaker = self.breaker
+        try:
+            use_primary = self.fallback is None or breaker.allow_primary()
+            if use_primary:
+                self.miner.swap_sorter(self.primary)
+                attempt = 1
+                while True:
+                    try:
+                        step()
+                        breaker.record_success(primary=True)
+                        return
+                    except TRANSIENT_GPU_ERRORS as exc:
+                        shard.faults += 1
+                        shard.last_error = repr(exc)
+                        if attempt >= self.retry.max_attempts:
+                            breaker.record_failure()
+                            if self.fallback is None:
+                                raise ShardFailedError(
+                                    self.shard_id,
+                                    f"shard {self.shard_id}: retries "
+                                    "exhausted and no fallback backend"
+                                ) from exc
+                            break
+                        time.sleep(self.retry.delay(attempt, self.rng))
+                        shard.retries += 1
+                        attempt += 1
+            # Degraded path: breaker open, or this batch exhausted its
+            # retries on the primary.
+            self.miner.swap_sorter(self.fallback)
+            col = collector()
+            if col.enabled:
+                col.record("service.degrade", 0.0, shard=self.shard_id,
+                           breaker=breaker.state)
+            try:
+                step()
+            except Exception as exc:
+                shard.last_error = repr(exc)
+                raise ShardFailedError(
+                    self.shard_id,
+                    f"shard {self.shard_id} failed on the fallback "
+                    f"backend too: {exc!r}") from exc
+            shard.degraded_batches += 1
+            breaker.record_success(primary=False)
+        finally:
+            shard.breaker_state = breaker.state

@@ -35,8 +35,8 @@ from ..obs import (MetricsRegistry, MetricsServer, register_engine_reports,
 from ..streams.generators import GENERATORS
 from .async_service import StreamService
 from .checkpoint import CheckpointStore
+from .executors import registered_executors, resolve_executor
 from .metrics import ServiceMetrics
-from .sharded import ShardedMiner
 
 
 @dataclass
@@ -48,6 +48,8 @@ class ServeResult:
     eps: float
     num_shards: int
     producers: int
+    #: which executor ran the shards (inline / async / mp).
+    executor: str = "async"
     #: phase -> {query label -> (estimate, exact, within_bound)}
     answers: dict[str, dict[str, tuple[float, float, bool]]] = \
         field(default_factory=dict)
@@ -181,8 +183,16 @@ def run_service_demo(statistic: str = "quantile", n: int = 100_000,
                      fault_rate: float = 0.0,
                      checkpoint_dir: str | None = None,
                      checkpoint_interval: float | None = None,
-                     metrics_port: int | None = None) -> ServeResult:
-    """Run the end-to-end demo; see the module docstring."""
+                     metrics_port: int | None = None,
+                     executor: str = "async",
+                     workers: int | None = None) -> ServeResult:
+    """Run the end-to-end demo; see the module docstring.
+
+    ``executor`` picks where the shards run (``inline`` / ``async`` /
+    ``mp`` — see :mod:`repro.service.executors`); with the ``mp``
+    executor, ``workers`` overrides the shard count so ``--workers N``
+    means N worker processes (one shard each).
+    """
     if producers < 1:
         raise ServiceError(f"need >= 1 producer, got {producers}")
     if backend not in registered_backends():
@@ -191,22 +201,32 @@ def run_service_demo(statistic: str = "quantile", n: int = 100_000,
         raise ServiceError(
             f"unknown backend {backend!r}; registered backends: "
             f"{', '.join(registered_backends())}")
+    if executor not in registered_executors():
+        raise ServiceError(
+            f"unknown executor {executor!r}; registered executors: "
+            f"{', '.join(registered_executors())}")
     if not 0.0 <= fault_rate < 1.0:
         raise ServiceError(
             f"fault_rate must be in [0, 1), got {fault_rate}")
+    if workers is not None:
+        if workers < 1:
+            raise ServiceError(f"need >= 1 worker, got {workers}")
+        num_shards = workers
     data = GENERATORS[workload](n, seed=seed)
     fault_plan = (FaultPlan.transfers(fault_rate, seed=seed)
                   if fault_rate > 0 else None)
-    miner = ShardedMiner(statistic, eps=eps, num_shards=num_shards,
-                         backend=backend, window_size=window_size,
-                         stream_length_hint=n, fault_plan=fault_plan)
     store = (CheckpointStore(checkpoint_dir)
              if checkpoint_dir is not None else None)
-    service = StreamService(miner, queue_chunks=queue_chunks,
-                            shed_capacity=shed_capacity,
-                            checkpoint_store=store,
-                            checkpoint_interval=checkpoint_interval)
-    result = ServeResult(statistic, n, eps, num_shards, producers)
+    service = resolve_executor(executor)(
+        dict(statistic=statistic, eps=eps, num_shards=num_shards,
+             backend=backend, window_size=window_size,
+             stream_length_hint=n, fault_plan=fault_plan),
+        dict(queue_chunks=queue_chunks, shed_capacity=shed_capacity,
+             checkpoint_store=store,
+             checkpoint_interval=checkpoint_interval))
+    miner = service.miner
+    result = ServeResult(statistic, n, eps, num_shards, producers,
+                         executor=executor)
     slices = np.array_split(data, producers)
 
     server: MetricsServer | None = None
@@ -231,6 +251,11 @@ def run_service_demo(statistic: str = "quantile", n: int = 100_000,
     finally:
         if server is not None:
             server.stop()
+        # The mp pool owns worker processes and shared memory; the
+        # in-process pools have no-op-free close paths.
+        closer = getattr(miner, "close", None)
+        if closer is not None:
+            closer()
     return result
 
 
@@ -238,8 +263,8 @@ def format_result(result: ServeResult) -> str:
     """Human-readable report of one demo run."""
     lines = [
         f"sharded {result.statistic} service: {result.n:,} tuples, "
-        f"eps={result.eps}, {result.num_shards} shards, "
-        f"{result.producers} producers",
+        f"eps={result.eps}, {result.num_shards} shards "
+        f"({result.executor} executor), {result.producers} producers",
     ]
     if result.interrupted:
         lines.append("  [interrupted by signal — answers cover the "

@@ -54,13 +54,35 @@ import numpy as np
 from ..backends import cpu_fallback_for
 from ..core.engine import EngineReport, StreamMiner
 from ..core.quantiles.window import QuantileSummary
-from ..errors import QueryError, ServiceError, ShardFailedError
+from ..errors import QueryError, ServiceError
 from ..gpu.device import GpuDevice
 from ..obs import collector
-from ..gpu.faults import TRANSIENT_GPU_ERRORS, FaultInjector, FaultPlan
+from ..gpu.faults import FaultInjector, FaultPlan
 from .metrics import ServiceMetrics, ShardMetrics
-from .resilience import CircuitBreaker, RetryPolicy
+from .resilience import CircuitBreaker, RetryPolicy, ShardGuard
 from .sharding import default_partitioner
+
+
+def merge_quantile_summaries(summaries, eps: float,
+                             prune_budget: int | str | None = "auto"
+                             ) -> QuantileSummary:
+    """Merge shard bucket summaries into one served summary.
+
+    The combined-error accounting (module docstring) is shared by every
+    executor: shards run at ``eps / 2``, merge is lossless, and the
+    query-time prune to ``B = ceil(1 / eps)`` entries adds
+    ``1 / (2B) <= eps / 2`` — so the served summary answers within
+    ``eps * N`` ranks regardless of where the shards live (in-process
+    or in worker processes).
+    """
+    merged = QuantileSummary.merge_all(summaries)
+    if merged.count == 0:
+        raise QueryError("no data processed yet")
+    if prune_budget == "auto":
+        prune_budget = math.ceil(1.0 / eps)
+    if prune_budget is not None and len(merged) > prune_budget + 1:
+        merged = merged.prune(prune_budget)
+    return merged
 
 
 class ShardedMiner:
@@ -166,20 +188,38 @@ class ShardedMiner:
                 StreamMiner(statistic, eps=shard_eps, backend=backend,
                             mode="history", window_size=window_size,
                             device=device, stream_length_hint=shard_hint))
-        self._primary_sorters = [m.sorter for m in self._miners]
-        # A CPU fallback exists wherever the primary sorts on the (fault-
-        # prone) simulated GPU; results are identical either way.
-        self._fallback_sorters = [
-            cpu_fallback_for(m.sorter, cpu_speedup=m._cpu_speedup)
-            for m in self._miners]
-        self._breakers = [CircuitBreaker(*self._breaker_config)
-                          for _ in range(self.num_shards)]
-        # Seeded per shard so concurrent shards don't back off in
-        # lockstep yet scenarios stay reproducible.
-        self._retry_rngs = [np.random.default_rng((2005, shard_id))
-                            for shard_id in range(self.num_shards)]
         self.metrics = ServiceMetrics(
             shards=[ShardMetrics(i) for i in range(self.num_shards)])
+        # One dispatch guard per shard: a CPU fallback exists wherever
+        # the primary sorts on the (fault-prone) simulated GPU — results
+        # are identical either way — and the retry RNG is seeded per
+        # shard so concurrent shards don't back off in lockstep yet
+        # scenarios stay reproducible.
+        self._guards = [self._build_guard(shard_id)
+                        for shard_id in range(self.num_shards)]
+
+    def _build_guard(self, shard_id: int) -> ShardGuard:
+        miner = self._miners[shard_id]
+        return ShardGuard(
+            shard_id, miner, miner.sorter,
+            cpu_fallback_for(miner.sorter, cpu_speedup=miner._cpu_speedup),
+            self.retry, CircuitBreaker(*self._breaker_config),
+            np.random.default_rng((2005, shard_id)),
+            self.metrics.shards[shard_id])
+
+    # Compatibility views over the per-shard guards (tests and tools
+    # introspect these; the guards are the source of truth).
+    @property
+    def _primary_sorters(self) -> list:
+        return [g.primary for g in self._guards]
+
+    @property
+    def _fallback_sorters(self) -> list:
+        return [g.fallback for g in self._guards]
+
+    @property
+    def _breakers(self) -> list[CircuitBreaker]:
+        return [g.breaker for g in self._guards]
 
     # ------------------------------------------------------------------
     # ingestion
@@ -228,65 +268,11 @@ class ShardedMiner:
 
         ``step`` is :meth:`StreamMiner.pump` or :meth:`StreamMiner.flush`
         — both transactional, so re-running after a transient fault is
-        exactly a retry of the failed texture batch.  Policy:
-
-        1. breaker open -> run directly on the CPU fallback (degraded);
-        2. otherwise try the primary, sleeping a jittered backoff after
-           each transient fault, up to ``retry.max_attempts`` tries;
-        3. retries exhausted -> count a breaker failure and run this
-           batch on the fallback anyway (no batch is ever dropped);
-        4. no fallback exists (already-CPU shard) -> escalate to
-           :class:`ShardFailedError`.
+        exactly a retry of the failed texture batch.  The policy lives
+        in :class:`~repro.service.resilience.ShardGuard`, shared with
+        the multiprocess executor's workers.
         """
-        shard = self.metrics.shards[shard_id]
-        miner = self._miners[shard_id]
-        breaker = self._breakers[shard_id]
-        primary = self._primary_sorters[shard_id]
-        fallback = self._fallback_sorters[shard_id]
-        try:
-            use_primary = fallback is None or breaker.allow_primary()
-            if use_primary:
-                miner.swap_sorter(primary)
-                attempt = 1
-                while True:
-                    try:
-                        step()
-                        breaker.record_success(primary=True)
-                        return
-                    except TRANSIENT_GPU_ERRORS as exc:
-                        shard.faults += 1
-                        shard.last_error = repr(exc)
-                        if attempt >= self.retry.max_attempts:
-                            breaker.record_failure()
-                            if fallback is None:
-                                raise ShardFailedError(
-                                    shard_id,
-                                    f"shard {shard_id}: retries exhausted "
-                                    "and no fallback backend") from exc
-                            break
-                        time.sleep(self.retry.delay(
-                            attempt, self._retry_rngs[shard_id]))
-                        shard.retries += 1
-                        attempt += 1
-            # Degraded path: breaker open, or this batch exhausted its
-            # retries on the primary.
-            miner.swap_sorter(fallback)
-            col = collector()
-            if col.enabled:
-                col.record("service.degrade", 0.0, shard=shard_id,
-                           breaker=breaker.state)
-            try:
-                step()
-            except Exception as exc:
-                shard.last_error = repr(exc)
-                raise ShardFailedError(
-                    shard_id,
-                    f"shard {shard_id} failed on the fallback backend "
-                    f"too: {exc!r}") from exc
-            shard.degraded_batches += 1
-            breaker.record_success(primary=False)
-        finally:
-            shard.breaker_state = breaker.state
+        self._guards[shard_id].run(step)
 
     def drain(self) -> None:
         """Flush every shard's partial texture batch and tail window.
@@ -339,14 +325,7 @@ class ShardedMiner:
         if self.statistic != "quantile":
             raise QueryError("this service does not estimate quantiles")
         summaries = [s for m in self._miners for s in m.quantile_summaries()]
-        merged = QuantileSummary.merge_all(summaries)
-        if merged.count == 0:
-            raise QueryError("no data processed yet")
-        if prune_budget == "auto":
-            prune_budget = math.ceil(1.0 / self.eps)
-        if prune_budget is not None and len(merged) > prune_budget + 1:
-            merged = merged.prune(prune_budget)
-        return merged
+        return merge_quantile_summaries(summaries, self.eps, prune_budget)
 
     def quantile(self, phi: float) -> float:
         """The phi-quantile over all shards, within ``eps * N`` ranks."""
@@ -442,10 +421,7 @@ class ShardedMiner:
             shard_state["miner"], backend=self._backend_kind,
             device=self._devices[shard_id])
         self._miners[shard_id] = restored
-        self._primary_sorters[shard_id] = restored.sorter
-        self._fallback_sorters[shard_id] = cpu_fallback_for(
-            restored.sorter, cpu_speedup=restored._cpu_speedup)
-        self._breakers[shard_id] = CircuitBreaker(*self._breaker_config)
+        self._guards[shard_id] = self._build_guard(shard_id)
         shard = self.metrics.shards[shard_id]
         shard.elements = int(shard_state.get("elements", 0))
         shard.batches = int(shard_state.get("batches", 0))

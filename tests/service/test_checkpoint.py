@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import json
+import os
+import threading
 
 import numpy as np
 import pytest
@@ -226,3 +228,74 @@ class TestShardedSnapshot:
         from repro.errors import ServiceError
         with pytest.raises(ServiceError):
             ShardedMiner.from_snapshot({"kind": "other", "version": 1})
+
+
+class TestWriterLock:
+    """Regression: the two-writer sequence-rotation race.
+
+    Before the owner lockfile, two stores pointed at one directory
+    (parent + restarted worker) could both enumerate the directory,
+    compute the same next sequence, and the second ``os.replace`` would
+    silently swallow the first writer's checkpoint.  ``save`` now takes
+    an exclusive on-disk lock for the whole rotation.
+    """
+
+    def test_lock_is_released_after_save(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"version": 1})
+        assert not store.lock_path.exists()
+
+    def test_live_foreign_writer_is_refused(self, tmp_path):
+        first = CheckpointStore(tmp_path, owner="writer-a")
+        second = CheckpointStore(tmp_path, owner="writer-b")
+        first._acquire_lock()
+        try:
+            with pytest.raises(CheckpointError, match="locked by writer"):
+                second.save({"version": 1})
+        finally:
+            first._release_lock()
+        # released: the refused writer succeeds now
+        assert second.save({"version": 1}).exists()
+
+    def test_stale_lock_from_dead_pid_is_stolen(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        # pid far above any live process on a test box
+        store.lock_path.write_text(json.dumps(
+            {"owner": "ghost", "pid": 2 ** 22 + 12345}))
+        path = store.save({"version": 1, "i": 1})
+        assert path.exists()
+        assert not store.lock_path.exists()
+
+    def test_unreadable_lock_is_treated_as_stale(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.lock_path.write_text("not json{{{")
+        assert store.save({"version": 1}).exists()
+
+    def test_own_crashed_lock_is_reclaimed(self, tmp_path):
+        store = CheckpointStore(tmp_path, owner="me")
+        store.lock_path.write_text(json.dumps(
+            {"owner": "me", "pid": os.getpid()}))
+        assert store.save({"version": 1}).exists()
+        assert not store.lock_path.exists()
+
+    def test_concurrent_threads_never_lose_a_checkpoint(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=64)
+        errors = []
+
+        def writer(index: int) -> None:
+            try:
+                store.save({"version": 1, "writer": index})
+            except CheckpointError as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        files = store.checkpoints()
+        assert len(files) == 8  # every rotation landed, none overwritten
+        written = sorted(store.load(path)["writer"] for path in files)
+        assert written == list(range(8))

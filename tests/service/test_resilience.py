@@ -209,7 +209,7 @@ class TestDispatchRetry:
                 raise BusError("injected")
 
         pool._miners[0].swap_sorter(AlwaysFaulting())
-        pool._primary_sorters[0] = pool._miners[0].sorter
+        pool._guards[0].primary = pool._miners[0].sorter
         with pytest.raises(ShardFailedError) as exc_info:
             pool.ingest(np.arange(4096, dtype=np.float32))
         assert exc_info.value.shard_id == 0

@@ -8,13 +8,17 @@ latency of a full-pool checkpoint save/restore round trip.  Qualitative
 claims asserted: a clean run pays ~nothing for the machinery, faulted
 runs lose no elements and answer identically to clean ones, and a
 checkpoint round trip is much cheaper than re-ingesting the stream.
+
+The fault-rate series is also appended to ``BENCH_recovery.json`` at
+the repo root (:func:`repro.bench.report.write_bench_json`) so runs
+accumulate a comparable machine-readable history.
 """
 
 import time
 
 import pytest
 
-from repro.bench.report import Table
+from repro.bench.report import Table, write_bench_json
 from repro.gpu.faults import FaultPlan
 from repro.service import CheckpointStore, RetryPolicy, ShardedMiner
 from repro.streams import uniform_stream
@@ -56,14 +60,24 @@ class TestFaultRateOverhead:
                      "readback with seeded schedules."),
         )
         self.runs = {}
+        series = []
         for rate in FAULT_RATES:
             pool, elapsed = _run_one(rate)
             metrics = pool.metrics
             table.add_row(rate, pool.processed, elapsed, metrics.faults,
                           metrics.retries, metrics.degraded_batches,
                           pool.quantile(0.5))
+            series.append({
+                "fault_rate": rate, "elements": int(pool.processed),
+                "seconds": elapsed, "faults": int(metrics.faults),
+                "retries": int(metrics.retries),
+                "degraded_batches": int(metrics.degraded_batches),
+                "lost_elements": int(metrics.lost_elements)})
             self.runs[rate] = pool
         emit(table)
+        write_bench_json("recovery", {
+            "benchmark": "fault_rate_overhead", "eps": EPS,
+            "elements": ELEMENTS, "shards": 2, "series": series})
         table.runs = self.runs
         return table
 

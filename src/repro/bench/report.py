@@ -20,7 +20,10 @@ accuracy tables.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Sequence
 
 
@@ -86,6 +89,36 @@ class Table:
         """Extract one column by name."""
         idx = list(self.columns).index(name)
         return [row[idx] for row in self.rows]
+
+
+def write_bench_json(area: str, payload: dict,
+                     root: str | Path | None = None) -> Path:
+    """Append one benchmark run to ``BENCH_<area>.json`` at the repo root.
+
+    The file is a schema-versioned accumulator — each invocation appends
+    ``payload`` to its ``runs`` list (creating the file on first use),
+    so successive benchmark runs build a comparable history instead of
+    overwriting each other.  A corrupt or foreign file is replaced, not
+    crashed on.  ``root`` overrides the repo root (tests use tmp dirs).
+    Returns the path written.
+    """
+    base = (Path(root) if root is not None
+            else Path(__file__).resolve().parents[3])
+    path = base / f"BENCH_{area}.json"
+    doc: dict = {"version": 1, "area": area, "runs": []}
+    try:
+        existing = json.loads(path.read_text(encoding="utf-8"))
+        if (isinstance(existing, dict) and existing.get("version") == 1
+                and isinstance(existing.get("runs"), list)):
+            doc["runs"] = existing["runs"]
+    except (OSError, json.JSONDecodeError):
+        pass
+    doc["runs"].append(payload)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, path)
+    return path
 
 
 def build_all(fast: bool = False) -> list[Table]:

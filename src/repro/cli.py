@@ -31,6 +31,7 @@ from .core.engine import StreamMiner
 from .core.pipeline.timing import OPERATIONS
 from .obs import collecting, render_tree, stage_shares
 from .service.executors import registered_executors
+from .service.policies import ServicePolicies
 from .service.runner import format_result, run_service_demo
 from .sorting.cpu import optimized_sort
 from .streams.generators import GENERATORS
@@ -118,6 +119,23 @@ def cmd_distinct(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_policies(args: argparse.Namespace) -> ServicePolicies | None:
+    """A ServicePolicies bundle from the serve flags, or None when every
+    flag is at its default (constructor defaults then apply)."""
+    overrides = {}
+    for flag, field in (("snapshot_every", "snapshot_every"),
+                        ("max_restarts", "max_restarts"),
+                        ("heartbeat_interval", "heartbeat_interval"),
+                        ("liveness_timeout", "liveness_timeout"),
+                        ("io_deadline", "io_deadline")):
+        value = getattr(args, flag)
+        if value is not None:
+            overrides[field] = value
+    if args.no_takeover:
+        overrides["takeover"] = False
+    return ServicePolicies(**overrides) if overrides else None
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve``: drive the sharded asyncio service end to end."""
     result = run_service_demo(
@@ -131,7 +149,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         fault_rate=args.fault_rate,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_interval=args.checkpoint_interval,
-        metrics_port=args.metrics_port)
+        metrics_port=args.metrics_port,
+        policies=_build_policies(args))
     print(format_result(result))
     return 0 if result.all_within_bounds else 1
 
@@ -252,9 +271,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--executor", choices=list(registered_executors()),
                    default="async",
                    help="where the shards run: inline (synchronous "
-                        "baseline), async (in-process queues), or mp "
+                        "baseline), async (in-process queues), mp "
                         "(one worker process per shard over shared "
-                        "memory)")
+                        "memory), or net (worker processes over framed "
+                        "TCP with reconnect/takeover)")
     p.add_argument("--workers", type=int, default=None,
                    help="worker/shard count override (alias for "
                         "--shards, reads naturally with --executor mp)")
@@ -280,6 +300,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-port", type=int, default=None,
                    help="serve Prometheus /metrics and /healthz on this "
                         "port for the duration of the run (0 = ephemeral)")
+    p.add_argument("--snapshot-every", type=int, default=None,
+                   help="acks between internal worker snapshots "
+                        "(replay-log bound; mp/net executors)")
+    p.add_argument("--max-restarts", type=int, default=None,
+                   help="worker deaths tolerated per shard before "
+                        "takeover or permanent failure")
+    p.add_argument("--heartbeat-interval", type=float, default=None,
+                   help="seconds of inbound silence before a net worker "
+                        "sends a heartbeat")
+    p.add_argument("--liveness-timeout", type=float, default=None,
+                   help="seconds of silence on a net connection before "
+                        "it is declared dead")
+    p.add_argument("--io-deadline", type=float, default=None,
+                   help="per-frame send/recv deadline on net channels, "
+                        "seconds")
+    p.add_argument("--no-takeover", action="store_true",
+                   help="fail a shard permanently instead of "
+                        "reassigning its keyspace to survivors "
+                        "(net executor)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("trace",

@@ -189,6 +189,13 @@ class KMinValues:
             # fewer distinct hashes than k: the sketch is exact.
             return float(len(self._heap))
         kth = -self._heap[0]
+        if kth <= 0.0:
+            # Unreachable for genuine hashes (k >= 3 *distinct* values
+            # in [0, 1) cannot all be <= 0), but out-of-domain input
+            # fed directly to update_sorted_hashes would divide by
+            # zero here; the retained distinct count is the only
+            # defensible answer in that degenerate case.
+            return float(len(self._heap))
         return (self.k - 1) / kth
 
     def relative_standard_error(self) -> float:

@@ -105,6 +105,9 @@ def service_metrics_samples(metrics) -> list[Sample]:
         Sample("repro_service_failed_shards", "gauge",
                float(len(metrics.failed_shards)), (),
                "permanently failed shards"),
+        Sample("repro_service_taken_over_shards", "gauge",
+               float(len(metrics.taken_over_shards)), (),
+               "shards whose keyspace moved to survivors"),
     ]
     shard_fields = (
         ("elements", "counter", "elements dispatched into the shard"),
@@ -120,6 +123,10 @@ def service_metrics_samples(metrics) -> list[Sample]:
          "batches re-sent to restarted workers"),
         ("transport_seconds", "counter",
          "parent-side batch transport seconds"),
+        ("net_batches", "counter", "batches via a TCP channel"),
+        ("reconnects", "counter", "worker reconnections absorbed"),
+        ("deadline_timeouts", "counter",
+         "connection deadline/liveness expiries"),
         ("failures", "counter", "worker crashes"),
         ("restarts", "counter", "supervised worker restarts"),
         ("lost_elements", "counter", "elements lost to failed shards"),
@@ -137,6 +144,10 @@ def service_metrics_samples(metrics) -> list[Sample]:
         samples.append(Sample(
             "repro_shard_healthy", "gauge", float(bool(shard.healthy)),
             labels, "1 while the shard is healthy"))
+        samples.append(Sample(
+            "repro_shard_taken_over", "gauge",
+            float(bool(getattr(shard, "taken_over", False))),
+            labels, "1 once the shard's keyspace moved to survivors"))
     return samples
 
 

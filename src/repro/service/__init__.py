@@ -17,9 +17,15 @@ horizontal scaling free.  This package supplies the layer that uses it:
   *process* per shard, shared-memory batch transport
   (:mod:`~repro.service.shm_ring`), supervised restart with
   ack/replay, merge-on-query over gathered estimator states;
+* :class:`NetShardedMiner` — the network executor: the same ack/replay
+  protocol over framed TCP (:mod:`~repro.service.net_transport`) with
+  per-connection deadlines, heartbeats, worker reconnect, elastic
+  resharding (:func:`resharded_snapshot`) and keyspace takeover when a
+  shard dies for good;
 * the executor registry (:mod:`~repro.service.executors`) naming the
-  three ways to run the pool — ``inline`` / ``async`` / ``mp`` — all
-  answer-identical, differing only in throughput;
+  four ways to run the pool — ``inline`` / ``async`` / ``mp`` /
+  ``net`` — all answer-identical, differing only in throughput and
+  failure-domain isolation;
 * fault tolerance — :class:`RetryPolicy`, :class:`CircuitBreaker` and
   :class:`ShardGuard` (:mod:`~repro.service.resilience`) around the
   dispatch path, and :class:`CheckpointStore`
@@ -35,23 +41,34 @@ from .executors import (InlineService, register_executor,
                         registered_executors, resolve_executor)
 from .metrics import ServiceMetrics, ShardMetrics
 from .mp_executor import MpShardedMiner
+from .net_executor import NetShardedMiner
+from .net_transport import NetFaultInjector, NetFaultPlan
+from .policies import DEFAULT_POLICIES, ServicePolicies
+from .reshard import resharded_snapshot
 from .resilience import CircuitBreaker, RetryPolicy, ShardGuard
 from .runner import ServeResult, format_result, run_service_demo
 from .sharded import ShardedMiner
-from .sharding import (HashPartitioner, RoundRobinPartitioner,
-                       default_partitioner)
+from .sharding import (ConsistentHashPartitioner, HashPartitioner,
+                       RoundRobinPartitioner, default_partitioner,
+                       partitioner_from_state)
 from .shm_ring import ShmRing
 
 __all__ = [
     "CheckpointStore",
     "CircuitBreaker",
+    "ConsistentHashPartitioner",
+    "DEFAULT_POLICIES",
     "HashPartitioner",
     "InlineService",
     "MpShardedMiner",
+    "NetFaultInjector",
+    "NetFaultPlan",
+    "NetShardedMiner",
     "RetryPolicy",
     "RoundRobinPartitioner",
     "ServeResult",
     "ServiceMetrics",
+    "ServicePolicies",
     "ShardGuard",
     "ShardMetrics",
     "ShardedMiner",
@@ -59,8 +76,10 @@ __all__ = [
     "StreamService",
     "default_partitioner",
     "format_result",
+    "partitioner_from_state",
     "register_executor",
     "registered_executors",
     "resolve_executor",
+    "resharded_snapshot",
     "run_service_demo",
 ]

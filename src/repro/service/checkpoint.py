@@ -47,6 +47,24 @@ def _pid_alive(pid: int) -> bool:
     return True
 
 
+def _pid_start_time(pid: int) -> int | None:
+    """The process's kernel start time (clock ticks since boot).
+
+    Linux only (``/proc/<pid>/stat`` field 22); ``None`` where /proc is
+    unavailable.  Distinguishes a live lock holder from an *unrelated*
+    process that recycled its pid — liveness alone would let the
+    recycled pid hold the lock forever.
+    """
+    try:
+        stat = Path(f"/proc/{pid}/stat").read_bytes()
+        # Field 2 (comm) may contain spaces and parentheses; everything
+        # after the *last* ')' is whitespace-separated, starting at
+        # field 3.  starttime is field 22, so index 19 of that tail.
+        return int(stat.rsplit(b")", 1)[1].split()[19])
+    except (OSError, IndexError, ValueError):
+        return None
+
+
 class CheckpointStore:
     """Atomic, versioned JSON checkpoints in one directory.
 
@@ -61,7 +79,9 @@ class CheckpointStore:
     the rotation completes.  A second live writer gets a
     :class:`~repro.errors.CheckpointError` instead of a lost checkpoint;
     a lock left behind by a *dead* process (crash between create and
-    delete) is detected by pid liveness and stolen.
+    delete) is detected by pid liveness — qualified by the pid's kernel
+    start time, so a recycled pid cannot masquerade as the holder — and
+    stolen.
 
     Parameters
     ----------
@@ -122,7 +142,9 @@ class CheckpointStore:
         return holder if isinstance(holder, dict) else {}
 
     def _acquire_lock(self) -> None:
-        payload = json.dumps({"owner": self.owner, "pid": os.getpid()})
+        pid = os.getpid()
+        payload = json.dumps({"owner": self.owner, "pid": pid,
+                              "pid_start": _pid_start_time(pid)})
         for _ in range(16):  # bounded steal-and-retry, never spins forever
             try:
                 fd = os.open(self.lock_path,
@@ -135,7 +157,7 @@ class CheckpointStore:
                     # Our own token: a previous save of this instance
                     # died between create and delete; reclaim.
                     return
-                if _pid_alive(int(holder.get("pid", 0))):
+                if self._holder_alive(holder):
                     raise CheckpointError(
                         f"checkpoint directory {self.directory} is "
                         f"locked by writer {holder.get('owner')!r} "
@@ -153,6 +175,26 @@ class CheckpointStore:
             return
         raise CheckpointError(  # pragma: no cover - needs adversarial fs
             f"could not acquire checkpoint lock in {self.directory}")
+
+    def _holder_alive(self, holder: dict) -> bool:
+        """Is the recorded lock holder still the process that took it?
+
+        Pid liveness alone has a false positive: the holder died, the
+        OS recycled its pid, and an unrelated process now answers the
+        probe — the lock would never be stolen.  When the lockfile
+        recorded the holder's kernel start time, a mismatch with the
+        *current* owner of that pid proves the recycle and the lock is
+        stale.  Locks recorded without a start time (non-Linux) keep
+        the conservative liveness-only behaviour.
+        """
+        pid = int(holder.get("pid", 0))
+        if not _pid_alive(pid):
+            return False
+        recorded = holder.get("pid_start")
+        if recorded is None:
+            return True
+        current = _pid_start_time(pid)
+        return current is None or int(recorded) == current
 
     def _release_lock(self) -> None:
         self.lock_path.unlink(missing_ok=True)

@@ -21,6 +21,11 @@ Built-in executors:
     :class:`StreamService` over :class:`MpShardedMiner`: one worker
     *process* per shard with shared-memory batch transport — compute
     genuinely parallel across cores.
+``net``
+    :class:`StreamService` over :class:`NetShardedMiner`: the same
+    ack/replay protocol over framed TCP, adding deadlines, heartbeats,
+    worker reconnect, and keyspace takeover when a shard dies for good
+    (:mod:`repro.service.net_executor`).
 
 Every executor produces **bit-identical answers** over the same stream
 (``tests/service/test_mp_equivalence.py``); they differ only in where
@@ -36,6 +41,7 @@ from .async_service import StreamService
 from .checkpoint import CheckpointStore
 from .metrics import ServiceMetrics
 from .mp_executor import MpShardedMiner
+from .net_executor import NetShardedMiner
 from .sharded import ShardedMiner
 
 __all__ = [
@@ -152,6 +158,10 @@ def _build_mp(miner_kwargs: dict, service_kwargs: dict) -> StreamService:
     return StreamService(MpShardedMiner(**miner_kwargs), **service_kwargs)
 
 
+def _build_net(miner_kwargs: dict, service_kwargs: dict) -> StreamService:
+    return StreamService(NetShardedMiner(**miner_kwargs), **service_kwargs)
+
+
 _EXECUTORS: dict[str, object] = {}
 
 
@@ -185,3 +195,4 @@ def resolve_executor(name: str):
 register_executor("inline", _build_inline)
 register_executor("async", _build_async)
 register_executor("mp", _build_mp)
+register_executor("net", _build_net)

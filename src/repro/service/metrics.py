@@ -55,6 +55,17 @@ class ShardMetrics:
     #: parent-side wall seconds spent framing/sending batches to the
     #: worker process (mp executor only).
     transport_seconds: float = 0.0
+    #: batches shipped over a TCP channel (net executor only).
+    net_batches: int = 0
+    #: times the shard's worker re-dialed and resumed on a fresh
+    #: connection (net executor only).
+    reconnects: int = 0
+    #: per-connection deadline/liveness expiries observed on the
+    #: shard's channel (net executor only).
+    deadline_timeouts: int = 0
+    #: True once the shard's keyspace was reassigned to survivors
+    #: (net executor degradation; implies ``healthy`` is False).
+    taken_over: bool = False
     #: worker crashes (exceptions that escaped a dispatch).
     failures: int = 0
     #: supervised worker restarts consumed (bounded by the service).
@@ -145,6 +156,21 @@ class ServiceMetrics:
     def lost_elements(self) -> int:
         """Elements discarded by permanently failed shards."""
         return sum(s.lost_elements for s in self.shards)
+
+    @property
+    def reconnects(self) -> int:
+        """Worker reconnections absorbed across all shards."""
+        return sum(s.reconnects for s in self.shards)
+
+    @property
+    def deadline_timeouts(self) -> int:
+        """Connection deadline/liveness expiries across all shards."""
+        return sum(s.deadline_timeouts for s in self.shards)
+
+    @property
+    def taken_over_shards(self) -> list[int]:
+        """Shard ids whose keyspace was reassigned to survivors."""
+        return [s.shard_id for s in self.shards if s.taken_over]
 
     @property
     def failed_shards(self) -> list[int]:

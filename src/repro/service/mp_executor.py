@@ -68,21 +68,19 @@ from ..gpu.device import GpuDevice
 from ..gpu.faults import FaultInjector, FaultPlan
 from ..obs import collecting, collector
 from .metrics import ServiceMetrics, ShardMetrics
+from .policies import DEFAULT_POLICIES, ServicePolicies
 from .resilience import CircuitBreaker, RetryPolicy, ShardGuard
 from .sharded import merge_quantile_summaries
-from .sharding import default_partitioner
+from .sharding import default_partitioner, partitioner_from_state
 from .shm_ring import ShmRing
 
 __all__ = ["MpShardedMiner"]
 
-#: batches at or below this many elements skip the ring and ride the
-#: pipe directly — descriptor bookkeeping costs more than pickling them.
-SMALL_BATCH_ELEMENTS = 256
-
-#: acks between internal snapshots (bounds the replay log).
-SNAPSHOT_EVERY = 64
-
-_READY_TIMEOUT = 120.0
+# Tuning constants moved to service.policies (one place for every
+# executor knob); these aliases keep the historical import paths alive.
+SMALL_BATCH_ELEMENTS = DEFAULT_POLICIES.small_batch_elements
+SNAPSHOT_EVERY = DEFAULT_POLICIES.snapshot_every
+_READY_TIMEOUT = DEFAULT_POLICIES.ready_timeout
 
 
 class _WorkerDied(Exception):
@@ -299,9 +297,248 @@ def _release_links(links) -> None:
 
 
 # ----------------------------------------------------------------------
+# shared pool surface (process + network executors)
+# ----------------------------------------------------------------------
+class _PoolQueryMixin:
+    """Merge-on-query surface shared by the process and network pools.
+
+    Both pools keep per-shard links with the same protocol verbs
+    (``self._request(link, "state"|"snapshot")``), per-shard locks, and
+    a ``self.retired`` list of estimator states from shards that were
+    retired by a reshard or a takeover.  Retired states are *ghosts*:
+    frozen contributions that every query folds in alongside the live
+    shards, which is what lets a shard's keyspace move without touching
+    the eps accounting —
+
+    * quantiles: ghost summaries join the merge; merging is lossless,
+      the single query-time prune still adds at most ``eps/2``;
+    * frequencies: counts for a value are *summed* across ghosts and
+      live shards.  Occurrences partition across the structures, and a
+      lossy-counting estimate never overcounts its own occurrences, so
+      the sum never overcounts; the undercount is at most
+      ``sum(eps * N_i) <= eps * N``;
+    * distinct: KMV sketches union exactly.
+    """
+
+    def _live_links(self):
+        return [link for link in self._links
+                if not getattr(link, "taken_over", False)]
+
+    def _retired_estimators(self):
+        return [estimator_from_state(state) for state in self.retired]
+
+    @property
+    def _shard_eps(self) -> float:
+        # eps/2 per shard for quantiles: merging is lossless but the
+        # query-time prune back to B = ceil(1/eps) buckets costs the
+        # other eps/2.  Counting and KMV shards keep full eps.
+        return self.eps / 2.0 if self.statistic == "quantile" else self.eps
+
+    @property
+    def _shard_hint(self) -> int:
+        return max(1, math.ceil(self._stream_length_hint / self.num_shards))
+
+    def _fresh_miner_state(self) -> dict:
+        """An empty per-shard miner state (snapshot slots for shards
+        whose history lives on in ``retired``)."""
+        return StreamMiner(
+            self.statistic, eps=self._shard_eps, backend="cpu",
+            mode="history", window_size=self._window_size_arg,
+            stream_length_hint=self._shard_hint).snapshot()
+
+    @property
+    def window_size(self) -> int:
+        """The shard pipelines' window width (largest across shards)."""
+        return max(link.window_size for link in self._links)
+
+    def _gather(self) -> list[dict]:
+        """Settled per-shard estimator states (the merge-on-query feed)."""
+        return [self._request(link, "state") for link in self._live_links()]
+
+    @property
+    def processed(self) -> int:
+        """Elements fully through the per-shard pipelines (incl. ghosts)."""
+        return (sum(payload["processed"] for payload in self._gather())
+                + sum(int(est.processed)
+                      for est in self._retired_estimators()))
+
+    @property
+    def buffered(self) -> int:
+        """Elements accepted by workers but not yet summarised."""
+        return sum(payload["buffered"] for payload in self._gather())
+
+    def shard_reports(self) -> list[EngineReport]:
+        """Per-shard per-operation latency accounting (wall + modelled)."""
+        reports = []
+        for payload in self._gather():
+            raw = payload["report"]
+            report = EngineReport(raw["backend"], raw["statistic"],
+                                  elements=int(raw["elements"]),
+                                  windows=int(raw["windows"]))
+            report.wall.update(raw["wall"])
+            report.modelled.update(raw["modelled"])
+            reports.append(report)
+        return reports
+
+    # -- merge-on-query (same algebra as the inline pool) ---------------
+    def combined_summary(self, prune_budget: int | str | None = "auto"):
+        """Merge every worker's quantile buckets into one served summary."""
+        if self.statistic != "quantile":
+            raise QueryError("this service does not estimate quantiles")
+        summaries = []
+        for payload in self._gather():
+            estimator = estimator_from_state(payload["estimator"])
+            summaries.extend(estimator.summaries())
+        for estimator in self._retired_estimators():
+            summaries.extend(estimator.summaries())
+        return merge_quantile_summaries(summaries, self.eps, prune_budget)
+
+    def quantile(self, phi: float) -> float:
+        """The phi-quantile over all shards, within ``eps * N`` ranks."""
+        result = self.combined_summary().quantile(phi)
+        self.metrics.queries += 1
+        return result
+
+    def frequent_items(self, support: float) -> list[tuple[float, int]]:
+        """Heavy hitters: per-value counts summed over shards + ghosts."""
+        if self.statistic != "frequency":
+            raise QueryError("this service does not estimate frequencies")
+        if not 0.0 <= support <= 1.0:
+            raise QueryError(f"support must be in [0, 1], got {support}")
+        if support < self.eps:
+            raise QueryError(
+                f"support {support} below eps {self.eps}: the guarantee "
+                "threshold (s - eps) N would be vacuous")
+        payloads = self._gather()
+        estimators = [estimator_from_state(payload["estimator"])
+                      for payload in payloads]
+        estimators.extend(self._retired_estimators())
+        total = (sum(payload["processed"] for payload in payloads)
+                 + sum(int(est.processed)
+                       for est in self._retired_estimators()))
+        threshold = (support - self.eps) * total
+        counts: dict[float, int] = {}
+        for estimator in estimators:
+            for value, estimate in estimator.items():
+                counts[value] = counts.get(value, 0) + estimate
+        result = [(value, count) for value, count in counts.items()
+                  if count >= threshold]
+        result.sort(key=lambda pair: (-pair[1], pair[0]))
+        self.metrics.queries += 1
+        return result
+
+    def estimate(self, value: float) -> int:
+        """Estimated global count of ``value`` (summed over shards).
+
+        Under value-affine routing every term but the home shard's is
+        zero, so this matches the home-shard lookup bit for bit; after
+        a takeover or reshard it transparently folds in the ghost and
+        failover contributions (occurrences partition across the
+        structures, so the sum never overcounts).
+        """
+        if self.statistic != "frequency":
+            raise QueryError("this service does not estimate frequencies")
+        total = 0
+        for payload in self._gather():
+            total += estimator_from_state(payload["estimator"]).estimate(
+                value)
+        for estimator in self._retired_estimators():
+            total += estimator.estimate(value)
+        self.metrics.queries += 1
+        return total
+
+    def distinct(self) -> float:
+        """Distinct-count estimate from the union of shard KMV sketches."""
+        if self.statistic != "distinct":
+            raise QueryError("this service does not count distinct values")
+        sketches = [estimator_from_state(payload["estimator"])
+                    for payload in self._gather()]
+        sketches.extend(self._retired_estimators())
+        union = sketches[0]
+        for sketch in sketches[1:]:
+            union = union.merge(sketch)
+        self.metrics.queries += 1
+        return union.estimate()
+
+    # -- checkpoint/restore (same "sharded-miner" v1 format) -------------
+    def snapshot(self) -> dict:
+        """Versioned snapshot, interchangeable across all executors.
+
+        The state is gathered from settled workers and written in the
+        exact :meth:`ShardedMiner.snapshot` format, so a checkpoint cut
+        under one executor restores under any other.  Taken-over shards
+        contribute an empty miner slot — their history is already in
+        ``retired``.
+        """
+        shards = []
+        for link in self._links:
+            shard = self.metrics.shards[link.shard_id]
+            if getattr(link, "taken_over", False):
+                shards.append({"miner": self._fresh_miner_state(),
+                               "elements": int(shard.elements),
+                               "batches": int(shard.batches)})
+                continue
+            with link.lock:
+                state = self._request(link, "snapshot")
+                link.snap = {"miner": state}
+                link.snap_seq = link.sent
+                link.replay = [entry for entry in link.replay
+                               if entry[0] > link.snap_seq]
+                link.acks_since_snap = 0
+                shards.append({"miner": state,
+                               "elements": int(shard.elements),
+                               "batches": int(shard.batches)})
+        return {
+            "version": 1,
+            "kind": "sharded-miner",
+            "statistic": self.statistic,
+            "eps": self.eps,
+            "num_shards": self.num_shards,
+            "backend": self._backend_kind,
+            "window_size": self._window_size_arg,
+            "stream_length_hint": self._stream_length_hint,
+            "partitioner": self.partitioner.to_state(),
+            "ingested": int(self.metrics.ingested),
+            "shards": shards,
+            "retired": [dict(state) for state in self.retired],
+        }
+
+    # -- elastic resharding ----------------------------------------------
+    def reshard(self, num_shards: int) -> None:
+        """Live shard split/merge: migrate state onto a new pool size.
+
+        Drains, snapshots, rewrites the snapshot for ``num_shards`` via
+        :func:`repro.service.reshard.resharded_snapshot` (old shard
+        histories become ghosts; the partitioner is rebuilt over the new
+        count), then boots a fresh worker pool from it and adopts that
+        pool in place.  Queries before and after see the same stream
+        with the same error bounds — see the class docstring for the
+        accounting.
+        """
+        from .reshard import resharded_snapshot
+        self.drain()
+        state = resharded_snapshot(self.snapshot(), num_shards)
+        fresh = type(self).from_snapshot(
+            state, backend=self._backend_kind, **self._reshard_kwargs())
+        self.close()
+        # Adopt the fresh pool's guts.  Its finalizer would reap the
+        # adopted workers when `fresh` is collected, so detach it and
+        # re-bind one to self.
+        fresh._finalizer.detach()
+        self.__dict__.update(fresh.__dict__)
+        self._rebind_finalizer()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
 # parent side
 # ----------------------------------------------------------------------
-class MpShardedMiner:
+class MpShardedMiner(_PoolQueryMixin):
     """Process-pool drop-in for :class:`ShardedMiner`.
 
     Parameters mirror :class:`ShardedMiner`; the extras are:
@@ -316,12 +553,19 @@ class MpShardedMiner:
     max_restarts:
         Worker deaths tolerated per shard before it is declared
         permanently failed.
+    policies:
+        A :class:`~repro.service.policies.ServicePolicies` bundle
+        providing the defaults for ``retry``, the breaker knobs and the
+        three tuning parameters above; explicit arguments win.
     mp_context:
         ``multiprocessing`` start method (default ``"spawn"`` — immune
         to inherited locks/threads; workers re-import the package).
     shard_states:
         Internal (used by :meth:`from_snapshot`): per-shard restore
         points the workers boot from.
+    retired:
+        Internal (used by :meth:`from_snapshot`): ghost estimator
+        states carried over from retired shards.
     """
 
     def __init__(self, statistic: str = "quantile", eps: float = 0.01,
@@ -331,14 +575,16 @@ class MpShardedMiner:
                  stream_length_hint: int = 100_000_000,
                  fault_plan: FaultPlan | None = None,
                  retry: RetryPolicy | None = None,
-                 breaker_failure_threshold: int = 3,
-                 breaker_cooldown_batches: int = 16, *,
+                 breaker_failure_threshold: int | None = None,
+                 breaker_cooldown_batches: int | None = None, *,
                  ring_capacity: int = 1 << 20,
-                 small_batch_elements: int = SMALL_BATCH_ELEMENTS,
-                 snapshot_every: int = SNAPSHOT_EVERY,
-                 max_restarts: int = 2,
+                 small_batch_elements: int | None = None,
+                 snapshot_every: int | None = None,
+                 max_restarts: int | None = None,
+                 policies: ServicePolicies | None = None,
                  mp_context: str = "spawn",
-                 shard_states: list[dict] | None = None):
+                 shard_states: list[dict] | None = None,
+                 retired: list[dict] | None = None):
         if num_shards < 1:
             raise ServiceError(f"need >= 1 shard, got {num_shards}")
         if statistic not in ("quantile", "frequency", "distinct"):
@@ -353,6 +599,21 @@ class MpShardedMiner:
             raise ServiceError(
                 "fault injection targets the simulated GPU; "
                 f"backend is {backend!r}")
+        pol = policies if policies is not None else DEFAULT_POLICIES
+        if not isinstance(pol, ServicePolicies):
+            raise ServiceError(
+                f"policies must be a ServicePolicies, got {pol!r}")
+        self.policies = pol
+        if small_batch_elements is None:
+            small_batch_elements = pol.small_batch_elements
+        if snapshot_every is None:
+            snapshot_every = pol.snapshot_every
+        if max_restarts is None:
+            max_restarts = pol.max_restarts
+        if breaker_failure_threshold is None:
+            breaker_failure_threshold = pol.breaker_failure_threshold
+        if breaker_cooldown_batches is None:
+            breaker_cooldown_batches = pol.breaker_cooldown_batches
         if max_restarts < 0:
             raise ServiceError(
                 f"max_restarts must be >= 0, got {max_restarts}")
@@ -377,12 +638,13 @@ class MpShardedMiner:
                                  else None)
         self._stream_length_hint = int(stream_length_hint)
         self.fault_plan = fault_plan
-        self.retry = retry if retry is not None else RetryPolicy()
+        self.retry = retry if retry is not None else pol.retry
         self._breaker_config = (int(breaker_failure_threshold),
                                 int(breaker_cooldown_batches))
         self.small_batch_elements = int(small_batch_elements)
         self.snapshot_every = int(snapshot_every)
         self.max_restarts = int(max_restarts)
+        self.retired = [dict(state) for state in (retired or [])]
         self._ctx = multiprocessing.get_context(mp_context)
         self.metrics = ServiceMetrics(
             shards=[ShardMetrics(i) for i in range(self.num_shards)])
@@ -407,14 +669,10 @@ class MpShardedMiner:
     # worker lifecycle
     # ------------------------------------------------------------------
     def _worker_config(self, link: _ShardLink) -> dict:
-        shard_eps = (self.eps / 2.0 if self.statistic == "quantile"
-                     else self.eps)
-        shard_hint = max(1, math.ceil(self._stream_length_hint
-                                      / self.num_shards))
-        return {"statistic": self.statistic, "eps": shard_eps,
+        return {"statistic": self.statistic, "eps": self._shard_eps,
                 "backend": self._backend_kind,
                 "window_size": self._window_size_arg,
-                "length_hint": shard_hint,
+                "length_hint": self._shard_hint,
                 "fault_plan": self.fault_plan,
                 "retry": self.retry,
                 "breaker": self._breaker_config,
@@ -432,7 +690,7 @@ class MpShardedMiner:
         link.proc, link.conn = proc, parent_conn
 
     def _await_ready(self, link: _ShardLink) -> None:
-        deadline = time.monotonic() + _READY_TIMEOUT
+        deadline = time.monotonic() + self.policies.ready_timeout
         while True:
             try:
                 if link.conn.poll(0.1):
@@ -456,7 +714,7 @@ class MpShardedMiner:
             if time.monotonic() > deadline:  # pragma: no cover
                 raise ServiceError(
                     f"shard {link.shard_id} worker not ready after "
-                    f"{_READY_TIMEOUT:.0f}s")
+                    f"{self.policies.ready_timeout:.0f}s")
 
     def _cleanup_worker(self, link: _ShardLink) -> None:
         if link.conn is not None:
@@ -731,139 +989,8 @@ class MpShardedMiner:
                 self._maybe_snapshot(link)
 
     # ------------------------------------------------------------------
-    # introspection
-    # ------------------------------------------------------------------
-    @property
-    def window_size(self) -> int:
-        """The shard pipelines' window width (largest across shards)."""
-        return max(link.window_size for link in self._links)
-
-    def _gather(self) -> list[dict]:
-        """Settled per-shard estimator states (the merge-on-query feed)."""
-        return [self._request(link, "state") for link in self._links]
-
-    @property
-    def processed(self) -> int:
-        """Elements fully through the per-shard pipelines."""
-        return sum(payload["processed"] for payload in self._gather())
-
-    @property
-    def buffered(self) -> int:
-        """Elements accepted by workers but not yet summarised."""
-        return sum(payload["buffered"] for payload in self._gather())
-
-    def shard_reports(self) -> list[EngineReport]:
-        """Per-shard per-operation latency accounting (wall + modelled)."""
-        reports = []
-        for payload in self._gather():
-            raw = payload["report"]
-            report = EngineReport(raw["backend"], raw["statistic"],
-                                  elements=int(raw["elements"]),
-                                  windows=int(raw["windows"]))
-            report.wall.update(raw["wall"])
-            report.modelled.update(raw["modelled"])
-            reports.append(report)
-        return reports
-
-    # ------------------------------------------------------------------
-    # merge-on-query (same algebra as the inline pool)
-    # ------------------------------------------------------------------
-    def combined_summary(self, prune_budget: int | str | None = "auto"):
-        """Merge every worker's quantile buckets into one served summary."""
-        if self.statistic != "quantile":
-            raise QueryError("this service does not estimate quantiles")
-        summaries = []
-        for payload in self._gather():
-            estimator = estimator_from_state(payload["estimator"])
-            summaries.extend(estimator.summaries())
-        return merge_quantile_summaries(summaries, self.eps, prune_budget)
-
-    def quantile(self, phi: float) -> float:
-        """The phi-quantile over all shards, within ``eps * N`` ranks."""
-        result = self.combined_summary().quantile(phi)
-        self.metrics.queries += 1
-        return result
-
-    def frequent_items(self, support: float) -> list[tuple[float, int]]:
-        """Heavy hitters over all shards: union of home-shard counts."""
-        if self.statistic != "frequency":
-            raise QueryError("this service does not estimate frequencies")
-        if not 0.0 <= support <= 1.0:
-            raise QueryError(f"support must be in [0, 1], got {support}")
-        if support < self.eps:
-            raise QueryError(
-                f"support {support} below eps {self.eps}: the guarantee "
-                "threshold (s - eps) N would be vacuous")
-        payloads = self._gather()
-        total = sum(payload["processed"] for payload in payloads)
-        threshold = (support - self.eps) * total
-        result = [(value, estimate)
-                  for payload in payloads
-                  for value, estimate in
-                  estimator_from_state(payload["estimator"]).items()
-                  if estimate >= threshold]
-        result.sort(key=lambda pair: (-pair[1], pair[0]))
-        self.metrics.queries += 1
-        return result
-
-    def estimate(self, value: float) -> int:
-        """Estimated global count of ``value`` (its home shard's count)."""
-        if self.statistic != "frequency":
-            raise QueryError("this service does not estimate frequencies")
-        shard_id = self.partitioner.shard_of(value)
-        payload = self._request(self._links[shard_id], "state")
-        self.metrics.queries += 1
-        return estimator_from_state(payload["estimator"]).estimate(value)
-
-    def distinct(self) -> float:
-        """Distinct-count estimate from the union of shard KMV sketches."""
-        if self.statistic != "distinct":
-            raise QueryError("this service does not count distinct values")
-        sketches = [estimator_from_state(payload["estimator"])
-                    for payload in self._gather()]
-        union = sketches[0]
-        for sketch in sketches[1:]:
-            union = union.merge(sketch)
-        self.metrics.queries += 1
-        return union.estimate()
-
-    # ------------------------------------------------------------------
     # checkpoint/restore (same "sharded-miner" v1 format)
     # ------------------------------------------------------------------
-    def snapshot(self) -> dict:
-        """Versioned snapshot, interchangeable with the inline pool's.
-
-        The state is gathered from settled workers and written in the
-        exact :meth:`ShardedMiner.snapshot` format, so a checkpoint cut
-        under one executor restores under any other.
-        """
-        shards = []
-        for link in self._links:
-            with link.lock:
-                state = self._request(link, "snapshot")
-                link.snap = {"miner": state}
-                link.snap_seq = link.sent
-                link.replay = [entry for entry in link.replay
-                               if entry[0] > link.snap_seq]
-                link.acks_since_snap = 0
-                shard = self.metrics.shards[link.shard_id]
-                shards.append({"miner": state,
-                               "elements": int(shard.elements),
-                               "batches": int(shard.batches)})
-        return {
-            "version": 1,
-            "kind": "sharded-miner",
-            "statistic": self.statistic,
-            "eps": self.eps,
-            "num_shards": self.num_shards,
-            "backend": self._backend_kind,
-            "window_size": self._window_size_arg,
-            "stream_length_hint": self._stream_length_hint,
-            "partitioner": self.partitioner.to_state(),
-            "ingested": int(self.metrics.ingested),
-            "shards": shards,
-        }
-
     @classmethod
     def from_snapshot(cls, state: dict, backend: str | None = None,
                       **kwargs) -> "MpShardedMiner":
@@ -878,6 +1005,11 @@ class MpShardedMiner:
                 f"v{state.get('version')!r}")
         window_size = state.get("window_size")
         shards = state["shards"]
+        if "partitioner" not in kwargs:
+            # Rebuild the exact router kind the checkpoint was cut
+            # under (round-robin / hash / consistent-hash).
+            kwargs["partitioner"] = partitioner_from_state(
+                state["partitioner"])
         pool = cls(state["statistic"], eps=float(state["eps"]),
                    num_shards=int(state["num_shards"]),
                    backend=backend if backend is not None
@@ -886,6 +1018,7 @@ class MpShardedMiner:
                                 else None),
                    stream_length_hint=int(state["stream_length_hint"]),
                    shard_states=[{"miner": s["miner"]} for s in shards],
+                   retired=state.get("retired"),
                    **kwargs)
         pool.partitioner.restore_state(state["partitioner"])
         pool.metrics.ingested = int(state["ingested"])
@@ -930,8 +1063,15 @@ class MpShardedMiner:
                 link.proc = link.conn = None
                 link.ring.close()
 
-    def __enter__(self) -> "MpShardedMiner":
-        return self
+    def _reshard_kwargs(self) -> dict:
+        """Constructor extras :meth:`reshard` carries onto the new pool."""
+        return {"fault_plan": self.fault_plan, "retry": self.retry,
+                "breaker_failure_threshold": self._breaker_config[0],
+                "breaker_cooldown_batches": self._breaker_config[1],
+                "policies": self.policies,
+                "small_batch_elements": self.small_batch_elements,
+                "snapshot_every": self.snapshot_every,
+                "max_restarts": self.max_restarts}
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def _rebind_finalizer(self) -> None:
+        self._finalizer = weakref.finalize(self, _release_links, self._links)

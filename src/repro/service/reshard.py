@@ -1,0 +1,110 @@
+"""Elastic resharding: rewrite a pool snapshot for a new shard count.
+
+Changing the shard count of a running pool cannot simply re-route new
+tuples — per-shard summaries are *not* splittable in general (a lossy
+counting structure cannot be divided between two new homes without
+breaking its per-bucket invariants).  What mergeable summaries *do*
+guarantee is the other direction: any shard's frozen state can join a
+query-time merge forever.  So resharding retires instead of splitting:
+
+1. the pool is drained (so no shard holds buffered elements — the
+   windower buffer belongs to a specific element *sequence* and must
+   not be re-routed mid-window);
+2. every old shard's estimator state is frozen into the snapshot's
+   ``retired`` ghost list;
+3. ``num_shards`` fresh, empty shard slots are synthesized and the
+   partitioner is rebuilt over the new count (same seed for hash
+   kinds, so value affinity is preserved within each epoch).
+
+Queries after the migration merge live shards + ghosts:
+
+* **quantiles** — ghost summaries were built at ``eps/2`` and merging
+  is lossless; the single query-time prune still adds ``<= eps/2``, so
+  the served bound stays ``eps * N`` across the reshard;
+* **frequencies** — a value's occurrences partition across the ghost
+  and live structures (pre-epoch counts in the ghost, post-epoch counts
+  on the new home).  Summing per value never overcounts, and the
+  undercount is ``sum(eps * N_i) <= eps * N``;
+* **distinct** — KMV sketches union exactly.
+
+The transform is *pure* (snapshot dict in, snapshot dict out), so it
+also works offline on checkpoints; the pools' ``reshard()`` methods
+wrap it with drain + snapshot + adopt for the live path.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.engine import StreamMiner
+from ..core.estimators import estimator_from_state
+from ..errors import ServiceError
+from .sharding import partitioner_from_state
+
+__all__ = ["resharded_snapshot"]
+
+
+def _require_drained(shard_state: dict, shard_id: int) -> None:
+    miner = shard_state["miner"]
+    buffered = len(miner.get("buffer", []))
+    buffered += sum(len(window) for window in
+                    miner.get("pending_windows", []))
+    if buffered:
+        raise ServiceError(
+            f"shard {shard_id} holds {buffered} buffered elements; "
+            "drain() the pool before resharding — a windower buffer "
+            "belongs to one element sequence and cannot be re-routed")
+
+
+def resharded_snapshot(state: dict, num_shards: int) -> dict:
+    """A ``sharded-miner`` v1 snapshot migrated to ``num_shards`` shards.
+
+    Old shard histories move to the ``retired`` ghost list; fresh empty
+    shard states are synthesized at the same per-shard eps; the
+    partitioner state is rebuilt over the new count (preserving kind
+    and seed).  Raises :class:`ServiceError` if the snapshot is not a
+    drained v1 ``sharded-miner`` state.
+    """
+    if state.get("kind") != "sharded-miner" or state.get("version") != 1:
+        raise ServiceError(
+            f"not a v1 sharded-miner state: {state.get('kind')!r} "
+            f"v{state.get('version')!r}")
+    if num_shards < 1:
+        raise ServiceError(f"need >= 1 shard, got {num_shards}")
+    num_shards = int(num_shards)
+    statistic = state["statistic"]
+    eps = float(state["eps"])
+    shard_eps = eps / 2.0 if statistic == "quantile" else eps
+    hint = int(state["stream_length_hint"])
+    shard_hint = max(1, math.ceil(hint / num_shards))
+    window_size = state.get("window_size")
+
+    retired = [dict(ghost) for ghost in state.get("retired", [])]
+    for shard_id, shard_state in enumerate(state["shards"]):
+        _require_drained(shard_state, shard_id)
+        est_state = dict(shard_state["miner"]["estimator"])
+        # Shards that never processed anything leave no history worth
+        # carrying; skipping them keeps repeated reshards from piling
+        # up empty ghosts.
+        if int(estimator_from_state(est_state).processed) > 0:
+            retired.append(est_state)
+
+    partitioner = partitioner_from_state(state["partitioner"])
+    new_partitioner = partitioner.with_num_shards(num_shards)
+
+    fresh = []
+    for _ in range(num_shards):
+        miner = StreamMiner(
+            statistic, eps=shard_eps, backend="cpu", mode="history",
+            window_size=(int(window_size) if window_size is not None
+                         else None),
+            stream_length_hint=shard_hint)
+        fresh.append({"miner": miner.snapshot(), "elements": 0,
+                      "batches": 0})
+
+    migrated = dict(state)
+    migrated["num_shards"] = num_shards
+    migrated["partitioner"] = new_partitioner.to_state()
+    migrated["shards"] = fresh
+    migrated["retired"] = retired
+    return migrated

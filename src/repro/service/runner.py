@@ -37,6 +37,7 @@ from .async_service import StreamService
 from .checkpoint import CheckpointStore
 from .executors import registered_executors, resolve_executor
 from .metrics import ServiceMetrics
+from .policies import ServicePolicies
 
 
 @dataclass
@@ -185,13 +186,18 @@ def run_service_demo(statistic: str = "quantile", n: int = 100_000,
                      checkpoint_interval: float | None = None,
                      metrics_port: int | None = None,
                      executor: str = "async",
-                     workers: int | None = None) -> ServeResult:
+                     workers: int | None = None,
+                     policies: ServicePolicies | None = None) -> ServeResult:
     """Run the end-to-end demo; see the module docstring.
 
     ``executor`` picks where the shards run (``inline`` / ``async`` /
-    ``mp`` — see :mod:`repro.service.executors`); with the ``mp``
-    executor, ``workers`` overrides the shard count so ``--workers N``
-    means N worker processes (one shard each).
+    ``mp`` / ``net`` — see :mod:`repro.service.executors`); with the
+    ``mp`` or ``net`` executor, ``workers`` overrides the shard count
+    so ``--workers N`` means N worker processes (one shard each).
+    ``policies`` bundles the retry/deadline/heartbeat/takeover knobs
+    (:class:`~repro.service.policies.ServicePolicies`) for the worker
+    pools; the in-process pools accept it too, using the subset that
+    applies.
     """
     if producers < 1:
         raise ServiceError(f"need >= 1 producer, got {producers}")
@@ -217,10 +223,13 @@ def run_service_demo(statistic: str = "quantile", n: int = 100_000,
                   if fault_rate > 0 else None)
     store = (CheckpointStore(checkpoint_dir)
              if checkpoint_dir is not None else None)
+    miner_kwargs = dict(statistic=statistic, eps=eps, num_shards=num_shards,
+                        backend=backend, window_size=window_size,
+                        stream_length_hint=n, fault_plan=fault_plan)
+    if policies is not None:
+        miner_kwargs["policies"] = policies
     service = resolve_executor(executor)(
-        dict(statistic=statistic, eps=eps, num_shards=num_shards,
-             backend=backend, window_size=window_size,
-             stream_length_hint=n, fault_plan=fault_plan),
+        miner_kwargs,
         dict(queue_chunks=queue_chunks, shed_capacity=shed_capacity,
              checkpoint_store=store,
              checkpoint_interval=checkpoint_interval))

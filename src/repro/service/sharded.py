@@ -53,14 +53,16 @@ import numpy as np
 
 from ..backends import cpu_fallback_for
 from ..core.engine import EngineReport, StreamMiner
+from ..core.estimators import estimator_from_state
 from ..core.quantiles.window import QuantileSummary
 from ..errors import QueryError, ServiceError
 from ..gpu.device import GpuDevice
 from ..obs import collector
 from ..gpu.faults import FaultInjector, FaultPlan
 from .metrics import ServiceMetrics, ShardMetrics
+from .policies import DEFAULT_POLICIES, ServicePolicies
 from .resilience import CircuitBreaker, RetryPolicy, ShardGuard
-from .sharding import default_partitioner
+from .sharding import default_partitioner, partitioner_from_state
 
 
 def merge_quantile_summaries(summaries, eps: float,
@@ -115,6 +117,13 @@ class ShardedMiner:
     breaker_failure_threshold / breaker_cooldown_batches:
         Circuit-breaker tuning (see
         :class:`~repro.service.resilience.CircuitBreaker`).
+    policies:
+        A :class:`~repro.service.policies.ServicePolicies` bundle
+        providing defaults for ``retry`` and the breaker knobs;
+        explicit arguments win.
+    retired:
+        Internal (used by :meth:`from_snapshot`): ghost estimator
+        states carried over from shards retired by a reshard.
 
     Examples
     --------
@@ -135,8 +144,10 @@ class ShardedMiner:
                  stream_length_hint: int = 100_000_000,
                  fault_plan: FaultPlan | None = None,
                  retry: RetryPolicy | None = None,
-                 breaker_failure_threshold: int = 3,
-                 breaker_cooldown_batches: int = 16):
+                 breaker_failure_threshold: int | None = None,
+                 breaker_cooldown_batches: int | None = None, *,
+                 policies: ServicePolicies | None = None,
+                 retired: list[dict] | None = None):
         if num_shards < 1:
             raise ServiceError(f"need >= 1 shard, got {num_shards}")
         if statistic not in ("quantile", "frequency", "distinct"):
@@ -147,6 +158,15 @@ class ShardedMiner:
             raise ServiceError(
                 "fault injection targets the simulated GPU; "
                 f"backend is {backend!r}")
+        pol = policies if policies is not None else DEFAULT_POLICIES
+        if not isinstance(pol, ServicePolicies):
+            raise ServiceError(
+                f"policies must be a ServicePolicies, got {pol!r}")
+        self.policies = pol
+        if breaker_failure_threshold is None:
+            breaker_failure_threshold = pol.breaker_failure_threshold
+        if breaker_cooldown_batches is None:
+            breaker_cooldown_batches = pol.breaker_cooldown_batches
         self.statistic = statistic
         self.eps = float(eps)
         self.num_shards = int(num_shards)
@@ -162,9 +182,13 @@ class ShardedMiner:
                                  else None)
         self._stream_length_hint = int(stream_length_hint)
         self.fault_plan = fault_plan
-        self.retry = retry if retry is not None else RetryPolicy()
+        self.retry = retry if retry is not None else pol.retry
         self._breaker_config = (int(breaker_failure_threshold),
                                 int(breaker_cooldown_batches))
+        #: ghost estimator states from shards retired by a reshard —
+        #: frozen history every query folds in (see frequent_items /
+        #: combined_summary / distinct).
+        self.retired = [dict(state) for state in (retired or [])]
         # Quantile shards run at eps/2 so the query-time prune (budget
         # ceil(1/eps), adding 1/(2B) <= eps/2) lands the served summary
         # back at eps exactly — see the module docstring.
@@ -291,15 +315,20 @@ class ShardedMiner:
         """The shard pipelines' window width (largest across shards)."""
         return max(int(m.window_size) for m in self._miners)
 
+    def _retired_estimators(self) -> list:
+        return [estimator_from_state(state) for state in self.retired]
+
     @property
     def processed(self) -> int:
-        """Elements fully through the per-shard pipelines.
+        """Elements fully through the per-shard pipelines (incl. ghosts).
 
         Uniform across statistics via the estimator protocol's
         ``processed`` property (frequency estimators fold their pending
         partial window in themselves).
         """
-        return sum(m.estimator.processed for m in self._miners)
+        return (sum(m.estimator.processed for m in self._miners)
+                + sum(int(est.processed)
+                      for est in self._retired_estimators()))
 
     @property
     def buffered(self) -> int:
@@ -325,6 +354,8 @@ class ShardedMiner:
         if self.statistic != "quantile":
             raise QueryError("this service does not estimate quantiles")
         summaries = [s for m in self._miners for s in m.quantile_summaries()]
+        for estimator in self._retired_estimators():
+            summaries.extend(estimator.summaries())
         return merge_quantile_summaries(summaries, self.eps, prune_budget)
 
     def quantile(self, phi: float) -> float:
@@ -350,27 +381,43 @@ class ShardedMiner:
                 "threshold (s - eps) N would be vacuous")
         total = self.processed
         threshold = (support - self.eps) * total
-        result = [(value, estimate)
-                  for miner in self._miners
-                  for value, estimate in miner.frequency_items()
-                  if estimate >= threshold]
+        counts: dict[float, int] = {}
+        for miner in self._miners:
+            for value, estimate in miner.frequency_items():
+                counts[value] = counts.get(value, 0) + estimate
+        for estimator in self._retired_estimators():
+            for value, estimate in estimator.items():
+                counts[value] = counts.get(value, 0) + estimate
+        result = [(value, count) for value, count in counts.items()
+                  if count >= threshold]
         result.sort(key=lambda pair: (-pair[1], pair[0]))
         self.metrics.queries += 1
         return result
 
     def estimate(self, value: float) -> int:
-        """Estimated global count of ``value`` (its home shard's count)."""
+        """Estimated global count of ``value`` (summed over shards).
+
+        Under value-affine routing every term but the home shard's is
+        zero, so this matches the home-shard lookup bit for bit; after
+        a reshard it also folds in the ghost contributions.  Occurrences
+        of a value partition across the structures and lossy counting
+        never overcounts its own occurrences, so the sum never
+        overcounts the global count.
+        """
         if self.statistic != "frequency":
             raise QueryError("this service does not estimate frequencies")
-        shard_id = self.partitioner.shard_of(value)
         self.metrics.queries += 1
-        return self._miners[shard_id].estimate(value)
+        total = sum(m.estimate(value) for m in self._miners)
+        total += sum(est.estimate(value)
+                     for est in self._retired_estimators())
+        return total
 
     def distinct(self) -> float:
         """Distinct-count estimate from the union of shard KMV sketches."""
         if self.statistic != "distinct":
             raise QueryError("this service does not count distinct values")
         sketches = [m.distinct_sketch() for m in self._miners]
+        sketches.extend(self._retired_estimators())
         union = sketches[0]
         for sketch in sketches[1:]:
             union = union.merge(sketch)
@@ -404,6 +451,7 @@ class ShardedMiner:
                  "elements": int(shard.elements),
                  "batches": int(shard.batches)}
                 for miner, shard in zip(self._miners, self.metrics.shards)],
+            "retired": [dict(state) for state in self.retired],
         }
 
     def restore_shard(self, shard_id: int, shard_state: dict) -> None:
@@ -443,6 +491,11 @@ class ShardedMiner:
                 f"not a v1 sharded-miner state: {state.get('kind')!r} "
                 f"v{state.get('version')!r}")
         window_size = state.get("window_size")
+        if "partitioner" not in kwargs:
+            # Rebuild the exact router kind the checkpoint was cut
+            # under (round-robin / hash / consistent-hash).
+            kwargs["partitioner"] = partitioner_from_state(
+                state["partitioner"])
         pool = cls(state["statistic"], eps=float(state["eps"]),
                    num_shards=int(state["num_shards"]),
                    backend=backend if backend is not None
@@ -450,6 +503,7 @@ class ShardedMiner:
                    window_size=(int(window_size) if window_size is not None
                                 else None),
                    stream_length_hint=int(state["stream_length_hint"]),
+                   retired=state.get("retired"),
                    **kwargs)
         pool.partitioner.restore_state(state["partitioner"])
         pool.metrics.ingested = int(state["ingested"])
@@ -461,3 +515,29 @@ class ShardedMiner:
         for shard_id, shard_state in enumerate(shards):
             pool.restore_shard(shard_id, shard_state)
         return pool
+
+    # ------------------------------------------------------------------
+    # elastic resharding
+    # ------------------------------------------------------------------
+    def reshard(self, num_shards: int) -> None:
+        """Live shard split/merge: migrate state onto a new pool size.
+
+        Drains, snapshots, rewrites the snapshot for ``num_shards`` via
+        :func:`repro.service.reshard.resharded_snapshot` (old shard
+        histories become ghost entries in ``retired``; the partitioner
+        is rebuilt over the new count), then adopts a fresh pool in
+        place.  The eps accounting is preserved: ghost summaries merge
+        losslessly into quantile queries, ghost counts are summed into
+        frequency queries (occurrences partition across structures —
+        never an overcount, undercount still ``<= eps * N``), and ghost
+        KMV sketches union exactly.
+        """
+        from .reshard import resharded_snapshot
+        self.drain()
+        state = resharded_snapshot(self.snapshot(), num_shards)
+        fresh = type(self).from_snapshot(
+            state, fault_plan=self.fault_plan, retry=self.retry,
+            breaker_failure_threshold=self._breaker_config[0],
+            breaker_cooldown_batches=self._breaker_config[1],
+            policies=self.policies)
+        self.__dict__.update(fresh.__dict__)

@@ -14,8 +14,12 @@ is correct depends on the statistic:
   count.  The union of per-shard summaries then answers heavy-hitter
   queries with the per-shard guarantee (undercount at most
   ``eps * N_shard <= eps * N``) — partitioning adds no error.
+* **Consistent hash** — elastic/fault-tolerant deployments.  Same
+  value-affinity guarantee as plain hashing, but changing the shard
+  count (or excluding a dead shard) only remaps the keys that *must*
+  move, instead of reshuffling almost every value.
 
-Both partitioners are deterministic, so replaying a stream reproduces
+All partitioners are deterministic, so replaying a stream reproduces
 the exact same shard contents.
 """
 
@@ -71,6 +75,10 @@ class RoundRobinPartitioner:
             raise ServiceError(f"incompatible partitioner state: {state!r}")
         self._offset = int(state["offset"]) % self.num_shards
 
+    def with_num_shards(self, num_shards: int) -> "RoundRobinPartitioner":
+        """A fresh cursor over a different shard count (resharding)."""
+        return RoundRobinPartitioner(num_shards)
+
 
 class HashPartitioner:
     """Value-hash routing: equal values always share a shard.
@@ -114,6 +122,151 @@ class HashPartitioner:
                 int(state.get("num_shards", -1)) != self.num_shards or \
                 int(state.get("seed", -1)) != self.seed:
             raise ServiceError(f"incompatible partitioner state: {state!r}")
+
+    def with_num_shards(self, num_shards: int) -> "HashPartitioner":
+        """Same hash seed over a different shard count (resharding)."""
+        return HashPartitioner(num_shards, seed=self.seed)
+
+
+#: vnode token packing limit: tokens are float32-exact only while
+#: ``shard * _TOKEN_STRIDE + vnode`` stays below 2**24.
+_TOKEN_STRIDE = 4096
+
+
+class ConsistentHashPartitioner:
+    """Ring-hash routing with value affinity and minimal-move scaling.
+
+    Each shard owns ``vnodes`` points on a unit-interval ring; a value
+    belongs to the shard owning the first ring point clockwise of its
+    hash.  Ring points are derived from the same seedable splitmix64
+    value hash as :class:`HashPartitioner` (never builtin ``hash()``),
+    so routing is identical in every process.
+
+    Two properties make this the partitioner for elastic deployments:
+
+    * **Minimal movement** — shard ``s``'s ring points depend only on
+      ``(s, vnode, seed)``, so adding shards inserts new points without
+      moving old ones: keys only ever move *to* the new shards.
+      Shrinking removes points, so keys only move *from* the removed
+      shards.  Either way the untouched keyspace routes exactly as
+      before.
+    * **Exclusion** — a dead shard's points can be dropped from the
+      ring (:meth:`mark_dead`); its keyspace falls to the clockwise
+      survivors while every other key keeps its home, preserving value
+      affinity for the unaffected mass of the stream.
+    """
+
+    def __init__(self, num_shards: int, seed: int = 1, vnodes: int = 64,
+                 dead: tuple[int, ...] = ()):
+        if num_shards < 1:
+            raise ServiceError(f"need >= 1 shard, got {num_shards}")
+        if num_shards > _TOKEN_STRIDE:
+            raise ServiceError(
+                f"consistent hashing supports <= {_TOKEN_STRIDE} shards, "
+                f"got {num_shards}")
+        if not 1 <= vnodes <= _TOKEN_STRIDE:
+            raise ServiceError(
+                f"vnodes must be in [1, {_TOKEN_STRIDE}], got {vnodes}")
+        self.num_shards = int(num_shards)
+        self.seed = int(seed)
+        self.vnodes = int(vnodes)
+        self._dead: set[int] = set()
+        for shard_id in dead:
+            self._validate_shard(int(shard_id))
+            self._dead.add(int(shard_id))
+        self._rebuild_ring()
+
+    def _validate_shard(self, shard_id: int) -> None:
+        if not 0 <= shard_id < self.num_shards:
+            raise ServiceError(
+                f"shard {shard_id} out of range [0, {self.num_shards})")
+
+    def _rebuild_ring(self) -> None:
+        alive = [s for s in range(self.num_shards) if s not in self._dead]
+        if not alive:
+            raise ServiceError("all shards marked dead; ring is empty")
+        owners = np.repeat(np.asarray(alive, dtype=np.int64), self.vnodes)
+        tokens = (owners * _TOKEN_STRIDE
+                  + np.tile(np.arange(self.vnodes), len(alive)))
+        positions = hash_values(tokens.astype(np.float32), self.seed)
+        order = np.argsort(positions, kind="stable")
+        self._ring_pos = positions[order]
+        self._ring_owner = owners[order]
+
+    @property
+    def dead(self) -> tuple[int, ...]:
+        """Shards currently excluded from the ring, ascending."""
+        return tuple(sorted(self._dead))
+
+    def mark_dead(self, shard_id: int) -> None:
+        """Drop a shard's ring points; its keyspace falls to survivors."""
+        self._validate_shard(int(shard_id))
+        if int(shard_id) in self._dead:
+            return
+        self._dead.add(int(shard_id))
+        self._rebuild_ring()
+
+    def _owners(self, arr: np.ndarray) -> np.ndarray:
+        slots = np.searchsorted(self._ring_pos, hash_values(arr, self.seed),
+                                side="right")
+        return self._ring_owner[slots % self._ring_pos.size]
+
+    def split(self, values: np.ndarray | list[float]) -> list[np.ndarray]:
+        """Partition one chunk; dead shards always get empty arrays."""
+        arr = _as_chunk(values)
+        owners = self._owners(arr)
+        return [arr[owners == i] for i in range(self.num_shards)]
+
+    def shard_of(self, value: float) -> int:
+        """The home shard of ``value`` on the current ring."""
+        return int(self._owners(np.asarray([value], dtype=np.float32))[0])
+
+    def to_state(self) -> dict:
+        """Snapshot ring parameters (the ring itself is derived)."""
+        return {"kind": "consistent-hash", "num_shards": self.num_shards,
+                "seed": self.seed, "vnodes": self.vnodes,
+                "dead": [int(s) for s in sorted(self._dead)]}
+
+    def restore_state(self, state: dict) -> None:
+        """Validate compatibility and adopt the dead-shard set."""
+        if state.get("kind") != "consistent-hash" or \
+                int(state.get("num_shards", -1)) != self.num_shards or \
+                int(state.get("seed", -1)) != self.seed or \
+                int(state.get("vnodes", -1)) != self.vnodes:
+            raise ServiceError(f"incompatible partitioner state: {state!r}")
+        dead = {int(s) for s in state.get("dead", [])}
+        for shard_id in dead:
+            self._validate_shard(shard_id)
+        self._dead = dead
+        self._rebuild_ring()
+
+    def with_num_shards(self, num_shards: int) -> "ConsistentHashPartitioner":
+        """Same ring seed over a different shard count; revives dead."""
+        return ConsistentHashPartitioner(num_shards, seed=self.seed,
+                                         vnodes=self.vnodes)
+
+
+def partitioner_from_state(state: dict):
+    """Rebuild any partitioner from its ``to_state()`` dict.
+
+    Snapshot restore paths use this so a checkpoint taken under a
+    non-default partitioner (e.g. consistent-hash) round-trips without
+    the caller having to know which router was in use.
+    """
+    kind = state.get("kind")
+    num_shards = int(state.get("num_shards", 0))
+    if kind == "round-robin":
+        partitioner = RoundRobinPartitioner(num_shards)
+    elif kind == "hash":
+        partitioner = HashPartitioner(num_shards, seed=int(state["seed"]))
+    elif kind == "consistent-hash":
+        partitioner = ConsistentHashPartitioner(
+            num_shards, seed=int(state["seed"]),
+            vnodes=int(state["vnodes"]))
+    else:
+        raise ServiceError(f"unknown partitioner state: {state!r}")
+    partitioner.restore_state(state)
+    return partitioner
 
 
 def default_partitioner(statistic: str, num_shards: int):

@@ -45,6 +45,15 @@ class TestKMinValues:
         rel_err = abs(sk.estimate() - actual) / actual
         assert rel_err < 4 * sk.relative_standard_error()
 
+    def test_out_of_domain_hashes_never_divide_by_zero(self):
+        # Regression: update_sorted_hashes accepts any ascending floats;
+        # k distinct non-positive "hashes" made the k-th min 0 and the
+        # unbiased estimator divided by zero.  The degenerate case now
+        # answers with the retained distinct count instead of crashing.
+        sk = KMinValues(k=3, seed=0)
+        sk.update_sorted_hashes(np.array([-2.0, -1.0, 0.0, 0.5]))
+        assert sk.estimate() == 3.0
+
     def test_duplicates_do_not_inflate(self, rng):
         sk1, sk2 = KMinValues(k=128), KMinValues(k=128)
         base = rng.integers(0, 1000, 2000).astype(np.float32)

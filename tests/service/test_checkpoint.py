@@ -266,6 +266,42 @@ class TestWriterLock:
         assert path.exists()
         assert not store.lock_path.exists()
 
+    def test_recycled_pid_lock_is_stolen(self, tmp_path):
+        # Regression: a dead holder whose pid the OS handed to an
+        # unrelated live process used to pass the liveness probe and
+        # hold the lock forever.  The recorded kernel start time
+        # disambiguates: this test forges a lock naming *our own live
+        # pid* but a start time that cannot match, exactly what a
+        # recycled pid looks like.
+        from repro.service.checkpoint import _pid_start_time
+        if _pid_start_time(os.getpid()) is None:
+            pytest.skip("/proc start times unavailable on this platform")
+        store = CheckpointStore(tmp_path)
+        store.lock_path.write_text(json.dumps(
+            {"owner": "ghost", "pid": os.getpid(), "pid_start": 1}))
+        assert store.save({"version": 1}).exists()
+        assert not store.lock_path.exists()
+
+    def test_live_holder_with_matching_start_is_refused(self, tmp_path):
+        from repro.service.checkpoint import _pid_start_time
+        start = _pid_start_time(os.getpid())
+        if start is None:
+            pytest.skip("/proc start times unavailable on this platform")
+        store = CheckpointStore(tmp_path)
+        store.lock_path.write_text(json.dumps(
+            {"owner": "other", "pid": os.getpid(), "pid_start": start}))
+        with pytest.raises(CheckpointError, match="locked by writer"):
+            store.save({"version": 1})
+
+    def test_lock_without_start_time_stays_conservative(self, tmp_path):
+        # Locks written on platforms without /proc record no start
+        # time; a live pid must still be honoured there.
+        store = CheckpointStore(tmp_path)
+        store.lock_path.write_text(json.dumps(
+            {"owner": "other", "pid": os.getpid()}))
+        with pytest.raises(CheckpointError, match="locked by writer"):
+            store.save({"version": 1})
+
     def test_unreadable_lock_is_treated_as_stale(self, tmp_path):
         store = CheckpointStore(tmp_path)
         store.lock_path.write_text("not json{{{")

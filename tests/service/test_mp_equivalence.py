@@ -1,7 +1,7 @@
-"""Cross-executor determinism: inline / async / mp are bit-identical.
+"""Cross-executor determinism: inline / async / mp / net are bit-identical.
 
-The executor registry promises that ``inline``, ``async`` and ``mp``
-differ only in *where* the work runs.  The argument for why this holds:
+The executor registry promises that ``inline``, ``async``, ``mp`` and
+``net`` differ only in *where* the work runs.  The argument for why this holds:
 
 * the partitioner is shared code and splits every chunk identically,
   so each shard sees the same element sequence under every executor;
@@ -31,8 +31,8 @@ import numpy as np
 import pytest
 
 import repro.service as service_pkg
-from repro.service import (MpShardedMiner, ShardedMiner, StreamService,
-                          registered_executors)
+from repro.service import (MpShardedMiner, NetShardedMiner, ShardedMiner,
+                          StreamService, registered_executors)
 from repro.streams import uniform_stream, zipf_stream
 
 N = 60_000
@@ -109,7 +109,20 @@ def _run_mp(statistic):
         miner.close()
 
 
-_RUNNERS = {"inline": _run_inline, "async": _run_async, "mp": _run_mp}
+def _run_net(statistic):
+    miner = NetShardedMiner(statistic, **_miner_kwargs(statistic))
+    try:
+        data = _stream(statistic)
+        for start in range(0, data.size, CHUNK):
+            miner.ingest(data[start:start + CHUNK])
+        miner.drain()
+        return _answers(statistic, miner)
+    finally:
+        miner.close()
+
+
+_RUNNERS = {"inline": _run_inline, "async": _run_async, "mp": _run_mp,
+            "net": _run_net}
 
 
 @pytest.mark.slow
@@ -128,21 +141,21 @@ class TestBitIdentical:
     def test_quantiles_bit_identical(self, answers):
         per_executor = answers["quantile"]
         assert per_executor["inline"] == GOLDEN_QUANTILES
-        assert per_executor["async"] == per_executor["inline"]
-        assert per_executor["mp"] == per_executor["inline"]
+        for name in _RUNNERS:
+            assert per_executor[name] == per_executor["inline"]
 
     def test_frequencies_bit_identical(self, answers):
         per_executor = answers["frequency"]
         assert per_executor["inline"][:3] == GOLDEN_TOP_FREQUENT
-        assert per_executor["async"] == per_executor["inline"]
-        assert per_executor["mp"] == per_executor["inline"]
+        for name in _RUNNERS:
+            assert per_executor[name] == per_executor["inline"]
 
     def test_distinct_bit_identical(self, answers):
         per_executor = answers["distinct"]
         assert per_executor["inline"] == pytest.approx(
             GOLDEN_DISTINCT, abs=1e-9)
-        assert per_executor["async"] == per_executor["inline"]
-        assert per_executor["mp"] == per_executor["inline"]
+        for name in _RUNNERS:
+            assert per_executor[name] == per_executor["inline"]
 
 
 @pytest.mark.slow

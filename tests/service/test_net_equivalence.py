@@ -1,0 +1,181 @@
+"""Net executor determinism: golden answers, reshard parity, snapshots.
+
+The TCP pool must be indistinguishable from the in-process pool in
+every answer it gives — the framing, ack/replay protocol, and
+per-connection state machine may change *when* bytes move, never what
+the estimators see.  Three angles:
+
+* golden workloads — the recorded inline answers, bit for bit;
+* elastic resharding — a mid-stream split (2 -> 4) and merge (4 -> 2)
+  produce answers identical to the inline pool performing the same
+  migration at the same element boundary, and both stay within the
+  ``eps * N`` rank bound of an exact oracle (the ghost accounting
+  carries eps/2 + eps/2 across the migration);
+* snapshot interchange — the net pool speaks the exact
+  ``sharded-miner`` dialect, so checkpoints move freely between
+  inline, mp, and net pools.
+"""
+
+import numpy as np
+import pytest
+
+from repro.service import (MpShardedMiner, NetShardedMiner, ShardedMiner,
+                           ServicePolicies)
+from repro.streams import uniform_stream, zipf_stream
+
+N = 60_000
+CHUNK = 3_000
+SHARDS = 4
+
+# Recorded from the inline executor (see test_mp_equivalence).
+GOLDEN_QUANTILES = [100.69022369384766, 498.8002014160156, 900.526611328125]
+GOLDEN_TOP_FREQUENT = [(1.0, 12531), (2.0, 5534), (3.0, 3324)]
+GOLDEN_DISTINCT = 3034.7503123202
+
+PHIS = (0.1, 0.5, 0.9)
+SUPPORT = 0.05
+EPS = 0.02
+
+
+def _miner_kwargs(statistic):
+    kwargs = dict(num_shards=SHARDS, backend="cpu")
+    if statistic == "quantile":
+        kwargs.update(eps=EPS, window_size=1024, stream_length_hint=N)
+    elif statistic == "frequency":
+        kwargs.update(eps=0.005)
+    else:
+        kwargs.update(eps=0.05)
+    return kwargs
+
+
+def _stream(statistic):
+    if statistic == "quantile":
+        return uniform_stream(N, seed=11)
+    if statistic == "frequency":
+        return zipf_stream(N, seed=11)
+    return np.floor(uniform_stream(N, seed=11) * 3.0).astype(np.float32)
+
+
+def _ingest_chunked(miner, data, reshard_to=None, reshard_at=None):
+    for start in range(0, data.size, CHUNK):
+        if reshard_to is not None and start == reshard_at:
+            miner.reshard(reshard_to)
+        miner.ingest(data[start:start + CHUNK])
+    miner.drain()
+
+
+def _rank_within_eps(data, estimate, phi, eps):
+    ordered = np.sort(data)
+    target = phi * data.size
+    lo = int(np.searchsorted(ordered, estimate, "left")) + 1
+    hi = int(np.searchsorted(ordered, estimate, "right"))
+    return (lo - eps * data.size) <= target <= (hi + eps * data.size)
+
+
+@pytest.mark.slow
+class TestGoldenAnswers:
+    def test_quantiles_match_the_recorded_inline_answers(self):
+        miner = NetShardedMiner("quantile", **_miner_kwargs("quantile"))
+        try:
+            _ingest_chunked(miner, _stream("quantile"))
+            assert [miner.quantile(phi) for phi in PHIS] == GOLDEN_QUANTILES
+        finally:
+            miner.close()
+
+    def test_frequencies_match_the_recorded_inline_answers(self):
+        miner = NetShardedMiner("frequency", **_miner_kwargs("frequency"))
+        try:
+            _ingest_chunked(miner, _stream("frequency"))
+            assert miner.frequent_items(SUPPORT)[:3] == GOLDEN_TOP_FREQUENT
+        finally:
+            miner.close()
+
+    def test_distinct_matches_the_recorded_inline_answer(self):
+        miner = NetShardedMiner("distinct", **_miner_kwargs("distinct"))
+        try:
+            _ingest_chunked(miner, _stream("distinct"))
+            assert miner.distinct() == pytest.approx(GOLDEN_DISTINCT,
+                                                     abs=1e-9)
+        finally:
+            miner.close()
+
+
+@pytest.mark.slow
+class TestReshardParity:
+    """Split and merge mid-stream: net == inline, both within eps."""
+
+    @pytest.mark.parametrize("before,after", [(2, 4), (4, 2)])
+    def test_mid_stream_reshard_is_executor_invariant(self, before, after):
+        data = _stream("quantile")
+        boundary = (data.size // (2 * CHUNK)) * CHUNK
+
+        inline = ShardedMiner("quantile", eps=EPS, num_shards=before,
+                              backend="cpu", window_size=1024,
+                              stream_length_hint=N)
+        _ingest_chunked(inline, data, reshard_to=after,
+                        reshard_at=boundary)
+        expected = [inline.quantile(phi) for phi in PHIS]
+
+        net = NetShardedMiner("quantile", eps=EPS, num_shards=before,
+                              backend="cpu", window_size=1024,
+                              stream_length_hint=N)
+        try:
+            _ingest_chunked(net, data, reshard_to=after,
+                            reshard_at=boundary)
+            assert net.num_shards == after
+            assert net.processed == data.size
+            assert [net.quantile(phi) for phi in PHIS] == expected
+        finally:
+            net.close()
+        for phi, estimate in zip(PHIS, expected):
+            assert _rank_within_eps(data, estimate, phi, EPS)
+
+    def test_reshard_retires_ghosts_into_the_snapshot(self):
+        net = NetShardedMiner("quantile", eps=EPS, num_shards=2,
+                              backend="cpu", window_size=1024,
+                              stream_length_hint=N,
+                              policies=ServicePolicies(snapshot_every=4))
+        try:
+            data = _stream("quantile")[:12_000]
+            _ingest_chunked(net, data)
+            net.reshard(4)
+            state = net.snapshot()
+            assert len(state["retired"]) == 2
+            assert len(state["shards"]) == 4
+        finally:
+            net.close()
+
+
+@pytest.mark.slow
+class TestSnapshotInterchange:
+    """Checkpoints move freely between inline, mp, and net pools."""
+
+    def test_net_snapshot_loads_everywhere(self):
+        net = NetShardedMiner("quantile", **_miner_kwargs("quantile"))
+        try:
+            _ingest_chunked(net, _stream("quantile"))
+            expected = [net.quantile(phi) for phi in PHIS]
+            state = net.snapshot()
+        finally:
+            net.close()
+        assert state["kind"] == "sharded-miner"
+
+        inline = ShardedMiner.from_snapshot(state)
+        assert [inline.quantile(phi) for phi in PHIS] == expected
+
+        mp = MpShardedMiner.from_snapshot(state)
+        try:
+            assert [mp.quantile(phi) for phi in PHIS] == expected
+        finally:
+            mp.close()
+
+    def test_inline_snapshot_loads_in_net(self):
+        inline = ShardedMiner("quantile", **_miner_kwargs("quantile"))
+        _ingest_chunked(inline, _stream("quantile"))
+        expected = [inline.quantile(phi) for phi in PHIS]
+        net = NetShardedMiner.from_snapshot(inline.snapshot())
+        try:
+            assert [net.quantile(phi) for phi in PHIS] == expected
+            assert net.processed == inline.processed
+        finally:
+            net.close()

@@ -1,0 +1,128 @@
+"""Elastic resharding: the pure snapshot transform and its eps algebra.
+
+``resharded_snapshot`` retires old shard histories as query-time ghosts
+instead of splitting per-shard summaries (which is impossible in
+general).  These tests pin the accounting that makes that sound on the
+inline pool, where an exact oracle is cheap:
+
+* quantiles stay within ``eps * N`` of the exact answer across a
+  split *and* a merge (ghosts were built at eps/2, merging is
+  lossless, the query-time prune adds <= eps/2);
+* frequency estimates never overcount and undercount at most
+  ``eps * N`` (a value's occurrences partition across ghost and live
+  structures);
+* distinct estimates are unchanged by a reshard (KMV union is exact,
+  fresh shards contribute nothing).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import ShardedMiner, resharded_snapshot
+from repro.streams import uniform_stream, zipf_stream
+
+N = 30_000
+EPS = 0.02
+
+
+def _rank_within_eps(data: np.ndarray, estimate: float, phi: float,
+                     eps: float) -> bool:
+    ordered = np.sort(data)
+    target = phi * data.size
+    lo = int(np.searchsorted(ordered, estimate, "left")) + 1
+    hi = int(np.searchsorted(ordered, estimate, "right"))
+    return (lo - eps * data.size) <= target <= (hi + eps * data.size)
+
+
+class TestQuantileAccounting:
+    @pytest.mark.parametrize("before,after", [(2, 4), (4, 2)])
+    def test_eps_bound_holds_across_split_and_merge(self, before, after):
+        data = uniform_stream(N, seed=21)
+        pool = ShardedMiner("quantile", eps=EPS, num_shards=before,
+                            backend="cpu", window_size=512,
+                            stream_length_hint=N)
+        pool.ingest(data[:N // 2])
+        pool.reshard(after)
+        assert pool.num_shards == after
+        pool.ingest(data[N // 2:])
+        pool.drain()
+        assert pool.processed == N
+        for phi in (0.1, 0.5, 0.9):
+            assert _rank_within_eps(data, pool.quantile(phi), phi, EPS)
+
+    def test_ghosts_recorded_and_empty_shards_skipped(self):
+        pool = ShardedMiner("quantile", eps=EPS, num_shards=2,
+                            backend="cpu", window_size=256)
+        pool.ingest(uniform_stream(4096, seed=3))
+        pool.reshard(4)
+        first = pool.snapshot()
+        assert len(first["retired"]) == 2
+        # No new data: the four fresh shards are empty and leave no
+        # ghosts, so repeated reshards do not pile up dead weight.
+        pool.reshard(2)
+        assert len(pool.snapshot()["retired"]) == 2
+
+
+class TestFrequencyAccounting:
+    def test_never_overcounts_and_undercount_is_bounded(self):
+        data = zipf_stream(N, seed=21)
+        pool = ShardedMiner("frequency", eps=0.005, num_shards=2,
+                            backend="cpu")
+        pool.ingest(data[:N // 2])
+        pool.reshard(4)
+        pool.ingest(data[N // 2:])
+        pool.drain()
+        values, counts = np.unique(data, return_counts=True)
+        exact = dict(zip(values.tolist(), counts.tolist()))
+        for value, count in pool.frequent_items(0.05):
+            assert count <= exact[value]
+            assert count >= exact[value] - 0.005 * N
+
+
+class TestDistinctAccounting:
+    def test_estimate_unchanged_by_reshard(self):
+        data = np.floor(uniform_stream(N, seed=21) * 2000)
+        data = data.astype(np.float32)
+        pool = ShardedMiner("distinct", eps=0.05, num_shards=3,
+                            backend="cpu")
+        pool.ingest(data)
+        pool.drain()
+        before = pool.distinct()
+        pool.reshard(2)
+        assert pool.distinct() == before
+
+
+class TestTransformValidation:
+    def test_buffered_elements_refuse_the_transform(self):
+        pool = ShardedMiner("quantile", eps=0.05, num_shards=2,
+                            backend="cpu", window_size=512)
+        pool.ingest(uniform_stream(100, seed=1))  # < one window: buffered
+        with pytest.raises(ServiceError, match="drain"):
+            resharded_snapshot(pool.snapshot(), 4)
+
+    def test_non_v1_state_rejected(self):
+        with pytest.raises(ServiceError):
+            resharded_snapshot({"kind": "other", "version": 1}, 2)
+        with pytest.raises(ServiceError):
+            resharded_snapshot({"kind": "sharded-miner", "version": 2}, 2)
+
+    def test_shard_count_must_be_positive(self):
+        pool = ShardedMiner("quantile", eps=0.05, num_shards=2,
+                            backend="cpu", window_size=256)
+        pool.drain()
+        with pytest.raises(ServiceError):
+            resharded_snapshot(pool.snapshot(), 0)
+
+    def test_transform_is_pure(self):
+        pool = ShardedMiner("quantile", eps=0.05, num_shards=2,
+                            backend="cpu", window_size=256)
+        pool.ingest(uniform_stream(2048, seed=5))
+        pool.drain()
+        state = pool.snapshot()
+        import json
+        frozen = json.dumps(state, sort_keys=True)
+        migrated = resharded_snapshot(state, 4)
+        assert json.dumps(state, sort_keys=True) == frozen
+        assert migrated["num_shards"] == 4
+        assert len(migrated["shards"]) == 4

@@ -1,11 +1,14 @@
-"""Tuple partitioners: balance, determinism, value affinity."""
+"""Tuple partitioners: balance, determinism, value affinity, elasticity."""
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ServiceError
-from repro.service import (HashPartitioner, RoundRobinPartitioner,
-                           default_partitioner)
+from repro.service import (ConsistentHashPartitioner, HashPartitioner,
+                           RoundRobinPartitioner, default_partitioner,
+                           partitioner_from_state)
 
 
 class TestRoundRobin:
@@ -72,6 +75,169 @@ class TestHashPartitioner:
         data = rng.random(100).astype(np.float32)
         parts = HashPartitioner(1).split(data)
         assert len(parts) == 1 and np.array_equal(parts[0], data)
+
+
+class TestConsistentHash:
+    def test_equal_values_share_a_shard(self, rng):
+        p = ConsistentHashPartitioner(4)
+        data = rng.integers(0, 50, 2000).astype(np.float32)
+        homes = {}
+        for shard_id, part in enumerate(p.split(data)):
+            for value in np.unique(part).tolist():
+                assert homes.setdefault(value, shard_id) == shard_id
+
+    def test_partition_is_exhaustive(self, rng):
+        data = rng.random(1000).astype(np.float32)
+        parts = ConsistentHashPartitioner(5).split(data)
+        assert sum(part.size for part in parts) == 1000
+        assert np.array_equal(np.sort(np.concatenate(parts)), np.sort(data))
+
+    def test_shard_of_matches_split(self, rng):
+        p = ConsistentHashPartitioner(4)
+        data = rng.integers(0, 50, 500).astype(np.float32)
+        for shard_id, part in enumerate(p.split(data)):
+            for value in np.unique(part).tolist():
+                assert p.shard_of(value) == shard_id
+
+    def test_growth_only_moves_keys_to_new_shards(self, rng):
+        # The elastic property plain hashing lacks: adding shards
+        # inserts ring points without moving existing ones, so a key
+        # either keeps its home or moves to a *new* shard.
+        old = ConsistentHashPartitioner(4)
+        new = old.with_num_shards(6)
+        values = rng.random(2000).astype(np.float32)
+        moved = 0
+        for value in values.tolist():
+            before, after = old.shard_of(value), new.shard_of(value)
+            if after != before:
+                assert after >= 4, "key moved between surviving shards"
+                moved += 1
+        assert 0 < moved < values.size  # some keys moved, most stayed
+
+    def test_shrink_only_moves_keys_from_removed_shards(self, rng):
+        old = ConsistentHashPartitioner(6)
+        new = old.with_num_shards(4)
+        for value in rng.random(2000).astype(np.float32).tolist():
+            before = old.shard_of(value)
+            if before < 4:
+                assert new.shard_of(value) == before
+
+    def test_mark_dead_spares_surviving_keyspace(self, rng):
+        p = ConsistentHashPartitioner(4)
+        values = rng.random(2000).astype(np.float32)
+        before = [p.shard_of(v) for v in values.tolist()]
+        p.mark_dead(2)
+        assert p.dead == (2,)
+        for value, home in zip(values.tolist(), before):
+            after = p.shard_of(value)
+            if home != 2:
+                assert after == home
+            else:
+                assert after != 2
+        assert all(part.size == 0 for i, part in enumerate(p.split(values))
+                   if i == 2)
+
+    def test_dead_set_survives_the_state_round_trip(self, rng):
+        p = ConsistentHashPartitioner(4, seed=9, vnodes=32)
+        p.mark_dead(1)
+        clone = partitioner_from_state(p.to_state())
+        assert clone.dead == (1,)
+        for value in rng.random(500).astype(np.float32).tolist():
+            assert clone.shard_of(value) == p.shard_of(value)
+
+    def test_all_dead_is_an_error(self):
+        p = ConsistentHashPartitioner(2)
+        p.mark_dead(0)
+        with pytest.raises(ServiceError):
+            p.mark_dead(1)
+
+    def test_validation_errors(self):
+        with pytest.raises(ServiceError):
+            ConsistentHashPartitioner(0)
+        with pytest.raises(ServiceError):
+            ConsistentHashPartitioner(2, vnodes=0)
+        with pytest.raises(ServiceError):
+            ConsistentHashPartitioner(2).mark_dead(5)
+        with pytest.raises(ServiceError):
+            ConsistentHashPartitioner(2).restore_state(
+                {"kind": "hash", "num_shards": 2, "seed": 1})
+
+
+_chunks = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+              allow_infinity=False, width=32),
+    min_size=1, max_size=64)
+
+
+class TestStateRoundTripProperties:
+    """Any partitioner's ``to_state`` → rebuild is routing-identical."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(chunk=_chunks, num_shards=st.integers(1, 8),
+           warmup=st.integers(0, 17))
+    def test_round_robin_cursor_round_trip(self, chunk, num_shards, warmup):
+        p = RoundRobinPartitioner(num_shards)
+        p.split(np.zeros(warmup, dtype=np.float32))  # advance the cursor
+        clone = partitioner_from_state(p.to_state())
+        ours = p.split(chunk)
+        theirs = clone.split(chunk)
+        assert all(np.array_equal(a, b) for a, b in zip(ours, theirs))
+        assert clone.to_state() == p.to_state()
+
+    @settings(max_examples=30, deadline=None)
+    @given(chunk=_chunks, num_shards=st.integers(1, 8),
+           seed=st.integers(0, 2**31))
+    def test_hash_round_trip(self, chunk, num_shards, seed):
+        p = HashPartitioner(num_shards, seed=seed)
+        clone = partitioner_from_state(p.to_state())
+        assert all(np.array_equal(a, b)
+                   for a, b in zip(p.split(chunk), clone.split(chunk)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(chunk=_chunks, num_shards=st.integers(1, 8),
+           seed=st.integers(0, 2**31), vnodes=st.integers(1, 64),
+           dead=st.integers(0, 7))
+    def test_consistent_hash_round_trip(self, chunk, num_shards, seed,
+                                        vnodes, dead):
+        p = ConsistentHashPartitioner(num_shards, seed=seed, vnodes=vnodes)
+        if num_shards > 1:
+            p.mark_dead(dead % num_shards)
+        clone = partitioner_from_state(p.to_state())
+        assert clone.dead == p.dead
+        assert all(np.array_equal(a, b)
+                   for a, b in zip(p.split(chunk), clone.split(chunk)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(chunk=_chunks, before=st.integers(1, 8), after=st.integers(1, 8))
+    def test_resharding_keeps_partitions_exhaustive(self, chunk, before,
+                                                    after):
+        # with_num_shards must hand every element exactly one home on
+        # both sides of a shard-count change, for every partitioner.
+        arr = np.asarray(chunk, dtype=np.float32)
+        for make in (lambda: RoundRobinPartitioner(before),
+                     lambda: HashPartitioner(before),
+                     lambda: ConsistentHashPartitioner(before)):
+            old = make()
+            new = old.with_num_shards(after)
+            assert new.num_shards == after
+            for p in (old, new):
+                parts = p.split(arr)
+                assert len(parts) == p.num_shards
+                assert sum(part.size for part in parts) == arr.size
+                assert np.array_equal(
+                    np.sort(np.concatenate(parts)), np.sort(arr))
+
+    @settings(max_examples=30, deadline=None)
+    @given(chunk=_chunks, before=st.integers(1, 7), grow=st.integers(1, 4),
+           seed=st.integers(0, 2**31))
+    def test_consistent_hash_growth_is_minimal_movement(self, chunk, before,
+                                                        grow, seed):
+        old = ConsistentHashPartitioner(before, seed=seed)
+        new = old.with_num_shards(before + grow)
+        for value in np.asarray(chunk, dtype=np.float32).tolist():
+            home = old.shard_of(value)
+            assert new.shard_of(value) in (home, *range(before,
+                                                        before + grow))
 
 
 class TestDefaults:

@@ -5,7 +5,8 @@ sorted window, so its cost is the CPU-side floor of the whole pipeline.
 This benchmark feeds the same 1M-element sorted batch to the vectorized
 path and to the per-element reference loop, prints the comparison, and
 asserts the refactor's claims: at least a 5x speedup at identical
-accuracy, with the GK invariant intact.
+accuracy, with the GK invariant intact.  Each run is appended to
+``BENCH_ingest.json`` for the CI regression gate.
 """
 
 import time
@@ -14,6 +15,7 @@ import numpy as np
 import pytest
 
 from repro.bench import Table
+from repro.bench.report import write_bench_json
 from repro.core import GKSummary
 
 from conftest import emit, rank_error, scaled
@@ -55,6 +57,16 @@ class TestVectorizedIngest:
                       len(vectorized))
         table.add_row("scalar", scalar_wall, N / scalar_wall, len(scalar))
         emit(table)
+        write_bench_json("ingest", {
+            "benchmark": "gk_ingest",
+            "elements": N,
+            "eps": EPS,
+            "vectorized_wall_seconds": vectorized_wall,
+            "vectorized_elements_per_s": N / vectorized_wall,
+            "scalar_wall_seconds": scalar_wall,
+            "speedup": scalar_wall / vectorized_wall,
+            "summary_entries": len(vectorized),
+        })
         table.summaries = {"vectorized": vectorized, "scalar": scalar}
         return table
 

@@ -1,0 +1,162 @@
+"""Continuous-query layer — plan latency, sharing, answer throughput.
+
+The front-end's value proposition is N logical standing queries riding
+M << N physical sketches over one ingest stream.  This benchmark
+registers 1,000 queries spread over a bounded set of (metric, eps)
+groups against one inline front-end, ingests a synthetic stream once,
+answers every query, then unregisters everything — and asserts the
+headline scaling claim: 1,000 queries over <= 32 sketch groups
+instantiate <= 64 physical estimators, all of which are released again
+at refcount zero.  Each run is appended to ``BENCH_query.json`` for the
+CI regression gate.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import Table
+from repro.bench.report import write_bench_json
+from repro.query import Planner, QueryFrontEnd, QuerySpec, canonical_key
+
+from conftest import emit, scaled
+
+QUERIES = 1_000
+N_INGEST = scaled(200_000, smoke=24_000)
+CHUNK = 4_096
+KEY = "bench"
+
+
+def query_specs() -> list[QuerySpec]:
+    """A deterministic 1,000-query mix over a bounded group set."""
+    specs: list[QuerySpec] = []
+    quantile_eps = (0.01, 0.02, 0.05, 0.1)
+    frequency_eps = (0.05, 0.1)
+    for i in range(QUERIES):
+        slot = i % 10
+        if slot < 5:  # half the load is quantile watching
+            specs.append(QuerySpec(
+                "quantile", key=KEY, eps=quantile_eps[i % 4],
+                phi=(i % 99 + 1) / 100.0))
+        elif slot < 7:
+            specs.append(QuerySpec(
+                "heavy_hitters", key=KEY, eps=frequency_eps[i % 2],
+                support=0.2))
+        elif slot < 8:
+            specs.append(QuerySpec("top_k", key=KEY, eps=0.1,
+                                   k=5 + i % 5))
+        elif slot < 9:
+            specs.append(QuerySpec("estimate", key=KEY, eps=0.1,
+                                   value=float(i % 16)))
+        else:
+            specs.append(QuerySpec("distinct", key=KEY,
+                                   eps=(0.02, 0.05)[i % 2]))
+    return specs
+
+
+class TestQueryLayer:
+    @pytest.fixture(scope="class")
+    def results(self):
+        specs = query_specs()
+        groups = {canonical_key(spec) for spec in specs}
+        planner = Planner("cpu")
+
+        start = time.perf_counter()
+        for spec in specs:
+            planner.plan(spec)
+        plan_wall = time.perf_counter() - start
+
+        data = np.random.default_rng(2005).integers(
+            0, 64, N_INGEST).astype(np.float32)
+
+        async def run() -> dict:
+            frontend = QueryFrontEnd(executor="inline", num_shards=2)
+            async with frontend:
+                start = time.perf_counter()
+                ids = [await frontend.register(spec) for spec in specs]
+                register_wall = time.perf_counter() - start
+                physical = frontend.metrics.physical_sketches
+                shared_ratio = frontend.metrics.shared_ratio
+
+                start = time.perf_counter()
+                for lo in range(0, data.size, CHUNK):
+                    await frontend.ingest(data[lo:lo + CHUNK], KEY)
+                ingest_wall = time.perf_counter() - start
+
+                start = time.perf_counter()
+                answers = await frontend.answer_all(fresh=True)
+                answer_wall = time.perf_counter() - start
+
+                for query_id in ids:
+                    await frontend.unregister(query_id)
+                return {
+                    "register_wall": register_wall,
+                    "physical": physical,
+                    "shared_ratio": shared_ratio,
+                    "ingest_wall": ingest_wall,
+                    "answers": len(answers),
+                    "answer_wall": answer_wall,
+                    "released": frontend.metrics.sketches_released,
+                    "remaining": frontend.metrics.physical_sketches,
+                }
+
+        results = asyncio.run(run())
+        results["groups"] = len(groups)
+        results["plan_wall"] = plan_wall
+
+        table = Table(
+            title=f"continuous-query layer — {QUERIES:,} standing queries "
+                  f"over {N_INGEST:,} elements",
+            columns=["stage", "wall_s", "rate_per_s"],
+            caption=f"{len(groups)} sketch groups, "
+                    f"{results['physical']} physical sketches, shared "
+                    f"ratio {results['shared_ratio']:.1%}; one ingest "
+                    f"pass feeds every sketch.",
+        )
+        table.add_row("plan", plan_wall, QUERIES / plan_wall)
+        table.add_row("register", results["register_wall"],
+                      QUERIES / results["register_wall"])
+        table.add_row("ingest", results["ingest_wall"],
+                      N_INGEST / results["ingest_wall"])
+        table.add_row("answer", results["answer_wall"],
+                      results["answers"] / results["answer_wall"])
+        emit(table)
+
+        write_bench_json("query", {
+            "benchmark": "query_layer",
+            "elements": N_INGEST,
+            "queries": QUERIES,
+            "groups": len(groups),
+            "physical_sketches": results["physical"],
+            "shared_ratio": results["shared_ratio"],
+            "plans_per_second": QUERIES / plan_wall,
+            "register_wall_seconds": results["register_wall"],
+            "ingest_elements_per_s": N_INGEST / results["ingest_wall"],
+            "answers_per_second":
+                results["answers"] / results["answer_wall"],
+        })
+        return results
+
+    def test_thousand_queries_bounded_sketches(self, results):
+        # The acceptance bar: <= 32 groups may instantiate at most 64
+        # physical estimators (here sharing is exact: one per group).
+        assert results["groups"] <= 32
+        assert results["physical"] <= 64
+        assert results["physical"] <= 2 * results["groups"]
+
+    def test_sharing_ratio_dominates(self, results):
+        assert results["shared_ratio"] >= 0.9
+
+    def test_every_query_answered(self, results):
+        assert results["answers"] == QUERIES
+
+    def test_unregister_releases_every_sketch(self, results):
+        assert results["released"] == results["physical"]
+        assert results["remaining"] == 0
+
+    def test_plan_kernel_timing(self, benchmark):
+        planner = Planner("cpu")
+        specs = query_specs()[:100]
+        benchmark(lambda: [planner.plan(spec) for spec in specs])

@@ -1,56 +1,118 @@
 #!/usr/bin/env python3
-"""Heavy hitters on a high-speed network stream (the paper's motivating
-use case: "high-speed networking ... generate massive volumes of data").
+"""Per-tenant standing queries on a high-speed network stream (the
+paper's motivating use case: "high-speed networking ... generate
+massive volumes of data").
 
-Simulates a router monitoring packet sizes, finds the dominant packet
-classes over the entire history AND over a sliding window of the most
-recent traffic, and demonstrates hierarchical heavy hitters — which size
-*bands* carry the traffic, not just which exact sizes.
+Simulates a router monitoring packet sizes with three tenants watching
+the same stream through the continuous-query front-end:
+
+* ``noc``      — dominant packet classes plus the p99 size, and a
+                 sliding-window watch that catches traffic shifts;
+* ``billing``  — the top-5 packet classes and the distinct-size count;
+* ``capacity`` — the median size and the coarse heavy hitters.
+
+Seven standing queries, one ingest pass: the front-end plans each spec
+onto the cheapest capable estimator and shares sketches across tenants
+whenever one sketch's eps grade dominates another's demand — the whole
+point of the query layer.  A final section shows hierarchical heavy
+hitters (which size *bands* carry the traffic), which answers a
+question the flat sketches cannot.
 
 Run:  python examples/network_heavy_hitters.py
 """
 
+import asyncio
+
 import numpy as np
 
-from repro import (HierarchicalHeavyHitters, StreamMiner,
-                   network_trace_stream)
+from repro import HierarchicalHeavyHitters, network_trace_stream
+from repro.query import QueryFrontEnd, QuerySpec
+
+STREAM = "router0"
+CHUNK = 8_192
+
+#: What each tenant watches.  Several specs deliberately overlap in
+#: sketch demand (e.g. billing's top-5 needs the same frequency grade
+#: as noc's heavy hitters) so the sharing is visible in the report.
+TENANT_QUERIES = {
+    "noc": [
+        QuerySpec("heavy_hitters", key=STREAM, eps=0.002, support=0.01,
+                  tenant="noc"),
+        QuerySpec("quantile", key=STREAM, eps=0.01, phi=0.99,
+                  tenant="noc"),
+        QuerySpec("heavy_hitters", key=STREAM, eps=0.002, support=0.05,
+                  window=50_000, tenant="noc"),
+    ],
+    "billing": [
+        QuerySpec("top_k", key=STREAM, eps=0.002, k=5, tenant="billing"),
+        QuerySpec("distinct", key=STREAM, eps=0.02, tenant="billing"),
+    ],
+    "capacity": [
+        QuerySpec("quantile", key=STREAM, eps=0.05, phi=0.5,
+                  tenant="capacity"),
+        QuerySpec("heavy_hitters", key=STREAM, eps=0.01, support=0.05,
+                  tenant="capacity"),
+    ],
+}
 
 
-def history_heavy_hitters(trace: np.ndarray) -> None:
+def banner(title: str) -> None:
     print("=" * 64)
-    print("Entire-history heavy hitters (Manku-Motwani on the GPU engine)")
+    print(title)
     print("=" * 64)
-    miner = StreamMiner("frequency", eps=0.0005, backend="gpu")
-    miner.process(trace)
-    print(f"{trace.size:,} packets processed; summary holds "
-          f"{len(miner.estimator):,} entries "
-          f"(bound: {miner.estimator.space_bound():,})")
-    print("packet sizes above 1% of all traffic:")
-    for size, count in miner.frequent_items(0.01)[:10]:
-        share = count / trace.size
-        print(f"  {size:6.0f} bytes : {count:8,} packets  ({share:5.1%})")
-    print()
 
 
-def sliding_heavy_hitters(trace: np.ndarray) -> None:
-    print("=" * 64)
-    print("Sliding-window heavy hitters (last 50,000 packets)")
-    print("=" * 64)
-    miner = StreamMiner("frequency", eps=0.002, backend="gpu",
-                        mode="sliding", sliding_window=50_000)
-    # a traffic shift: inject a burst of 1200-byte packets at the end
-    burst = np.full(20_000, 1200.0, dtype=np.float32)
-    miner.process(np.concatenate([trace, burst]))
-    print("recent heavy hitters (the burst should appear):")
-    for size, count in miner.frequent_items(0.05)[:6]:
-        print(f"  {size:6.0f} bytes : ~{count:,} of the last 50k packets")
+def describe(value, metric: str) -> str:
+    if metric in ("heavy_hitters", "top_k"):
+        pairs = ", ".join(f"{size:.0f}B: ~{count:,}"
+                          for size, count in value[:5])
+        return pairs or "(none above threshold)"
+    if metric == "distinct":
+        return f"~{value:,.0f} distinct sizes"
+    return f"{value:,.1f} bytes"
+
+
+async def standing_queries(trace: np.ndarray) -> None:
+    banner("Per-tenant standing queries over one router stream")
+    async with QueryFrontEnd(num_shards=4) as frontend:
+        handles = {tenant: [await frontend.register(spec) for spec in specs]
+                   for tenant, specs in TENANT_QUERIES.items()}
+
+        # One ingest pass; the front-end fans each chunk out once per
+        # physical sketch, never once per query.
+        for lo in range(0, trace.size, CHUNK):
+            await frontend.ingest(trace[lo:lo + CHUNK], STREAM)
+        # A traffic shift: a burst of 1200-byte packets.  Only the
+        # sliding-window watch should react; history sketches barely
+        # move.
+        burst = np.full(20_000, 1200.0, dtype=np.float32)
+        await frontend.ingest(burst, STREAM)
+
+        metrics = frontend.metrics
+        print(f"{trace.size + burst.size:,} packets; "
+              f"{metrics.registered} standing queries riding "
+              f"{metrics.physical_sketches} physical sketches "
+              f"(shared ratio {metrics.shared_ratio:.0%})")
+
+        answers = await frontend.answer_all(fresh=True)
+        for tenant, ids in handles.items():
+            print(f"\n[{tenant}]")
+            for query_id in ids:
+                spec = frontend.get(query_id).spec
+                answer = answers[query_id]
+                scope = (f"last {spec.window:,}" if spec.window
+                         else "history")
+                label = spec.metric + (f"(phi={spec.phi})"
+                                       if spec.metric == "quantile" else "")
+                shared = "  [shared sketch]" if answer.shared else ""
+                print(f"  {label:<22} {scope:<12} eps<="
+                      f"{answer.error_bound:g}{shared}")
+                print(f"    -> {describe(answer.value, spec.metric)}")
     print()
 
 
 def hierarchical_bands(trace: np.ndarray) -> None:
-    print("=" * 64)
-    print("Hierarchical heavy hitters: which size bands dominate")
-    print("=" * 64)
+    banner("Hierarchical heavy hitters: which size bands dominate")
     hhh = HierarchicalHeavyHitters(eps=0.002, levels=12)
     hhh.update(trace)
     print("bands (level L groups 2^L consecutive sizes):")
@@ -65,7 +127,6 @@ def hierarchical_bands(trace: np.ndarray) -> None:
 
 if __name__ == "__main__":
     trace = network_trace_stream(200_000, seed=7)
-    history_heavy_hitters(trace)
-    sliding_heavy_hitters(trace)
+    asyncio.run(standing_queries(trace))
     hierarchical_bands(trace)
     print("done.")

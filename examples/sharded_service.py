@@ -22,8 +22,8 @@ Run:  python examples/sharded_service.py
 
 import asyncio
 
-from repro.service import ShardedMiner, StreamService, format_result, \
-    run_service_demo
+from repro.query import build_service
+from repro.service import format_result, run_service_demo
 from repro.streams import bursty_arrivals, zipf_stream
 
 
@@ -53,11 +53,15 @@ def heavy_hitter_demo() -> None:
 
 async def shedding_demo() -> None:
     banner("3. bursty arrivals against a capacity-limited service")
-    miner = ShardedMiner("quantile", eps=0.05, num_shards=2,
-                         backend="cpu", window_size=1024)
     # Each shard absorbs 1500 elements per arrival tick; bursts beyond
     # that are dropped by the shedders instead of growing the queues.
-    service = StreamService(miner, queue_chunks=4, shed_capacity=1500)
+    # Built through the query-layer factory — the same seam the serve
+    # runner, the CLI, and the standing-query front-end construct with.
+    service = build_service(
+        "async",
+        dict(statistic="quantile", eps=0.05, num_shards=2,
+             backend="cpu", window_size=1024),
+        dict(queue_chunks=4, shed_capacity=1500))
     data = zipf_stream(150_000, seed=7)
     consumed = 0
     async with service:

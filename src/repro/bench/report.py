@@ -15,6 +15,17 @@ Usage::
 The output is the complete set of data series behind the paper's
 Figures 3-7, the Section 5.3 sliding-window study, and the reconstructed
 accuracy tables.
+
+The module also hosts the **performance regression gate** CI runs over
+the committed ``BENCH_<area>.json`` accumulators::
+
+    python -m repro.bench.report --gate net --gate query \\
+        --fresh-dir /tmp/bench --noise 0.5
+
+Fresh runs (written by the benchmarks under ``REPRO_BENCH_ROOT``) are
+matched against the committed baseline on ``(benchmark, elements)``
+and every direction-aware metric (throughputs up, wall seconds down)
+must stay inside the noise band — see :func:`gate_area`.
 """
 
 from __future__ import annotations
@@ -99,9 +110,13 @@ def write_bench_json(area: str, payload: dict,
     ``payload`` to its ``runs`` list (creating the file on first use),
     so successive benchmark runs build a comparable history instead of
     overwriting each other.  A corrupt or foreign file is replaced, not
-    crashed on.  ``root`` overrides the repo root (tests use tmp dirs).
+    crashed on.  ``root`` overrides the repo root; so does the
+    ``REPRO_BENCH_ROOT`` environment variable (CI points it at a scratch
+    directory so fresh gate runs never touch the committed baselines).
     Returns the path written.
     """
+    if root is None:
+        root = os.environ.get("REPRO_BENCH_ROOT") or None
     base = (Path(root) if root is not None
             else Path(__file__).resolve().parents[3])
     path = base / f"BENCH_{area}.json"
@@ -119,6 +134,161 @@ def write_bench_json(area: str, payload: dict,
                    encoding="utf-8")
     os.replace(tmp, path)
     return path
+
+
+# ----------------------------------------------------------------------
+# performance regression gate
+# ----------------------------------------------------------------------
+#: Metric-name substrings that say which direction is "better".  A
+#: numeric field matching neither list is informational and not gated.
+_LOWER_IS_BETTER = ("seconds", "latency", "lost", "shed")
+_HIGHER_IS_BETTER = ("throughput", "per_s", "per_second", "speedup",
+                     "rate", "eps_per")
+
+
+def _metric_direction(name: str) -> int:
+    """-1 when lower is better, +1 when higher is better, 0 to skip."""
+    lowered = name.lower()
+    if any(tag in lowered for tag in _LOWER_IS_BETTER):
+        return -1
+    if any(tag in lowered for tag in _HIGHER_IS_BETTER):
+        return +1
+    return 0
+
+
+def load_bench_runs(path: str | Path) -> list[dict]:
+    """The ``runs`` list of one ``BENCH_<area>.json``, else ``[]``."""
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return []
+    if isinstance(doc, dict) and isinstance(doc.get("runs"), list):
+        return [run for run in doc["runs"] if isinstance(run, dict)]
+    return []
+
+
+def _run_key(run: dict) -> tuple:
+    """The identity fresh and baseline runs are matched on."""
+    return (run.get("benchmark"), run.get("elements"))
+
+
+#: Fields that identify a series entry (sweep coordinates) in gate
+#: output, checked in order; falls back to the entry's index.
+_SERIES_LABELS = ("fault_rate", "workers", "shards")
+
+
+def _series_label(entry: dict, index: int) -> str:
+    for field_name in _SERIES_LABELS:
+        if field_name in entry:
+            return f"{field_name}={entry[field_name]}"
+    return f"#{index}"
+
+
+def compare_runs(fresh: dict, baseline: dict,
+                 noise: float) -> list[tuple[str, float, float, bool]]:
+    """Direction-aware comparison of two matched runs.
+
+    Returns ``(metric, fresh_value, baseline_value, ok)`` rows for every
+    gated metric.  ``ok`` is False when the fresh value is worse than the
+    baseline by more than the fractional ``noise`` band.  Non-numeric
+    fields and direction-less metrics are skipped, as are baselines at
+    zero (no meaningful ratio).  A nested ``series`` list (a sweep over
+    fault rates, worker counts, ...) is compared entry-by-entry when
+    both runs sweep the same grid — benchmarks like
+    ``fault_rate_overhead`` keep all their timings there, and a gate
+    that skipped nested series would silently gate nothing for them.
+    """
+    rows = []
+    for name, base_value in sorted(baseline.items()):
+        direction = _metric_direction(name)
+        if direction == 0:
+            continue
+        fresh_value = fresh.get(name)
+        if not isinstance(base_value, (int, float)) or \
+                not isinstance(fresh_value, (int, float)) or \
+                isinstance(base_value, bool) or isinstance(fresh_value, bool):
+            continue
+        if base_value <= 0:
+            continue
+        if direction > 0:
+            ok = fresh_value >= base_value * (1.0 - noise)
+        else:
+            ok = fresh_value <= base_value * (1.0 + noise)
+        rows.append((name, float(fresh_value), float(base_value), ok))
+    fresh_series = fresh.get("series")
+    base_series = baseline.get("series")
+    if isinstance(fresh_series, list) and isinstance(base_series, list) \
+            and len(fresh_series) == len(base_series):
+        for index, (fresh_entry, base_entry) in enumerate(
+                zip(fresh_series, base_series)):
+            if not isinstance(fresh_entry, dict) or \
+                    not isinstance(base_entry, dict):
+                continue
+            label = _series_label(base_entry, index)
+            rows.extend((f"series[{label}].{name}", fresh_v, base_v, ok)
+                        for name, fresh_v, base_v, ok in compare_runs(
+                            fresh_entry, base_entry, noise)
+                        # sweep coordinates (fault_rate, workers) are
+                        # inputs, not metrics — never gate on them.
+                        if name not in _SERIES_LABELS)
+    return rows
+
+
+def gate_area(area: str, fresh_root: str | Path,
+              baseline_root: str | Path,
+              noise: float = 0.5) -> tuple[bool, list[str]]:
+    """Gate one area's fresh runs against its committed baseline.
+
+    Every fresh run is matched to the *latest* committed run with the
+    same ``(benchmark, elements)`` identity — the committed files
+    accumulate history at both full and smoke scale, so a smoke-scale
+    CI run compares against a smoke-scale baseline.  A fresh run with
+    no matching baseline passes with a note (first run of a new
+    benchmark); an area with no fresh runs at all fails loudly, because
+    a gate that silently gates nothing is how regressions ship.
+    """
+    fresh_runs = load_bench_runs(Path(fresh_root) / f"BENCH_{area}.json")
+    baseline_runs = load_bench_runs(
+        Path(baseline_root) / f"BENCH_{area}.json")
+    if not fresh_runs:
+        return False, [f"[{area}] no fresh runs found under {fresh_root}"]
+    latest_baseline: dict[tuple, dict] = {}
+    for run in baseline_runs:
+        latest_baseline[_run_key(run)] = run
+    ok = True
+    lines = []
+    for run in fresh_runs:
+        key = _run_key(run)
+        label = f"{key[0]} @ {key[1]}"
+        baseline = latest_baseline.get(key)
+        if baseline is None:
+            lines.append(f"[{area}] {label}: no baseline, skipped")
+            continue
+        for name, fresh_v, base_v, metric_ok in compare_runs(
+                run, baseline, noise):
+            arrow = "ok" if metric_ok else "REGRESSION"
+            lines.append(
+                f"[{area}] {label}: {name} {base_v:.6g} -> {fresh_v:.6g} "
+                f"({arrow})")
+            ok = ok and metric_ok
+    return ok, lines
+
+
+def run_gate(areas: Sequence[str], fresh_root: str | Path,
+             baseline_root: str | Path | None = None,
+             noise: float = 0.5) -> int:
+    """Gate several areas; prints the verdicts, returns an exit code."""
+    if baseline_root is None:
+        baseline_root = Path(__file__).resolve().parents[3]
+    failed = False
+    for area in areas:
+        area_ok, lines = gate_area(area, fresh_root, baseline_root, noise)
+        for line in lines:
+            print(line)
+        failed = failed or not area_ok
+    print("gate: " + ("FAILED" if failed else "passed") +
+          f" (noise band {noise:.0%})")
+    return 1 if failed else 0
 
 
 def build_all(fast: bool = False) -> list[Table]:
@@ -148,7 +318,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="smaller wall-clock workloads")
     parser.add_argument("--markdown", action="store_true",
                         help="emit Markdown tables instead of plain text")
+    parser.add_argument("--gate", action="append", default=[],
+                        metavar="AREA",
+                        help="regression-gate BENCH_<AREA>.json instead "
+                             "of building figures (repeatable)")
+    parser.add_argument("--fresh-dir", default=None,
+                        help="directory holding the freshly generated "
+                             "BENCH files (default: REPRO_BENCH_ROOT)")
+    parser.add_argument("--baseline-dir", default=None,
+                        help="directory holding the committed baseline "
+                             "BENCH files (default: the repo root)")
+    parser.add_argument("--noise", type=float, default=0.5,
+                        help="fractional noise band a gated metric may "
+                             "move by before failing (default 0.5)")
     args = parser.parse_args(argv)
+    if args.gate:
+        fresh = args.fresh_dir or os.environ.get("REPRO_BENCH_ROOT")
+        if not fresh:
+            parser.error("--gate needs --fresh-dir or REPRO_BENCH_ROOT")
+        return run_gate(args.gate, fresh, args.baseline_dir, args.noise)
     for table in build_all(args.fast):
         print(table.render_markdown() if args.markdown else table.render())
         print()

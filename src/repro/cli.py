@@ -8,12 +8,18 @@ Usage::
     python -m repro distinct  --n 500000 --universe 50000
     python -m repro serve     --n 200000 --shards 4 --producers 2
     python -m repro serve     --n 200000 --metrics-port 9107
+    python -m repro serve     --n 200000 --query-port 9108 --linger 30
+    python -m repro query     register quantile --phi 0.99
+    python -m repro query     list
+    python -m repro query     answer --fresh
     python -m repro trace     --n 100000 --statistic quantile
     python -m repro figures   --fast
 
 Each subcommand generates a synthetic stream (``--workload`` picks the
 generator), runs the corresponding pipeline, and prints results plus the
-modelled paper-hardware timing.
+modelled paper-hardware timing.  ``repro query`` is different: it is an
+HTTP client for the standing-query control plane of an already-running
+``repro serve --query-port`` process.
 """
 
 from __future__ import annotations
@@ -27,9 +33,12 @@ import numpy as np
 from .backends import resolve_sorter
 from .bench.report import build_all
 from .core.distinct import WindowedDistinctCounter
-from .core.engine import StreamMiner
+from .core.estimators import QUERY_METRICS
 from .core.pipeline.timing import OPERATIONS
+from .errors import QueryError
 from .obs import collecting, render_tree, stage_shares
+from .query import (QuerySpec, answer_query, build_miner, list_queries,
+                    register_query, unregister_query)
 from .service.executors import registered_executors
 from .service.policies import ServicePolicies
 from .service.runner import format_result, run_service_demo
@@ -77,7 +86,7 @@ def cmd_sort(args: argparse.Namespace) -> int:
 def cmd_quantiles(args: argparse.Namespace) -> int:
     """``repro quantiles``: streaming phi-quantiles over a synthetic stream."""
     data = _make_stream(args)
-    miner = StreamMiner("quantile", eps=args.eps, backend=args.backend,
+    miner = build_miner("quantile", eps=args.eps, backend=args.backend,
                         window_size=args.window,
                         stream_length_hint=args.n)
     miner.process(data)
@@ -92,7 +101,7 @@ def cmd_quantiles(args: argparse.Namespace) -> int:
 def cmd_frequent(args: argparse.Namespace) -> int:
     """``repro frequent``: heavy hitters over a synthetic stream."""
     data = _make_stream(args)
-    miner = StreamMiner("frequency", eps=args.eps, backend=args.backend)
+    miner = build_miner("frequency", eps=args.eps, backend=args.backend)
     miner.process(data)
     items = miner.frequent_items(args.support)
     print(f"{args.n:,} elements ({args.workload}), eps={args.eps}, "
@@ -150,9 +159,113 @@ def cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_interval=args.checkpoint_interval,
         metrics_port=args.metrics_port,
-        policies=_build_policies(args))
+        policies=_build_policies(args),
+        query_port=args.query_port, linger=args.linger)
     print(format_result(result))
     return 0 if result.all_within_bounds else 1
+
+
+#: Default control-plane address `repro query` talks to — matches the
+#: docstring's `repro serve --query-port 9108` example.
+_QUERY_URL = "http://127.0.0.1:9108"
+
+
+def _query_errors(fn):
+    """Turn client-side failures into exit code 1 + a stderr line."""
+    def wrapper(args: argparse.Namespace) -> int:
+        try:
+            return fn(args)
+        except QueryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except OSError as exc:
+            print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+            return 1
+    return wrapper
+
+
+def _query_line(state: dict) -> str:
+    """One listing line for a registration state dict."""
+    spec = state["spec"]
+    detail = {
+        "quantile": lambda s: f"phi={s['phi']:g}",
+        "heavy_hitters": lambda s: f"support={s['support']:g}",
+        "top_k": lambda s: f"k={s['k']}",
+        "estimate": lambda s: f"value={s['value']:g}",
+        "distinct": lambda s: "",
+    }[spec["metric"]](spec)
+    window = f", window={spec['window']}" if spec.get("window") else ""
+    shared = "  [shared]" if state.get("shared") else ""
+    return (f"{state['id']:<6} {spec['metric']}({detail}) on "
+            f"{spec['key']!r}{window} -> {state['kind']} @ eps "
+            f"{state['error_bound']:g}{shared}")
+
+
+def _format_answer_value(value) -> str:
+    if isinstance(value, list):
+        pairs = ", ".join(f"{v:g}: >={c:,.0f}" for v, c in value[:8])
+        more = f" (+{len(value) - 8} more)" if len(value) > 8 else ""
+        return f"[{pairs}]{more}"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+@_query_errors
+def cmd_query_register(args: argparse.Namespace) -> int:
+    """``repro query register``: add one standing query to a live serve."""
+    spec = QuerySpec(args.metric, key=args.key, eps=args.eps, phi=args.phi,
+                     support=args.support, k=args.k, value=args.value,
+                     window=args.window, tenant=args.tenant)
+    state = register_query(args.url, spec.to_state())
+    print(_query_line(state))
+    return 0
+
+
+@_query_errors
+def cmd_query_list(args: argparse.Namespace) -> int:
+    """``repro query list``: live registrations + sharing headline."""
+    listing = list_queries(args.url)
+    for state in listing["queries"]:
+        print(_query_line(state))
+    metrics = listing["metrics"]
+    print(f"{metrics['registered']} queries over "
+          f"{metrics['physical_sketches']} physical sketch(es), "
+          f"shared ratio {metrics['shared_ratio']:.0%}")
+    return 0
+
+
+@_query_errors
+def cmd_query_answer(args: argparse.Namespace) -> int:
+    """``repro query answer``: evaluate queries (all live ones by default)."""
+    ids = args.ids or [state["id"]
+                       for state in list_queries(args.url)["queries"]]
+    if not ids:
+        print("no registered queries")
+        return 0
+    failures = 0
+    for query_id in ids:
+        try:
+            answer = answer_query(args.url, query_id, fresh=args.fresh)
+        except QueryError as exc:
+            print(f"{query_id:<6} error: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        flags = "".join(f"  [{flag}]" for flag in ("shared", "randomized")
+                        if answer.get(flag))
+        print(f"{answer['id']:<6} {answer['metric']:<13} "
+              f"{_format_answer_value(answer['value'])}   "
+              f"(eps {answer['error_bound']:g}, {answer['kind']}){flags}")
+    return 1 if failures else 0
+
+
+@_query_errors
+def cmd_query_unregister(args: argparse.Namespace) -> int:
+    """``repro query unregister``: drop registrations (frees idle sketches)."""
+    for query_id in args.ids:
+        unregister_query(args.url, query_id)
+        print(f"unregistered {query_id}")
+    return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -167,7 +280,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     data = _make_stream(args)
     start = time.perf_counter()
     with collecting() as col:
-        miner = StreamMiner(args.statistic, eps=args.eps,
+        miner = build_miner(args.statistic, eps=args.eps,
                             backend=args.backend, window_size=args.window,
                             stream_length_hint=args.n)
         miner.process(data)
@@ -213,7 +326,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_report(miner: StreamMiner) -> None:
+def _print_report(miner) -> None:
     report = miner.report
     shares = report.modelled_shares()
     print(f"  modelled paper-hardware time: {report.modelled_total:.4f} s "
@@ -260,7 +373,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_distinct)
 
-    p = sub.add_parser("serve", help="sharded async stream-mining service")
+    p = sub.add_parser("serve",
+                       help="sharded stream-mining service answering "
+                            "standing continuous queries")
     _add_stream_args(p)
     p.add_argument("--statistic",
                    choices=["quantile", "frequency", "distinct"],
@@ -300,6 +415,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-port", type=int, default=None,
                    help="serve Prometheus /metrics and /healthz on this "
                         "port for the duration of the run (0 = ephemeral)")
+    p.add_argument("--query-port", type=int, default=None,
+                   help="serve the standing-query control plane on this "
+                        "port for the duration of the run (0 = "
+                        "ephemeral); `repro query register/list/answer` "
+                        "are its clients")
+    p.add_argument("--linger", type=float, default=0.0,
+                   help="keep the drained service (and its control "
+                        "plane) alive this many extra seconds after "
+                        "the demo stream completes")
     p.add_argument("--snapshot-every", type=int, default=None,
                    help="acks between internal worker snapshots "
                         "(replay-log bound; mp/net executors)")
@@ -320,6 +444,54 @@ def build_parser() -> argparse.ArgumentParser:
                         "reassigning its keyspace to survivors "
                         "(net executor)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("query",
+                       help="client for a running serve's standing-query "
+                            "control plane (--query-port)")
+    qsub = p.add_subparsers(dest="query_command", required=True)
+
+    q = qsub.add_parser("register", help="register one standing query")
+    q.add_argument("metric", choices=sorted(QUERY_METRICS))
+    q.add_argument("--url", default=_QUERY_URL,
+                   help=f"control-plane base URL (default {_QUERY_URL})")
+    q.add_argument("--key", default="serve",
+                   help="ingest stream key the query watches (the serve "
+                        "demo feeds 'serve')")
+    q.add_argument("--eps", type=float, default=0.01,
+                   help="requested approximation fraction")
+    q.add_argument("--phi", type=float, default=None,
+                   help="quantile rank in [0, 1] (metric=quantile)")
+    q.add_argument("--support", type=float, default=None,
+                   help="support threshold (metric=heavy_hitters)")
+    q.add_argument("--k", type=int, default=None,
+                   help="result size (metric=top_k)")
+    q.add_argument("--value", type=float, default=None,
+                   help="tracked value (metric=estimate)")
+    q.add_argument("--window", type=int, default=None,
+                   help="sliding-window width; default full history")
+    q.add_argument("--tenant", default="default",
+                   help="namespace label for listings and metrics")
+    q.set_defaults(func=cmd_query_register)
+
+    q = qsub.add_parser("list", help="list live standing queries")
+    q.add_argument("--url", default=_QUERY_URL,
+                   help=f"control-plane base URL (default {_QUERY_URL})")
+    q.set_defaults(func=cmd_query_list)
+
+    q = qsub.add_parser("answer", help="evaluate standing queries")
+    q.add_argument("ids", nargs="*",
+                   help="query ids (default: every live query)")
+    q.add_argument("--url", default=_QUERY_URL,
+                   help=f"control-plane base URL (default {_QUERY_URL})")
+    q.add_argument("--fresh", action="store_true",
+                   help="drain pending ingest before answering")
+    q.set_defaults(func=cmd_query_answer)
+
+    q = qsub.add_parser("unregister", help="drop standing queries")
+    q.add_argument("ids", nargs="+", help="query ids to drop")
+    q.add_argument("--url", default=_QUERY_URL,
+                   help=f"control-plane base URL (default {_QUERY_URL})")
+    q.set_defaults(func=cmd_query_unregister)
 
     p = sub.add_parser("trace",
                        help="trace a workload and print the span tree")

@@ -23,7 +23,7 @@ import math
 import numpy as np
 
 from ...errors import QueryError, SummaryError
-from ..estimators import register_estimator
+from ..estimators import EstimatorCapabilities, register_estimator
 
 #: 64-bit mixing constants (splitmix64) for the value hash.
 _MIX1 = 0xBF58476D1CE4E5B9
@@ -262,4 +262,11 @@ class WindowedDistinctCounter:
         return confidence_sigmas * self.sketch.relative_standard_error()
 
 
-register_estimator("kmv", KMinValues)
+register_estimator(
+    "kmv", KMinValues,
+    # Randomized sketch: error_bound() is a 2-sigma relative error
+    # (~1/sqrt(k-2)); k ~ 1/eps^2 entries bound the compress scan.
+    capabilities=EstimatorCapabilities(
+        statistic="distinct", metrics=("distinct",), driver="distinct",
+        randomized=True, merge_cycles=24.0, compress_cycles=6.0,
+        entries_per_inverse_eps=1.0))

@@ -21,20 +21,92 @@ The engine's merge stage and the checkpoint/restore code dispatch
 through this protocol instead of special-casing each statistic; restore
 resolves the concrete class from the state's ``"kind"`` tag via
 :func:`estimator_from_state`.
+
+Capabilities.  Each registered kind also declares an
+:class:`EstimatorCapabilities` record: which *query metrics* it can
+answer (``"quantile"``, ``"heavy_hitters"``, ``"top_k"``,
+``"estimate"``, ``"distinct"``), which pipeline ``statistic`` drives
+it, and the per-element cost coefficients the continuous-query planner
+(:mod:`repro.query.planner`) feeds into the :mod:`repro.bench.models`
+timing model.  The registry is the single place the planner learns what
+exists — a new estimator family becomes plannable by registering here,
+without the planner changing.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Protocol, runtime_checkable
 
 from ..errors import SummaryError
 
 __all__ = [
     "Estimator",
+    "EstimatorCapabilities",
+    "estimator_capabilities",
     "estimator_from_state",
     "register_estimator",
+    "registered_capabilities",
     "registered_estimator_kinds",
 ]
+
+#: The query metrics a capability record may advertise.
+QUERY_METRICS = ("quantile", "heavy_hitters", "top_k", "estimate",
+                 "distinct")
+
+
+@dataclass(frozen=True)
+class EstimatorCapabilities:
+    """Planner-facing metadata for one registered estimator kind.
+
+    Parameters
+    ----------
+    statistic:
+        The pipeline statistic that instantiates this kind
+        (``"quantile"`` / ``"frequency"`` / ``"distinct"``).
+    metrics:
+        Query metrics the kind can answer (subset of
+        :data:`QUERY_METRICS`).
+    driver:
+        The :class:`~repro.core.engine.StreamMiner` statistic name that
+        builds this kind as its live estimator, or ``None`` when the
+        kind is a building block (e.g. ``gk-summary`` inside the
+        exponential histogram) that the planner must not pick directly.
+    mergeable:
+        Whether per-shard instances merge losslessly (required for the
+        sharded pools' merge-on-query path).
+    randomized:
+        ``True`` when ``error_bound()`` is a 2-sigma relative error
+        rather than a deterministic guarantee.
+    merge_cycles / compress_cycles:
+        Modelled CPU cycles per element (merge) and per summary entry
+        (compress) — the knobs :func:`repro.bench.models.
+        streaming_modelled_time` takes.
+    entries_per_inverse_eps:
+        Summary entries per ``1/eps`` (space model; sizes the
+        compress-scan term).
+    """
+
+    statistic: str
+    metrics: tuple[str, ...]
+    driver: str | None = None
+    mergeable: bool = True
+    randomized: bool = False
+    merge_cycles: float = 40.0
+    compress_cycles: float = 10.0
+    entries_per_inverse_eps: float = 1.0
+
+    def __post_init__(self):
+        if self.statistic not in ("quantile", "frequency", "distinct"):
+            raise SummaryError(
+                f"unknown capability statistic {self.statistic!r}")
+        unknown = set(self.metrics) - set(QUERY_METRICS)
+        if unknown:
+            raise SummaryError(
+                f"unknown capability metrics {sorted(unknown)!r}; "
+                f"known: {', '.join(QUERY_METRICS)}")
+        if not self.metrics:
+            raise SummaryError("capabilities must declare >= 1 metric")
 
 
 @runtime_checkable
@@ -62,18 +134,45 @@ class Estimator(Protocol):
 #: each estimator module).
 _KINDS: dict[str, type] = {}
 
+#: state ``"kind"`` tag -> :class:`EstimatorCapabilities`.
+_CAPABILITIES: dict[str, EstimatorCapabilities] = {}
 
-def register_estimator(kind: str, cls: type, *, replace: bool = False) -> None:
-    """Map a checkpoint ``kind`` tag to the class that restores it."""
+
+def register_estimator(kind: str, cls: type, *, replace: bool = False,
+                       capabilities: EstimatorCapabilities | None = None
+                       ) -> None:
+    """Map a checkpoint ``kind`` tag to the class that restores it.
+
+    ``capabilities`` declares the kind to the continuous-query planner;
+    the registry-coverage guard in ``tests/query`` fails any kind that
+    registers without one, so new estimator families stay plannable.
+    """
     if kind in _KINDS and not replace and _KINDS[kind] is not cls:
         raise SummaryError(f"estimator kind {kind!r} already registered "
                            f"to {_KINDS[kind].__name__}")
     _KINDS[kind] = cls
+    if capabilities is not None:
+        _CAPABILITIES[kind] = capabilities
 
 
 def registered_estimator_kinds() -> tuple[str, ...]:
     """Sorted checkpoint kinds currently restorable."""
     return tuple(sorted(_KINDS))
+
+
+def estimator_capabilities(kind: str) -> EstimatorCapabilities:
+    """The capability record declared for ``kind``."""
+    caps = _CAPABILITIES.get(kind)
+    if caps is None:
+        raise SummaryError(
+            f"estimator kind {kind!r} declares no capabilities; "
+            f"declared: {', '.join(sorted(_CAPABILITIES))}")
+    return caps
+
+
+def registered_capabilities() -> dict[str, EstimatorCapabilities]:
+    """Every declared capability record, keyed by kind (sorted)."""
+    return {kind: _CAPABILITIES[kind] for kind in sorted(_CAPABILITIES)}
 
 
 def estimator_from_state(state: dict):

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ...errors import InvariantViolation, QueryError, SummaryError
-from ..estimators import register_estimator
+from ..estimators import EstimatorCapabilities, register_estimator
 from ..histograms import WindowHistogram, histogram_from_sorted
 
 
@@ -276,4 +276,14 @@ class LossyCounting:
                 f"theoretical bound {self.space_bound()}")
 
 
-register_estimator("lossy-counting", LossyCounting)
+register_estimator(
+    "lossy-counting", LossyCounting,
+    # Deterministic counting: the planner may serve heavy-hitter,
+    # top-k, and point-estimate metrics from one sketch; per-element
+    # merge scans the bucket histogram, compress scans ~1/eps entries.
+    capabilities=EstimatorCapabilities(
+        statistic="frequency",
+        metrics=("heavy_hitters", "top_k", "estimate"),
+        driver="frequency",
+        merge_cycles=40.0, compress_cycles=10.0,
+        entries_per_inverse_eps=1.0))

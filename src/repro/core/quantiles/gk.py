@@ -24,7 +24,7 @@ from typing import Iterable
 import numpy as np
 
 from ...errors import InvariantViolation, QueryError, SummaryError
-from ..estimators import register_estimator
+from ..estimators import EstimatorCapabilities, register_estimator
 
 
 def _compress_arrays(values: np.ndarray, g: np.ndarray, delta: np.ndarray,
@@ -327,4 +327,12 @@ class GKSummary:
             raise InvariantViolation("tuple values out of order")
 
 
-register_estimator("gk-summary", GKSummary)
+register_estimator(
+    "gk-summary", GKSummary,
+    # A building block (driver=None): the pipeline drives GK summaries
+    # through the exponential histogram, never standalone, so the
+    # planner must not map a query onto a bare gk-summary.
+    capabilities=EstimatorCapabilities(
+        statistic="quantile", metrics=("quantile",), driver=None,
+        merge_cycles=40.0, compress_cycles=10.0,
+        entries_per_inverse_eps=1.0))

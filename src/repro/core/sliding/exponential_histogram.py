@@ -27,7 +27,7 @@ import math
 import numpy as np
 
 from ...errors import InvariantViolation, QueryError, SummaryError
-from ..estimators import register_estimator
+from ..estimators import EstimatorCapabilities, register_estimator
 from ..quantiles.window import QuantileSummary
 
 
@@ -227,4 +227,12 @@ class StreamingQuantiles:
                 f"bucket populations sum to {total}, expected {self.count}")
 
 
-register_estimator("streaming-quantiles", StreamingQuantiles)
+register_estimator(
+    "streaming-quantiles", StreamingQuantiles,
+    # The GK-04 history-mode quantile cascade: window summaries merge
+    # up the exponential histogram (merge per element) and prune back
+    # to ~1/eps entries per level (compress).
+    capabilities=EstimatorCapabilities(
+        statistic="quantile", metrics=("quantile",), driver="quantile",
+        merge_cycles=40.0, compress_cycles=10.0,
+        entries_per_inverse_eps=2.0))

@@ -24,7 +24,8 @@ from .http import MetricsServer
 from .metrics import (Counter, Gauge, Histogram, HistogramValue,
                       MetricsRegistry, Sample)
 from .sources import (engine_report_samples, perf_counter_samples,
-                      register_engine_reports, register_perf_counters,
+                      query_metrics_samples, register_engine_reports,
+                      register_perf_counters, register_query_metrics,
                       register_service_metrics, service_metrics_samples)
 from .spans import (NullCollector, Span, SpanCollector, aggregate,
                     collecting, collector, render_tree, set_collector,
@@ -47,7 +48,9 @@ __all__ = [
     "engine_report_samples",
     "parse_prometheus",
     "perf_counter_samples",
+    "query_metrics_samples",
     "register_engine_reports",
+    "register_query_metrics",
     "register_perf_counters",
     "register_service_metrics",
     "render_tree",

@@ -22,8 +22,10 @@ from .metrics import MetricsRegistry, Sample
 __all__ = [
     "engine_report_samples",
     "perf_counter_samples",
+    "query_metrics_samples",
     "register_engine_reports",
     "register_perf_counters",
+    "register_query_metrics",
     "register_service_metrics",
     "service_metrics_samples",
 ]
@@ -151,6 +153,44 @@ def service_metrics_samples(metrics) -> list[Sample]:
     return samples
 
 
+def query_metrics_samples(metrics) -> list[Sample]:
+    """Translate a :class:`~repro.query.frontend.QueryMetrics`.
+
+    The headline gauge is ``repro_query_shared_ratio`` — the fraction
+    of registered standing queries served by a sketch they share with
+    at least one other query (1 - sketches/queries).
+    """
+    gauges = (
+        ("registered", "live registered standing queries"),
+        ("physical_sketches", "live physical sketches backing them"),
+        ("shared_ratio", "fraction of queries without a sketch of "
+                         "their own"),
+    )
+    counters = (
+        ("registrations", "standing-query registrations"),
+        ("plans_built", "plans that built a fresh physical sketch"),
+        ("plans_shared", "plans served by an existing sketch"),
+        ("sketches_released", "sketches freed at refcount zero"),
+        ("answers", "standing-query answers evaluated"),
+        ("ingested_chunks", "chunks accepted by the front-end"),
+        ("fanout_ingests", "chunk-to-sketch fan-out deliveries"),
+    )
+    samples = [
+        Sample(f"repro_query_{name}", "gauge",
+               float(getattr(metrics, name)), (), help)
+        for name, help in gauges
+    ]
+    samples.extend(
+        Sample(f"repro_query_{name}_total", "counter",
+               float(getattr(metrics, name)), (), help)
+        for name, help in counters
+    )
+    samples.append(Sample(
+        "repro_query_plan_seconds_total", "counter",
+        float(metrics.plan_seconds), (), "wall seconds spent planning"))
+    return samples
+
+
 def _register(registry: MetricsRegistry, provider, translate,
               **kwargs) -> None:
     registry.register_source(lambda: translate(provider(), **kwargs))
@@ -180,3 +220,8 @@ def register_engine_reports(registry: MetricsRegistry, provider) -> None:
 def register_service_metrics(registry: MetricsRegistry, provider) -> None:
     """Pull service metrics at scrape time; ``provider()`` returns them."""
     _register(registry, provider, service_metrics_samples)
+
+
+def register_query_metrics(registry: MetricsRegistry, provider) -> None:
+    """Pull front-end query metrics at scrape time."""
+    _register(registry, provider, query_metrics_samples)

@@ -1,0 +1,74 @@
+"""Continuous-query front-end: standing queries over one ingest stream.
+
+The paper frames its sketches as primitives for *continuous queries
+over data streams*; this package is the layer that makes the framing
+literal.  Clients register declarative :class:`QuerySpec`\\ s ("the p99
+of key ``latency`` at eps 0.01 for tenant ``eu``", "the top-20 values
+of key ``url``") against a live front-end; a cost-aware
+:class:`Planner` maps each spec to the cheapest registered estimator
+kind via the :mod:`repro.core.estimators` capability registry and the
+:mod:`repro.bench.models` timing model; and a refcounted
+:class:`SketchCache` canonicalizes compatible specs — same statistic,
+key, and window, eps-dominance across error classes — so N standing
+queries fan in to M << N physical sketches over one physical pass per
+sketch.
+
+Components:
+
+* :mod:`repro.query.spec` — :class:`QuerySpec`, the eps-class ladder,
+  canonical :class:`SketchKey`\\ s, and the dominance partial order;
+* :mod:`repro.query.planner` — capability lookup + modelled
+  per-element cost, producing :class:`QueryPlan`\\ s that either build
+  a new sketch or rewrite onto a dominating existing one;
+* :mod:`repro.query.cache` — the refcounted physical-sketch cache
+  (unregistering the last query of a group releases its sketch);
+* :mod:`repro.query.frontend` — :class:`QueryFrontEnd`, the async
+  registration/ingest/answer surface over executor-built pools, plus
+  :class:`QueryMetrics` (exported by :mod:`repro.obs.sources` as
+  ``repro_query_*`` series including the shared-ratio gauge);
+* :mod:`repro.query.factory` — the one construction seam for miners
+  and executor services (the CLI, the serve runner, and the examples
+  all build through it; the AST layering test bans direct
+  construction at those call sites);
+* :mod:`repro.query.http` — the stdlib HTTP control plane behind
+  ``repro serve --query-port`` and the ``repro query
+  register/list/answer`` client commands.
+
+Layering: ``query`` sits above ``core``, ``service``, ``bench``, and
+``obs``; nothing below it may import it (enforced by
+``tools/check_layers.py``).
+"""
+
+from .cache import SketchCache, SketchHandle
+from .factory import build_miner, build_service
+from .frontend import Answer, QueryFrontEnd, QueryMetrics, RegisteredQuery
+from .http import (QueryControlServer, answer_query, list_queries,
+                   register_query, unregister_query)
+from .planner import Planner, QueryPlan, modelled_cost_per_element
+from .spec import (EPS_LADDER, QuerySpec, SketchKey, canonical_key,
+                   dominates, eps_class)
+
+__all__ = [
+    "Answer",
+    "EPS_LADDER",
+    "Planner",
+    "QueryControlServer",
+    "QueryFrontEnd",
+    "QueryMetrics",
+    "QueryPlan",
+    "QuerySpec",
+    "RegisteredQuery",
+    "SketchCache",
+    "SketchHandle",
+    "SketchKey",
+    "answer_query",
+    "build_miner",
+    "build_service",
+    "canonical_key",
+    "dominates",
+    "eps_class",
+    "list_queries",
+    "modelled_cost_per_element",
+    "register_query",
+    "unregister_query",
+]

@@ -1,0 +1,161 @@
+"""Refcounted physical-sketch cache with eps-dominance plan rewriting.
+
+The cache owns the mapping from canonical :class:`SketchKey`\\ s to live
+physical sketches (executor services, built by the front-end's
+factory).  Its one non-trivial decision is *acquire*: a plan for key
+``(statistic, key, window, class)`` is served by
+
+1. the exact key, if live;
+2. else the **coarsest live dominating** key — same statistic/key/
+   window with a finer (smaller) eps class.  Coarsest-first matters:
+   among sketches that can all serve the query, the one closest to the
+   requested grade is the cheapest to keep hot, and finer sketches stay
+   available for the finer queries that actually need them;
+3. else a fresh sketch built at the plan's own class.
+
+Case 2 rewrites the plan (:meth:`QueryPlan.rewritten`) so the logical
+query's reported ``error_bound`` is the *actual* class it rides on —
+always <= the eps it requested, never looser.
+
+Lifecycle is purely refcounted: every registered query holds one
+reference to its handle; releasing the last reference closes the
+underlying service and drops the key, which is what makes "unregister
+all queries of a group frees its sketch" an invariant the metrics gauge
+(`repro_query_physical_sketches`) can witness going back down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import QueryError
+from .planner import QueryPlan
+from .spec import SketchKey, dominates
+
+__all__ = ["SketchCache", "SketchHandle"]
+
+
+@dataclass
+class SketchHandle:
+    """One live physical sketch and its reference count.
+
+    ``service`` speaks the :class:`~repro.service.async_service.
+    StreamService` coroutine surface (whatever executor built it);
+    ``eps`` is the class grade the sketch actually runs at.
+    """
+
+    key: SketchKey
+    kind: str
+    eps: float
+    service: object
+    refcount: int = 0
+    served_specs: int = field(default=0)
+
+    @property
+    def statistic(self) -> str:
+        return self.key.statistic
+
+    @property
+    def stream_key(self) -> str:
+        return self.key.key
+
+
+class SketchCache:
+    """Canonical-key -> :class:`SketchHandle` with dominance lookup."""
+
+    def __init__(self):
+        self._handles: dict[SketchKey, SketchHandle] = {}
+        #: Sketches whose last reference was released since creation
+        #: (monotonic; feeds the `repro_query_sketches_released` counter).
+        self.released = 0
+
+    def __len__(self) -> int:
+        return len(self._handles)
+
+    def __contains__(self, key: SketchKey) -> bool:
+        return key in self._handles
+
+    def handles(self) -> list[SketchHandle]:
+        """Live handles, stable order (insertion)."""
+        return list(self._handles.values())
+
+    def get(self, key: SketchKey) -> SketchHandle | None:
+        return self._handles.get(key)
+
+    def insert(self, handle: SketchHandle) -> SketchHandle:
+        """Adopt an externally built sketch under its canonical key.
+
+        Used by the front-end's :meth:`~repro.query.frontend.
+        QueryFrontEnd.adopt` to attach standing queries to a service
+        something else already owns (e.g. the serve runner's pool).
+        """
+        if handle.key in self._handles:
+            raise QueryError(f"sketch {handle.key} already live")
+        self._handles[handle.key] = handle
+        return handle
+
+    def find_dominating(self, key: SketchKey) -> SketchHandle | None:
+        """The coarsest live sketch that can serve ``key`` (if any).
+
+        The exact key wins when live; otherwise ties on eps class break
+        by insertion order, so repeated lookups are deterministic.
+        """
+        exact = self._handles.get(key)
+        if exact is not None:
+            return exact
+        best = None
+        for handle in self._handles.values():
+            if not dominates(handle.key, key):
+                continue
+            if best is None or handle.key.eps_class > best.key.eps_class:
+                best = handle
+        return best
+
+    def acquire(self, plan: QueryPlan, build) -> tuple[SketchHandle,
+                                                       QueryPlan]:
+        """Serve ``plan`` from a live sketch or build one via ``build``.
+
+        ``build(plan) -> service`` runs only on a miss.  Returns the
+        handle (refcount already bumped) and the possibly-rewritten
+        plan whose ``eps`` reflects the sketch actually serving it.
+        """
+        handle = self.find_dominating(plan.sketch_key)
+        if handle is not None:
+            handle.refcount += 1
+            handle.served_specs += 1
+            if handle.key == plan.sketch_key:
+                final = QueryPlan(plan.spec, plan.sketch_key, handle.kind,
+                                  handle.eps, plan.cost_per_element,
+                                  shared=handle.served_specs > 1)
+            else:
+                final = plan.rewritten(handle.key)
+            return handle, final
+        service = build(plan)
+        handle = SketchHandle(plan.sketch_key, plan.kind,
+                              plan.sketch_key.eps_class, service,
+                              refcount=1, served_specs=1)
+        self._handles[plan.sketch_key] = handle
+        return handle, plan
+
+    def release(self, handle: SketchHandle) -> bool:
+        """Drop one reference; returns True when the sketch was freed.
+
+        The caller (front-end) is responsible for stopping the freed
+        handle's service — the cache tracks ownership, not asyncio.
+        """
+        live = self._handles.get(handle.key)
+        if live is not handle:
+            raise QueryError(f"handle for {handle.key} is not live")
+        if handle.refcount <= 0:
+            raise QueryError(f"handle for {handle.key} already at zero")
+        handle.refcount -= 1
+        if handle.refcount == 0:
+            del self._handles[handle.key]
+            self.released += 1
+            return True
+        return False
+
+    def for_stream(self, stream_key: str) -> list[SketchHandle]:
+        """Every live sketch fed by stream ``stream_key`` (fan-out set)."""
+        return [h for h in self._handles.values()
+                if h.key.key == stream_key]

@@ -1,0 +1,135 @@
+"""The one construction seam for miners and executor services.
+
+Before this module existed the serve runner, the CLI, and the examples
+each had a near-identical block instantiating :class:`StreamMiner` /
+executor services by hand; three copies of the same defaults is how
+drift starts.  They now all build here (the AST test in
+``tests/test_layering.py`` bans direct construction at those call
+sites), and the continuous-query front-end uses the same two functions
+to build the physical sketches its cache manages — so "how does a
+sketch come to exist" has exactly one answer in the codebase.
+
+Imports of the service layer happen inside the functions: the query
+package is imported by ``repro.service.runner`` (lazily) and keeping
+the module import light avoids dragging the whole executor stack in
+for callers that only want :func:`build_miner`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ServiceError
+
+__all__ = ["SlidingService", "build_miner", "build_service",
+           "build_sliding_service"]
+
+
+def build_miner(statistic: str, *, eps: float, backend: str = "cpu",
+                mode: str = "history", window_size: int | None = None,
+                sliding_window: int | None = None, variable: bool = False,
+                **kwargs):
+    """Construct a single :class:`~repro.core.engine.StreamMiner`.
+
+    Thin by design — the value is the choke point, not cleverness.
+    Extra keyword arguments (``device``, ``cpu_speedup``,
+    ``stream_length_hint``) pass through.
+    """
+    from ..core.engine import StreamMiner
+    return StreamMiner(statistic, eps=eps, backend=backend, mode=mode,
+                       window_size=window_size,
+                       sliding_window=sliding_window, variable=variable,
+                       **kwargs)
+
+
+def build_service(executor: str, miner_kwargs: dict,
+                  service_kwargs: dict | None = None):
+    """Construct an (unstarted) executor service over a shard pool.
+
+    Resolves ``executor`` through the registry in
+    :mod:`repro.service.executors` — the same seam ``repro serve
+    --executor`` uses — so every service in the process is built the
+    same way regardless of who asked.
+    """
+    from ..service.executors import resolve_executor
+    factory = resolve_executor(executor)
+    return factory(dict(miner_kwargs), dict(service_kwargs or {}))
+
+
+class SlidingService:
+    """A single sliding-window miner behind the service coroutine surface.
+
+    Sliding estimators are order-sensitive, so they cannot ride the
+    sharded pools (splitting the stream would scramble window
+    boundaries); a windowed :class:`~repro.query.spec.QuerySpec` gets
+    this dedicated single-miner adapter instead.  The surface matches
+    :class:`~repro.service.executors.InlineService` so the front-end
+    treats both uniformly.
+    """
+
+    def __init__(self, miner):
+        self.miner = miner
+        self._started = False
+
+    async def start(self) -> None:
+        if self._started:
+            raise ServiceError("service already started")
+        self._started = True
+
+    async def stop(self, drain: bool = True) -> None:
+        if not self._started:
+            return
+        if drain:
+            self.miner.flush()
+        self._started = False
+
+    async def ingest(self, chunk) -> int:
+        if not self._started:
+            raise ServiceError("service not started")
+        arr = np.asarray(chunk, dtype=np.float32).ravel()
+        self.miner.update(arr)
+        return int(arr.size)
+
+    async def drain(self, flush: bool = True) -> None:
+        if flush:
+            self.miner.flush()
+
+    async def quantile(self, phi: float, *, fresh: bool = False) -> float:
+        if fresh:
+            self.miner.flush()
+        return self.miner.quantile(phi)
+
+    async def frequent_items(self, support: float, *,
+                             fresh: bool = False) -> list[tuple[float, int]]:
+        if fresh:
+            self.miner.flush()
+        return self.miner.frequent_items(support)
+
+    async def estimate(self, value: float) -> int:
+        return self.miner.estimate(value)
+
+    async def distinct(self, *, fresh: bool = False) -> float:
+        if fresh:
+            self.miner.flush()
+        return self.miner.distinct()
+
+    async def answer(self, metric: str, *, fresh: bool = False, **params):
+        """Metric-keyed query routing (the continuous-query seam).
+
+        A single :class:`~repro.core.engine.StreamMiner` exposes the
+        same typed query names and ``eps`` the pools do, so the shared
+        :func:`~repro.service.sharded.dispatch_query` translation
+        applies unchanged.
+        """
+        from ..service.sharded import dispatch_query
+        if fresh:
+            self.miner.flush()
+        return dispatch_query(self.miner, metric, params)
+
+
+def build_sliding_service(statistic: str, *, eps: float, window: int,
+                          backend: str = "cpu") -> SlidingService:
+    """A dedicated sliding-window service for one windowed sketch key."""
+    return SlidingService(build_miner(statistic, eps=eps, backend=backend,
+                                      mode="sliding",
+                                      sliding_window=int(window)))

@@ -1,0 +1,355 @@
+"""The standing-query front-end: N logical queries, M << N sketches.
+
+:class:`QueryFrontEnd` is the piece clients actually talk to.  It owns
+
+* a :class:`~repro.query.planner.Planner` (spec -> cheapest capable
+  estimator kind, modelled cost),
+* a :class:`~repro.query.cache.SketchCache` (canonical key -> live
+  refcounted physical sketch, with eps-dominance plan rewriting),
+* the registry of live :class:`RegisteredQuery` handles, and
+* :class:`QueryMetrics`, the counters the obs layer exports as
+  ``repro_query_*`` (including the ``repro_query_shared_ratio`` gauge
+  — the fraction of logical queries riding a sketch they share).
+
+Data flow: producers push chunks tagged with a stream ``key``
+(:meth:`ingest`); the front-end fans each chunk out to every physical
+sketch that key feeds — that is the "one physical pass per sketch"
+invariant: a chunk is sorted/summarised once per *sketch*, not once
+per *query*.  Answers (:meth:`answer`) dispatch on the spec's metric
+against the sketch's executor service, and each answer carries the
+``error_bound`` of the sketch the query was planned onto — the
+(equal-or-finer) eps class, never looser than the spec requested.
+
+Error accounting is untouched: sharded pools keep their eps/2 + eps/2
+merge-on-query argument internally (the front-end builds them *at* the
+class eps and never reaches past the service surface), so an answer
+from a shared sketch satisfies the class bound, which implies every
+sharing query's requested bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+
+from ..errors import QueryError
+from .cache import SketchCache, SketchHandle
+from .factory import build_service, build_sliding_service
+from .planner import Planner, QueryPlan
+from .spec import QuerySpec
+
+__all__ = ["Answer", "QueryFrontEnd", "QueryMetrics", "RegisteredQuery"]
+
+
+@dataclass
+class QueryMetrics:
+    """Front-end counters, exported by :mod:`repro.obs.sources`.
+
+    ``registered`` / ``physical_sketches`` are live gauges; the rest
+    are monotonic counters.  ``shared_ratio`` is the headline number:
+    1 - sketches/queries, i.e. the fraction of standing queries served
+    without a sketch of their own (0 when nothing is registered).
+    """
+
+    registered: int = 0
+    physical_sketches: int = 0
+    registrations: int = 0
+    plans_built: int = 0
+    plans_shared: int = 0
+    sketches_released: int = 0
+    answers: int = 0
+    ingested_chunks: int = 0
+    fanout_ingests: int = 0
+    plan_seconds: float = 0.0
+
+    @property
+    def shared_ratio(self) -> float:
+        if self.registered <= 0:
+            return 0.0
+        return 1.0 - (self.physical_sketches / self.registered)
+
+
+@dataclass(frozen=True)
+class Answer:
+    """One evaluated standing query.
+
+    ``error_bound`` is the grade of the physical sketch that served it
+    (<= the spec's requested eps); ``randomized`` marks bounds that are
+    2-sigma relative errors rather than deterministic guarantees (KMV).
+    """
+
+    query_id: str
+    metric: str
+    value: object
+    error_bound: float
+    kind: str
+    shared: bool
+    randomized: bool
+    tenant: str
+
+
+@dataclass
+class RegisteredQuery:
+    """A live registration: the spec, its plan, and the sketch it rides."""
+
+    query_id: str
+    spec: QuerySpec
+    plan: QueryPlan
+    handle: SketchHandle
+
+    def error_bound(self) -> float:
+        """The bound this query's answers actually satisfy.
+
+        The eps class of the physical sketch serving it — by
+        construction <= ``spec.eps`` (sharing may tighten, never
+        loosen; pinned by the property suite).
+        """
+        return float(self.handle.eps)
+
+    def to_state(self) -> dict:
+        return {
+            "id": self.query_id,
+            "spec": self.spec.to_state(),
+            "kind": self.handle.kind,
+            "error_bound": self.error_bound(),
+            "shared": bool(self.plan.shared),
+            "sketch": {
+                "statistic": self.handle.key.statistic,
+                "key": self.handle.key.key,
+                "window": self.handle.key.window,
+                "eps_class": self.handle.key.eps_class,
+                "refcount": int(self.handle.refcount),
+            },
+        }
+
+
+class QueryFrontEnd:
+    """Standing-query registration, shared ingest, and answers.
+
+    Parameters
+    ----------
+    executor:
+        Executor-registry name the physical pools run under
+        (``inline`` by default — the front-end itself adds no
+        concurrency requirement).
+    backend:
+        Sorting backend for every pool, and the planner's cost-model
+        backend.
+    num_shards:
+        Shards per physical pool (history-mode sketches; windowed
+        sketches are single-miner by construction).
+    planner:
+        Override the :class:`Planner` (tests inject canned cost models).
+    miner_kwargs / service_kwargs:
+        Extra construction arguments forwarded to every pool built
+        through :func:`repro.query.factory.build_service`.
+    """
+
+    def __init__(self, *, executor: str = "inline", backend: str = "cpu",
+                 num_shards: int = 2, planner: Planner | None = None,
+                 miner_kwargs: dict | None = None,
+                 service_kwargs: dict | None = None):
+        self.executor = executor
+        self.backend = backend
+        self.num_shards = int(num_shards)
+        self.planner = planner if planner is not None else Planner(backend)
+        self.cache = SketchCache()
+        self.metrics = QueryMetrics()
+        self._queries: dict[str, RegisteredQuery] = {}
+        self._ids = itertools.count(1)
+        self._miner_kwargs = dict(miner_kwargs or {})
+        self._service_kwargs = dict(service_kwargs or {})
+        self._adopted: list[SketchHandle] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "QueryFrontEnd":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        """Stop every owned physical sketch, forget all registrations.
+
+        Adopted services (see :meth:`adopt`) are left running — their
+        owner stops them.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        adopted = {id(handle) for handle in self._adopted}
+        for handle in self.cache.handles():
+            if id(handle) not in adopted:
+                await handle.service.stop(drain=False)
+        self._queries.clear()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def _build(self, plan: QueryPlan):
+        key = plan.sketch_key
+        if key.window is not None:
+            return build_sliding_service(key.statistic, eps=plan.eps,
+                                         window=key.window,
+                                         backend=self.backend)
+        miner_kwargs = dict(self._miner_kwargs)
+        miner_kwargs.update(statistic=key.statistic, eps=plan.eps,
+                            num_shards=self.num_shards,
+                            backend=self.backend)
+        return build_service(self.executor, miner_kwargs,
+                             self._service_kwargs)
+
+    def adopt(self, service, *, statistic: str, eps: float,
+              key: str = "default", window: int | None = None,
+              kind: str | None = None) -> SketchHandle:
+        """Attach the front-end to a service something else owns.
+
+        The service enters the cache as a live sketch at its exact
+        ``eps`` (which acts as the key's class — dominance is numeric,
+        so ladder membership is not required): compatible specs
+        registered afterwards share it instead of building their own
+        pool.  The frontend holds one adoption reference, so the sketch
+        survives all its queries unregistering and is *not* stopped by
+        :meth:`close` — whoever built it keeps its lifecycle.
+
+        ``kind`` defaults to the registered driver kind for
+        ``statistic`` (the planner's capability registry).
+        """
+        if kind is None:
+            from ..core.estimators import registered_capabilities
+            drivers = [k for k, caps in registered_capabilities().items()
+                       if caps.statistic == statistic
+                       and caps.driver is not None]
+            if not drivers:
+                raise QueryError(
+                    f"no registered driver kind for statistic "
+                    f"{statistic!r}")
+            kind = drivers[0]
+        from .spec import SketchKey
+        handle = SketchHandle(
+            SketchKey(statistic, key,
+                      None if window is None else int(window), float(eps)),
+            kind, float(eps), service, refcount=1, served_specs=0)
+        self.cache.insert(handle)
+        self._adopted.append(handle)
+        self.metrics.physical_sketches += 1
+        return handle
+
+    async def register(self, spec: QuerySpec | dict) -> str:
+        """Plan, acquire-or-build the backing sketch, return a query id."""
+        if self._closed:
+            raise QueryError("front-end is closed")
+        if isinstance(spec, dict):
+            spec = QuerySpec.from_state(spec)
+        began = time.perf_counter()
+        plan = self.planner.plan(spec)
+        built: list[object] = []
+
+        def build(p: QueryPlan):
+            service = self._build(p)
+            built.append(service)
+            return service
+
+        handle, final = self.cache.acquire(plan, build)
+        if built:
+            await handle.service.start()
+            self.metrics.plans_built += 1
+            self.metrics.physical_sketches += 1
+        else:
+            self.metrics.plans_shared += 1
+        query_id = f"q-{next(self._ids)}"
+        self._queries[query_id] = RegisteredQuery(query_id, spec, final,
+                                                  handle)
+        self.metrics.registered += 1
+        self.metrics.registrations += 1
+        self.metrics.plan_seconds += time.perf_counter() - began
+        return query_id
+
+    async def unregister(self, query_id: str) -> None:
+        """Drop one registration; frees its sketch at refcount zero."""
+        query = self._queries.pop(query_id, None)
+        if query is None:
+            raise QueryError(f"no registered query {query_id!r}")
+        freed = self.cache.release(query.handle)
+        self.metrics.registered -= 1
+        if freed:
+            await query.handle.service.stop(drain=False)
+            self.metrics.physical_sketches -= 1
+            self.metrics.sketches_released += 1
+
+    def get(self, query_id: str) -> RegisteredQuery:
+        query = self._queries.get(query_id)
+        if query is None:
+            raise QueryError(f"no registered query {query_id!r}")
+        return query
+
+    def queries(self) -> list[RegisteredQuery]:
+        """Live registrations in registration order."""
+        return list(self._queries.values())
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    async def ingest(self, chunk, key: str = "default") -> int:
+        """Fan one chunk of stream ``key`` out to its physical sketches.
+
+        Returns the number of sketches fed; a key no standing query
+        watches costs nothing (the chunk is dropped, not buffered).
+        """
+        if self._closed:
+            raise QueryError("front-end is closed")
+        handles = self.cache.for_stream(key)
+        for handle in handles:
+            await handle.service.ingest(chunk)
+        self.metrics.ingested_chunks += 1
+        self.metrics.fanout_ingests += len(handles)
+        return len(handles)
+
+    async def drain(self) -> None:
+        """Settle every physical sketch (read-your-writes barrier)."""
+        for handle in self.cache.handles():
+            await handle.service.drain()
+
+    # ------------------------------------------------------------------
+    # answers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _answer_params(spec: QuerySpec) -> dict:
+        """The metric-specific arguments ``service.answer`` dispatches on."""
+        if spec.metric == "quantile":
+            return {"phi": spec.phi}
+        if spec.metric == "heavy_hitters":
+            return {"support": spec.support}
+        if spec.metric == "top_k":
+            return {"k": spec.k}
+        if spec.metric == "estimate":
+            return {"value": spec.value}
+        return {}
+
+    async def answer(self, query_id: str, *, fresh: bool = False) -> Answer:
+        """Evaluate one standing query against its backing sketch.
+
+        Routes through the executor services' uniform
+        ``answer(metric, **params)`` seam — the front-end never
+        branches on pool or executor type.
+        """
+        query = self.get(query_id)
+        spec, handle = query.spec, query.handle
+        value = await handle.service.answer(spec.metric, fresh=fresh,
+                                            **self._answer_params(spec))
+        self.metrics.answers += 1
+        caps = self.planner.capabilities(handle.kind)
+        return Answer(query_id, spec.metric, value, query.error_bound(),
+                      handle.kind, bool(query.plan.shared),
+                      bool(caps.randomized), spec.tenant)
+
+    async def answer_all(self, *, fresh: bool = False) -> dict[str, Answer]:
+        """Evaluate every live query (drains once, not per query)."""
+        if fresh:
+            await self.drain()
+        return {query_id: await self.answer(query_id)
+                for query_id in list(self._queries)}

@@ -1,0 +1,263 @@
+"""Stdlib HTTP control plane for a live query front-end.
+
+``repro serve --query-port`` starts one of these next to the asyncio
+service so operators can register/inspect/answer standing queries
+against a *running* process — the `repro query register/list/answer`
+subcommands are thin clients of these endpoints.  Same philosophy as
+:mod:`repro.obs.http`: a daemon-threaded
+:class:`~http.server.ThreadingHTTPServer`, no framework, JSON in and
+out.
+
+The handlers run on server threads while the front-end lives on the
+service's asyncio loop, so every operation crosses via
+:func:`asyncio.run_coroutine_threadsafe`; the front-end itself is only
+ever touched from the loop, which is what makes the registry/cache
+mutations race-free without locks.
+
+Endpoints::
+
+    POST   /queries              body = QuerySpec.to_state() -> {id, ...}
+    GET    /queries              -> {queries: [...], metrics: {...}}
+    GET    /queries/<id>/answer  [?fresh=1] -> evaluated answer
+    DELETE /queries/<id>         -> {ok: true}
+    GET    /healthz              -> 200 while the loop is serving
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import QueryError
+from .frontend import Answer, QueryFrontEnd
+
+__all__ = [
+    "QueryControlServer",
+    "answer_query",
+    "list_queries",
+    "register_query",
+    "unregister_query",
+]
+
+#: Server-side wait for one front-end coroutine (covers a drain on a
+#: loaded pool); clients use their own socket timeouts.
+CALL_TIMEOUT = 60.0
+
+
+def _answer_state(answer: Answer) -> dict:
+    value = answer.value
+    if isinstance(value, list):  # (value, count) pairs -> JSON arrays
+        value = [list(pair) for pair in value]
+    return {
+        "id": answer.query_id,
+        "metric": answer.metric,
+        "value": value,
+        "error_bound": answer.error_bound,
+        "kind": answer.kind,
+        "shared": answer.shared,
+        "randomized": answer.randomized,
+        "tenant": answer.tenant,
+    }
+
+
+class QueryControlServer:
+    """Serves one :class:`QueryFrontEnd` over HTTP from a daemon thread.
+
+    Parameters
+    ----------
+    frontend:
+        The live front-end (owned by the asyncio service).
+    loop:
+        The event loop the front-end runs on; every request is
+        marshalled onto it.
+    port / host:
+        Bind address; port ``0`` picks a free one (read :attr:`port`
+        after :meth:`start`).
+    """
+
+    def __init__(self, frontend: QueryFrontEnd,
+                 loop: asyncio.AbstractEventLoop, port: int = 0,
+                 host: str = "127.0.0.1"):
+        self.frontend = frontend
+        self.loop = loop
+        self.requested_port = int(port)
+        self.host = host
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            return self.requested_port
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def call(self, coro):
+        """Run one front-end coroutine on the service loop, blocking."""
+        future = asyncio.run_coroutine_threadsafe(coro, self.loop)
+        return future.result(timeout=CALL_TIMEOUT)
+
+    def start(self) -> "QueryControlServer":
+        if self._server is not None:
+            return self
+        server = ThreadingHTTPServer((self.host, self.requested_port),
+                                     _handler_for(self))
+        server.daemon_threads = True
+        self._server = server
+        self._thread = threading.Thread(target=server.serve_forever,
+                                        name="query-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "QueryControlServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def _handler_for(owner: QueryControlServer):
+    """Build a request-handler class bound to one control server."""
+
+    class Handler(BaseHTTPRequestHandler):
+        def _send(self, status: int, payload: dict) -> None:
+            body = (json.dumps(payload) + "\n").encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _fail(self, exc: Exception) -> None:
+            status = 400 if isinstance(exc, QueryError) else 500
+            self._send(status, {"error": str(exc)})
+
+        def _read_json(self) -> dict:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length <= 0:
+                raise QueryError("request body must be a JSON object")
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise QueryError("request body must be a JSON object")
+            return payload
+
+        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            path = self.path.split("?", 1)[0]
+            if path != "/queries":
+                self._send(404, {"error": "POST /queries only"})
+                return
+            try:
+                spec = self._read_json()
+                query_id = owner.call(owner.frontend.register(spec))
+                state = owner.frontend.get(query_id).to_state()
+                self._send(201, state)
+            except Exception as exc:
+                self._fail(exc)
+
+        def do_GET(self) -> None:  # noqa: N802
+            path, _, raw_params = self.path.partition("?")
+            try:
+                if path == "/queries":
+                    metrics = owner.frontend.metrics
+                    self._send(200, {
+                        "queries": [q.to_state()
+                                    for q in owner.frontend.queries()],
+                        "metrics": {
+                            "registered": metrics.registered,
+                            "physical_sketches":
+                                metrics.physical_sketches,
+                            "shared_ratio": metrics.shared_ratio,
+                        },
+                    })
+                elif path == "/healthz":
+                    self._send(200, {"status": "ok"})
+                elif path.startswith("/queries/") and \
+                        path.endswith("/answer"):
+                    query_id = path[len("/queries/"):-len("/answer")]
+                    fresh = "fresh=1" in raw_params.split("&")
+                    answer = owner.call(
+                        owner.frontend.answer(query_id, fresh=fresh))
+                    self._send(200, _answer_state(answer))
+                else:
+                    self._send(404, {"error": "unknown path"})
+            except Exception as exc:
+                self._fail(exc)
+
+        def do_DELETE(self) -> None:  # noqa: N802
+            path = self.path.split("?", 1)[0]
+            if not path.startswith("/queries/"):
+                self._send(404, {"error": "DELETE /queries/<id> only"})
+                return
+            query_id = path[len("/queries/"):]
+            try:
+                owner.call(owner.frontend.unregister(query_id))
+                self._send(200, {"ok": True, "id": query_id})
+            except Exception as exc:
+                self._fail(exc)
+
+        def log_message(self, *args) -> None:
+            """Control calls are interactive; keep stderr quiet anyway."""
+
+    return Handler
+
+
+# ----------------------------------------------------------------------
+# clients (the `repro query ...` subcommands)
+# ----------------------------------------------------------------------
+def _request(url: str, method: str = "GET", payload: dict | None = None,
+             timeout: float = CALL_TIMEOUT) -> dict:
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, headers=headers,
+                                     method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.loads(exc.read().decode("utf-8")).get("error")
+        except Exception:
+            detail = None
+        raise QueryError(detail or f"{exc.code} from {url}") from exc
+
+
+def register_query(base_url: str, spec: dict) -> dict:
+    """POST one spec state; returns the registration state (id, plan)."""
+    return _request(f"{base_url}/queries", "POST", spec)
+
+
+def list_queries(base_url: str) -> dict:
+    """GET the live registrations + headline sharing metrics."""
+    return _request(f"{base_url}/queries")
+
+
+def answer_query(base_url: str, query_id: str, *,
+                 fresh: bool = False) -> dict:
+    """GET one evaluated answer."""
+    suffix = "?fresh=1" if fresh else ""
+    return _request(f"{base_url}/queries/{query_id}/answer{suffix}")
+
+
+def unregister_query(base_url: str, query_id: str) -> dict:
+    """DELETE one registration."""
+    return _request(f"{base_url}/queries/{query_id}", "DELETE")

@@ -1,0 +1,245 @@
+"""Declarative standing queries and the sketch-sharing canonical form.
+
+A :class:`QuerySpec` says *what* a client wants to watch — "the p99 of
+``latency`` within eps 0.01", "the top 20 values of ``url`` for tenant
+``eu``" — and nothing about *how*.  The how is the planner's job
+(:mod:`repro.query.planner`); this module defines the vocabulary both
+sides speak and, crucially, the **canonicalization** that lets many
+logical queries share one physical sketch:
+
+* every spec folds its accuracy demand into one number,
+  :attr:`QuerySpec.required_eps` (top-k at ``k`` becomes
+  ``min(eps, 1/(2k))`` — a count error under ``N/(2k)`` cannot reorder
+  two items whose true counts differ by ``N/k``, so an eps-grade sketch
+  that fine serves the top-k);
+* the required eps snaps *down* to a 1-2-5 ladder class
+  (:func:`eps_class`), so "eps 0.011" and "eps 0.018" land on the same
+  0.01-grade sketch instead of two near-identical ones;
+* the resulting :class:`SketchKey` ``(statistic, key, window,
+  eps_class)`` names the physical sketch group, and
+  :func:`dominates` is the partial order of *serveability*: a sketch
+  at a finer (smaller) class answers any query of a coarser class over
+  the same key and window.
+
+Because a class is always ``<=`` the eps it was snapped from, sharing
+can only ever *tighten* a query's reported bound relative to what it
+asked for — the property suite in ``tests/query/test_spec.py`` pins
+this and the partial-order laws down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from ..core.estimators import QUERY_METRICS
+from ..errors import QueryError
+
+__all__ = [
+    "EPS_LADDER",
+    "QuerySpec",
+    "SketchKey",
+    "canonical_key",
+    "dominates",
+    "eps_class",
+]
+
+#: Statistic each query metric is driven by.
+_METRIC_STATISTIC = {
+    "quantile": "quantile",
+    "heavy_hitters": "frequency",
+    "top_k": "frequency",
+    "estimate": "frequency",
+    "distinct": "distinct",
+}
+
+#: The 1-2-5 decade grid eps classes snap to, finest last.  Coarser than
+#: 0.5 is vacuous (error bounds are fractions of N); finer than 1e-5
+#: would make a *shared* sketch pathologically large, so specs below the
+#: floor keep their exact eps as a singleton class.
+EPS_LADDER = tuple(
+    mantissa * 10.0 ** exponent
+    for exponent in range(0, -6, -1)
+    for mantissa in (5.0, 2.0, 1.0)
+    if mantissa * 10.0 ** exponent <= 0.5
+)
+
+
+def eps_class(eps: float) -> float:
+    """The coarsest ladder class satisfying ``eps`` (largest value <= eps).
+
+    Snapping *down* means the physical sketch is at least as accurate
+    as every query it serves; below the ladder floor the exact eps is
+    its own class (no sharing across such ultra-fine specs, but no
+    silent loosening either).
+    """
+    if not 0.0 < eps < 1.0:
+        raise QueryError(f"eps must be in (0, 1), got {eps}")
+    for grade in EPS_LADDER:
+        if grade <= eps:
+            return grade
+    return float(eps)
+
+
+class SketchKey(NamedTuple):
+    """Canonical name of one physical sketch group.
+
+    Two specs with equal keys are served by the same sketch; a spec is
+    also served by any *finer* key (see :func:`dominates`).
+    """
+
+    statistic: str
+    key: str
+    window: int | None
+    eps_class: float
+
+
+def dominates(a: SketchKey, b: SketchKey) -> bool:
+    """True when a sketch at key ``a`` can serve queries planned at ``b``.
+
+    Requires the same statistic, stream key, and window; then a finer
+    (smaller-or-equal) eps class serves any coarser demand.  This is a
+    partial order: reflexive, antisymmetric, transitive — and
+    incomparable across different keys/windows/statistics.
+    """
+    return (a.statistic == b.statistic and a.key == b.key
+            and a.window == b.window and a.eps_class <= b.eps_class)
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One standing query against the ingest stream.
+
+    Parameters
+    ----------
+    metric:
+        What to watch — one of ``"quantile"``, ``"heavy_hitters"``,
+        ``"top_k"``, ``"estimate"``, ``"distinct"``
+        (:data:`repro.core.estimators.QUERY_METRICS`).
+    key:
+        Name of the ingest stream the query reads (the group-by key a
+        producer tags its chunks with).
+    eps:
+        Requested approximation fraction.  The answer's reported
+        ``error_bound`` is the (finer or equal) class of the sketch the
+        query was planned onto, never worse than this.
+    phi:
+        Quantile rank in [0, 1] (``metric="quantile"`` only).
+    support:
+        Heavy-hitter support threshold in (0, 1]
+        (``metric="heavy_hitters"`` only); must exceed ``eps`` or the
+        guarantee ``(support - eps) * N`` is vacuous.
+    k:
+        Result size (``metric="top_k"`` only).
+    value:
+        The tracked value (``metric="estimate"`` only).
+    window:
+        ``None`` for full-history queries (the only mode the sharded
+        pools run); an integer names a sliding window of that width and
+        shares sketches only with equal-window specs.
+    tenant:
+        Namespace label carried through listings and metrics; two
+        tenants' compatible specs still share a sketch (the stream is
+        shared — isolation here is accounting, not data).
+    """
+
+    metric: str
+    key: str = "default"
+    eps: float = 0.01
+    phi: float | None = None
+    support: float | None = None
+    k: int | None = None
+    value: float | None = None
+    window: int | None = None
+    tenant: str = "default"
+
+    def __post_init__(self):
+        if self.metric not in QUERY_METRICS:
+            raise QueryError(
+                f"unknown query metric {self.metric!r}; known: "
+                f"{', '.join(QUERY_METRICS)}")
+        if not 0.0 < self.eps < 1.0:
+            raise QueryError(f"eps must be in (0, 1), got {self.eps}")
+        if not self.key:
+            raise QueryError("key must be a non-empty stream name")
+        if self.window is not None and int(self.window) < 1:
+            raise QueryError(f"window must be >= 1, got {self.window}")
+        if self.metric == "quantile":
+            if self.phi is None or not 0.0 <= self.phi <= 1.0:
+                raise QueryError(
+                    f"quantile queries need phi in [0, 1], got {self.phi}")
+        elif self.metric == "heavy_hitters":
+            if self.support is None or not 0.0 < self.support <= 1.0:
+                raise QueryError(
+                    "heavy-hitter queries need support in (0, 1], got "
+                    f"{self.support}")
+            if self.support < self.eps:
+                raise QueryError(
+                    f"support {self.support} below eps {self.eps}: the "
+                    "guarantee threshold (support - eps) N is vacuous")
+        elif self.metric == "top_k":
+            if self.k is None or int(self.k) < 1:
+                raise QueryError(f"top-k queries need k >= 1, got {self.k}")
+        elif self.metric == "estimate":
+            if self.value is None:
+                raise QueryError("estimate queries need the tracked value")
+
+    @property
+    def statistic(self) -> str:
+        """The pipeline statistic that can answer this metric."""
+        return _METRIC_STATISTIC[self.metric]
+
+    @property
+    def required_eps(self) -> float:
+        """The accuracy the backing sketch must actually provide.
+
+        Top-k folds its ordering demand into the eps grade: with count
+        error under ``N / (2k)`` no item outside the true top ``2k`` can
+        displace a true top-k item, so ``min(eps, 1/(2k))`` is the
+        single number the planner and cache need.  This is exactly the
+        ISSUE's dominance rule — a sketch provisioned for ``k`` serves
+        any ``k' <= k`` because ``1/(2k) <= 1/(2k')``.
+        """
+        if self.metric == "top_k":
+            return min(self.eps, 1.0 / (2.0 * int(self.k)))
+        return self.eps
+
+    def to_state(self) -> dict:
+        """JSON-serializable form (the HTTP control plane's wire spec)."""
+        return {
+            "version": 1,
+            "metric": self.metric,
+            "key": self.key,
+            "eps": self.eps,
+            "phi": self.phi,
+            "support": self.support,
+            "k": self.k,
+            "value": self.value,
+            "window": self.window,
+            "tenant": self.tenant,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QuerySpec":
+        if state.get("version") != 1:
+            raise QueryError(
+                f"not a v1 query spec: version {state.get('version')!r}")
+        known = {f for f in cls.__dataclass_fields__}
+        extra = set(state) - known - {"version"}
+        if extra:
+            raise QueryError(f"unknown query spec fields {sorted(extra)!r}")
+        kwargs = {name: state[name] for name in known if name in state}
+        if "metric" not in kwargs:
+            raise QueryError("query spec needs a metric")
+        if kwargs.get("k") is not None:
+            kwargs["k"] = int(kwargs["k"])
+        if kwargs.get("window") is not None:
+            kwargs["window"] = int(kwargs["window"])
+        return cls(**kwargs)
+
+
+def canonical_key(spec: QuerySpec) -> SketchKey:
+    """The :class:`SketchKey` this spec's demand snaps to."""
+    return SketchKey(spec.statistic, spec.key,
+                     None if spec.window is None else int(spec.window),
+                     eps_class(spec.required_eps))

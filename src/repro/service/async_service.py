@@ -412,3 +412,17 @@ class StreamService:
         if fresh:
             await self.drain()
         return await asyncio.to_thread(self.miner.distinct)
+
+    async def answer(self, metric: str, *, fresh: bool = False, **params):
+        """Metric-keyed query routing (the continuous-query seam).
+
+        Coroutine twin of :meth:`ShardedMiner.answer`: the standing-
+        query front-end calls this instead of branching on the typed
+        query methods, and every executor service exposes it with the
+        same signature.
+        """
+        self._check_failed()
+        if fresh:
+            await self.drain()
+        return await asyncio.to_thread(
+            lambda: self.miner.answer(metric, **params))

@@ -140,6 +140,12 @@ class InlineService:
             self.miner.drain()
         return self.miner.distinct()
 
+    async def answer(self, metric: str, *, fresh: bool = False, **params):
+        """Metric-keyed query routing (the continuous-query seam)."""
+        if fresh:
+            self.miner.drain()
+        return self.miner.answer(metric, **params)
+
 
 def _build_inline(miner_kwargs: dict, service_kwargs: dict) -> InlineService:
     kwargs = dict(service_kwargs)

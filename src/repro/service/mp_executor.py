@@ -70,7 +70,7 @@ from ..obs import collecting, collector
 from .metrics import ServiceMetrics, ShardMetrics
 from .policies import DEFAULT_POLICIES, ServicePolicies
 from .resilience import CircuitBreaker, RetryPolicy, ShardGuard
-from .sharded import merge_quantile_summaries
+from .sharded import dispatch_query, merge_quantile_summaries
 from .sharding import default_partitioner, partitioner_from_state
 from .shm_ring import ShmRing
 
@@ -459,6 +459,15 @@ class _PoolQueryMixin:
             union = union.merge(sketch)
         self.metrics.queries += 1
         return union.estimate()
+
+    def answer(self, metric: str, **params):
+        """Metric-keyed query routing (the continuous-query seam).
+
+        Same vocabulary as :meth:`ShardedMiner.answer`, via the shared
+        :func:`~repro.service.sharded.dispatch_query` translation, so
+        the worker pools plug into the query front-end unchanged.
+        """
+        return dispatch_query(self, metric, params)
 
     # -- checkpoint/restore (same "sharded-miner" v1 format) -------------
     def snapshot(self) -> dict:

@@ -2,12 +2,16 @@
 
 ``repro serve`` and ``examples/sharded_service.py`` both run this: a
 synthetic workload is split across concurrent asyncio producers that
-feed a :class:`StreamService`; mid-stream the driver drains and answers
-queries from the merged shard summaries, then finishes the stream and
-answers again — validating every answer against the exact offline
-result.  There is no network listener; the point is the service layer
-itself (sharding, batching, backpressure, merge-on-query), which a
-transport would sit on top of.
+feed a :class:`StreamService`; the demo's queries are **standing
+queries** registered through the continuous-query front-end
+(:mod:`repro.query`) against the running service — mid-stream the
+driver drains and answers them from the merged shard summaries, then
+finishes the stream and answers again, validating every answer against
+the exact offline result.  With ``--query-port`` the front-end is also
+served over HTTP for the duration of the run (``repro query
+register/list/answer`` are the clients), and ``--linger`` keeps the
+drained service alive after the demo stream completes so operators can
+interact with it.
 
 Operational extras (all off by default): ``--fault-rate`` injects
 seeded transient GPU faults to exercise the retry/degradation path,
@@ -31,13 +35,17 @@ from ..backends import registered_backends
 from ..errors import ServiceError
 from ..gpu.faults import FaultPlan
 from ..obs import (MetricsRegistry, MetricsServer, register_engine_reports,
-                   register_service_metrics)
+                   register_query_metrics, register_service_metrics)
+from ..query import QueryControlServer, QueryFrontEnd, QuerySpec
 from ..streams.generators import GENERATORS
 from .async_service import StreamService
 from .checkpoint import CheckpointStore
 from .executors import registered_executors, resolve_executor
 from .metrics import ServiceMetrics
 from .policies import ServicePolicies
+
+#: Stream key the demo's standing queries watch (the one ingest stream).
+STREAM_KEY = "serve"
 
 
 @dataclass
@@ -65,6 +73,12 @@ class ServeResult:
     metrics_url: str | None = None
     #: final self-scrape of ``/metrics`` (Prometheus text format).
     metrics_scrape: str | None = None
+    #: the standing queries the demo registered (front-end states).
+    standing_queries: list[dict] = field(default_factory=list)
+    #: fraction of standing queries served by a shared sketch.
+    shared_ratio: float = 0.0
+    #: base URL of the query control endpoint, when ``query_port`` set.
+    query_url: str | None = None
 
     @property
     def all_within_bounds(self) -> bool:
@@ -79,10 +93,38 @@ def _rank_error(reference: np.ndarray, estimate: float, target: int) -> int:
     return max(lo - target, target - hi, 0)
 
 
-async def _query_phase(service: StreamService, result: ServeResult,
+async def _register_standing_queries(frontend: QueryFrontEnd,
+                                     result: ServeResult,
+                                     phi: tuple[float, ...],
+                                     support: float) -> dict[str, str]:
+    """The demo's query set, as standing registrations: label -> id.
+
+    Every label matches the answer tables' keys, so the validation
+    phases read naturally; all specs target the one adopted service
+    pool, which the front-end's sharing metrics then reflect.
+    """
+    ids: dict[str, str] = {}
+    eps, key = result.eps, STREAM_KEY
+    if result.statistic == "quantile":
+        for p in phi:
+            ids[f"phi={p:g}"] = await frontend.register(
+                QuerySpec("quantile", key=key, eps=eps, phi=p))
+    elif result.statistic == "frequency":
+        ids[f"heavy@{support:g}"] = await frontend.register(
+            QuerySpec("heavy_hitters", key=key, eps=eps, support=support))
+    else:
+        ids["distinct"] = await frontend.register(
+            QuerySpec("distinct", key=key, eps=eps))
+    result.standing_queries = [q.to_state() for q in frontend.queries()]
+    result.shared_ratio = frontend.metrics.shared_ratio
+    return ids
+
+
+async def _query_phase(service: StreamService, frontend: QueryFrontEnd,
+                       query_ids: dict[str, str], result: ServeResult,
                        phase: str, seen: np.ndarray,
                        phi: tuple[float, ...], support: float) -> None:
-    """Drain, query, and validate against the exact answer over ``seen``."""
+    """Drain, answer the standing queries, validate against ``seen``."""
     await service.drain()
     answers: dict[str, tuple[float, float, bool]] = {}
     n = seen.size
@@ -90,15 +132,17 @@ async def _query_phase(service: StreamService, result: ServeResult,
     if result.statistic == "quantile":
         reference = np.sort(seen)
         for p in phi:
-            estimate = await service.quantile(p)
+            label = f"phi={p:g}"
+            estimate = (await frontend.answer(query_ids[label])).value
             target = max(1, math.ceil(p * n))
             err = _rank_error(reference, estimate, target)
-            answers[f"phi={p:g}"] = (estimate, float(reference[target - 1]),
-                                     err <= max(1, eps * n))
+            answers[label] = (estimate, float(reference[target - 1]),
+                              err <= max(1, eps * n))
     elif result.statistic == "frequency":
         values, counts = np.unique(seen, return_counts=True)
         true = dict(zip(values.tolist(), counts.tolist()))
-        reported = dict(await service.frequent_items(support))
+        reported = dict(
+            (await frontend.answer(query_ids[f"heavy@{support:g}"])).value)
         heavy = {v for v, c in true.items() if c >= support * n}
         no_false_negatives = heavy <= set(reported)
         no_overcount = all(est <= true.get(v, 0) + 1e-9
@@ -113,7 +157,7 @@ async def _query_phase(service: StreamService, result: ServeResult,
         answers["top_count"] = (float(top[1]), float(true.get(top[0], 0)),
                                 no_overcount)
     else:
-        estimate = await service.distinct()
+        estimate = (await frontend.answer(query_ids["distinct"])).value
         exact = float(np.unique(seen).size)
         # KMV is randomized: 3x its relative standard error ~ 3 * eps.
         answers["distinct"] = (estimate, exact,
@@ -121,9 +165,11 @@ async def _query_phase(service: StreamService, result: ServeResult,
     result.answers[phase] = answers
 
 
-async def _run(service: StreamService, result: ServeResult,
-               slices: list[np.ndarray], chunk_size: int,
-               phi: tuple[float, ...], support: float) -> None:
+async def _run(service: StreamService, frontend: QueryFrontEnd,
+               result: ServeResult, slices: list[np.ndarray],
+               chunk_size: int, phi: tuple[float, ...], support: float,
+               query_port: int | None = None,
+               linger: float = 0.0) -> None:
     stop_event = asyncio.Event()
     loop = asyncio.get_running_loop()
     installed: list[int] = []
@@ -139,13 +185,24 @@ async def _run(service: StreamService, result: ServeResult,
     delivered: list[np.ndarray] = []
 
     async def produce(data: np.ndarray) -> None:
+        # Ingest through the front-end's fan-out: the adopted service
+        # pool gets every chunk (unchanged accounting), and a query
+        # registered mid-run over HTTP that built its own sketch sees
+        # the stream from its registration onwards.
         for start in range(0, data.size, chunk_size):
             if stop_event.is_set():
                 return
             chunk = data[start:start + chunk_size]
-            await service.ingest(chunk)
+            await frontend.ingest(chunk, STREAM_KEY)
             delivered.append(chunk)
 
+    query_ids = await _register_standing_queries(frontend, result, phi,
+                                                 support)
+    control: QueryControlServer | None = None
+    if query_port is not None:
+        control = QueryControlServer(frontend, loop, port=query_port)
+        control.start()
+        result.query_url = control.url
     try:
         # The context exit is the graceful path either way: drain what
         # was delivered and (if configured) write a final checkpoint.
@@ -153,20 +210,36 @@ async def _run(service: StreamService, result: ServeResult,
             halves = [np.array_split(s, 2) for s in slices]
             await asyncio.gather(*(produce(h[0]) for h in halves))
             if not stop_event.is_set():
-                await _query_phase(service, result, "mid-stream",
-                                   np.concatenate(delivered), phi, support)
+                await _query_phase(service, frontend, query_ids, result,
+                                   "mid-stream", np.concatenate(delivered),
+                                   phi, support)
             await asyncio.gather(*(produce(h[1]) for h in halves))
             result.interrupted = stop_event.is_set()
             phase = "interrupted" if result.interrupted else "final"
-            await _query_phase(service, result, phase,
+            await _query_phase(service, frontend, query_ids, result, phase,
                                np.concatenate(delivered), phi, support)
             result.metrics = service.metrics
+            if linger > 0 and not stop_event.is_set():
+                # Keep the drained service up for operators (the query
+                # control plane keeps answering); a signal ends it early.
+                try:
+                    await asyncio.wait_for(stop_event.wait(), linger)
+                except asyncio.TimeoutError:
+                    pass
+            # Registrations/unregistrations may have arrived over HTTP
+            # (including during the linger window); report the
+            # front-end's final view, not the initial one.
+            result.standing_queries = [q.to_state()
+                                       for q in frontend.queries()]
+            result.shared_ratio = frontend.metrics.shared_ratio
         # stop() ran inside __aexit__; pick up the final checkpoint count.
         if service.checkpoint_store is not None:
             result.metrics = service.metrics
             path = service.checkpoint_store.latest_path
             result.checkpoint_path = str(path) if path else None
     finally:
+        if control is not None:
+            control.stop()
         for signum in installed:
             loop.remove_signal_handler(signum)
     result.shard_elements = [s.elements for s in result.metrics.shards]
@@ -187,7 +260,9 @@ def run_service_demo(statistic: str = "quantile", n: int = 100_000,
                      metrics_port: int | None = None,
                      executor: str = "async",
                      workers: int | None = None,
-                     policies: ServicePolicies | None = None) -> ServeResult:
+                     policies: ServicePolicies | None = None,
+                     query_port: int | None = None,
+                     linger: float = 0.0) -> ServeResult:
     """Run the end-to-end demo; see the module docstring.
 
     ``executor`` picks where the shards run (``inline`` / ``async`` /
@@ -198,6 +273,13 @@ def run_service_demo(statistic: str = "quantile", n: int = 100_000,
     (:class:`~repro.service.policies.ServicePolicies`) for the worker
     pools; the in-process pools accept it too, using the subset that
     applies.
+
+    The demo's queries are standing registrations through a
+    :class:`~repro.query.frontend.QueryFrontEnd` that adopts the
+    service's pool; ``query_port`` serves the front-end's HTTP control
+    plane (``repro query ...``) for the duration of the run, and
+    ``linger`` keeps the drained service (and control plane) alive
+    that many extra seconds after the demo stream completes.
     """
     if producers < 1:
         raise ServiceError(f"need >= 1 producer, got {producers}")
@@ -238,6 +320,13 @@ def run_service_demo(statistic: str = "quantile", n: int = 100_000,
                          executor=executor)
     slices = np.array_split(data, producers)
 
+    # The front-end adopts the service's pool as a live sketch: the
+    # demo's queries (and any registered over --query-port) share it by
+    # eps-dominance instead of building pools of their own.
+    frontend = QueryFrontEnd(executor=executor, backend=backend,
+                             num_shards=num_shards)
+    frontend.adopt(service, statistic=statistic, eps=eps, key=STREAM_KEY)
+
     server: MetricsServer | None = None
     if metrics_port is not None:
         # Pull-model observability: the registry reads the live service
@@ -246,12 +335,15 @@ def run_service_demo(statistic: str = "quantile", n: int = 100_000,
         registry = MetricsRegistry()
         register_service_metrics(registry, lambda: service.metrics)
         register_engine_reports(registry, miner.shard_reports)
+        register_query_metrics(registry, lambda: frontend.metrics)
         server = MetricsServer(
             registry, port=metrics_port,
             healthy=lambda: not service.metrics.failed_shards)
         server.start()
     try:
-        asyncio.run(_run(service, result, slices, chunk_size, phi, support))
+        asyncio.run(_run(service, frontend, result, slices, chunk_size,
+                         phi, support, query_port=query_port,
+                         linger=linger))
         if server is not None:
             result.metrics_url = server.url
             with urllib.request.urlopen(server.url + "/metrics",
@@ -309,6 +401,24 @@ def format_result(result: ServeResult) -> str:
                 f"mean {shard.mean_batch_seconds * 1e3:7.2f} ms  "
                 f"max {shard.max_batch_seconds * 1e3:7.2f} ms  "
                 f"queue high-water {shard.queue_high_water}")
+    if result.standing_queries:
+        sketches = {tuple(sorted((k, v) for k, v in q["sketch"].items()
+                          if k != "refcount"))
+                    for q in result.standing_queries}
+        lines.append(f"  [standing queries] {len(result.standing_queries)} "
+                     f"registered over {len(sketches)} physical "
+                     f"sketch(es), shared ratio {result.shared_ratio:.0%}")
+        for q in result.standing_queries:
+            spec = q["spec"]
+            detail = {k: spec[k] for k in ("phi", "support", "k", "value")
+                      if spec.get(k) is not None}
+            args = ", ".join(f"{k}={v:g}" for k, v in detail.items())
+            lines.append(
+                f"    {q['id']:<6} {spec['metric']}({args}) "
+                f"-> {q['kind']} @ eps {q['error_bound']:g}"
+                + ("  [shared]" if q["shared"] else ""))
+    if result.query_url is not None:
+        lines.append(f"  [query control] {result.query_url}/queries")
     if result.metrics_url is not None:
         series = [line for line in (result.metrics_scrape or "").splitlines()
                   if line and not line.startswith("#")]

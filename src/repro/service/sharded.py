@@ -87,6 +87,38 @@ def merge_quantile_summaries(summaries, eps: float,
     return merged
 
 
+def dispatch_query(pool, metric: str, params: dict):
+    """Route one metric-keyed query to a pool's typed query method.
+
+    The continuous-query front-end (:mod:`repro.query`) speaks metrics
+    (``"quantile"``, ``"heavy_hitters"``, ``"top_k"``, ``"estimate"``,
+    ``"distinct"``); this is the one translation point onto the typed
+    query surface, shared by every pool that grows an ``answer`` method
+    (:class:`ShardedMiner`, the mp/net pools via ``_PoolQueryMixin``,
+    and single :class:`~repro.core.engine.StreamMiner` adapters — all
+    expose the same method names and an ``eps``).
+
+    ``top_k`` reads the frequency structure at ``support = pool.eps``:
+    the report threshold ``(support - eps) * N`` collapses to zero, so
+    every tracked item comes back (already sorted by estimated count,
+    ties broken by value) and the first ``k`` are the answer — the
+    ordering guarantee comes from the sketch's eps grade, which the
+    front-end's planner chose as ``min(eps, 1/(2k))``.
+    """
+    if metric == "quantile":
+        return pool.quantile(float(params["phi"]))
+    if metric == "heavy_hitters":
+        return pool.frequent_items(float(params["support"]))
+    if metric == "top_k":
+        items = pool.frequent_items(float(pool.eps))
+        return items[:int(params["k"])]
+    if metric == "estimate":
+        return pool.estimate(float(params["value"]))
+    if metric == "distinct":
+        return pool.distinct()
+    raise QueryError(f"unknown query metric {metric!r}")
+
+
 class ShardedMiner:
     """Hash/round-robin sharded stream mining with merge-on-query.
 
@@ -221,6 +253,14 @@ class ShardedMiner:
         # scenarios stay reproducible.
         self._guards = [self._build_guard(shard_id)
                         for shard_id in range(self.num_shards)]
+        # Merge-on-query memoization: between two state changes (pump,
+        # flush, restore) every answer sees identical shard summaries,
+        # so the merged view is computed once per state version — 1,000
+        # standing queries cost one merge, not 1,000.  Bump
+        # ``_state_version`` from every path that can alter what a
+        # query reads.
+        self._state_version = 0
+        self._answer_cache: dict[str, tuple[int, object]] = {}
 
     def _build_guard(self, shard_id: int) -> ShardGuard:
         miner = self._miners[shard_id]
@@ -286,6 +326,7 @@ class ShardedMiner:
             self._run_protected(shard_id, miner.pump)
         self.metrics.shards[shard_id].record_batch(
             arr.size, time.perf_counter() - start)
+        self._state_version += 1
 
     def _run_protected(self, shard_id: int, step) -> None:
         """Run one faultable engine step under retry + circuit breaking.
@@ -306,6 +347,7 @@ class ShardedMiner:
         """
         for shard_id, miner in enumerate(self._miners):
             self._run_protected(shard_id, miner.flush)
+        self._state_version += 1
 
     # ------------------------------------------------------------------
     # introspection
@@ -315,8 +357,23 @@ class ShardedMiner:
         """The shard pipelines' window width (largest across shards)."""
         return max(int(m.window_size) for m in self._miners)
 
+    def _memo(self, op: str, build):
+        """Value of ``build()`` memoized against the pool's state version.
+
+        Cached values are shared across calls — treat them as
+        read-only.  Invalidation is a version bump, never deletion, so
+        a stale entry costs one recompute and no correctness.
+        """
+        entry = self._answer_cache.get(op)
+        if entry is not None and entry[0] == self._state_version:
+            return entry[1]
+        value = build()
+        self._answer_cache[op] = (self._state_version, value)
+        return value
+
     def _retired_estimators(self) -> list:
-        return [estimator_from_state(state) for state in self.retired]
+        return self._memo("retired", lambda: [
+            estimator_from_state(state) for state in self.retired])
 
     @property
     def processed(self) -> int:
@@ -353,10 +410,20 @@ class ShardedMiner:
         """
         if self.statistic != "quantile":
             raise QueryError("this service does not estimate quantiles")
-        summaries = [s for m in self._miners for s in m.quantile_summaries()]
-        for estimator in self._retired_estimators():
-            summaries.extend(estimator.summaries())
-        return merge_quantile_summaries(summaries, self.eps, prune_budget)
+
+        def merge() -> QuantileSummary:
+            summaries = [s for m in self._miners
+                         for s in m.quantile_summaries()]
+            for estimator in self._retired_estimators():
+                summaries.extend(estimator.summaries())
+            return merge_quantile_summaries(summaries, self.eps,
+                                            prune_budget)
+
+        if prune_budget == "auto":
+            # The served-summary path every quantile answer takes:
+            # memoized per state version, shared, read-only.
+            return self._memo("summary", merge)
+        return merge()
 
     def quantile(self, phi: float) -> float:
         """The phi-quantile over all shards, within ``eps * N`` ranks."""
@@ -381,13 +448,18 @@ class ShardedMiner:
                 "threshold (s - eps) N would be vacuous")
         total = self.processed
         threshold = (support - self.eps) * total
-        counts: dict[float, int] = {}
-        for miner in self._miners:
-            for value, estimate in miner.frequency_items():
-                counts[value] = counts.get(value, 0) + estimate
-        for estimator in self._retired_estimators():
-            for value, estimate in estimator.items():
-                counts[value] = counts.get(value, 0) + estimate
+
+        def global_counts() -> dict[float, int]:
+            counts: dict[float, int] = {}
+            for miner in self._miners:
+                for value, estimate in miner.frequency_items():
+                    counts[value] = counts.get(value, 0) + estimate
+            for estimator in self._retired_estimators():
+                for value, estimate in estimator.items():
+                    counts[value] = counts.get(value, 0) + estimate
+            return counts
+
+        counts = self._memo("counts", global_counts)
         result = [(value, count) for value, count in counts.items()
                   if count >= threshold]
         result.sort(key=lambda pair: (-pair[1], pair[0]))
@@ -416,13 +488,27 @@ class ShardedMiner:
         """Distinct-count estimate from the union of shard KMV sketches."""
         if self.statistic != "distinct":
             raise QueryError("this service does not count distinct values")
-        sketches = [m.distinct_sketch() for m in self._miners]
-        sketches.extend(self._retired_estimators())
-        union = sketches[0]
-        for sketch in sketches[1:]:
-            union = union.merge(sketch)
+
+        def union_estimate() -> float:
+            sketches = [m.distinct_sketch() for m in self._miners]
+            sketches.extend(self._retired_estimators())
+            union = sketches[0]
+            for sketch in sketches[1:]:
+                union = union.merge(sketch)
+            return union.estimate()
+
         self.metrics.queries += 1
-        return union.estimate()
+        return self._memo("distinct", union_estimate)
+
+    def answer(self, metric: str, **params):
+        """Metric-keyed query routing (the continuous-query seam).
+
+        ``pool.answer("quantile", phi=0.99)`` ==
+        ``pool.quantile(0.99)``; see :func:`dispatch_query` for the
+        full metric vocabulary.  Every executor's pool exposes this
+        same method, so the front-end never branches on pool type.
+        """
+        return dispatch_query(self, metric, params)
 
     # ------------------------------------------------------------------
     # checkpoint/restore
@@ -474,6 +560,7 @@ class ShardedMiner:
         shard.elements = int(shard_state.get("elements", 0))
         shard.batches = int(shard_state.get("batches", 0))
         shard.breaker_state = CircuitBreaker.CLOSED
+        self._state_version += 1
 
     @classmethod
     def from_snapshot(cls, state: dict, backend: str | None = None,

@@ -1,0 +1,131 @@
+"""The benchmark regression gate: matching, directions, failure modes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.report import (compare_runs, gate_area, load_bench_runs,
+                                run_gate, write_bench_json)
+
+
+def write_area(root, area: str, runs: list[dict]) -> None:
+    (root / f"BENCH_{area}.json").write_text(
+        json.dumps({"version": 1, "area": area, "runs": runs}))
+
+
+class TestCompareRuns:
+    def test_directions(self):
+        base = {"wall_seconds": 1.0, "throughput_eps": 100.0}
+        ok = {"wall_seconds": 1.2, "throughput_eps": 90.0}
+        rows = {name: row_ok for name, _, _, row_ok in
+                compare_runs(ok, base, noise=0.5)}
+        assert rows == {"wall_seconds": True, "throughput_eps": True}
+
+        slow = {"wall_seconds": 2.0, "throughput_eps": 30.0}
+        rows = {name: row_ok for name, _, _, row_ok in
+                compare_runs(slow, base, noise=0.5)}
+        assert rows == {"wall_seconds": False, "throughput_eps": False}
+
+    def test_directionless_bool_and_zero_baselines_skipped(self):
+        base = {"elements": 1000, "ok": True, "shed": 0, "note": "x"}
+        fresh = {"elements": 1, "ok": False, "shed": 999, "note": "y"}
+        assert compare_runs(fresh, base, noise=0.5) == []
+
+    def test_nested_series_compared_by_entry(self):
+        base = {"series": [{"fault_rate": 0.0, "seconds": 1.0},
+                           {"fault_rate": 0.2, "seconds": 2.0}]}
+        fresh = {"series": [{"fault_rate": 0.0, "seconds": 1.1},
+                            {"fault_rate": 0.2, "seconds": 9.0}]}
+        rows = {name: row_ok for name, _, _, row_ok in
+                compare_runs(fresh, base, noise=0.5)}
+        # Sweep coordinates are inputs, never gated metrics.
+        assert rows == {"series[fault_rate=0.0].seconds": True,
+                        "series[fault_rate=0.2].seconds": False}
+
+    def test_mismatched_series_lengths_skipped(self):
+        base = {"series": [{"seconds": 1.0}]}
+        fresh = {"series": [{"seconds": 1.0}, {"seconds": 2.0}]}
+        assert compare_runs(fresh, base, noise=0.5) == []
+
+
+class TestGateArea:
+    def test_latest_baseline_wins_and_regression_fails(self, tmp_path):
+        baseline_root = tmp_path / "base"
+        fresh_root = tmp_path / "fresh"
+        baseline_root.mkdir()
+        fresh_root.mkdir()
+        write_area(baseline_root, "x", [
+            {"benchmark": "b", "elements": 100, "wall_seconds": 99.0},
+            {"benchmark": "b", "elements": 100, "wall_seconds": 1.0},
+        ])
+        write_area(fresh_root, "x",
+                   [{"benchmark": "b", "elements": 100,
+                     "wall_seconds": 1.2}])
+        ok, lines = gate_area("x", fresh_root, baseline_root, noise=0.5)
+        assert ok, lines   # compared against 1.0 (latest), not 99.0
+
+        write_area(fresh_root, "x",
+                   [{"benchmark": "b", "elements": 100,
+                     "wall_seconds": 2.0}])
+        ok, lines = gate_area("x", fresh_root, baseline_root, noise=0.5)
+        assert not ok
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_no_fresh_runs_fails_loudly(self, tmp_path):
+        ok, lines = gate_area("ghost", tmp_path, tmp_path, noise=0.5)
+        assert not ok
+        assert "no fresh runs" in lines[0]
+
+    def test_missing_baseline_passes_with_note(self, tmp_path):
+        fresh_root = tmp_path / "fresh"
+        fresh_root.mkdir()
+        write_area(fresh_root, "x",
+                   [{"benchmark": "new", "elements": 5,
+                     "wall_seconds": 1.0}])
+        ok, lines = gate_area("x", fresh_root, tmp_path, noise=0.5)
+        assert ok
+        assert any("no baseline, skipped" in line for line in lines)
+
+    def test_run_gate_exit_codes(self, tmp_path, capsys):
+        fresh_root = tmp_path / "fresh"
+        fresh_root.mkdir()
+        write_area(tmp_path, "a", [{"benchmark": "b", "elements": 1,
+                                    "wall_seconds": 1.0}])
+        write_area(fresh_root, "a", [{"benchmark": "b", "elements": 1,
+                                      "wall_seconds": 1.0}])
+        assert run_gate(["a"], fresh_root, tmp_path, noise=0.5) == 0
+        assert "gate: passed" in capsys.readouterr().out
+        assert run_gate(["a", "ghost"], fresh_root, tmp_path,
+                        noise=0.5) == 1
+        assert "gate: FAILED" in capsys.readouterr().out
+
+
+class TestAccumulator:
+    def test_write_bench_json_honors_env_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_ROOT", str(tmp_path))
+        write_bench_json("envtest", {"benchmark": "b", "elements": 1,
+                                     "wall_seconds": 0.5})
+        write_bench_json("envtest", {"benchmark": "b", "elements": 2,
+                                     "wall_seconds": 0.7})
+        runs = load_bench_runs(tmp_path / "BENCH_envtest.json")
+        assert [run["elements"] for run in runs] == [1, 2]
+
+    def test_load_bench_runs_tolerates_garbage(self, tmp_path):
+        assert load_bench_runs(tmp_path / "missing.json") == []
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert load_bench_runs(bad) == []
+        bad.write_text(json.dumps({"runs": "nope"}))
+        assert load_bench_runs(bad) == []
+
+
+@pytest.mark.parametrize("area", ["ingest", "query", "recovery", "net"])
+def test_committed_baselines_have_smoke_scale_entries(area):
+    """CI gates at smoke scale; every area must have a matching baseline."""
+    import pathlib
+    repo = pathlib.Path(__file__).resolve().parents[2]
+    runs = load_bench_runs(repo / f"BENCH_{area}.json")
+    assert runs, f"BENCH_{area}.json missing or empty"
+    assert any(run.get("elements") in (24_000, 100_000) for run in runs)

@@ -137,3 +137,48 @@ class TestServiceMetricsSamples:
         series = _by_series(registry.snapshot())
         assert series[("repro_service_ingested_total", ())].value \
             == 10_005.0
+
+
+class TestQueryMetricsSamples:
+    def _metrics(self):
+        from repro.query import QueryMetrics
+        metrics = QueryMetrics()
+        metrics.registered = 10
+        metrics.physical_sketches = 3
+        metrics.registrations = 12
+        metrics.plans_built = 3
+        metrics.plans_shared = 9
+        metrics.sketches_released = 2
+        metrics.answers = 40
+        metrics.ingested_chunks = 8
+        metrics.fanout_ingests = 24
+        metrics.plan_seconds = 0.5
+        return metrics
+
+    def test_gauges_counters_and_shared_ratio(self):
+        from repro.obs import query_metrics_samples
+        series = _by_series(query_metrics_samples(self._metrics()))
+        assert series[("repro_query_registered", ())].value == 10.0
+        assert series[("repro_query_physical_sketches", ())].value == 3.0
+        assert series[("repro_query_shared_ratio", ())].value == 0.7
+        assert series[("repro_query_plans_shared_total", ())].value == 9.0
+        assert series[("repro_query_sketches_released_total",
+                       ())].value == 2.0
+        assert series[("repro_query_plan_seconds_total", ())].value == 0.5
+
+    def test_counter_naming_convention(self):
+        from repro.obs import query_metrics_samples
+        for sample in query_metrics_samples(self._metrics()):
+            if sample.kind == "counter":
+                assert sample.name.endswith("_total"), sample.name
+            else:
+                assert not sample.name.endswith("_total"), sample.name
+
+    def test_registered_source_sees_mutations(self):
+        from repro.obs import MetricsRegistry, register_query_metrics
+        metrics = self._metrics()
+        registry = MetricsRegistry()
+        register_query_metrics(registry, lambda: metrics)
+        metrics.answers += 5
+        series = _by_series(registry.snapshot())
+        assert series[("repro_query_answers_total", ())].value == 45.0

@@ -1,0 +1,220 @@
+"""Front-end acceptance: sharing, refcounts, bounds, adopt, fan-out."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.query import QueryFrontEnd, QuerySpec, canonical_key
+
+
+def chunked(data, size=2_048):
+    for lo in range(0, data.size, size):
+        yield data[lo:lo + size]
+
+
+def thousand_specs() -> list[QuerySpec]:
+    """1,000 standing queries over a deliberately bounded group set."""
+    specs = []
+    for i in range(1_000):
+        slot = i % 10
+        if slot < 5:
+            specs.append(QuerySpec("quantile", key="s",
+                                   eps=(0.01, 0.02, 0.05, 0.1)[i % 4],
+                                   phi=(i % 99 + 1) / 100.0))
+        elif slot < 7:
+            specs.append(QuerySpec("heavy_hitters", key="s",
+                                   eps=(0.05, 0.1)[i % 2], support=0.2))
+        elif slot < 8:
+            specs.append(QuerySpec("top_k", key="s", eps=0.1, k=5 + i % 5))
+        elif slot < 9:
+            specs.append(QuerySpec("estimate", key="s", eps=0.1,
+                                   value=float(i % 16)))
+        else:
+            specs.append(QuerySpec("distinct", key="s",
+                                   eps=(0.02, 0.05)[i % 2]))
+    return specs
+
+
+class TestThousandQueries:
+    """The ISSUE's headline acceptance criterion, end to end."""
+
+    def test_bounded_sketches_and_full_release(self):
+        specs = thousand_specs()
+        groups = {canonical_key(spec) for spec in specs}
+        assert len(groups) <= 32
+
+        async def run():
+            async with QueryFrontEnd(num_shards=2) as frontend:
+                ids = [await frontend.register(spec) for spec in specs]
+                physical = frontend.metrics.physical_sketches
+                assert physical <= 64
+                assert physical <= len(groups)
+                assert frontend.metrics.shared_ratio >= 0.9
+                assert frontend.metrics.registered == 1_000
+                assert (frontend.metrics.plans_built
+                        + frontend.metrics.plans_shared == 1_000)
+
+                # Every query's bound is at least as tight as requested.
+                for query in frontend.queries():
+                    assert query.error_bound() <= query.spec.eps
+
+                # Unregistering everything frees every sketch, witnessed
+                # by the gauges the obs layer exports.
+                for query_id in ids:
+                    await frontend.unregister(query_id)
+                assert frontend.metrics.physical_sketches == 0
+                assert frontend.metrics.sketches_released == physical
+                assert frontend.metrics.registered == 0
+                assert len(frontend.cache) == 0
+
+        asyncio.run(run())
+
+
+class TestDominanceSharing:
+    def test_fine_sketch_serves_coarser_specs(self):
+        async def run():
+            async with QueryFrontEnd() as frontend:
+                fine = await frontend.register(
+                    QuerySpec("quantile", phi=0.5, eps=0.01))
+                coarse = await frontend.register(
+                    QuerySpec("quantile", phi=0.9, eps=0.05))
+                assert frontend.metrics.physical_sketches == 1
+                q = frontend.get(coarse)
+                assert q.plan.shared
+                # Served at the finer class, reported as such.
+                assert q.error_bound() == 0.01 < q.spec.eps
+                # The fine query leaving must NOT free the sketch while
+                # the coarse one still rides it.
+                await frontend.unregister(fine)
+                assert frontend.metrics.physical_sketches == 1
+                await frontend.unregister(coarse)
+                assert frontend.metrics.physical_sketches == 0
+
+        asyncio.run(run())
+
+    def test_windows_never_share_with_history(self):
+        async def run():
+            async with QueryFrontEnd() as frontend:
+                await frontend.register(
+                    QuerySpec("quantile", phi=0.5, eps=0.02))
+                await frontend.register(
+                    QuerySpec("quantile", phi=0.5, eps=0.02, window=256))
+                assert frontend.metrics.physical_sketches == 2
+
+        asyncio.run(run())
+
+    def test_streams_never_share_across_keys(self):
+        async def run():
+            async with QueryFrontEnd() as frontend:
+                await frontend.register(
+                    QuerySpec("distinct", key="a", eps=0.02))
+                await frontend.register(
+                    QuerySpec("distinct", key="b", eps=0.02))
+                assert frontend.metrics.physical_sketches == 2
+
+        asyncio.run(run())
+
+
+class TestIngestFanout:
+    def test_chunk_feeds_only_matching_stream(self):
+        async def run():
+            async with QueryFrontEnd() as frontend:
+                await frontend.register(
+                    QuerySpec("quantile", key="a", phi=0.5, eps=0.02))
+                await frontend.register(
+                    QuerySpec("distinct", key="a", eps=0.05))
+                await frontend.register(
+                    QuerySpec("distinct", key="b", eps=0.05))
+                chunk = np.arange(512, dtype=np.float32)
+                assert await frontend.ingest(chunk, "a") == 2
+                assert await frontend.ingest(chunk, "b") == 1
+                assert await frontend.ingest(chunk, "nobody-watches") == 0
+                assert frontend.metrics.ingested_chunks == 3
+                assert frontend.metrics.fanout_ingests == 3
+
+        asyncio.run(run())
+
+    def test_answers_track_the_stream(self):
+        data = np.random.default_rng(11).uniform(
+            0, 1000, 40_000).astype(np.float32)
+
+        async def run():
+            async with QueryFrontEnd(num_shards=2) as frontend:
+                median = await frontend.register(
+                    QuerySpec("quantile", key="s", phi=0.5, eps=0.02))
+                count = await frontend.register(
+                    QuerySpec("distinct", key="s", eps=0.05))
+                for chunk in chunked(data):
+                    await frontend.ingest(chunk, "s")
+                answers = await frontend.answer_all(fresh=True)
+                assert set(answers) == {median, count}
+                med = answers[median]
+                assert abs(med.value - 500.0) <= 0.02 * 1000 + 50
+                assert med.error_bound <= 0.02
+                assert not med.randomized
+                assert answers[count].randomized
+                assert frontend.metrics.answers == 2
+
+        asyncio.run(run())
+
+
+class TestAdopt:
+    def test_adopted_service_is_shared_and_survives(self):
+        from repro.query.factory import build_service
+
+        async def run():
+            service = build_service(
+                "inline",
+                dict(statistic="quantile", eps=0.01, num_shards=2,
+                     backend="cpu"), {})
+            await service.start()
+            try:
+                async with QueryFrontEnd() as frontend:
+                    frontend.adopt(service, statistic="quantile",
+                                   eps=0.01, key="serve")
+                    query_id = await frontend.register(
+                        QuerySpec("quantile", key="serve", phi=0.5,
+                                  eps=0.05))
+                    assert frontend.metrics.physical_sketches == 1
+                    assert frontend.get(query_id).plan.shared
+                    # The adoption reference keeps the sketch alive
+                    # after its last query leaves.
+                    await frontend.unregister(query_id)
+                    assert frontend.metrics.physical_sketches == 1
+                # close() must leave the adopted service to its owner.
+                await service.ingest(np.ones(64, dtype=np.float32))
+                await service.drain()
+            finally:
+                await service.stop(drain=False)
+
+        asyncio.run(run())
+
+
+class TestLifecycleErrors:
+    def test_unknown_ids_and_closed_frontend_raise(self):
+        async def run():
+            frontend = QueryFrontEnd()
+            async with frontend:
+                with pytest.raises(QueryError):
+                    await frontend.unregister("q-404")
+                with pytest.raises(QueryError):
+                    frontend.get("q-404")
+            with pytest.raises(QueryError):
+                await frontend.register(QuerySpec("distinct"))
+            with pytest.raises(QueryError):
+                await frontend.ingest(np.ones(4, dtype=np.float32))
+
+        asyncio.run(run())
+
+    def test_register_accepts_wire_state(self):
+        async def run():
+            async with QueryFrontEnd() as frontend:
+                state = QuerySpec("top_k", k=5, eps=0.1).to_state()
+                query_id = await frontend.register(state)
+                assert frontend.get(query_id).spec.k == 5
+
+        asyncio.run(run())

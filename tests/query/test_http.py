@@ -1,0 +1,116 @@
+"""HTTP control plane round-trips against a live front-end.
+
+The server marshals every request onto the front-end's event loop, so
+the fixture runs a real loop on a background thread — the same shape
+``repro serve --query-port`` uses — and the tests drive it purely
+through the stdlib urllib clients the CLI subcommands wrap.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.query import (QueryControlServer, QueryFrontEnd, QuerySpec,
+                         answer_query, list_queries, register_query,
+                         unregister_query)
+
+
+@pytest.fixture()
+def control():
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever,
+                              name="query-test-loop", daemon=True)
+    thread.start()
+    frontend = QueryFrontEnd(num_shards=2)
+    server = QueryControlServer(frontend, loop, port=0).start()
+    try:
+        yield server
+    finally:
+        server.stop()
+        asyncio.run_coroutine_threadsafe(frontend.close(),
+                                         loop).result(timeout=10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5)
+        loop.close()
+
+
+def test_register_list_answer_unregister(control):
+    url = control.url
+    state = register_query(
+        url, QuerySpec("quantile", key="s", phi=0.5, eps=0.02).to_state())
+    assert state["id"].startswith("q-")
+    assert state["error_bound"] <= 0.02
+    assert state["sketch"]["refcount"] == 1
+
+    # A compatible second query shares the sketch over the wire too.
+    shared = register_query(
+        url, QuerySpec("quantile", key="s", phi=0.99, eps=0.05).to_state())
+    assert shared["shared"] is True
+    assert shared["error_bound"] <= 0.05
+
+    listing = list_queries(url)
+    assert {q["id"] for q in listing["queries"]} == {state["id"],
+                                                     shared["id"]}
+    assert listing["metrics"]["registered"] == 2
+    assert listing["metrics"]["physical_sketches"] == 1
+    assert listing["metrics"]["shared_ratio"] == 0.5
+
+    data = np.random.default_rng(3).uniform(0, 100, 20_000)
+    control.call(control.frontend.ingest(data.astype(np.float32), "s"))
+
+    answer = answer_query(url, state["id"], fresh=True)
+    assert answer["metric"] == "quantile"
+    assert abs(answer["value"] - 50.0) <= 0.02 * 100 + 5
+    assert answer["error_bound"] <= 0.02
+
+    assert unregister_query(url, state["id"])["ok"] is True
+    assert unregister_query(url, shared["id"])["ok"] is True
+    assert list_queries(url)["metrics"]["registered"] == 0
+    assert list_queries(url)["metrics"]["physical_sketches"] == 0
+
+
+def test_bad_spec_is_a_400_query_error(control):
+    state = QuerySpec("distinct").to_state()
+    state["eps"] = 2.0
+    with pytest.raises(QueryError, match="eps"):
+        register_query(control.url, state)
+    state = QuerySpec("distinct").to_state()
+    state["mystery"] = 1
+    with pytest.raises(QueryError, match="unknown"):
+        register_query(control.url, state)
+
+
+def test_unknown_query_id_is_a_query_error(control):
+    with pytest.raises(QueryError, match="q-404"):
+        answer_query(control.url, "q-404")
+    with pytest.raises(QueryError, match="q-404"):
+        unregister_query(control.url, "q-404")
+
+
+def test_healthz_and_unknown_paths(control):
+    import json
+    import urllib.request
+    with urllib.request.urlopen(f"{control.url}/healthz",
+                                timeout=10) as response:
+        assert json.load(response)["status"] == "ok"
+    with pytest.raises(QueryError):
+        answer_query(control.url.rstrip("/") + "/nope", "x")
+
+
+def test_list_value_pairs_serialize_as_arrays(control):
+    url = control.url
+    state = register_query(
+        url, QuerySpec("heavy_hitters", key="s", eps=0.05,
+                       support=0.3).to_state())
+    skewed = np.repeat(np.arange(4, dtype=np.float32), [70, 20, 6, 4])
+    control.call(control.frontend.ingest(skewed, "s"))
+    answer = answer_query(url, state["id"], fresh=True)
+    assert isinstance(answer["value"], list)
+    assert all(len(pair) == 2 for pair in answer["value"])
+    top = {pair[0] for pair in answer["value"]}
+    assert 0.0 in top

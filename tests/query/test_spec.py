@@ -1,0 +1,166 @@
+"""Property suite for query canonicalization and eps-dominance.
+
+Pins the two laws the sharing design rests on: :func:`dominates` is a
+partial order over sketch keys, and snapping a spec to its canonical
+key can only ever *tighten* the bound it is served at — sharing never
+loosens a reported bound below (i.e. coarser than) the requested eps.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.query import (EPS_LADDER, QuerySpec, SketchKey, canonical_key,
+                         dominates, eps_class)
+
+eps_values = st.floats(min_value=1e-7, max_value=0.999,
+                       allow_nan=False, allow_infinity=False)
+
+# Small pools on purpose: hypothesis then actually generates comparable
+# key pairs (same statistic/key/window) often enough to exercise the
+# non-trivial branches of the partial order.
+sketch_keys = st.builds(
+    SketchKey,
+    statistic=st.sampled_from(["quantile", "frequency", "distinct"]),
+    key=st.sampled_from(["a", "b"]),
+    window=st.sampled_from([None, 64]),
+    eps_class=st.sampled_from([eps_class(e)
+                               for e in (0.3, 0.07, 0.02, 0.01)]))
+
+
+class TestEpsClass:
+    @given(eps_values)
+    @settings(max_examples=200, deadline=None)
+    def test_class_never_coarser_than_requested(self, eps):
+        assert eps_class(eps) <= eps
+
+    @given(eps_values)
+    @settings(max_examples=200, deadline=None)
+    def test_class_is_idempotent(self, eps):
+        assert eps_class(eps_class(eps)) == eps_class(eps)
+
+    @given(eps_values, eps_values)
+    @settings(max_examples=200, deadline=None)
+    def test_class_is_monotone(self, a, b):
+        if a <= b:
+            assert eps_class(a) <= eps_class(b)
+
+    def test_ladder_is_decade_125_grid(self):
+        assert EPS_LADDER[0] == 0.5
+        assert 0.01 in EPS_LADDER
+        assert all(x > y for x, y in zip(EPS_LADDER, EPS_LADDER[1:]))
+
+    def test_below_floor_is_singleton_class(self):
+        tiny = min(EPS_LADDER) / 3
+        assert eps_class(tiny) == tiny
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 1.5])
+    def test_out_of_domain_rejected(self, bad):
+        with pytest.raises(QueryError):
+            eps_class(bad)
+
+
+class TestDominancePartialOrder:
+    @given(sketch_keys)
+    @settings(max_examples=100, deadline=None)
+    def test_reflexive(self, a):
+        assert dominates(a, a)
+
+    @given(sketch_keys, sketch_keys)
+    @settings(max_examples=200, deadline=None)
+    def test_antisymmetric(self, a, b):
+        if dominates(a, b) and dominates(b, a):
+            assert a == b
+
+    @given(sketch_keys, sketch_keys, sketch_keys)
+    @settings(max_examples=200, deadline=None)
+    def test_transitive(self, a, b, c):
+        if dominates(a, b) and dominates(b, c):
+            assert dominates(a, c)
+
+    @given(sketch_keys, sketch_keys)
+    @settings(max_examples=200, deadline=None)
+    def test_incomparable_across_groups(self, a, b):
+        if (a.statistic, a.key, a.window) != (b.statistic, b.key, b.window):
+            assert not dominates(a, b)
+
+
+specs = st.one_of(
+    st.builds(QuerySpec, metric=st.just("quantile"), eps=eps_values,
+              phi=st.floats(min_value=0.0, max_value=1.0)),
+    st.builds(QuerySpec, metric=st.just("heavy_hitters"),
+              eps=st.floats(min_value=1e-4, max_value=0.2),
+              support=st.floats(min_value=0.2, max_value=1.0)),
+    st.builds(QuerySpec, metric=st.just("top_k"), eps=eps_values,
+              k=st.integers(min_value=1, max_value=100)),
+    st.builds(QuerySpec, metric=st.just("estimate"), eps=eps_values,
+              value=st.floats(min_value=0, max_value=100)),
+    st.builds(QuerySpec, metric=st.just("distinct"), eps=eps_values),
+)
+
+
+class TestSharingNeverLoosens:
+    @given(specs)
+    @settings(max_examples=300, deadline=None)
+    def test_canonical_class_at_least_as_fine_as_requested(self, spec):
+        key = canonical_key(spec)
+        assert key.eps_class <= spec.required_eps <= spec.eps
+
+    @given(specs, sketch_keys)
+    @settings(max_examples=300, deadline=None)
+    def test_any_dominating_sketch_satisfies_the_request(self, spec, live):
+        # The cache only ever serves a spec from a dominating key; the
+        # bound it then reports (the live key's class) must satisfy the
+        # eps the spec asked for.
+        key = canonical_key(spec)
+        if dominates(live, key):
+            assert live.eps_class <= spec.eps
+
+    @given(st.integers(min_value=1, max_value=100),
+           st.integers(min_value=1, max_value=100), eps_values)
+    @settings(max_examples=200, deadline=None)
+    def test_topk_sketch_serves_smaller_k(self, k_big, k_small, eps):
+        # A sketch provisioned for k serves any k' <= k: 1/(2k) only
+        # gets finer as k grows, so the big-k key dominates.
+        if k_small <= k_big:
+            big = canonical_key(QuerySpec("top_k", eps=eps, k=k_big))
+            small = canonical_key(QuerySpec("top_k", eps=eps, k=k_small))
+            assert dominates(big, small)
+
+
+class TestSpecStateRoundTrip:
+    @given(specs)
+    @settings(max_examples=200, deadline=None)
+    def test_to_state_round_trips(self, spec):
+        assert QuerySpec.from_state(spec.to_state()) == spec
+
+    def test_unknown_fields_rejected(self):
+        state = QuerySpec("distinct").to_state()
+        state["surprise"] = 1
+        with pytest.raises(QueryError):
+            QuerySpec.from_state(state)
+
+    def test_wrong_version_rejected(self):
+        state = QuerySpec("distinct").to_state()
+        state["version"] = 2
+        with pytest.raises(QueryError):
+            QuerySpec.from_state(state)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(metric="nope"),
+        dict(metric="quantile"),                          # missing phi
+        dict(metric="quantile", phi=1.5),
+        dict(metric="heavy_hitters", support=None),
+        dict(metric="heavy_hitters", support=0.01, eps=0.05),
+        dict(metric="top_k", k=0),
+        dict(metric="estimate"),                          # missing value
+        dict(metric="distinct", eps=0.0),
+        dict(metric="distinct", key=""),
+        dict(metric="distinct", window=0),
+    ])
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(QueryError):
+            QuerySpec(**kwargs)

@@ -48,6 +48,71 @@ def test_lint_catches_a_planted_violation(tmp_path, monkeypatch):
     assert any("repro.bench" in p for p in problems)
 
 
+def test_query_layer_banned_below_the_stack():
+    """The new top layer is in the forbidden lists of every lower layer."""
+    checker = load_check_layers()
+    for layer in ("core", "streams", "sorting", "gpu", "backends", "obs"):
+        assert "query" in checker.RULES[layer], layer
+
+
+# ----------------------------------------------------------------------
+# Construction goes through the query-layer factory at the deduplicated
+# call sites.  Before the factory existed the runner, the CLI, and the
+# sharded-service example each instantiated StreamMiner / executor
+# services by hand; this AST ban keeps a fourth copy from creeping back.
+# ----------------------------------------------------------------------
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+#: Call sites that must build through repro.query.factory, and the
+#: constructor names they are banned from calling directly.
+FACTORY_ONLY_SITES = {
+    REPO / "src" / "repro" / "service" / "runner.py":
+        ("StreamMiner", "ShardedMiner", "MpShardedMiner",
+         "NetShardedMiner", "StreamService"),
+    REPO / "src" / "repro" / "cli.py":
+        ("StreamMiner", "ShardedMiner", "MpShardedMiner",
+         "NetShardedMiner", "StreamService"),
+    REPO / "examples" / "sharded_service.py":
+        ("StreamMiner", "ShardedMiner", "MpShardedMiner",
+         "NetShardedMiner", "StreamService"),
+    REPO / "examples" / "network_heavy_hitters.py":
+        ("StreamMiner", "ShardedMiner", "StreamService"),
+}
+
+
+def direct_constructions(path: pathlib.Path,
+                         banned: tuple[str, ...]) -> list[str]:
+    import ast
+    tree = ast.parse(path.read_text(), filename=str(path))
+    hits = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = getattr(func, "id", None) or getattr(func, "attr", None)
+        if name in banned:
+            hits.append(f"{path.name}:{node.lineno}: {name}(...)")
+    return hits
+
+
+def test_deduped_call_sites_use_the_factory():
+    problems = []
+    for path, banned in FACTORY_ONLY_SITES.items():
+        problems.extend(direct_constructions(path, banned))
+    assert problems == [], (
+        "direct miner/service construction outside repro.query.factory: "
+        + "; ".join(problems))
+
+
+def test_construction_ban_catches_a_planted_call(tmp_path):
+    planted = tmp_path / "bad.py"
+    planted.write_text("miner = StreamMiner('quantile', eps=0.1)\n"
+                       "svc = service.StreamService(miner)\n")
+    hits = direct_constructions(planted,
+                                ("StreamMiner", "StreamService"))
+    assert len(hits) == 2
+
+
 def test_lint_is_stdlib_only():
     """CI runs the lint before installing anything; keep it stdlib."""
     import ast

@@ -9,12 +9,18 @@ module imports something its layer is not allowed to see.
 
 Rules::
 
-    repro.core.*     may not import repro.service.* or repro.bench.*
-    repro.streams.*  may not import repro.service.* or repro.bench.*
-    repro.sorting.*  may not import repro.service.* or repro.bench.*
-    repro.gpu.*      may not import repro.service.* or repro.bench.*
-    repro.backends   may not import repro.service.* or repro.bench.*
+    repro.core.*     may not import repro.service.*, repro.bench.* or
+                     repro.query.*
+    repro.streams.*  same bans as core
+    repro.sorting.*  same bans as core
+    repro.gpu.*      same bans as core
+    repro.backends   same bans as core
     repro.obs.*      may not import any other repro layer (leaf)
+
+The ``query`` layer sits at the top of the stack (it imports core,
+service, bench *and* obs), so everything below it must never look up
+at it — the same rule the service/bench bans enforce, one layer
+higher.
 
 Run from the repository root::
 
@@ -35,15 +41,15 @@ SRC_ROOT = REPO_ROOT / "src" / "repro"
 
 #: Layer prefix (relative to ``repro``) -> forbidden target layers.
 RULES: dict[str, tuple[str, ...]] = {
-    "core": ("service", "bench"),
-    "streams": ("service", "bench"),
-    "sorting": ("service", "bench"),
-    "gpu": ("service", "bench"),
-    "backends": ("service", "bench"),
+    "core": ("service", "bench", "query"),
+    "streams": ("service", "bench", "query"),
+    "sorting": ("service", "bench", "query"),
+    "gpu": ("service", "bench", "query"),
+    "backends": ("service", "bench", "query"),
     # obs is the leaf every layer may emit into; it must never look
     # back up the stack (its sources are duck-typed for exactly this).
     "obs": ("core", "streams", "sorting", "gpu", "backends", "service",
-            "bench", "cli"),
+            "bench", "cli", "query"),
 }
 
 
@@ -104,7 +110,7 @@ def main() -> int:
         print(f"{len(problems)} layering violation(s)", file=sys.stderr)
         return 1
     print("layering clean: core/streams/sorting/gpu/backends never "
-          "import service or bench; obs imports no other layer")
+          "import service, bench or query; obs imports no other layer")
     return 0
 
 

@@ -174,7 +174,7 @@ def _run_key(run: dict) -> tuple:
 
 #: Fields that identify a series entry (sweep coordinates) in gate
 #: output, checked in order; falls back to the entry's index.
-_SERIES_LABELS = ("fault_rate", "workers", "shards")
+_SERIES_LABELS = ("fault_rate", "workers", "shards", "kind")
 
 
 def _series_label(entry: dict, index: int) -> str:

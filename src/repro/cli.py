@@ -33,7 +33,8 @@ import numpy as np
 from .backends import resolve_sorter
 from .bench.report import build_all
 from .core.distinct import WindowedDistinctCounter
-from .core.estimators import QUERY_METRICS
+from .core.estimators import (QUERY_METRICS, estimator_capabilities,
+                              registered_capabilities)
 from .core.pipeline.timing import OPERATIONS
 from .errors import QueryError
 from .obs import collecting, render_tree, stage_shares
@@ -88,10 +89,11 @@ def cmd_quantiles(args: argparse.Namespace) -> int:
     data = _make_stream(args)
     miner = build_miner("quantile", eps=args.eps, backend=args.backend,
                         window_size=args.window,
-                        stream_length_hint=args.n)
+                        stream_length_hint=args.n, kind=args.kind)
     miner.process(data)
+    family = f", kind={args.kind}" if args.kind else ""
     print(f"{args.n:,} elements ({args.workload}), eps={args.eps}, "
-          f"backend={miner.backend}")
+          f"backend={miner.backend}{family}")
     for phi in args.phi:
         print(f"  phi={phi:<6g} -> {miner.quantile(phi):.6g}")
     _print_report(miner)
@@ -101,11 +103,29 @@ def cmd_quantiles(args: argparse.Namespace) -> int:
 def cmd_frequent(args: argparse.Namespace) -> int:
     """``repro frequent``: heavy hitters over a synthetic stream."""
     data = _make_stream(args)
-    miner = build_miner("frequency", eps=args.eps, backend=args.backend)
+    miner = build_miner("frequency", eps=args.eps, backend=args.backend,
+                        kind=args.kind)
     miner.process(data)
-    items = miner.frequent_items(args.support)
+    family = f", kind={args.kind}" if args.kind else ""
+    if args.estimate:
+        bound = (estimator_capabilities(args.kind).bound_type
+                 if args.kind else "count-under")
+        print(f"{args.n:,} elements ({args.workload}), eps={args.eps}"
+              f"{family}: point estimates ({bound} bound)")
+        for value in args.estimate:
+            print(f"  count({value:g}) ~ {miner.estimate(value):,}")
+        _print_report(miner)
+        return 0
+    try:
+        items = miner.frequent_items(args.support)
+    except QueryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print("hint: query point estimates instead, e.g. "
+              "`repro frequent --kind count-min --estimate 3 7`",
+              file=sys.stderr)
+        return 1
     print(f"{args.n:,} elements ({args.workload}), eps={args.eps}, "
-          f"support={args.support}: {len(items)} frequent items")
+          f"support={args.support}{family}: {len(items)} frequent items")
     for value, count in items[:args.top]:
         print(f"  {value:>12g} : >= {count:,}")
     _print_report(miner)
@@ -152,7 +172,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         num_shards=args.shards, producers=args.producers,
         backend=args.backend, window_size=args.window,
         workload=args.workload, seed=args.seed,
-        executor=args.executor, workers=args.workers,
+        executor=args.executor, workers=args.workers, kind=args.kind,
         chunk_size=args.chunk, shed_capacity=args.shed_capacity,
         phi=tuple(args.phi), support=args.support,
         fault_rate=args.fault_rate,
@@ -334,6 +354,12 @@ def _print_report(miner) -> None:
           f"merge {shares['merge']:.0%})")
 
 
+def _kind_choices(statistic: str) -> list[str]:
+    """Registered driver kinds for ``statistic`` (the ``--kind`` menu)."""
+    return sorted(kind for kind, caps in registered_capabilities().items()
+                  if caps.statistic == statistic and caps.driver is not None)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -355,6 +381,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--window", type=int, default=4096)
     p.add_argument("--phi", type=float, nargs="+",
                    default=[0.25, 0.5, 0.75, 0.99])
+    p.add_argument("--kind", choices=_kind_choices("quantile"),
+                   default=None,
+                   help="estimator family (default: the registry's "
+                        "default for the statistic)")
     p.set_defaults(func=cmd_quantiles)
 
     p = sub.add_parser("frequent", help="frequent-item estimation")
@@ -363,6 +393,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--eps", type=float, default=0.001)
     p.add_argument("--support", type=float, default=0.01)
     p.add_argument("--top", type=int, default=10)
+    p.add_argument("--kind", choices=_kind_choices("frequency"),
+                   default=None,
+                   help="estimator family (default: the registry's "
+                        "default for the statistic)")
+    p.add_argument("--estimate", type=float, nargs="+", default=None,
+                   metavar="VALUE",
+                   help="report point estimates for these values instead "
+                        "of enumerating heavy hitters (the only query "
+                        "count-min answers)")
     p.set_defaults(func=cmd_frequent)
 
     p = sub.add_parser("distinct", help="distinct-count estimation")
@@ -380,6 +419,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--statistic",
                    choices=["quantile", "frequency", "distinct"],
                    default="quantile")
+    p.add_argument("--kind", default=None,
+                   choices=sorted(set(_kind_choices("quantile")
+                                      + _kind_choices("frequency")
+                                      + _kind_choices("distinct"))),
+                   help="estimator family for the shard pool (must serve "
+                        "--statistic; default: the registry's default "
+                        "for the statistic)")
     p.add_argument("--backend", choices=["gpu", "cpu"], default="cpu")
     p.add_argument("--eps", type=float, default=0.02)
     p.add_argument("--shards", type=int, default=4)

@@ -10,24 +10,28 @@ from .aggregates import CorrelatedSum
 from .distinct import (FlajoletMartin, KMinValues, WindowedDistinctCounter,
                        hash_values)
 from .engine import EngineReport, StreamMiner
-from .frequencies import (HierarchicalHeavyHitters, LossyCounting,
-                          MisraGries, SpaceSaving, StickySampling)
+from .frequencies import (CountMinSketch, HierarchicalHeavyHitters,
+                          LossyCounting, MisraGries, SpaceSaving,
+                          StickySampling)
 from .histograms import (EquiDepthHistogram, HistogramBucket,
                          VOptimalHistogram, WindowHistogram,
                          histogram_from_sorted)
-from .quantiles import (GKSummary, QuantileSummary, RankedValue, SensorNode,
-                        aggregate)
+from .quantiles import (DDSketch, GKSummary, KLLSketch, QuantileSummary,
+                        RankedValue, SensorNode, TDigest, aggregate)
 from .sliding import (DgimCounter, DgimSum, SlidingWindowFrequencies,
                       SlidingWindowQuantiles, StreamingQuantiles)
 
 __all__ = [
     "CorrelatedSum",
+    "CountMinSketch",
+    "DDSketch",
     "DgimCounter",
     "DgimSum",
     "EquiDepthHistogram",
     "FlajoletMartin",
     "EngineReport",
     "GKSummary",
+    "KLLSketch",
     "HierarchicalHeavyHitters",
     "HistogramBucket",
     "KMinValues",
@@ -42,6 +46,7 @@ __all__ = [
     "StickySampling",
     "StreamMiner",
     "StreamingQuantiles",
+    "TDigest",
     "VOptimalHistogram",
     "WindowHistogram",
     "WindowedDistinctCounter",

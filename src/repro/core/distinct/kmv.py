@@ -269,4 +269,6 @@ register_estimator(
     capabilities=EstimatorCapabilities(
         statistic="distinct", metrics=("distinct",), driver="distinct",
         randomized=True, merge_cycles=24.0, compress_cycles=6.0,
-        entries_per_inverse_eps=1.0))
+        entries_per_inverse_eps=1.0, bound_type="relative-std"),
+    builder=lambda eps, window_size, hint: KMinValues(
+        max(16, math.ceil(1.0 / (eps * eps)) + 2)))

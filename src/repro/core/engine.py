@@ -39,7 +39,8 @@ from ..obs import collector
 from ..gpu.device import GpuDevice
 from ..gpu.presets import PENTIUM_IV_3_4GHZ
 from .distinct.kmv import KMinValues
-from .estimators import estimator_from_state
+from .estimators import (build_estimator, default_kind_for,
+                         estimator_capabilities, estimator_from_state)
 from .frequencies.lossy_counting import LossyCounting
 from .pipeline import (COMPRESS_CYCLES_PER_ENTRY,  # noqa: F401 (re-export)
                        HISTOGRAM_CYCLES_PER_ELEMENT, MERGE_CYCLES_PER_ENTRY,
@@ -88,6 +89,11 @@ class StreamMiner:
     stream_length_hint:
         Expected total stream length (the paper's known-``N`` assumption),
         used by history-mode quantiles.
+    kind:
+        Explicit estimator kind from the registry (``"ddsketch"``,
+        ``"kll"``, ``"tdigest"``, ``"count-min"``, ...) instead of the
+        statistic's default family.  History mode only; the kind's
+        declared capability statistic must match ``statistic``.
 
     Examples
     --------
@@ -107,13 +113,26 @@ class StreamMiner:
                  variable: bool = False,
                  device: GpuDevice | None = None,
                  cpu_speedup: float = 1.5,
-                 stream_length_hint: int = 100_000_000):
+                 stream_length_hint: int = 100_000_000,
+                 kind: str | None = None):
         if statistic not in ("frequency", "quantile", "distinct"):
             raise SummaryError(f"unknown statistic {statistic!r}")
         if statistic == "distinct" and mode == "sliding":
             raise SummaryError("distinct counting supports history mode only")
         if mode not in ("history", "sliding"):
             raise SummaryError(f"unknown mode {mode!r}")
+        if kind is not None:
+            if mode == "sliding":
+                raise SummaryError(
+                    "explicit estimator kinds support history mode only")
+            caps = estimator_capabilities(kind)
+            if caps.statistic != statistic:
+                raise SummaryError(
+                    f"estimator kind {kind!r} serves statistic "
+                    f"{caps.statistic!r}, not {statistic!r}")
+            if kind == default_kind_for(statistic):
+                kind = None    # the default family; snapshots stay lean
+        self.kind = kind
         self.statistic = statistic
         self.mode = mode
         self.eps = float(eps)
@@ -135,6 +154,20 @@ class StreamMiner:
                 estimator = SlidingWindowFrequencies(
                     eps, sliding_window, variable=variable)
             self.window_size = estimator.subwindow
+        elif kind is not None:
+            # A non-default registry family; its builder interprets the
+            # engine parameters for its own geometry.
+            if statistic == "quantile":
+                self.window_size = (int(window_size) if window_size
+                                    else max(1, math.ceil(1.0 / eps)))
+            estimator = build_estimator(
+                kind, eps=eps, window_size=window_size,
+                stream_length_hint=stream_length_hint)
+            if statistic == "frequency":
+                self.window_size = estimator.window_size
+            elif statistic == "distinct":
+                self.window_size = (int(window_size) if window_size
+                                    else 4096)
         elif statistic == "frequency":
             estimator = LossyCounting(eps)
             self.window_size = estimator.window_size
@@ -323,6 +356,10 @@ class StreamMiner:
         if self.statistic != "quantile" or self.mode != "history":
             raise QueryError(
                 "summaries are exposed by history-mode quantile miners only")
+        if not hasattr(self.estimator, "summaries"):
+            raise QueryError(
+                f"estimator kind {self.kind!r} holds no GK bucket "
+                "summaries; merge the estimators directly via merge()")
         return self.estimator.summaries()
 
     def frequency_items(self) -> list[tuple[float, int]]:
@@ -371,6 +408,7 @@ class StreamMiner:
             "kind": "stream-miner",
             "statistic": self.statistic,
             "eps": self.eps,
+            "estimator_kind": self.kind,
             "window_size": int(self.window_size),
             "stream_length_hint": self._stream_length_hint,
             "cpu_speedup": self._cpu_speedup,
@@ -409,7 +447,8 @@ class StreamMiner:
                     window_size=int(state["window_size"]),
                     device=device,
                     cpu_speedup=float(state["cpu_speedup"]),
-                    stream_length_hint=int(state["stream_length_hint"]))
+                    stream_length_hint=int(state["stream_length_hint"]),
+                    kind=state.get("estimator_kind"))
         miner._bind_estimator(estimator_from_state(state["estimator"]))
         miner._windower.restore_state(state)
         report = state.get("report", {})

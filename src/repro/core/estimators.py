@@ -41,8 +41,11 @@ from typing import Any, Protocol, runtime_checkable
 from ..errors import SummaryError
 
 __all__ = [
+    "BOUND_TYPES",
     "Estimator",
     "EstimatorCapabilities",
+    "build_estimator",
+    "default_kind_for",
     "estimator_capabilities",
     "estimator_from_state",
     "register_estimator",
@@ -53,6 +56,25 @@ __all__ = [
 #: The query metrics a capability record may advertise.
 QUERY_METRICS = ("quantile", "heavy_hitters", "top_k", "estimate",
                  "distinct")
+
+#: The guarantee shapes the conformance layer knows how to verify.
+#:
+#: ``"rank"``
+#:     Quantile answers land within ``eps * N`` ranks of the target
+#:     rank (GK, the exponential histogram, KLL, t-digest).
+#: ``"relative"``
+#:     Quantile answers land within ``eps * |x|`` of the true quantile
+#:     *value* ``x`` (DDSketch).
+#: ``"count-under"``
+#:     Point frequencies never overcount and undercount by at most
+#:     ``eps * N`` (lossy counting).
+#: ``"count-over"``
+#:     Point frequencies never undercount and overcount by at most
+#:     ``eps * N`` (count-min).
+#: ``"relative-std"``
+#:     A 2-sigma relative error on the estimate (KMV distinct counts).
+BOUND_TYPES = ("rank", "relative", "count-under", "count-over",
+               "relative-std")
 
 
 @dataclass(frozen=True)
@@ -85,6 +107,11 @@ class EstimatorCapabilities:
     entries_per_inverse_eps:
         Summary entries per ``1/eps`` (space model; sizes the
         compress-scan term).
+    bound_type:
+        The shape of the guarantee ``error_bound()`` states, one of
+        :data:`BOUND_TYPES`.  The conformance suite dispatches on this
+        to pick the exact-oracle check (rank error vs relative value
+        error vs one-sided count error).
     """
 
     statistic: str
@@ -95,6 +122,7 @@ class EstimatorCapabilities:
     merge_cycles: float = 40.0
     compress_cycles: float = 10.0
     entries_per_inverse_eps: float = 1.0
+    bound_type: str = "rank"
 
     def __post_init__(self):
         if self.statistic not in ("quantile", "frequency", "distinct"):
@@ -107,6 +135,10 @@ class EstimatorCapabilities:
                 f"known: {', '.join(QUERY_METRICS)}")
         if not self.metrics:
             raise SummaryError("capabilities must declare >= 1 metric")
+        if self.bound_type not in BOUND_TYPES:
+            raise SummaryError(
+                f"unknown bound type {self.bound_type!r}; "
+                f"known: {', '.join(BOUND_TYPES)}")
 
 
 @runtime_checkable
@@ -137,15 +169,32 @@ _KINDS: dict[str, type] = {}
 #: state ``"kind"`` tag -> :class:`EstimatorCapabilities`.
 _CAPABILITIES: dict[str, EstimatorCapabilities] = {}
 
+#: state ``"kind"`` tag -> builder ``(eps, window_size, hint) -> est``.
+_BUILDERS: dict[str, Any] = {}
+
+#: statistic -> the kind :class:`~repro.core.engine.StreamMiner` builds
+#: when no explicit kind is requested.  These are the paper's original
+#: summaries; newer families opt in per query via ``kind=``.
+_DEFAULT_KINDS = {
+    "quantile": "streaming-quantiles",
+    "frequency": "lossy-counting",
+    "distinct": "kmv",
+}
+
 
 def register_estimator(kind: str, cls: type, *, replace: bool = False,
-                       capabilities: EstimatorCapabilities | None = None
-                       ) -> None:
+                       capabilities: EstimatorCapabilities | None = None,
+                       builder=None) -> None:
     """Map a checkpoint ``kind`` tag to the class that restores it.
 
     ``capabilities`` declares the kind to the continuous-query planner;
     the registry-coverage guard in ``tests/query`` fails any kind that
     registers without one, so new estimator families stay plannable.
+
+    ``builder`` is a callable ``(eps, window_size, stream_length_hint)
+    -> estimator`` that constructs a fresh instance for the engine;
+    kinds registered without one can only be restored from state, never
+    requested by name through :func:`build_estimator`.
     """
     if kind in _KINDS and not replace and _KINDS[kind] is not cls:
         raise SummaryError(f"estimator kind {kind!r} already registered "
@@ -153,6 +202,38 @@ def register_estimator(kind: str, cls: type, *, replace: bool = False,
     _KINDS[kind] = cls
     if capabilities is not None:
         _CAPABILITIES[kind] = capabilities
+    if builder is not None:
+        _BUILDERS[kind] = builder
+
+
+def default_kind_for(statistic: str) -> str:
+    """The estimator kind a :class:`StreamMiner` builds by default."""
+    try:
+        return _DEFAULT_KINDS[statistic]
+    except KeyError:
+        raise SummaryError(
+            f"no default estimator kind for statistic {statistic!r}; "
+            f"known: {', '.join(sorted(_DEFAULT_KINDS))}") from None
+
+
+def build_estimator(kind: str, *, eps: float,
+                    window_size: int | None = None,
+                    stream_length_hint: int | None = None):
+    """Construct a fresh estimator of ``kind`` from engine parameters.
+
+    The registered builder decides what the parameters mean for its
+    family (DDSketch ignores the window; KLL sizes its compactors from
+    ``eps``; count-min sizes width from ``eps``).  Raises
+    :class:`SummaryError` for kinds without a registered builder (the
+    building blocks, e.g. ``gk-summary``).
+    """
+    builder = _BUILDERS.get(kind)
+    if builder is None:
+        known = ", ".join(sorted(_BUILDERS))
+        raise SummaryError(
+            f"estimator kind {kind!r} has no registered builder; "
+            f"buildable kinds: {known}")
+    return builder(eps, window_size, stream_length_hint)
 
 
 def registered_estimator_kinds() -> tuple[str, ...]:

@@ -1,5 +1,6 @@
 """Epsilon-approximate frequency estimation (paper Sections 2.1 and 5.1)."""
 
+from .count_min import CountMinSketch
 from .hierarchical import HierarchicalHeavyHitters
 from .lossy_counting import FrequencyEntry, LossyCounting
 from .misra_gries import MisraGries
@@ -7,6 +8,7 @@ from .space_saving import SpaceSaving
 from .sticky_sampling import StickySampling
 
 __all__ = [
+    "CountMinSketch",
     "FrequencyEntry",
     "HierarchicalHeavyHitters",
     "LossyCounting",

@@ -109,6 +109,47 @@ class LossyCounting:
         self._merge(histogram_from_sorted(np.sort(window)))
         self._compress()
 
+    def merge(self, other: "LossyCounting") -> "LossyCounting":
+        """A new summary covering both streams, still never overcounting.
+
+        Counted occurrences add; the missed-count bound of an entry the
+        other side does not track grows by that side's window count (it
+        may have counted and then deleted the value, missing at most one
+        occurrence per window).  Merged deltas stay below the combined
+        window count, so the undercount bound is
+        ``eps * (N1 + N2)`` and the deletion rule keeps working.
+        Trailing partial windows are re-fed through the merged summary.
+        """
+        if not isinstance(other, LossyCounting):
+            raise SummaryError(
+                f"cannot merge LossyCounting with {type(other).__name__}")
+        if other.eps != self.eps:
+            raise SummaryError(
+                f"merge needs matching eps: {self.eps} vs {other.eps}")
+        merged = LossyCounting(self.eps)
+        merged.count = self.count + other.count
+        merged.windows_processed = (self.windows_processed
+                                    + other.windows_processed)
+        for value, entry in self._entries.items():
+            twin = other._entries.get(value)
+            if twin is None:
+                merged._entries[value] = FrequencyEntry(
+                    count=entry.count,
+                    delta=entry.delta + other.windows_processed)
+            else:
+                merged._entries[value] = FrequencyEntry(
+                    count=entry.count + twin.count,
+                    delta=entry.delta + twin.delta)
+        for value, entry in other._entries.items():
+            if value not in self._entries:
+                merged._entries[value] = FrequencyEntry(
+                    count=entry.count,
+                    delta=entry.delta + self.windows_processed)
+        merged._compress()
+        if self._partial.size or other._partial.size:
+            merged.update(np.concatenate([self._partial, other._partial]))
+        return merged
+
     # ------------------------------------------------------------------
     # the uniform Estimator protocol
     # ------------------------------------------------------------------
@@ -286,4 +327,5 @@ register_estimator(
         metrics=("heavy_hitters", "top_k", "estimate"),
         driver="frequency",
         merge_cycles=40.0, compress_cycles=10.0,
-        entries_per_inverse_eps=1.0))
+        entries_per_inverse_eps=1.0, bound_type="count-under"),
+    builder=lambda eps, window_size, hint: LossyCounting(eps))

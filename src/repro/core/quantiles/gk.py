@@ -334,5 +334,6 @@ register_estimator(
     # planner must not map a query onto a bare gk-summary.
     capabilities=EstimatorCapabilities(
         statistic="quantile", metrics=("quantile",), driver=None,
+        mergeable=False,
         merge_cycles=40.0, compress_cycles=10.0,
-        entries_per_inverse_eps=1.0))
+        entries_per_inverse_eps=1.0, bound_type="rank"))

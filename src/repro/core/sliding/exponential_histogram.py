@@ -116,6 +116,44 @@ class StreamingQuantiles:
         """Convenience wrapper: sorts on the CPU then inserts."""
         self.add_sorted_window(np.sort(np.asarray(window).ravel()))
 
+    def merge(self, other: "StreamingQuantiles") -> "StreamingQuantiles":
+        """A new histogram answering for both streams' entire histories.
+
+        Bucket summaries are immutable, so the merge is pure: every
+        bucket from both sides joins one lossless
+        :meth:`QuantileSummary.merge_all` (error = max of parts, each
+        at most its bucket budget) followed by a single prune.  The
+        result lands one bucket id above the deepest part, whose budget
+        ``eps/2 + eps*(b+1)/(2L)`` covers the parts' budgets plus the
+        prune's ``eps/(2L)``, so the merged rank guarantee stays
+        ``eps * (N1 + N2)``.  Requires equal ``eps`` and window size
+        (the error schedule is parameterized by both).
+        """
+        if not isinstance(other, StreamingQuantiles):
+            raise SummaryError(
+                f"cannot merge StreamingQuantiles with "
+                f"{type(other).__name__}")
+        if other.eps != self.eps or other.window_size != self.window_size:
+            raise SummaryError(
+                f"merge needs matching schedules: eps {self.eps} vs "
+                f"{other.eps}, window {self.window_size} vs "
+                f"{other.window_size}")
+        merged = StreamingQuantiles(
+            self.eps, self.window_size,
+            max(self.horizon, other.horizon))
+        merged.count = self.count + other.count
+        while merged.count > merged.horizon:
+            merged.horizon *= 2
+        parts = list(self._buckets.items()) + list(other._buckets.items())
+        if parts:
+            summary = QuantileSummary.merge_all([s for _, s in parts])
+            bucket_id = max(bucket for bucket, _ in parts)
+            if len(parts) > 1:
+                summary = summary.prune(merged._prune_budget())
+                bucket_id += 1
+            merged._buckets = {bucket_id: summary}
+        return merged
+
     # ------------------------------------------------------------------
     # the uniform Estimator protocol
     # ------------------------------------------------------------------
@@ -227,6 +265,13 @@ class StreamingQuantiles:
                 f"bucket populations sum to {total}, expected {self.count}")
 
 
+def _build_streaming_quantiles(eps, window_size, stream_length_hint):
+    window = int(window_size) if window_size else max(
+        1, math.ceil(1.0 / eps))
+    hint = int(stream_length_hint) if stream_length_hint else 100_000_000
+    return StreamingQuantiles(eps, window, hint)
+
+
 register_estimator(
     "streaming-quantiles", StreamingQuantiles,
     # The GK-04 history-mode quantile cascade: window summaries merge
@@ -235,4 +280,5 @@ register_estimator(
     capabilities=EstimatorCapabilities(
         statistic="quantile", metrics=("quantile",), driver="quantile",
         merge_cycles=40.0, compress_cycles=10.0,
-        entries_per_inverse_eps=2.0))
+        entries_per_inverse_eps=2.0, bound_type="rank"),
+    builder=_build_streaming_quantiles)

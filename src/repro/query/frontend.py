@@ -199,7 +199,8 @@ class QueryFrontEnd:
         miner_kwargs = dict(self._miner_kwargs)
         miner_kwargs.update(statistic=key.statistic, eps=plan.eps,
                             num_shards=self.num_shards,
-                            backend=self.backend)
+                            backend=self.backend,
+                            kind=plan.kind)
         return build_service(self.executor, miner_kwargs,
                              self._service_kwargs)
 
@@ -216,19 +217,12 @@ class QueryFrontEnd:
         survives all its queries unregistering and is *not* stopped by
         :meth:`close` — whoever built it keeps its lifecycle.
 
-        ``kind`` defaults to the registered driver kind for
-        ``statistic`` (the planner's capability registry).
+        ``kind`` defaults to the default registry kind for
+        ``statistic`` — the one the planner's incumbent costing picks.
         """
         if kind is None:
-            from ..core.estimators import registered_capabilities
-            drivers = [k for k, caps in registered_capabilities().items()
-                       if caps.statistic == statistic
-                       and caps.driver is not None]
-            if not drivers:
-                raise QueryError(
-                    f"no registered driver kind for statistic "
-                    f"{statistic!r}")
-            kind = drivers[0]
+            from ..core.estimators import default_kind_for
+            kind = default_kind_for(statistic)
         from .spec import SketchKey
         handle = SketchHandle(
             SketchKey(statistic, key,

@@ -62,7 +62,8 @@ import numpy as np
 
 from ..backends import cpu_fallback_for
 from ..core.engine import EngineReport, StreamMiner
-from ..core.estimators import estimator_from_state
+from ..core.estimators import (default_kind_for, estimator_capabilities,
+                               estimator_from_state)
 from ..errors import QueryError, ServiceError, ShardFailedError
 from ..gpu.device import GpuDevice
 from ..gpu.faults import FaultInjector, FaultPlan
@@ -190,7 +191,8 @@ def _worker_main(shard_id: int, conn, ring_name: str, ring_capacity: int,
                 config["statistic"], eps=config["eps"],
                 backend=config["backend"], mode="history",
                 window_size=config["window_size"], device=device,
-                stream_length_hint=config["length_hint"])
+                stream_length_hint=config["length_hint"],
+                kind=config.get("kind"))
         metrics = ShardMetrics(shard_id)
         guard = ShardGuard(
             shard_id, miner, miner.sorter,
@@ -329,10 +331,13 @@ class _PoolQueryMixin:
 
     @property
     def _shard_eps(self) -> float:
-        # eps/2 per shard for quantiles: merging is lossless but the
-        # query-time prune back to B = ceil(1/eps) buckets costs the
-        # other eps/2.  Counting and KMV shards keep full eps.
-        return self.eps / 2.0 if self.statistic == "quantile" else self.eps
+        # eps/2 per shard for the default GK quantile path: merging is
+        # lossless but the query-time prune back to B = ceil(1/eps)
+        # buckets costs the other eps/2.  Explicit kinds merge within
+        # their own family without a prune, and counting and KMV shards
+        # keep full eps.
+        return (self.eps / 2.0 if self.statistic == "quantile"
+                and self.kind is None else self.eps)
 
     @property
     def _shard_hint(self) -> int:
@@ -344,7 +349,8 @@ class _PoolQueryMixin:
         return StreamMiner(
             self.statistic, eps=self._shard_eps, backend="cpu",
             mode="history", window_size=self._window_size_arg,
-            stream_length_hint=self._shard_hint).snapshot()
+            stream_length_hint=self._shard_hint,
+            kind=self.kind).snapshot()
 
     @property
     def window_size(self) -> int:
@@ -385,6 +391,11 @@ class _PoolQueryMixin:
         """Merge every worker's quantile buckets into one served summary."""
         if self.statistic != "quantile":
             raise QueryError("this service does not estimate quantiles")
+        if self.kind is not None:
+            raise QueryError(
+                f"estimator kind {self.kind!r} merges within its own "
+                "family, not through GK bucket summaries — query via "
+                "quantile()")
         summaries = []
         for payload in self._gather():
             estimator = estimator_from_state(payload["estimator"])
@@ -393,9 +404,28 @@ class _PoolQueryMixin:
             summaries.extend(estimator.summaries())
         return merge_quantile_summaries(summaries, self.eps, prune_budget)
 
+    def _merged_estimator(self):
+        """Every worker's estimator (plus ghosts) folded with the
+        family's own ``merge()`` — the generic-kind query path."""
+        estimators = [estimator_from_state(payload["estimator"])
+                      for payload in self._gather()]
+        estimators.extend(self._retired_estimators())
+        live = [est for est in estimators if int(est.processed) > 0]
+        if not live:
+            raise QueryError("no data processed yet")
+        merged = live[0]
+        for estimator in live[1:]:
+            merged = merged.merge(estimator)
+        return merged
+
     def quantile(self, phi: float) -> float:
-        """The phi-quantile over all shards, within ``eps * N`` ranks."""
-        result = self.combined_summary().quantile(phi)
+        """The phi-quantile over all shards, within the kind's bound."""
+        if self.kind is not None:
+            if self.statistic != "quantile":
+                raise QueryError("this service does not estimate quantiles")
+            result = self._merged_estimator().quantile(phi)
+        else:
+            result = self.combined_summary().quantile(phi)
         self.metrics.queries += 1
         return result
 
@@ -403,6 +433,11 @@ class _PoolQueryMixin:
         """Heavy hitters: per-value counts summed over shards + ghosts."""
         if self.statistic != "frequency":
             raise QueryError("this service does not estimate frequencies")
+        if self.kind is not None and "heavy_hitters" not in \
+                estimator_capabilities(self.kind).metrics:
+            raise QueryError(
+                f"estimator kind {self.kind!r} answers point estimates "
+                "only; it cannot enumerate heavy hitters")
         if not 0.0 <= support <= 1.0:
             raise QueryError(f"support must be in [0, 1], got {support}")
         if support < self.eps:
@@ -501,6 +536,7 @@ class _PoolQueryMixin:
             "version": 1,
             "kind": "sharded-miner",
             "statistic": self.statistic,
+            "estimator_kind": self.kind,
             "eps": self.eps,
             "num_shards": self.num_shards,
             "backend": self._backend_kind,
@@ -592,12 +628,25 @@ class MpShardedMiner(_PoolQueryMixin):
                  max_restarts: int | None = None,
                  policies: ServicePolicies | None = None,
                  mp_context: str = "spawn",
+                 kind: str | None = None,
                  shard_states: list[dict] | None = None,
                  retired: list[dict] | None = None):
         if num_shards < 1:
             raise ServiceError(f"need >= 1 shard, got {num_shards}")
         if statistic not in ("quantile", "frequency", "distinct"):
             raise ServiceError(f"unknown statistic {statistic!r}")
+        if kind is not None and kind == default_kind_for(statistic):
+            kind = None
+        if kind is not None:
+            caps = estimator_capabilities(kind)
+            if caps.statistic != statistic:
+                raise ServiceError(
+                    f"estimator kind {kind!r} serves statistic "
+                    f"{caps.statistic!r}, not {statistic!r}")
+            if not caps.mergeable:
+                raise ServiceError(
+                    f"estimator kind {kind!r} is not mergeable; the "
+                    "sharded pools need merge-on-query")
         if not 0.0 < eps < 1.0:
             raise ServiceError(f"eps must be in (0, 1), got {eps}")
         if not isinstance(backend, str):
@@ -634,6 +683,7 @@ class MpShardedMiner(_PoolQueryMixin):
                 f"got {len(shard_states)} shard states for "
                 f"{num_shards} shards")
         self.statistic = statistic
+        self.kind = kind
         self.eps = float(eps)
         self.num_shards = int(num_shards)
         self.partitioner = (partitioner if partitioner is not None
@@ -679,6 +729,7 @@ class MpShardedMiner(_PoolQueryMixin):
     # ------------------------------------------------------------------
     def _worker_config(self, link: _ShardLink) -> dict:
         return {"statistic": self.statistic, "eps": self._shard_eps,
+                "kind": self.kind,
                 "backend": self._backend_kind,
                 "window_size": self._window_size_arg,
                 "length_hint": self._shard_hint,
@@ -1026,6 +1077,7 @@ class MpShardedMiner(_PoolQueryMixin):
                    window_size=(int(window_size) if window_size is not None
                                 else None),
                    stream_length_hint=int(state["stream_length_hint"]),
+                   kind=state.get("estimator_kind"),
                    shard_states=[{"miner": s["miner"]} for s in shards],
                    retired=state.get("retired"),
                    **kwargs)

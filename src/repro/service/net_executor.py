@@ -54,6 +54,7 @@ import numpy as np
 from ..backends import cpu_fallback_for
 from ..core.distinct.kmv import hash_values
 from ..core.engine import StreamMiner
+from ..core.estimators import default_kind_for, estimator_capabilities
 from ..errors import ServiceError, ShardFailedError
 from ..gpu.device import GpuDevice
 from ..gpu.faults import FaultInjector, FaultPlan
@@ -135,7 +136,8 @@ def _net_worker_main(shard_id: int, host: str, port: int, token: str,
             config["statistic"], eps=config["eps"],
             backend=config["backend"], mode="history",
             window_size=config["window_size"], device=device,
-            stream_length_hint=config["length_hint"])
+            stream_length_hint=config["length_hint"],
+            kind=config.get("kind"))
     metrics = ShardMetrics(shard_id)
     guard = ShardGuard(
         shard_id, miner, miner.sorter,
@@ -320,12 +322,25 @@ class NetShardedMiner(_PoolQueryMixin):
                  net_fault_plan: NetFaultPlan | None = None,
                  host: str = "127.0.0.1",
                  mp_context: str = "spawn",
+                 kind: str | None = None,
                  shard_states: list[dict] | None = None,
                  retired: list[dict] | None = None):
         if num_shards < 1:
             raise ServiceError(f"need >= 1 shard, got {num_shards}")
         if statistic not in ("quantile", "frequency", "distinct"):
             raise ServiceError(f"unknown statistic {statistic!r}")
+        if kind is not None and kind == default_kind_for(statistic):
+            kind = None
+        if kind is not None:
+            caps = estimator_capabilities(kind)
+            if caps.statistic != statistic:
+                raise ServiceError(
+                    f"estimator kind {kind!r} serves statistic "
+                    f"{caps.statistic!r}, not {statistic!r}")
+            if not caps.mergeable:
+                raise ServiceError(
+                    f"estimator kind {kind!r} is not mergeable; the "
+                    "sharded pools need merge-on-query")
         if not 0.0 < eps < 1.0:
             raise ServiceError(f"eps must be in (0, 1), got {eps}")
         if not isinstance(backend, str):
@@ -360,6 +375,7 @@ class NetShardedMiner(_PoolQueryMixin):
                 f"got {len(shard_states)} shard states for "
                 f"{num_shards} shards")
         self.statistic = statistic
+        self.kind = kind
         self.eps = float(eps)
         self.num_shards = int(num_shards)
         self.partitioner = (partitioner if partitioner is not None
@@ -415,6 +431,7 @@ class NetShardedMiner(_PoolQueryMixin):
     def _worker_config(self, link: _NetLink) -> dict:
         pol = self.policies
         return {"statistic": self.statistic, "eps": self._shard_eps,
+                "kind": self.kind,
                 "backend": self._backend_kind,
                 "window_size": self._window_size_arg,
                 "length_hint": self._shard_hint,
@@ -1023,6 +1040,7 @@ class NetShardedMiner(_PoolQueryMixin):
                    window_size=(int(window_size) if window_size is not None
                                 else None),
                    stream_length_hint=int(state["stream_length_hint"]),
+                   kind=state.get("estimator_kind"),
                    shard_states=[{"miner": s["miner"]} for s in shards],
                    retired=state.get("retired"),
                    **kwargs)

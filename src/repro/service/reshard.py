@@ -74,7 +74,12 @@ def resharded_snapshot(state: dict, num_shards: int) -> dict:
     num_shards = int(num_shards)
     statistic = state["statistic"]
     eps = float(state["eps"])
-    shard_eps = eps / 2.0 if statistic == "quantile" else eps
+    estimator_kind = state.get("estimator_kind")
+    # Mirror the pool's eps accounting: only the default GK quantile
+    # path halves eps for the query-time prune; explicit kinds merge
+    # within their family at full eps.
+    shard_eps = (eps / 2.0 if statistic == "quantile"
+                 and estimator_kind is None else eps)
     hint = int(state["stream_length_hint"])
     shard_hint = max(1, math.ceil(hint / num_shards))
     window_size = state.get("window_size")
@@ -98,7 +103,7 @@ def resharded_snapshot(state: dict, num_shards: int) -> dict:
             statistic, eps=shard_eps, backend="cpu", mode="history",
             window_size=(int(window_size) if window_size is not None
                          else None),
-            stream_length_hint=shard_hint)
+            stream_length_hint=shard_hint, kind=estimator_kind)
         fresh.append({"miner": miner.snapshot(), "elements": 0,
                       "batches": 0})
 

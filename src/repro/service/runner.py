@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..backends import registered_backends
+from ..core.estimators import default_kind_for, estimator_capabilities
 from ..errors import ServiceError
 from ..gpu.faults import FaultPlan
 from ..obs import (MetricsRegistry, MetricsServer, register_engine_reports,
@@ -59,6 +60,8 @@ class ServeResult:
     producers: int
     #: which executor ran the shards (inline / async / mp).
     executor: str = "async"
+    #: explicit estimator kind (None = the statistic's default family).
+    kind: str | None = None
     #: phase -> {query label -> (estimate, exact, within_bound)}
     answers: dict[str, dict[str, tuple[float, float, bool]]] = \
         field(default_factory=dict)
@@ -131,13 +134,21 @@ async def _query_phase(service: StreamService, frontend: QueryFrontEnd,
     eps = result.eps
     if result.statistic == "quantile":
         reference = np.sort(seen)
+        # Relative-bound kinds (DDSketch) promise value accuracy, not
+        # rank accuracy — validate each against its own guarantee.
+        relative = (result.kind is not None and estimator_capabilities(
+            result.kind).bound_type == "relative")
         for p in phi:
             label = f"phi={p:g}"
             estimate = (await frontend.answer(query_ids[label])).value
             target = max(1, math.ceil(p * n))
-            err = _rank_error(reference, estimate, target)
-            answers[label] = (estimate, float(reference[target - 1]),
-                              err <= max(1, eps * n))
+            exact = float(reference[target - 1])
+            if relative:
+                ok = abs(estimate - exact) <= eps * abs(exact) + 1e-9
+            else:
+                err = _rank_error(reference, estimate, target)
+                ok = err <= max(1, eps * n)
+            answers[label] = (estimate, exact, ok)
     elif result.statistic == "frequency":
         values, counts = np.unique(seen, return_counts=True)
         true = dict(zip(values.tolist(), counts.tolist()))
@@ -262,7 +273,8 @@ def run_service_demo(statistic: str = "quantile", n: int = 100_000,
                      workers: int | None = None,
                      policies: ServicePolicies | None = None,
                      query_port: int | None = None,
-                     linger: float = 0.0) -> ServeResult:
+                     linger: float = 0.0,
+                     kind: str | None = None) -> ServeResult:
     """Run the end-to-end demo; see the module docstring.
 
     ``executor`` picks where the shards run (``inline`` / ``async`` /
@@ -300,6 +312,14 @@ def run_service_demo(statistic: str = "quantile", n: int = 100_000,
         if workers < 1:
             raise ServiceError(f"need >= 1 worker, got {workers}")
         num_shards = workers
+    if kind is not None and kind == default_kind_for(statistic):
+        kind = None
+    if (statistic == "frequency" and kind is not None
+            and "heavy_hitters" not in estimator_capabilities(kind).metrics):
+        raise ServiceError(
+            f"estimator kind {kind!r} answers point estimates only and "
+            "cannot serve the demo's heavy-hitter queries; use "
+            f"`repro frequent --kind {kind} --estimate VALUE` instead")
     data = GENERATORS[workload](n, seed=seed)
     fault_plan = (FaultPlan.transfers(fault_rate, seed=seed)
                   if fault_rate > 0 else None)
@@ -307,7 +327,8 @@ def run_service_demo(statistic: str = "quantile", n: int = 100_000,
              if checkpoint_dir is not None else None)
     miner_kwargs = dict(statistic=statistic, eps=eps, num_shards=num_shards,
                         backend=backend, window_size=window_size,
-                        stream_length_hint=n, fault_plan=fault_plan)
+                        stream_length_hint=n, fault_plan=fault_plan,
+                        kind=kind)
     if policies is not None:
         miner_kwargs["policies"] = policies
     service = resolve_executor(executor)(
@@ -317,7 +338,7 @@ def run_service_demo(statistic: str = "quantile", n: int = 100_000,
              checkpoint_interval=checkpoint_interval))
     miner = service.miner
     result = ServeResult(statistic, n, eps, num_shards, producers,
-                         executor=executor)
+                         executor=executor, kind=kind)
     slices = np.array_split(data, producers)
 
     # The front-end adopts the service's pool as a live sketch: the
@@ -325,7 +346,8 @@ def run_service_demo(statistic: str = "quantile", n: int = 100_000,
     # eps-dominance instead of building pools of their own.
     frontend = QueryFrontEnd(executor=executor, backend=backend,
                              num_shards=num_shards)
-    frontend.adopt(service, statistic=statistic, eps=eps, key=STREAM_KEY)
+    frontend.adopt(service, statistic=statistic, eps=eps, key=STREAM_KEY,
+                   kind=kind)
 
     server: MetricsServer | None = None
     if metrics_port is not None:

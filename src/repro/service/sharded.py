@@ -53,7 +53,8 @@ import numpy as np
 
 from ..backends import cpu_fallback_for
 from ..core.engine import EngineReport, StreamMiner
-from ..core.estimators import estimator_from_state
+from ..core.estimators import (default_kind_for, estimator_capabilities,
+                               estimator_from_state)
 from ..core.quantiles.window import QuantileSummary
 from ..errors import QueryError, ServiceError
 from ..gpu.device import GpuDevice
@@ -135,6 +136,11 @@ class ShardedMiner:
         Sorting backend for every shard (``"gpu"`` or ``"cpu"``).
     window_size:
         Per-shard window width (quantile/distinct statistics).
+    kind:
+        Explicit estimator kind from the registry (``"ddsketch"``,
+        ``"kll"``, ``"tdigest"``, ``"count-min"``, ...).  Must be
+        capability-mergeable: queries fold the per-shard estimators
+        with their family ``merge()`` instead of the GK summary path.
     partitioner:
         Tuple router; defaults to hash-by-value for frequencies and
         round-robin otherwise (see :mod:`repro.service.sharding`).
@@ -178,6 +184,7 @@ class ShardedMiner:
                  retry: RetryPolicy | None = None,
                  breaker_failure_threshold: int | None = None,
                  breaker_cooldown_batches: int | None = None, *,
+                 kind: str | None = None,
                  policies: ServicePolicies | None = None,
                  retired: list[dict] | None = None):
         if num_shards < 1:
@@ -186,6 +193,19 @@ class ShardedMiner:
             raise ServiceError(f"unknown statistic {statistic!r}")
         if not 0.0 < eps < 1.0:
             raise ServiceError(f"eps must be in (0, 1), got {eps}")
+        if kind is not None and kind == default_kind_for(statistic):
+            kind = None
+        if kind is not None:
+            caps = estimator_capabilities(kind)
+            if caps.statistic != statistic:
+                raise ServiceError(
+                    f"estimator kind {kind!r} serves statistic "
+                    f"{caps.statistic!r}, not {statistic!r}")
+            if not caps.mergeable:
+                raise ServiceError(
+                    f"estimator kind {kind!r} is not mergeable; the "
+                    "sharded pools answer by merge-on-query")
+        self.kind = kind
         if fault_plan is not None and backend != "gpu":
             raise ServiceError(
                 "fault injection targets the simulated GPU; "
@@ -223,8 +243,11 @@ class ShardedMiner:
         self.retired = [dict(state) for state in (retired or [])]
         # Quantile shards run at eps/2 so the query-time prune (budget
         # ceil(1/eps), adding 1/(2B) <= eps/2) lands the served summary
-        # back at eps exactly — see the module docstring.
-        shard_eps = eps / 2.0 if statistic == "quantile" else eps
+        # back at eps exactly — see the module docstring.  Non-default
+        # kinds merge within their own family losslessly (bucket /
+        # table / centroid addition), so their shards run at full eps.
+        shard_eps = (eps / 2.0 if statistic == "quantile" and kind is None
+                     else eps)
         # Hint each shard with its own expected share so the exponential
         # histogram's error schedule is not over-provisioned.
         shard_hint = max(1, math.ceil(stream_length_hint / num_shards))
@@ -243,7 +266,8 @@ class ShardedMiner:
             self._miners.append(
                 StreamMiner(statistic, eps=shard_eps, backend=backend,
                             mode="history", window_size=window_size,
-                            device=device, stream_length_hint=shard_hint))
+                            device=device, stream_length_hint=shard_hint,
+                            kind=kind))
         self.metrics = ServiceMetrics(
             shards=[ShardMetrics(i) for i in range(self.num_shards)])
         # One dispatch guard per shard: a CPU fallback exists wherever
@@ -410,6 +434,11 @@ class ShardedMiner:
         """
         if self.statistic != "quantile":
             raise QueryError("this service does not estimate quantiles")
+        if self.kind is not None:
+            raise QueryError(
+                f"estimator kind {self.kind!r} merges within its own "
+                "family, not through GK bucket summaries — query via "
+                "quantile()")
 
         def merge() -> QuantileSummary:
             summaries = [s for m in self._miners
@@ -425,9 +454,32 @@ class ShardedMiner:
             return self._memo("summary", merge)
         return merge()
 
+    def _merged_estimator(self):
+        """Every shard's estimator (plus ghosts) folded with the
+        family's own ``merge()`` — the generic-kind query path,
+        memoized per state version like the GK summary."""
+
+        def merge():
+            estimators = [m.estimator for m in self._miners]
+            estimators.extend(self._retired_estimators())
+            live = [est for est in estimators if int(est.processed) > 0]
+            if not live:
+                raise QueryError("no data processed yet")
+            merged = live[0]
+            for estimator in live[1:]:
+                merged = merged.merge(estimator)
+            return merged
+
+        return self._memo("merged", merge)
+
     def quantile(self, phi: float) -> float:
-        """The phi-quantile over all shards, within ``eps * N`` ranks."""
-        result = self.combined_summary().quantile(phi)
+        """The phi-quantile over all shards, within the kind's bound."""
+        if self.kind is not None:
+            if self.statistic != "quantile":
+                raise QueryError("this service does not estimate quantiles")
+            result = self._merged_estimator().quantile(phi)
+        else:
+            result = self.combined_summary().quantile(phi)
         self.metrics.queries += 1
         return result
 
@@ -440,6 +492,11 @@ class ShardedMiner:
         """
         if self.statistic != "frequency":
             raise QueryError("this service does not estimate frequencies")
+        if self.kind is not None and "heavy_hitters" not in \
+                estimator_capabilities(self.kind).metrics:
+            raise QueryError(
+                f"estimator kind {self.kind!r} answers point estimates "
+                "only; it cannot enumerate heavy hitters")
         if not 0.0 <= support <= 1.0:
             raise QueryError(f"support must be in [0, 1], got {support}")
         if support < self.eps:
@@ -526,6 +583,7 @@ class ShardedMiner:
             "kind": "sharded-miner",
             "statistic": self.statistic,
             "eps": self.eps,
+            "estimator_kind": self.kind,
             "num_shards": self.num_shards,
             "backend": self._backend_kind,
             "window_size": self._window_size_arg,
@@ -590,6 +648,7 @@ class ShardedMiner:
                    window_size=(int(window_size) if window_size is not None
                                 else None),
                    stream_length_hint=int(state["stream_length_hint"]),
+                   kind=state.get("estimator_kind"),
                    retired=state.get("retired"),
                    **kwargs)
         pool.partitioner.restore_state(state["partitioner"])

@@ -1,0 +1,117 @@
+"""Bound-type abstraction: one oracle check per guarantee class.
+
+``EstimatorCapabilities.bound_type`` names *what* an estimator promises
+(:data:`repro.core.estimators.BOUND_TYPES`); this module encodes *how
+to check it* against an exact offline oracle, so conformance tests are
+written once per guarantee class rather than once per algorithm:
+
+* ``rank`` — the answer's rank is within ``error_bound() * N`` of the
+  target rank (GK, exponential histogram, KLL, t-digest);
+* ``relative`` — the answer's *value* is within ``error_bound()``
+  relative error of the true quantile value (DDSketch);
+* ``count-over`` — point estimates never undercount and overcount by
+  at most ``error_bound() * N`` (count-min);
+* ``count-under`` — point estimates never overcount and undercount by
+  at most ``error_bound() * N`` (lossy counting);
+* ``relative-std`` — randomized relative standard error; checked at
+  three sigmas (KMV).
+
+:func:`assert_conformant` dispatches on the *registered* bound type, so
+an estimator whose registration claims the wrong guarantee fails the
+suite — the declaration, not the implementation, picks the check.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.estimators import estimator_capabilities
+
+from .conftest import exact_counts
+
+PHI_GRID = np.linspace(0.0, 1.0, 21)
+
+
+def assert_rank_bound(estimator, data: np.ndarray) -> None:
+    """Every grid quantile's rank is within ``error_bound() * N``."""
+    reference = np.sort(np.asarray(data).ravel())
+    n = reference.size
+    budget = max(1, estimator.error_bound() * n)
+    for phi in PHI_GRID:
+        estimate = estimator.quantile(float(phi))
+        target = max(1, int(math.ceil(phi * n)))
+        lo = int(np.searchsorted(reference, estimate, "left")) + 1
+        hi = int(np.searchsorted(reference, estimate, "right"))
+        err = max(lo - target, target - hi, 0)
+        assert err <= budget, \
+            f"rank error {err} > {budget} at phi={phi:g} " \
+            f"(estimate {estimate}, n={n})"
+
+
+def assert_relative_bound(estimator, data: np.ndarray) -> None:
+    """Every grid quantile is within relative ``error_bound()`` of the
+    exact quantile *value* (the DDSketch contract)."""
+    reference = np.sort(np.asarray(data).ravel())
+    n = reference.size
+    alpha = estimator.error_bound()
+    for phi in PHI_GRID:
+        target = max(1, int(math.ceil(phi * n)))
+        exact = float(reference[target - 1])
+        estimate = estimator.quantile(float(phi))
+        tolerance = alpha * abs(exact) * (1.0 + 1e-9) + 1e-9
+        assert abs(estimate - exact) <= tolerance, \
+            f"value error {abs(estimate - exact)} > alpha={alpha:g} * " \
+            f"|{exact}| at phi={phi:g}"
+
+
+def assert_count_over_bound(estimator, data: np.ndarray) -> None:
+    """Point estimates never undercount; overcount <= bound * N."""
+    data = np.asarray(data).ravel()
+    budget = estimator.error_bound() * data.size
+    for value, true in exact_counts(data).items():
+        est = estimator.estimate(value)
+        assert est >= true, \
+            f"over-estimator undercounts {value}: {est} < {true}"
+        assert est - true <= budget, \
+            f"overcount {est - true} > {budget} for {value}"
+
+
+def assert_count_under_bound(estimator, data: np.ndarray) -> None:
+    """Point estimates never overcount; undercount <= bound * N."""
+    data = np.asarray(data).ravel()
+    budget = estimator.error_bound() * data.size
+    for value, true in exact_counts(data).items():
+        est = estimator.estimate(value)
+        assert est <= true, \
+            f"under-estimator overcounts {value}: {est} > {true}"
+        assert true - est <= budget, \
+            f"undercount {true - est} > {budget} for {value}"
+
+
+def assert_relative_std_bound(estimator, data: np.ndarray) -> None:
+    """Randomized cardinality estimate within 3x its relative std."""
+    data = np.asarray(data).ravel()
+    exact = float(np.unique(data).size)
+    estimate = float(estimator.estimate())
+    tolerance = 3.0 * estimator.error_bound() * exact + 2.0
+    assert abs(estimate - exact) <= tolerance, \
+        f"distinct estimate {estimate} vs exact {exact} " \
+        f"exceeds 3-sigma {tolerance}"
+
+
+BOUND_CHECKS = {
+    "rank": assert_rank_bound,
+    "relative": assert_relative_bound,
+    "count-over": assert_count_over_bound,
+    "count-under": assert_count_under_bound,
+    "relative-std": assert_relative_std_bound,
+}
+
+
+def assert_conformant(kind: str, estimator, data: np.ndarray) -> None:
+    """Check ``estimator`` against the oracle for its *registered*
+    bound type — wrong declarations fail, not just wrong answers."""
+    bound_type = estimator_capabilities(kind).bound_type
+    BOUND_CHECKS[bound_type](estimator, data)

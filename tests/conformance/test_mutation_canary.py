@@ -12,11 +12,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.frequencies.count_min import CountMinSketch
 from repro.core.frequencies.misra_gries import MisraGries
+from repro.core.quantiles.ddsketch import DDSketch
 from repro.core.quantiles.gk import GKSummary
 
 from ..conftest import worst_quantile_error
-from .conftest import make_workload
+from .bounds import assert_count_over_bound, assert_relative_bound
+from .conftest import make_workload, quantize
 
 
 class TestCanary:
@@ -47,3 +50,35 @@ class TestCanary:
         # is well above zero; demanding exactness must fail.
         with pytest.raises(AssertionError):
             assert worst <= 0
+
+    def test_broken_ddsketch_gamma_fails_relative_check(self):
+        # A sketch whose bucket base drifted from its declared alpha
+        # (say, a refactor recomputing gamma wrong) places values in
+        # much-too-coarse buckets; the relative-bound oracle must
+        # notice while error_bound() keeps claiming the old alpha.
+        data = make_workload("zipf", 4096)
+        broken = DDSketch(alpha=0.01)
+        broken.gamma = (1.0 + 0.3) / (1.0 - 0.3)
+        broken._log_gamma = np.log(broken.gamma)
+        broken.update(data)
+        with pytest.raises(AssertionError):
+            assert_relative_bound(broken, data)
+
+        # The untampered sketch passes the identical check.
+        honest = DDSketch(alpha=0.01)
+        honest.update(data)
+        assert_relative_bound(honest, data)
+
+    def test_starved_count_min_width_fails_overcount_check(self):
+        # Overriding width far below ceil(e / eps) packs the whole
+        # alphabet into two counters per row; collisions blow the
+        # eps * N overcount budget that error_bound() still advertises.
+        data = quantize(make_workload("zipf", 8192))
+        broken = CountMinSketch(eps=0.001, width=2)
+        broken.update(data)
+        with pytest.raises(AssertionError):
+            assert_count_over_bound(broken, data)
+
+        honest = CountMinSketch(eps=0.001)
+        honest.update(data)
+        assert_count_over_bound(honest, data)

@@ -1,0 +1,83 @@
+"""Modern sketch families honour their *registered* bound types.
+
+Each new registry kind (DDSketch, KLL, t-digest, count-min) is checked
+against an exact oracle on every adversarial workload, with the check
+dispatched on the kind's declared ``bound_type`` (see ``bounds.py``) —
+so both a wrong answer and a wrong declaration fail.  The merged
+variants re-run the same checks on shard-style splits folded with each
+family's ``merge()``, which is exactly what the sharded pools serve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import build_estimator, estimator_capabilities
+
+from .bounds import assert_conformant
+from .conftest import make_workload, quantize
+
+N = 4096
+WINDOW = 256
+EPS = 0.02
+#: every kind this suite locks down, with how its stream is prepared.
+QUANTILE_KINDS = ("ddsketch", "kll", "tdigest")
+FREQUENCY_KINDS = ("count-min",)
+
+
+def _windows(data: np.ndarray):
+    for start in range(0, data.size, WINDOW):
+        yield np.sort(data[start:start + WINDOW])
+
+
+def _ingest(kind: str, data: np.ndarray):
+    estimator = build_estimator(kind, eps=EPS, window_size=WINDOW,
+                                stream_length_hint=N)
+    for window in _windows(data):
+        estimator.update_batch(window)
+    return estimator
+
+
+def _stream(kind: str, workload_name: str) -> np.ndarray:
+    data = make_workload(workload_name, N)
+    if estimator_capabilities(kind).statistic == "frequency":
+        return quantize(data)
+    return data
+
+
+@pytest.mark.parametrize("kind", QUANTILE_KINDS + FREQUENCY_KINDS)
+class TestDeclaredBound:
+    def test_single_stream_within_bound(self, kind, workload_name):
+        data = _stream(kind, workload_name)
+        assert_conformant(kind, _ingest(kind, data), data)
+
+    def test_merged_shards_within_bound(self, kind, workload_name):
+        """Four shard-style splits folded with the family merge()."""
+        data = _stream(kind, workload_name)
+        parts = np.array_split(data, 4)
+        shards = [_ingest(kind, part) for part in parts]
+        merged = shards[0]
+        for shard in shards[1:]:
+            merged = merged.merge(shard)
+        assert merged.processed == data.size
+        assert_conformant(kind, merged, data)
+
+    def test_snapshot_restore_is_conformant(self, kind, workload_name):
+        """A round-tripped estimator serves the same guarantee."""
+        data = _stream(kind, workload_name)
+        estimator = _ingest(kind, data)
+        restored = type(estimator).from_state(estimator.to_state())
+        assert_conformant(kind, restored, data)
+
+
+class TestBoundTypeDispatch:
+    def test_every_new_kind_declares_the_right_guarantee(self):
+        """The declarations the dispatch relies on, pinned."""
+        assert estimator_capabilities("ddsketch").bound_type == "relative"
+        assert estimator_capabilities("kll").bound_type == "rank"
+        assert estimator_capabilities("tdigest").bound_type == "rank"
+        assert estimator_capabilities("count-min").bound_type == "count-over"
+        assert estimator_capabilities(
+            "lossy-counting").bound_type == "count-under"
+        assert estimator_capabilities("kmv").bound_type == "relative-std"

@@ -1,0 +1,66 @@
+"""Shared per-kind factories and probes for the cross-cutting suites.
+
+The round-trip, merge-algebra, and registry-guard tests all need the
+same two things: a way to build a small instance of *every* registered
+estimator kind, and a way to read back every answer it can give,
+exactly.  Keeping them here means adding a kind to the registry forces
+one edit that lights up all three suites at once (the guard asserts
+the factory table stays in sync with the registry).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distinct.kmv import KMinValues
+from repro.core.frequencies.count_min import CountMinSketch
+from repro.core.frequencies.lossy_counting import LossyCounting
+from repro.core.quantiles.ddsketch import DDSketch
+from repro.core.quantiles.gk import GKSummary
+from repro.core.quantiles.kll import KLLSketch
+from repro.core.quantiles.tdigest import TDigest
+from repro.core.sliding.exponential_histogram import StreamingQuantiles
+
+WINDOW = 32
+
+#: kind tag -> fresh estimator; must cover every registered kind.
+KIND_FACTORIES = {
+    "count-min": lambda: CountMinSketch(eps=0.05, seed=11),
+    "ddsketch": lambda: DDSketch(alpha=0.05),
+    "gk-summary": lambda: GKSummary(eps=0.05),
+    "kll": lambda: KLLSketch(eps=0.1, seed=5),
+    "kmv": lambda: KMinValues(k=64, seed=3),
+    # eps=1/WINDOW makes lossy counting's internal window match ours.
+    "lossy-counting": lambda: LossyCounting(eps=1.0 / WINDOW),
+    "streaming-quantiles": lambda: StreamingQuantiles(
+        eps=0.1, window_size=WINDOW, stream_length_hint=10_000),
+    "tdigest": lambda: TDigest(delta=0.1),
+}
+
+#: every registered kind whose capabilities declare ``mergeable``.
+MERGEABLE_KINDS = ("count-min", "ddsketch", "kll", "kmv",
+                   "lossy-counting", "streaming-quantiles", "tdigest")
+
+#: mergeable kinds whose merge is *answer-exact* under window-aligned
+#: ingest: counter tables / bucket dicts / k-min sets combine by pure
+#: addition or union, so a+b and b+a answer identically.  The rest
+#: (compactor/centroid/prune families) are order-sensitive internally
+#: and promise only that every merge order stays within the bound.
+EXACT_MERGE_KINDS = ("count-min", "ddsketch", "kmv", "lossy-counting")
+
+PHIS = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+def kind_answers(kind: str, estimator, probes: np.ndarray) -> list:
+    """Every query answer the estimator can give, exactly."""
+    if kind in ("ddsketch", "gk-summary", "kll", "streaming-quantiles",
+                "tdigest"):
+        return [estimator.query(phi) for phi in PHIS]
+    if kind == "kmv":
+        return [estimator.query()]
+    if kind == "lossy-counting":
+        return [estimator.frequent_items(0.2),
+                [estimator.estimate(v) for v in probes.tolist()]]
+    if kind == "count-min":
+        return [[estimator.estimate(v) for v in probes.tolist()]]
+    raise AssertionError(f"unhandled kind {kind}")

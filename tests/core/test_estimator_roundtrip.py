@@ -17,26 +17,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.distinct.kmv import KMinValues
 from repro.core.estimators import (estimator_from_state,
                                    registered_estimator_kinds)
-from repro.core.frequencies.lossy_counting import LossyCounting
-from repro.core.quantiles.gk import GKSummary
-from repro.core.sliding.exponential_histogram import StreamingQuantiles
 
-WINDOW = 32
-
-#: kind tag -> fresh estimator; must cover every registered kind.
-KIND_FACTORIES = {
-    "gk-summary": lambda: GKSummary(eps=0.05),
-    "kmv": lambda: KMinValues(k=64, seed=3),
-    # eps=1/WINDOW makes lossy counting's internal window match ours.
-    "lossy-counting": lambda: LossyCounting(eps=1.0 / WINDOW),
-    "streaming-quantiles": lambda: StreamingQuantiles(
-        eps=0.1, window_size=WINDOW, stream_length_hint=10_000),
-}
-
-PHIS = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+from .estimator_kinds import WINDOW, KIND_FACTORIES, kind_answers
 
 
 def test_every_registered_kind_is_covered():
@@ -46,16 +30,7 @@ def test_every_registered_kind_is_covered():
         "add the new kind to the round-trip property test"
 
 
-def _answers(kind: str, estimator, probes: np.ndarray) -> list:
-    """Every query answer the estimator can give, exactly."""
-    if kind in ("gk-summary", "streaming-quantiles"):
-        return [estimator.query(phi) for phi in PHIS]
-    if kind == "kmv":
-        return [estimator.query()]
-    if kind == "lossy-counting":
-        return [estimator.frequent_items(0.2),
-                [estimator.estimate(v) for v in probes.tolist()]]
-    raise AssertionError(f"unhandled kind {kind}")
+_answers = kind_answers
 
 
 def _window(values: list[float]) -> np.ndarray:

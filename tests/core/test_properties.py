@@ -4,11 +4,17 @@ import math
 from collections import Counter
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (GKSummary, LossyCounting, MisraGries,
                         QuantileSummary, SpaceSaving)
+from repro.core.estimators import estimator_capabilities
+
+from ..conformance.bounds import assert_conformant
+from .estimator_kinds import (EXACT_MERGE_KINDS, KIND_FACTORIES,
+                              MERGEABLE_KINDS, WINDOW, kind_answers)
 
 values = st.floats(min_value=-1e4, max_value=1e4,
                    allow_nan=False, allow_infinity=False, width=32)
@@ -66,67 +72,115 @@ def _assert_eps_guarantee(summary, reference, eps):
         assert max(lo - target, target - hi, 0) <= max(1, eps * n)
 
 
-@settings(max_examples=40, deadline=None)
-@given(st.lists(values, min_size=1, max_size=300),
-       st.lists(values, min_size=1, max_size=300), eps_values)
-def test_merge_commutative(a, b, eps):
-    """a+b and b+a agree on count/error and both keep the guarantee.
+# ----------------------------------------------------------------------
+# merge algebra over every registered mergeable estimator kind
+# ----------------------------------------------------------------------
+# The sharded pools fold shard estimators with each family's merge();
+# these properties are what makes that fold serve honest answers in any
+# arrival order.  Counter-table / bucket-dict / k-min-set families
+# (EXACT_MERGE_KINDS) merge by pure addition or union, so their answers
+# must be *identical* across merge orders; compactor/centroid/prune
+# families are order-sensitive internally and instead must keep their
+# declared bound (dispatched on the registered bound_type) for every
+# merge order.
 
-    (Entry rank bounds may differ on cross-summary ties — the tie-break
-    orders `self` before `other` — so commutativity is of the GK-04
-    guarantees, not of the entry lists.)
-    """
-    sa = QuantileSummary.from_sorted(np.sort(np.array(a)), eps)
-    sb = QuantileSummary.from_sorted(np.sort(np.array(b)), eps)
-    ab, ba = sa.merge(sb), sb.merge(sa)
-    assert ab.count == ba.count == len(a) + len(b)
-    assert ab.error == ba.error == eps
-    reference = np.sort(np.concatenate([a, b]))
-    _assert_eps_guarantee(ab, reference, eps)
-    _assert_eps_guarantee(ba, reference, eps)
+window_values = st.lists(values, min_size=WINDOW, max_size=WINDOW)
+part_streams = st.lists(window_values, min_size=1, max_size=3)
 
 
-@settings(max_examples=40, deadline=None)
-@given(st.lists(values, min_size=1, max_size=200),
-       st.lists(values, min_size=1, max_size=200),
-       st.lists(values, min_size=1, max_size=200), eps_values)
-def test_merge_associative(a, b, c, eps):
-    """(a+b)+c and a+(b+c) agree on count/error and keep the guarantee."""
-    sa, sb, sc = (QuantileSummary.from_sorted(np.sort(np.array(x)), eps)
-                  for x in (a, b, c))
+def _build(kind: str, windows) -> object:
+    estimator = KIND_FACTORIES[kind]()
+    for values_ in windows:
+        window = np.sort(np.asarray(values_, dtype=np.float32))
+        if kind == "kmv":
+            # KMV's update_batch absorbs pre-hashed pipeline windows;
+            # update() is its raw-value entry point.
+            estimator.update(window)
+        else:
+            estimator.update_batch(window)
+    return estimator
+
+
+def _flat(parts) -> np.ndarray:
+    return np.concatenate([np.asarray(w, dtype=np.float32)
+                           for part in parts for w in part])
+
+
+def _check(kind: str, merged, parts) -> None:
+    data = _flat(parts)
+    assert int(merged.processed) == data.size
+    # KMV's relative-std bound is probabilistic: 3 sigmas still flakes
+    # on a few in a thousand value sets, and hypothesis generates fresh
+    # sets every run.  Its merge is an exact set union, so the answer
+    # equality the EXACT_MERGE_KINDS branches assert is the stronger,
+    # deterministic property; the fixed-workload conformance suite
+    # covers its accuracy.
+    if kind != "kmv":
+        assert_conformant(kind, merged, data)
+
+
+@pytest.mark.parametrize("kind", MERGEABLE_KINDS)
+def test_mergeable_kinds_cover_the_registry(kind):
+    """The parametrization stays honest: every listed kind really is
+    registered mergeable (the registry guard checks the converse)."""
+    assert estimator_capabilities(kind).mergeable
+
+
+@pytest.mark.parametrize("kind", MERGEABLE_KINDS)
+@given(a=part_streams, b=part_streams)
+@settings(max_examples=15, deadline=None)
+def test_merge_commutative(kind, a, b):
+    """a+b and b+a both serve the combined stream within bound; the
+    addition/union families must agree answer-for-answer."""
+    ab = _build(kind, a).merge(_build(kind, b))
+    ba = _build(kind, b).merge(_build(kind, a))
+    if kind in EXACT_MERGE_KINDS:
+        probes = np.sort(np.asarray(a[0], dtype=np.float32))
+        assert kind_answers(kind, ab, probes) == \
+            kind_answers(kind, ba, probes)
+    _check(kind, ab, [a, b])
+    _check(kind, ba, [a, b])
+
+
+@pytest.mark.parametrize("kind", MERGEABLE_KINDS)
+@given(a=part_streams, b=part_streams, c=part_streams)
+@settings(max_examples=10, deadline=None)
+def test_merge_associative(kind, a, b, c):
+    """(a+b)+c and a+(b+c) both keep the declared bound; addition/union
+    families must agree answer-for-answer."""
+    sa, sb, sc = (_build(kind, part) for part in (a, b, c))
     left = sa.merge(sb).merge(sc)
-    right = sa.merge(sb.merge(sc))
-    assert left.count == right.count == len(a) + len(b) + len(c)
-    assert left.error == right.error == eps
-    reference = np.sort(np.concatenate([a, b, c]))
-    _assert_eps_guarantee(left, reference, eps)
-    _assert_eps_guarantee(right, reference, eps)
+    sa2, sb2, sc2 = (_build(kind, part) for part in (a, b, c))
+    right = sa2.merge(sb2.merge(sc2))
+    if kind in EXACT_MERGE_KINDS:
+        probes = np.sort(np.asarray(a[0], dtype=np.float32))
+        assert kind_answers(kind, left, probes) == \
+            kind_answers(kind, right, probes)
+    _check(kind, left, [a, b, c])
+    _check(kind, right, [a, b, c])
 
 
-@settings(max_examples=25, deadline=None)
-@given(st.lists(st.lists(values, min_size=1, max_size=120),
-                min_size=2, max_size=6),
-       eps_values, st.randoms(use_true_random=False))
-def test_merge_all_order_insensitive(shards, eps, rnd):
-    """The shard service's reduction: merge_all over k per-shard
-    summaries matches a shuffled merge_all and a sequential fold, and
-    the merged error never exceeds eps (merge is lossless)."""
-    summaries = [QuantileSummary.from_sorted(np.sort(np.array(s)), eps)
-                 for s in shards]
-    shuffled = list(summaries)
-    rnd.shuffle(shuffled)
-    tree = QuantileSummary.merge_all(summaries)
-    tree_shuffled = QuantileSummary.merge_all(shuffled)
-    fold = summaries[0]
-    for s in summaries[1:]:
-        fold = fold.merge(s)
-    total = sum(len(s) for s in shards)
-    assert tree.count == tree_shuffled.count == fold.count == total
-    assert max(tree.error, tree_shuffled.error, fold.error) <= eps
-    reference = np.sort(np.concatenate(shards))
-    _assert_eps_guarantee(tree, reference, eps)
-    _assert_eps_guarantee(tree_shuffled, reference, eps)
-    _assert_eps_guarantee(fold, reference, eps)
+@pytest.mark.parametrize("kind", MERGEABLE_KINDS)
+@given(parts=st.lists(part_streams, min_size=2, max_size=4))
+@settings(max_examples=10, deadline=None)
+def test_merge_of_parts_vs_sequential_ingest(kind, parts):
+    """Folding per-part estimators serves the same guarantee as one
+    estimator ingesting the whole stream — the reshard/ghost contract."""
+    fold = _build(kind, parts[0])
+    for part in parts[1:]:
+        fold = fold.merge(_build(kind, part))
+    sequential = _build(kind, [w for part in parts for w in part])
+    assert int(fold.processed) == int(sequential.processed)
+    if kind in ("ddsketch", "kmv"):
+        # Pure-addition/union state: the fold IS the sequential ingest.
+        probes = np.sort(np.asarray(parts[0][0], dtype=np.float32))
+        assert kind_answers(kind, fold, probes) == \
+            kind_answers(kind, sequential, probes)
+    if kind == "kmv":
+        return  # randomized bound; see _check
+    data = _flat(parts)
+    assert_conformant(kind, fold, data)
+    assert_conformant(kind, sequential, data)
 
 
 @settings(max_examples=40, deadline=None)

@@ -1,0 +1,110 @@
+"""Registry-coverage guard: a kind without its contract fails here.
+
+Registering an estimator kind is a promise to the rest of the stack —
+the planner costs it through ``EstimatorCapabilities``, checkpoints
+rebuild it through ``estimator_from_state``, the conformance suite
+dispatches on its ``bound_type``, and the sharded pools fold it with
+``merge()`` when it claims to be mergeable.  Each test below checks one
+clause of that promise for *every* registered kind, so a new family
+that skips ``error_bound()``, a state round-trip, or a capabilities
+entry fails the suite instead of failing in production.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import (BOUND_TYPES, build_estimator,
+                                   default_kind_for, estimator_capabilities,
+                                   estimator_from_state,
+                                   registered_capabilities,
+                                   registered_estimator_kinds)
+
+from .estimator_kinds import (KIND_FACTORIES, MERGEABLE_KINDS, WINDOW,
+                              kind_answers)
+
+ALL_KINDS = sorted(registered_estimator_kinds())
+
+
+def _ingest_one_window(kind: str):
+    estimator = KIND_FACTORIES[kind]()
+    rng = np.random.default_rng(13)
+    window = rng.uniform(1.0, 100.0, WINDOW).astype(np.float32)
+    if kind == "kmv":
+        estimator.update(window)
+    else:
+        estimator.update_batch(np.sort(window))
+    return estimator
+
+
+def test_factory_table_matches_registry():
+    assert set(KIND_FACTORIES) == set(registered_estimator_kinds()), \
+        "KIND_FACTORIES out of sync with the estimator registry"
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_every_kind_has_capabilities(kind):
+    caps = estimator_capabilities(kind)
+    assert caps is registered_capabilities()[kind]
+    # Every statistic must have a default kind the engine can fall
+    # back to; a new statistic string with no default is a typo.
+    assert default_kind_for(caps.statistic) is not None
+    assert caps.metrics, f"{kind} declares no query metrics"
+    assert caps.bound_type in BOUND_TYPES, \
+        f"{kind} bound_type {caps.bound_type!r} not a known bound type"
+    # The planner divides by these; zero or negative costs would make
+    # every plan free and the cost model meaningless.
+    assert caps.merge_cycles > 0
+    assert caps.compress_cycles > 0
+    assert caps.entries_per_inverse_eps > 0
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_every_kind_reports_error_bound(kind):
+    estimator = _ingest_one_window(kind)
+    bound = estimator.error_bound()
+    assert isinstance(bound, float)
+    assert 0.0 < bound < 1.0, \
+        f"{kind}.error_bound() = {bound!r} is not a usable fraction"
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_every_kind_state_round_trips(kind):
+    estimator = _ingest_one_window(kind)
+    state = json.loads(json.dumps(estimator.to_state()))
+    assert state.get("version") == 1
+    assert state.get("kind") == kind
+    restored = estimator_from_state(state)
+    assert type(restored) is type(estimator)
+    assert int(restored.processed) == int(estimator.processed)
+    probes = np.sort(np.float32([1.0, 25.0, 50.0, 99.0]))
+    assert kind_answers(kind, estimator, probes) == \
+        kind_answers(kind, restored, probes)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_mergeable_claims_are_mutual(kind):
+    """caps.mergeable, a working merge(), and MERGEABLE_KINDS agree."""
+    caps = estimator_capabilities(kind)
+    assert caps.mergeable == (kind in MERGEABLE_KINDS)
+    if caps.mergeable:
+        merged = _ingest_one_window(kind).merge(_ingest_one_window(kind))
+        assert int(merged.processed) == 2 * WINDOW
+    else:
+        assert not hasattr(KIND_FACTORIES[kind](), "merge"), \
+            f"{kind} has merge() but is registered non-mergeable"
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_every_driver_kind_is_buildable(kind):
+    """Kinds exposed to build_miner must construct from (eps, window)."""
+    caps = estimator_capabilities(kind)
+    if caps.driver is None:
+        pytest.skip(f"{kind} is not exposed through a driver")
+    built = build_estimator(kind, eps=0.05, window_size=256,
+                            stream_length_hint=10_000)
+    assert type(built) is type(KIND_FACTORIES[kind]())
+    assert 0.0 < built.error_bound() < 1.0

@@ -158,6 +158,72 @@ class TestBitIdentical:
             assert per_executor[name] == per_executor["inline"]
 
 
+# ----------------------------------------------------------------------
+# generic estimator kinds: the matrix must stay bit-identical too
+# ----------------------------------------------------------------------
+# The non-default families ride a different pool path (family merge at
+# full eps instead of GK merge+prune at eps/2), so the determinism
+# argument above has to be re-earned per kind: same partitioner, same
+# windows, and a merge fold whose result is independent of *where* the
+# shards ran.
+
+KIND_MATRIX = [("quantile", "ddsketch"), ("quantile", "kll"),
+               ("quantile", "tdigest"), ("frequency", "count-min")]
+KIND_N = 20_000
+KIND_CHUNK = 2_000
+KIND_PROBES = (1.0, 2.0, 3.0, 5.0, 8.0)
+
+
+def _run_kind(pool_cls, statistic, kind):
+    kwargs = _miner_kwargs(statistic)
+    kwargs.update(kind=kind)
+    miner = pool_cls(statistic, **kwargs)
+    try:
+        data = _stream(statistic)[:KIND_N]
+        for start in range(0, data.size, KIND_CHUNK):
+            miner.ingest(data[start:start + KIND_CHUNK])
+        miner.drain()
+        if statistic == "quantile":
+            return [miner.quantile(phi) for phi in PHIS]
+        return [miner.estimate(value) for value in KIND_PROBES]
+    finally:
+        if hasattr(miner, "close"):
+            miner.close()
+
+
+@pytest.mark.slow
+class TestKindMatrixBitIdentical:
+    @pytest.mark.parametrize("statistic,kind", KIND_MATRIX)
+    def test_kind_identical_across_executors(self, statistic, kind):
+        inline = _run_kind(ShardedMiner, statistic, kind)
+        assert _run_kind(MpShardedMiner, statistic, kind) == inline
+        assert _run_kind(NetShardedMiner, statistic, kind) == inline
+
+    @pytest.mark.parametrize("statistic,kind", KIND_MATRIX)
+    def test_kind_snapshot_crosses_executors(self, statistic, kind):
+        kwargs = _miner_kwargs(statistic)
+        kwargs.update(kind=kind)
+        miner = MpShardedMiner(statistic, **kwargs)
+        try:
+            data = _stream(statistic)[:KIND_N]
+            for start in range(0, data.size, KIND_CHUNK):
+                miner.ingest(data[start:start + KIND_CHUNK])
+            miner.drain()
+            if statistic == "quantile":
+                expected = [miner.quantile(phi) for phi in PHIS]
+            else:
+                expected = [miner.estimate(v) for v in KIND_PROBES]
+            state = miner.snapshot()
+        finally:
+            miner.close()
+        assert state["estimator_kind"] == kind
+        restored = ShardedMiner.from_snapshot(state)
+        if statistic == "quantile":
+            assert [restored.quantile(phi) for phi in PHIS] == expected
+        else:
+            assert [restored.estimate(v) for v in KIND_PROBES] == expected
+
+
 @pytest.mark.slow
 class TestSnapshotInterchange:
     """The mp pool speaks the exact ``sharded-miner`` snapshot dialect."""

@@ -7,16 +7,20 @@ large n, while losing to the CPU below ~16K elements because of constant
 setup costs.
 """
 
+import time
+
 import numpy as np
 import pytest
 
-from repro.bench import figure3_series
+from repro.backends import resolve_sorter
+from repro.bench import Table, figure3_series
+from repro.bench.report import write_bench_json
 from repro.gpu.timing import (CPU_MODEL_INTEL, CPU_MODEL_MSVC,
                               BitonicFragmentProgramModel)
 from repro.bench.models import predicted_gpu_sort_time
 from repro.sorting import GpuSorter, optimized_sort
 
-from conftest import emit, scaled
+from conftest import SMOKE, emit, scaled
 
 
 class TestFigure3Shape:
@@ -75,6 +79,78 @@ class TestFigure3Kernels:
         data = rng.random(scaled(4096)).astype(np.float32)
         out = benchmark(optimized_sort, data)
         assert np.array_equal(out, np.sort(data))
+
+
+class Test2026Backends:
+    """The "2026 backends" companion curve (ROADMAP item 2).
+
+    Wall-clock throughput of the modern CPU sorter backends on the same
+    Fig. 3 workload (uniform random float32), plotted against the
+    modelled 2005 MSVC quicksort from the paper's Pentium IV baseline.
+    Each run is appended to ``BENCH_sorters.json`` for the CI gate.
+    """
+
+    BACKENDS = ("cpu-quicksort", "cpu-samplesort", "cpu-radix")
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        n = scaled(1 << 20, smoke=1 << 15)
+        data = np.random.default_rng(2005).random(n).astype(np.float32)
+        reference = np.sort(data)
+        modelled_2005_per_s = n / CPU_MODEL_MSVC.time(n)
+
+        table = Table(
+            title=f"2026 CPU backends vs modelled 2005 CPU — {n:,} "
+                  "uniform float32",
+            columns=["backend", "elements_per_s",
+                     "speedup_vs_2005_cpu"],
+            caption="Same workload as Figure 3; the 2005 column is the "
+                    "paper's modelled MSVC quicksort on a Pentium IV. "
+                    "Every backend's output is asserted identical to "
+                    "np.sort before timing counts.",
+        )
+        speedups = {}
+        for name in self.BACKENDS:
+            sorter = resolve_sorter(name)
+            out = sorter.sort(data)
+            assert np.array_equal(out, reference), name
+            wall = min(self._timed(sorter, data) for _ in range(3))
+            per_s = n / wall
+            speedup = per_s / modelled_2005_per_s
+            speedups[name] = speedup
+            table.add_row(name, per_s, speedup)
+            write_bench_json("sorters", {
+                "benchmark": f"fig3_sorter_{name}",
+                "backend": name,
+                "elements": n,
+                "wall_seconds": wall,
+                "elements_per_s": per_s,
+                "speedup_vs_2005_cpu": speedup,
+            })
+        emit(table)
+        table.speedups = speedups
+        return table
+
+    @staticmethod
+    def _timed(sorter, data) -> float:
+        start = time.perf_counter()
+        sorter.sort(data)
+        return time.perf_counter() - start
+
+    def test_every_backend_measured(self, table):
+        assert sorted(table.column("backend")) == sorted(self.BACKENDS)
+
+    def test_modern_backends_beat_modelled_2005_cpu(self, table):
+        if SMOKE:
+            pytest.skip("fixed costs dominate at smoke scale")
+        for name, speedup in table.speedups.items():
+            assert speedup >= 1.5, f"{name}: only {speedup:.2f}x"
+
+    def test_best_backend_at_least_5x_2005_cpu(self, table):
+        if SMOKE:
+            pytest.skip("fixed costs dominate at smoke scale")
+        best = max(table.speedups.values())
+        assert best >= 5.0, f"best backend only {best:.2f}x"
 
 
 class TestModelConsistency:

@@ -25,12 +25,13 @@ HTTP client for the standing-query control plane of an already-running
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 import numpy as np
 
-from .backends import resolve_sorter
+from .backends import registered_backends, resolve_sorter
 from .bench.report import build_all
 from .core.distinct import WindowedDistinctCounter
 from .core.estimators import (QUERY_METRICS, estimator_capabilities,
@@ -45,6 +46,15 @@ from .service.policies import ServicePolicies
 from .service.runner import format_result, run_service_demo
 from .sorting.cpu import optimized_sort
 from .streams.generators import GENERATORS
+
+
+def _add_backend_arg(parser: argparse.ArgumentParser,
+                     default: str) -> None:
+    """``--backend`` offering every registered sorter, not a fixed pair."""
+    parser.add_argument("--backend", choices=list(registered_backends()),
+                        default=default,
+                        help="sorting backend from the registry "
+                             f"(default {default})")
 
 
 def _add_stream_args(parser: argparse.ArgumentParser) -> None:
@@ -75,10 +85,18 @@ def cmd_sort(args: argparse.Namespace) -> int:
         print(f"  rendering passes          : {counters.passes:,}")
         print(f"  blend ops                 : {counters.blend_ops:,}")
         print(f"  modelled GeForce-6800 time: {breakdown.total * 1e3:.2f} ms")
-    else:
+    elif args.backend == "cpu":
         out = optimized_sort(data)
         wall = time.perf_counter() - start
         print(f"sorted {data.size:,} values ({args.workload}) on the CPU")
+        print(f"  wall time: {wall:.3f} s")
+    else:
+        sorter = resolve_sorter(args.backend)
+        out = (sorter.sort(data) if hasattr(sorter, "sort")
+               else sorter.sort_batch([data])[0])
+        wall = time.perf_counter() - start
+        print(f"sorted {data.size:,} values ({args.workload}) with the "
+              f"{args.backend} backend")
         print(f"  wall time: {wall:.3f} s")
     assert np.all(out[1:] >= out[:-1])
     return 0
@@ -366,17 +384,22 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="GPU-accelerated approximate stream mining "
                     "(SIGMOD 2005 reproduction)")
+    parser.add_argument("--compiled", action="store_true",
+                        help="use the compiled estimator inner loops "
+                             "(sets REPRO_COMPILED=1 so multiprocess "
+                             "and network workers inherit it; answers "
+                             "are bit-identical either way)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("sort", help="sort a synthetic stream")
     _add_stream_args(p)
-    p.add_argument("--backend", choices=["gpu", "cpu"], default="gpu")
+    _add_backend_arg(p, default="gpu")
     p.add_argument("--network", choices=["pbsn", "bitonic"], default="pbsn")
     p.set_defaults(func=cmd_sort)
 
     p = sub.add_parser("quantiles", help="streaming quantile estimation")
     _add_stream_args(p)
-    p.add_argument("--backend", choices=["gpu", "cpu"], default="gpu")
+    _add_backend_arg(p, default="gpu")
     p.add_argument("--eps", type=float, default=0.01)
     p.add_argument("--window", type=int, default=4096)
     p.add_argument("--phi", type=float, nargs="+",
@@ -389,7 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("frequent", help="frequent-item estimation")
     _add_stream_args(p)
-    p.add_argument("--backend", choices=["gpu", "cpu"], default="gpu")
+    _add_backend_arg(p, default="gpu")
     p.add_argument("--eps", type=float, default=0.001)
     p.add_argument("--support", type=float, default=0.01)
     p.add_argument("--top", type=int, default=10)
@@ -426,7 +449,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="estimator family for the shard pool (must serve "
                         "--statistic; default: the registry's default "
                         "for the statistic)")
-    p.add_argument("--backend", choices=["gpu", "cpu"], default="cpu")
+    _add_backend_arg(p, default="cpu")
     p.add_argument("--eps", type=float, default=0.02)
     p.add_argument("--shards", type=int, default=4)
     p.add_argument("--executor", choices=list(registered_executors()),
@@ -545,7 +568,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--statistic",
                    choices=["quantile", "frequency", "distinct"],
                    default="quantile")
-    p.add_argument("--backend", choices=["gpu", "cpu"], default="gpu")
+    _add_backend_arg(p, default="gpu")
     p.add_argument("--eps", type=float, default=0.01)
     p.add_argument("--window", type=int, default=None)
     p.add_argument("--phi", type=float, nargs="+", default=[0.5, 0.99])
@@ -562,6 +585,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.compiled:
+        # Through the environment rather than set_compiled() so worker
+        # processes spawned by the mp/net executors inherit the tier.
+        os.environ["REPRO_COMPILED"] = "1"
     return args.func(args)
 
 

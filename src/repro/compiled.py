@@ -1,0 +1,362 @@
+"""Optional compiled tier for the hottest estimator inner loops.
+
+PR 3 vectorized ``GKSummary.insert_sorted``; this module extends that
+win to the remaining per-element Python in the estimator layer.  Three
+kernels cover the loops that profiling puts at the top:
+
+* :func:`lossy_merge` / :func:`lossy_compress` — lossy counting's
+  bucket merge and compress over sorted parallel entry arrays;
+* :func:`dgim_append` / :func:`dgim_expire` / :func:`dgim_update_bits`
+  — the DGIM/EH bucket cascade over parallel timestamp/size arrays;
+* :func:`cm_conservative_update` — Count-Min's conservative-update row
+  walk over one window histogram.
+
+Each kernel has an **interpreted twin** (``*_interpreted``) that states
+the reference semantics in plain Python; the kernel-golden tests pin
+every kernel tuple-identical to its twin over adversarial inputs.  When
+``numba`` is importable the kernels are ``@njit``-compiled loops;
+otherwise a pure-NumPy vectorized implementation with identical
+semantics runs (exact integer arithmetic and exact float32 equality
+throughout, so answers are bit-identical either way — only speed
+differs).
+
+Activation
+----------
+The tier is **off** by default.  Estimators sample :func:`compiled_active`
+at construction, so the knob never changes the behaviour of a live
+summary.  Activate with the ``REPRO_COMPILED`` environment variable
+(``1``/``true``/``yes``/``on``; inherited by mp/net worker processes) or
+programmatically with :func:`set_compiled` (tests); the obs layer
+surfaces the state as a ``repro_compiled_active`` gauge via
+:func:`compiled_state`.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "USING_NUMBA",
+    "cm_conservative_update",
+    "cm_conservative_update_interpreted",
+    "compiled_active",
+    "compiled_mode",
+    "compiled_state",
+    "dgim_append",
+    "dgim_expire",
+    "dgim_update_bits",
+    "lossy_compress",
+    "lossy_compress_interpreted",
+    "lossy_merge",
+    "lossy_merge_interpreted",
+    "set_compiled",
+]
+
+try:  # pragma: no cover - exercised only on the numba CI leg
+    from numba import njit
+
+    USING_NUMBA = True
+except ImportError:
+    USING_NUMBA = False
+
+    def njit(*args, **kwargs):
+        """No-numba stand-in: return the function unchanged."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def passthrough(fn):
+            return fn
+
+        return passthrough
+
+
+_OVERRIDE: bool | None = None
+_TRUTHY = frozenset(("1", "true", "yes", "on"))
+
+
+def compiled_active() -> bool:
+    """Whether new estimators should take the compiled inner loops."""
+    if _OVERRIDE is not None:
+        return _OVERRIDE
+    return os.environ.get("REPRO_COMPILED", "").strip().lower() in _TRUTHY
+
+
+def set_compiled(active: bool | None) -> None:
+    """Override the ``REPRO_COMPILED`` knob (``None`` = back to env)."""
+    global _OVERRIDE
+    _OVERRIDE = None if active is None else bool(active)
+
+
+def compiled_mode() -> str:
+    """``"numba"`` when the JIT is available, else ``"numpy"``."""
+    return "numba" if USING_NUMBA else "numpy"
+
+
+def compiled_state() -> dict:
+    """Duck-typed sample for the obs gauge (obs imports no layer)."""
+    return {"active": compiled_active(), "mode": compiled_mode()}
+
+
+# ----------------------------------------------------------------------
+# lossy counting: bucket merge + compress over sorted entry arrays
+# ----------------------------------------------------------------------
+def lossy_merge_interpreted(values, counts, deltas, hist_values,
+                            hist_counts, bucket):
+    """Reference semantics of the lossy-counting bucket merge.
+
+    ``values`` are the sorted (ascending, run-length-unique, finite)
+    float32 entry keys with parallel int64 ``counts``/``deltas``;
+    ``hist_values``/``hist_counts`` are one window histogram (also
+    sorted-unique float32).  Existing entries gain the histogram count;
+    new entries are created with ``delta = bucket - 1`` (Manku-Motwani's
+    missed-count bound).  Returns new ``(values, counts, deltas)``.
+    """
+    out_v, out_c, out_d = list(values), [int(c) for c in counts], \
+        [int(d) for d in deltas]
+    for value, freq in zip(hist_values, hist_counts):
+        for i, existing in enumerate(out_v):
+            if existing == value:
+                out_c[i] += int(freq)
+                break
+        else:
+            insert_at = 0
+            while insert_at < len(out_v) and out_v[insert_at] < value:
+                insert_at += 1
+            out_v.insert(insert_at, value)
+            out_c.insert(insert_at, int(freq))
+            out_d.insert(insert_at, int(bucket) - 1)
+    return (np.asarray(out_v, dtype=np.float32),
+            np.asarray(out_c, dtype=np.int64),
+            np.asarray(out_d, dtype=np.int64))
+
+
+def _lossy_merge_numpy(values, counts, deltas, hist_values, hist_counts,
+                       bucket):
+    hist_counts = hist_counts.astype(np.int64, copy=False)
+    if values.size == 0:
+        return (hist_values.astype(np.float32, copy=True),
+                hist_counts.copy(),
+                np.full(hist_values.size, bucket - 1, dtype=np.int64))
+    pos = np.searchsorted(values, hist_values)
+    clipped = np.minimum(pos, values.size - 1)
+    found = (pos < values.size) & (values[clipped] == hist_values)
+    counts = counts.copy()
+    if found.all():
+        # Steady state once the heavy hitters are all tracked: every
+        # histogram value hits an existing entry, no insertion needed.
+        counts[pos] += hist_counts
+        return values, counts, deltas
+    counts[pos[found]] += hist_counts[found]
+    fresh = ~found
+    at = pos[fresh]
+    # One shared scatter-merge instead of three np.insert calls: new
+    # entry i lands at ``at[i] + i`` (``at`` is nondecreasing because
+    # the histogram is sorted), existing entries fill the gaps in order.
+    spots = at + np.arange(at.size)
+    keep = np.ones(values.size + at.size, dtype=bool)
+    keep[spots] = False
+    out_v = np.empty(keep.size, dtype=np.float32)
+    out_c = np.empty(keep.size, dtype=np.int64)
+    out_d = np.empty(keep.size, dtype=np.int64)
+    out_v[spots] = hist_values[fresh]
+    out_v[keep] = values
+    out_c[spots] = hist_counts[fresh]
+    out_c[keep] = counts
+    out_d[spots] = bucket - 1
+    out_d[keep] = deltas
+    return out_v, out_c, out_d
+
+
+def _lossy_merge_loop(values, counts, deltas, hist_values, hist_counts,
+                      bucket):  # pragma: no cover - numba leg only
+    n, m = values.shape[0], hist_values.shape[0]
+    out_v = np.empty(n + m, dtype=np.float32)
+    out_c = np.empty(n + m, dtype=np.int64)
+    out_d = np.empty(n + m, dtype=np.int64)
+    i = j = k = 0
+    while i < n and j < m:
+        if values[i] == hist_values[j]:
+            out_v[k] = values[i]
+            out_c[k] = counts[i] + hist_counts[j]
+            out_d[k] = deltas[i]
+            i += 1
+            j += 1
+        elif values[i] < hist_values[j]:
+            out_v[k] = values[i]
+            out_c[k] = counts[i]
+            out_d[k] = deltas[i]
+            i += 1
+        else:
+            out_v[k] = hist_values[j]
+            out_c[k] = hist_counts[j]
+            out_d[k] = bucket - 1
+            j += 1
+        k += 1
+    while i < n:
+        out_v[k] = values[i]
+        out_c[k] = counts[i]
+        out_d[k] = deltas[i]
+        i += 1
+        k += 1
+    while j < m:
+        out_v[k] = hist_values[j]
+        out_c[k] = hist_counts[j]
+        out_d[k] = bucket - 1
+        j += 1
+        k += 1
+    return out_v[:k], out_c[:k], out_d[:k]
+
+
+if USING_NUMBA:  # pragma: no cover - numba leg only
+    lossy_merge = njit(cache=True)(_lossy_merge_loop)
+else:
+    lossy_merge = _lossy_merge_numpy
+
+
+def lossy_compress_interpreted(values, counts, deltas, bucket):
+    """Reference compress: drop entries with ``count + delta <= bucket``."""
+    keep_v, keep_c, keep_d = [], [], []
+    for value, count, delta in zip(values, counts, deltas):
+        if int(count) + int(delta) > int(bucket):
+            keep_v.append(value)
+            keep_c.append(int(count))
+            keep_d.append(int(delta))
+    return (np.asarray(keep_v, dtype=np.float32),
+            np.asarray(keep_c, dtype=np.int64),
+            np.asarray(keep_d, dtype=np.int64))
+
+
+def _lossy_compress_numpy(values, counts, deltas, bucket):
+    keep = (counts + deltas) > bucket
+    if keep.all():
+        return values, counts, deltas
+    return values[keep], counts[keep], deltas[keep]
+
+
+if USING_NUMBA:  # pragma: no cover - numba leg only
+    @njit(cache=True)
+    def lossy_compress(values, counts, deltas, bucket):
+        keep = (counts + deltas) > bucket
+        return values[keep], counts[keep], deltas[keep]
+else:
+    lossy_compress = _lossy_compress_numpy
+
+
+# ----------------------------------------------------------------------
+# DGIM: bucket cascade over parallel timestamp/size arrays
+# ----------------------------------------------------------------------
+# The cascade is a sequential recurrence (each merge changes what the
+# next pass sees), so there is no data-parallel formulation: the numba
+# build JIT-compiles the loops below, and the fallback runs the same
+# loops interpreted — identical semantics, with dgim_update_bits
+# amortizing the per-bit Python call overhead across a whole window.
+# Arrays hold live buckets in ``[0, count)`` oldest-first (ascending
+# timestamps); capacity management stays in the Python wrapper.
+def _dgim_expire(ts, sz, count, time, window):
+    drop = 0
+    while drop < count and ts[drop] <= time - window:
+        drop += 1
+    if drop:
+        for j in range(count - drop):
+            ts[j] = ts[j + drop]
+            sz[j] = sz[j + drop]
+        count -= drop
+    return count
+
+
+def _dgim_append(ts, sz, count, time, max_per_size):
+    ts[count] = time
+    sz[count] = 1
+    count += 1
+    size = 1
+    while True:
+        matching = 0
+        oldest = -1
+        second = -1
+        for j in range(count):
+            if sz[j] == size:
+                if oldest < 0:
+                    oldest = j
+                elif second < 0:
+                    second = j
+                matching += 1
+        if matching <= max_per_size:
+            return count
+        # Merge the two oldest buckets of this size: the merged bucket
+        # keeps the second-oldest's timestamp, the oldest is removed.
+        sz[second] = size * 2
+        for j in range(oldest, count - 1):
+            ts[j] = ts[j + 1]
+            sz[j] = sz[j + 1]
+        count -= 1
+        size *= 2
+
+
+def _dgim_update_bits(ts, sz, count, time, window, max_per_size, bits):
+    for i in range(bits.shape[0]):
+        time += 1
+        count = _dgim_expire(ts, sz, count, time, window)
+        if bits[i]:
+            count = _dgim_append(ts, sz, count, time, max_per_size)
+    return count, time
+
+
+if USING_NUMBA:  # pragma: no cover - numba leg only
+    dgim_expire = njit(cache=True)(_dgim_expire)
+    dgim_append = njit(cache=True)(_dgim_append)
+
+    @njit(cache=True)
+    def dgim_update_bits(ts, sz, count, time, window, max_per_size, bits):
+        for i in range(bits.shape[0]):
+            time += 1
+            count = dgim_expire(ts, sz, count, time, window)
+            if bits[i]:
+                count = dgim_append(ts, sz, count, time, max_per_size)
+        return count, time
+else:
+    dgim_expire = _dgim_expire
+    dgim_append = _dgim_append
+    dgim_update_bits = _dgim_update_bits
+
+
+# ----------------------------------------------------------------------
+# Count-Min: conservative-update row walk
+# ----------------------------------------------------------------------
+def cm_conservative_update_interpreted(table, columns, freqs):
+    """Reference conservative update (Estan & Varghese), in place.
+
+    For each histogram entry ``j`` with frequency ``freqs[j]``, raise
+    the ``depth`` counters at ``columns[:, j]`` to at most
+    ``min(counters) + freq`` — never beyond, so estimates stay as small
+    as possible while never undercounting.  Entries apply sequentially:
+    collision order matters, so the walk cannot be data-parallel across
+    ``j``.
+    """
+    depth = table.shape[0]
+    rows = np.arange(depth)
+    for j in range(len(freqs)):
+        cells = columns[:, j]
+        raised = int(table[rows, cells].min()) + int(freqs[j])
+        table[rows, cells] = np.maximum(table[rows, cells], raised)
+
+
+def _cm_conservative_update_loop(table, columns, freqs):
+    depth = table.shape[0]
+    for j in range(freqs.shape[0]):
+        low = table[0, columns[0, j]]
+        for row in range(1, depth):
+            cell = table[row, columns[row, j]]
+            if cell < low:
+                low = cell
+        raised = low + freqs[j]
+        for row in range(depth):
+            if table[row, columns[row, j]] < raised:
+                table[row, columns[row, j]] = raised
+
+
+if USING_NUMBA:  # pragma: no cover - numba leg only
+    cm_conservative_update = njit(cache=True)(_cm_conservative_update_loop)
+else:
+    cm_conservative_update = _cm_conservative_update_loop

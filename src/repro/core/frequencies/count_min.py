@@ -35,6 +35,7 @@ import math
 
 import numpy as np
 
+from ... import compiled
 from ...errors import QueryError, SummaryError
 from ..distinct.kmv import hash_values
 from ..estimators import EstimatorCapabilities, register_estimator
@@ -86,6 +87,11 @@ class CountMinSketch:
         self.count = 0
         self.window_size = max(1, math.ceil(1.0 / eps))
         self._table = np.zeros((self.depth, self.width), dtype=np.int64)
+        # Sampled once at construction: the conservative-update walk is
+        # order-dependent across histogram entries, so both paths run it
+        # sequentially — the compiled kernel just strips the per-entry
+        # fancy-indexing overhead (numba-jitted when available).
+        self._compiled = compiled.compiled_active()
 
     # ------------------------------------------------------------------
     # construction
@@ -106,6 +112,15 @@ class CountMinSketch:
 
     def update_histogram(self, histogram: WindowHistogram) -> None:
         """Conservative update from one window's run-length histogram."""
+        if self._compiled:
+            values = np.asarray(histogram.values, dtype=np.float32)
+            if not values.size:
+                return
+            freqs_arr = np.asarray(histogram.counts, dtype=np.int64)
+            columns = self._row_indices(values)
+            self.count += int(freqs_arr.sum())
+            compiled.cm_conservative_update(self._table, columns, freqs_arr)
+            return
         pairs = list(histogram)
         if not pairs:
             return

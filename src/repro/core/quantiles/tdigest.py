@@ -159,6 +159,17 @@ class TDigest:
         for mean, weight in zip(self._means, self._weights):
             position = cumulative + weight / 2.0
             if target <= position:
+                if target <= cumulative:
+                    # The target rank falls inside the *previous*
+                    # centroid's own mass (its upper half).  Tie-heavy
+                    # streams concentrate that mass exactly at the
+                    # mean, so interpolating toward the next centroid
+                    # can overshoot by more than the delta*N rank
+                    # budget; the previous mean is the rank-safe
+                    # answer (error at most one centroid's weight,
+                    # i.e. the delta*N/2 cap).
+                    return float(min(max(previous_mean, self._min),
+                                     self._max))
                 span = position - previous_position
                 if span <= 0:
                     return float(mean)

@@ -58,9 +58,13 @@ def modelled_cost_per_element(kind: str, eps: float,
     caps = estimator_capabilities(kind)
     window = max(1, math.ceil(1.0 / eps))
     summary_size = max(1, math.ceil(caps.entries_per_inverse_eps / eps))
+    # The closed-form model knows the paper's two hardware classes;
+    # registry names (gpu-16, cpu-radix, ...) snap to their class.
+    model_backend = "gpu" if str(backend).startswith("gpu") else "cpu"
     times = streaming_modelled_time(
-        _NOMINAL_ELEMENTS, window, backend,
-        cpu_time_fn=CPU_MODEL_INTEL.time if backend == "cpu" else None,
+        _NOMINAL_ELEMENTS, window, model_backend,
+        cpu_time_fn=(CPU_MODEL_INTEL.time if model_backend == "cpu"
+                     else None),
         merge_cycles=caps.merge_cycles,
         compress_cycles=caps.compress_cycles,
         summary_size=summary_size)

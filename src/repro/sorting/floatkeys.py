@@ -1,0 +1,60 @@
+"""Order-preserving integer keys for float32 values.
+
+The modern CPU backends (``cpu-radix``, ``cpu-samplesort``) sort float32
+streams by their bit patterns.  IEEE-754 floats do not order like their
+raw bits: negative values have the sign bit set (so they compare *above*
+positives as unsigned integers) and order *descending* as their
+magnitude bits grow.  The classic fix (Herf's "radix tricks") is a
+bijective transform:
+
+* negative values: flip **all** bits (``~bits``) — reverses their order
+  and clears the sign bit below every non-negative key;
+* non-negative values: set the sign bit (``bits | 0x80000000``).
+
+Under this transform unsigned integer order equals IEEE total order
+with ``-0.0`` strictly before ``+0.0`` (keys ``0x7FFFFFFF`` and
+``0x80000000``), and ``±inf`` order naturally.  NaNs do **not** — a
+negative-sign NaN's flipped key would sort below every real number
+while ``np.sort`` places every NaN at the end — so callers must split
+NaNs out first with :func:`split_trailing_nans` and re-append them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["float32_sort_keys", "keys_to_float32", "split_trailing_nans"]
+
+_SIGN = np.uint32(0x80000000)
+
+
+def float32_sort_keys(values: np.ndarray) -> np.ndarray:
+    """Bijective uint32 keys whose unsigned order is float total order.
+
+    ``values`` must be float32 and NaN-free (see module docstring).
+    """
+    bits = np.ascontiguousarray(values, dtype=np.float32).view(np.uint32)
+    negative = bits >= _SIGN
+    return np.where(negative, ~bits, bits | _SIGN)
+
+
+def keys_to_float32(keys: np.ndarray) -> np.ndarray:
+    """Invert :func:`float32_sort_keys` (exact bit round-trip)."""
+    keys = np.ascontiguousarray(keys, dtype=np.uint32)
+    was_negative = keys < _SIGN
+    bits = np.where(was_negative, ~keys, keys & ~_SIGN)
+    return bits.view(np.float32)
+
+
+def split_trailing_nans(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(finite_or_inf, nans)`` partition, both preserving input order.
+
+    ``np.sort`` moves every NaN (either sign bit, any payload) to the
+    end of the array; extracting them up front lets the key-based
+    sorters match that contract while keeping payload bits intact.
+    """
+    arr = np.ascontiguousarray(values, dtype=np.float32).ravel()
+    nan_mask = np.isnan(arr)
+    if not nan_mask.any():
+        return arr, arr[:0]
+    return arr[~nan_mask], arr[nan_mask]

@@ -1,0 +1,121 @@
+"""Vectorized splitter-based sample sort (``cpu-samplesort``).
+
+The CPU translation of "GPU Sample Sort" (see PAPERS.md): draw a
+deterministic strided sample, sort it, pick evenly spaced splitters,
+bucket every element with one ``np.searchsorted``, group the buckets
+with one stable ``argsort`` over the bucket ids, then finish each
+bucket with an in-place ``np.sort`` on its contiguous slice.  All the
+data-parallel phases are single NumPy calls; only the per-bucket
+finishing loop is Python, over ``O(n / bucket_size)`` buckets.
+
+NaNs are split out first (``np.searchsorted`` against NaN splitters is
+undefined) and re-appended, matching ``np.sort``'s NaN-at-the-end
+contract; ``±inf`` bucket normally.
+
+Batching: equal-length windows are stacked into one matrix and sorted
+with a single ``np.sort(axis=1)`` call — each row is an independent
+bucket, which is the sample-sort recursion collapsed to the case where
+window membership is the splitter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SortError
+from .floatkeys import split_trailing_nans
+
+__all__ = ["VectorizedSampleSorter", "sample_sort"]
+
+#: Target elements per bucket; below twice this, plain np.sort wins.
+DEFAULT_BUCKET_SIZE = 8192
+
+#: Sample this many candidates per splitter so skewed inputs still get
+#: balanced buckets (the sample-sort oversampling factor).
+_OVERSAMPLE = 8
+
+#: Bucket-count ceiling: keeps the Python finishing loop short and the
+#: splitter sample cheap even on very large inputs.
+_MAX_BUCKETS = 1024
+
+
+def sample_sort(values: np.ndarray,
+                bucket_size: int = DEFAULT_BUCKET_SIZE) -> np.ndarray:
+    """Sort a 1-D float32 array ascending by splitter-based bucketing."""
+    arr = np.ascontiguousarray(values, dtype=np.float32).ravel()
+    if arr.size <= 2 * bucket_size:
+        return np.sort(arr)
+    finite, nans = split_trailing_nans(arr)
+    n = finite.size
+    if n <= 2 * bucket_size:
+        out = np.sort(finite)
+    else:
+        buckets = int(min(_MAX_BUCKETS, max(2, n // bucket_size)))
+        step = max(1, n // (buckets * _OVERSAMPLE))
+        sample = np.sort(finite[::step])
+        picks = (np.arange(1, buckets) * sample.size) // buckets
+        splitters = sample[picks]
+        ids = np.searchsorted(splitters, finite, side="right")
+        order = np.argsort(ids.astype(np.uint16), kind="stable")
+        out = finite[order]
+        counts = np.bincount(ids, minlength=buckets)
+        stops = np.cumsum(counts)
+        start = 0
+        for stop in stops:
+            out[start:stop].sort()
+            start = int(stop)
+    if nans.size:
+        out = np.concatenate([out, nans])
+    return out
+
+
+class VectorizedSampleSorter:
+    """CPU sample-sort backend with the engine's sorter interface.
+
+    Attributes
+    ----------
+    last_n:
+        Size of the most recent sort (batch total after ``sort_batch``).
+    total_elements:
+        Elements sorted since construction.
+    """
+
+    name = "cpu-samplesort"
+    #: Degradation target used by :func:`repro.backends.cpu_fallback_for`.
+    degrades_to = "cpu"
+
+    def __init__(self, bucket_size: int = DEFAULT_BUCKET_SIZE):
+        if bucket_size < 1:
+            raise SortError(f"bucket_size must be >= 1, got {bucket_size}")
+        self.bucket_size = int(bucket_size)
+        self.last_n = 0
+        self.total_elements = 0
+
+    def sort(self, values: np.ndarray) -> np.ndarray:
+        """Sort one window ascending, recording sizes."""
+        arr = np.asarray(values, dtype=np.float32)
+        if arr.ndim != 1:
+            raise SortError(f"expected a 1-D array, got shape {arr.shape}")
+        self.last_n = int(arr.size)
+        self.total_elements += self.last_n
+        return sample_sort(arr, self.bucket_size)
+
+    def sort_batch(self, windows: list[np.ndarray]) -> list[np.ndarray]:
+        """Sort several windows, batched into one call when same-length."""
+        arrays = []
+        for window in windows:
+            arr = np.asarray(window, dtype=np.float32)
+            if arr.ndim != 1:
+                raise SortError(
+                    f"expected 1-D windows, got shape {arr.shape}")
+            arrays.append(arr.ravel())
+        total = sum(int(a.size) for a in arrays)
+        lengths = {int(a.size) for a in arrays}
+        if len(arrays) > 1 and len(lengths) == 1 and total:
+            stacked = np.sort(np.stack(arrays), axis=1)
+            self.last_n = total
+            self.total_elements += total
+            return [stacked[i] for i in range(len(arrays))]
+        results = [self.sort(a) for a in arrays]
+        self.last_n = total
+        return results

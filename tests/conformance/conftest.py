@@ -13,9 +13,26 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import compiled
 from repro.streams.generators import GENERATORS
 
 WORKLOADS = ("sorted", "reversed", "duplicate_heavy", "zipf", "sawtooth")
+
+
+@pytest.fixture(autouse=True, params=("interpreted", "compiled"))
+def estimator_tier(request):
+    """Run every conformance test on both estimator tiers.
+
+    The compiled tier (``REPRO_COMPILED``) re-implements the lossy
+    counting, DGIM and Count-Min inner loops; parametrizing the whole
+    suite makes the compiled kernels inherit every eps-bound check
+    the interpreted estimators already pass.
+    """
+    compiled.set_compiled(request.param == "compiled")
+    try:
+        yield request.param
+    finally:
+        compiled.set_compiled(None)
 
 
 def make_workload(name: str, n: int, seed: int = 7) -> np.ndarray:

@@ -1,0 +1,371 @@
+"""Kernel-golden tests: every compiled loop vs its interpreted twin.
+
+``repro/compiled.py`` promises that the compiled tier changes *speed
+only*: each kernel must return results tuple-identical (same dtypes,
+same bit patterns, same order) to the interpreted reference semantics,
+over adversarial inputs and seeded fuzz.  The estimator-level classes
+then pin the whole summaries — a ``REPRO_COMPILED`` estimator and an
+interpreted one fed the same stream must give identical answers,
+identical state snapshots, and interchangeable checkpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import compiled
+from repro.core.frequencies import CountMinSketch, LossyCounting
+from repro.core.sliding import DgimCounter, DgimSum
+
+
+@pytest.fixture(autouse=True)
+def reset_knob():
+    yield
+    compiled.set_compiled(None)
+
+
+def tier(active: bool):
+    compiled.set_compiled(active)
+
+
+# ----------------------------------------------------------------------
+# knob semantics
+# ----------------------------------------------------------------------
+class TestKnob:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COMPILED", raising=False)
+        compiled.set_compiled(None)
+        assert compiled.compiled_active() is False
+
+    @pytest.mark.parametrize("value,expect", [
+        ("1", True), ("true", True), ("YES", True), ("On", True),
+        (" 1 ", True), ("0", False), ("", False), ("off", False),
+        ("no", False), ("2", False),
+    ])
+    def test_env_parsing(self, monkeypatch, value, expect):
+        compiled.set_compiled(None)
+        monkeypatch.setenv("REPRO_COMPILED", value)
+        assert compiled.compiled_active() is expect
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED", "1")
+        compiled.set_compiled(False)
+        assert compiled.compiled_active() is False
+        compiled.set_compiled(None)
+        assert compiled.compiled_active() is True
+
+    def test_estimators_sample_at_construction(self):
+        tier(True)
+        summary = LossyCounting(0.05)
+        tier(False)
+        # The knob never changes a live summary's behaviour.
+        assert summary._compiled is True
+        assert LossyCounting(0.05)._compiled is False
+
+    def test_state_is_duck_typed_for_obs(self):
+        state = compiled.compiled_state()
+        assert set(state) == {"active", "mode"}
+        assert isinstance(state["active"], bool)
+        assert state["mode"] == compiled.compiled_mode()
+
+    def test_mode_matches_numba_availability(self):
+        expected = "numba" if compiled.USING_NUMBA else "numpy"
+        assert compiled.compiled_mode() == expected
+
+
+# ----------------------------------------------------------------------
+# lossy counting kernels
+# ----------------------------------------------------------------------
+def entries(*triples):
+    values = np.asarray([v for v, _, _ in triples], dtype=np.float32)
+    counts = np.asarray([c for _, c, _ in triples], dtype=np.int64)
+    deltas = np.asarray([d for _, _, d in triples], dtype=np.int64)
+    return values, counts, deltas
+
+
+def hist(*pairs):
+    return (np.asarray([v for v, _ in pairs], dtype=np.float32),
+            np.asarray([c for _, c in pairs], dtype=np.int64))
+
+
+def assert_triple_identical(got, want):
+    for got_arr, want_arr in zip(got, want, strict=True):
+        assert got_arr.dtype == want_arr.dtype
+        assert np.array_equal(got_arr, want_arr)
+
+
+MERGE_CASES = {
+    "into-empty": (entries(), hist((1.5, 3), (2.5, 1)), 4),
+    "empty-hist": (entries((1.0, 2, 0)), hist(), 4),
+    "all-found": (entries((1.0, 2, 0), (2.0, 5, 1)),
+                  hist((1.0, 3), (2.0, 1)), 7),
+    "none-found": (entries((2.0, 2, 0), (4.0, 5, 1)),
+                   hist((1.0, 3), (3.0, 1), (5.0, 2)), 7),
+    "interleaved": (entries((1.0, 1, 0), (3.0, 2, 1), (5.0, 3, 2)),
+                    hist((0.5, 1), (3.0, 4), (4.0, 1), (6.0, 9)), 3),
+    "negative-and-zero": (entries((-2.0, 1, 0), (0.0, 2, 0)),
+                          hist((-3.0, 1), (-2.0, 2), (0.0, 1)), 2),
+    "bucket-one": (entries(), hist((1.0, 1)), 1),
+}
+
+
+class TestLossyMergeGolden:
+    @pytest.mark.parametrize("case", sorted(MERGE_CASES))
+    def test_kernel_matches_interpreted(self, case):
+        (values, counts, deltas), (hv, hc), bucket = MERGE_CASES[case]
+        want = compiled.lossy_merge_interpreted(
+            values, counts, deltas, hv, hc, bucket)
+        got = compiled.lossy_merge(values.copy(), counts.copy(),
+                                   deltas.copy(), hv, hc, bucket)
+        assert_triple_identical(got, want)
+
+    def test_fuzz_against_interpreted(self):
+        rng = np.random.default_rng(2005)
+        alphabet = np.unique(
+            rng.normal(size=64).astype(np.float32))
+        for trial in range(200):
+            base = np.sort(rng.choice(
+                alphabet, size=rng.integers(0, 20), replace=False))
+            values, counts, deltas = (
+                base.astype(np.float32),
+                rng.integers(1, 50, base.size).astype(np.int64),
+                rng.integers(0, 10, base.size).astype(np.int64))
+            window = np.sort(rng.choice(
+                alphabet, size=rng.integers(0, 16), replace=False))
+            hv = window.astype(np.float32)
+            hc = rng.integers(1, 30, window.size).astype(np.int64)
+            bucket = int(rng.integers(1, 12))
+            want = compiled.lossy_merge_interpreted(
+                values, counts, deltas, hv, hc, bucket)
+            got = compiled.lossy_merge(values.copy(), counts.copy(),
+                                       deltas.copy(), hv, hc, bucket)
+            assert_triple_identical(got, want)
+
+
+class TestLossyCompressGolden:
+    @pytest.mark.parametrize("case,bucket", [
+        ("keep-all", 0), ("drop-all", 100), ("mixed", 4)])
+    def test_kernel_matches_interpreted(self, case, bucket):
+        values, counts, deltas = entries(
+            (1.0, 3, 0), (2.0, 1, 1), (3.0, 2, 3), (4.0, 1, 0))
+        want = compiled.lossy_compress_interpreted(
+            values, counts, deltas, bucket)
+        got = compiled.lossy_compress(values, counts, deltas, bucket)
+        assert_triple_identical(got, want)
+
+    def test_fuzz_against_interpreted(self):
+        rng = np.random.default_rng(7)
+        for trial in range(200):
+            n = int(rng.integers(0, 24))
+            values = np.sort(rng.normal(size=n)).astype(np.float32)
+            counts = rng.integers(1, 20, n).astype(np.int64)
+            deltas = rng.integers(0, 12, n).astype(np.int64)
+            bucket = int(rng.integers(0, 30))
+            want = compiled.lossy_compress_interpreted(
+                values, counts, deltas, bucket)
+            got = compiled.lossy_compress(values, counts, deltas, bucket)
+            assert_triple_identical(got, want)
+
+
+# ----------------------------------------------------------------------
+# DGIM cascade kernels (vs the deque-based interpreted estimator)
+# ----------------------------------------------------------------------
+BIT_STREAMS = {
+    "all-ones": [1] * 400,
+    "all-zeros": [0] * 200,
+    "alternating": [i % 2 for i in range(400)],
+    "bursts": ([1] * 50 + [0] * 120) * 4,
+    "sparse": [1 if i % 37 == 0 else 0 for i in range(600)],
+}
+
+
+class TestDgimGolden:
+    @pytest.mark.parametrize("stream", sorted(BIT_STREAMS))
+    @pytest.mark.parametrize("eps", [0.5, 0.1])
+    def test_single_step_equivalence(self, stream, eps):
+        tier(True)
+        fast = DgimCounter(window=100, eps=eps)
+        tier(False)
+        slow = DgimCounter(window=100, eps=eps)
+        for bit in BIT_STREAMS[stream]:
+            fast.update(bit)
+            slow.update(bit)
+            assert fast.time == slow.time
+            assert fast._bucket_pairs() == slow._bucket_pairs()
+            assert fast.estimate() == slow.estimate()
+            assert fast.exact_upper_bound() == slow.exact_upper_bound()
+        fast.check_invariant()
+        slow.check_invariant()
+
+    @pytest.mark.parametrize("stream", sorted(BIT_STREAMS))
+    def test_batch_equals_single_steps(self, stream):
+        bits = BIT_STREAMS[stream]
+        tier(True)
+        batched = DgimCounter(window=100, eps=0.2)
+        stepped = DgimCounter(window=100, eps=0.2)
+        batched.update_bits(bits)
+        for bit in bits:
+            stepped.update(bit)
+        assert batched.time == stepped.time
+        assert batched._bucket_pairs() == stepped._bucket_pairs()
+        assert batched.estimate() == stepped.estimate()
+
+    def test_random_stream_equivalence(self):
+        rng = np.random.default_rng(2005)
+        bits = (rng.random(3000) < 0.4).astype(int)
+        tier(True)
+        fast = DgimCounter(window=64, eps=0.25)
+        fast.update_bits(bits)
+        tier(False)
+        slow = DgimCounter(window=64, eps=0.25)
+        for bit in bits:
+            slow.update(int(bit))
+        assert fast._bucket_pairs() == slow._bucket_pairs()
+        assert fast.estimate() == slow.estimate()
+        fast.check_invariant()
+
+    def test_dgim_sum_equivalence(self):
+        rng = np.random.default_rng(11)
+        values = rng.integers(0, 8, 500)
+        tier(True)
+        fast = DgimSum(window=96, max_value=8, eps=0.25)
+        tier(False)
+        slow = DgimSum(window=96, max_value=8, eps=0.25)
+        for value in values:
+            fast.update(int(value))
+            slow.update(int(value))
+            assert fast.estimate() == slow.estimate()
+
+
+# ----------------------------------------------------------------------
+# count-min conservative-update kernel
+# ----------------------------------------------------------------------
+class TestCmGolden:
+    def test_collision_heavy_walk(self):
+        # Every entry maps to overlapping cells: order dependence is
+        # maximal, so any deviation from sequential semantics shows.
+        table_a = np.zeros((3, 4), dtype=np.int64)
+        table_b = table_a.copy()
+        columns = np.array([[0, 0, 1, 0], [1, 1, 1, 2], [2, 3, 2, 2]],
+                           dtype=np.int64)
+        freqs = np.array([5, 3, 7, 2], dtype=np.int64)
+        compiled.cm_conservative_update_interpreted(
+            table_a, columns, freqs)
+        compiled.cm_conservative_update(table_b, columns, freqs)
+        assert np.array_equal(table_a, table_b)
+
+    def test_fuzz_against_interpreted(self):
+        rng = np.random.default_rng(2005)
+        for trial in range(100):
+            depth = int(rng.integers(1, 6))
+            width = int(rng.integers(1, 16))
+            table = rng.integers(0, 40, (depth, width)).astype(np.int64)
+            m = int(rng.integers(0, 24))
+            columns = rng.integers(0, width, (depth, m)).astype(np.int64)
+            freqs = rng.integers(1, 9, m).astype(np.int64)
+            want = table.copy()
+            got = table.copy()
+            compiled.cm_conservative_update_interpreted(
+                want, columns, freqs)
+            compiled.cm_conservative_update(got, columns, freqs)
+            assert np.array_equal(want, got)
+
+
+# ----------------------------------------------------------------------
+# estimator-level: whole summaries answer-identical across tiers
+# ----------------------------------------------------------------------
+def adversarial_stream(n: int = 20_000) -> np.ndarray:
+    rng = np.random.default_rng(2005)
+    heavy = rng.choice(np.arange(8, dtype=np.float32), n // 2,
+                       p=np.full(8, 1 / 8))
+    tail = np.floor(rng.random(n - heavy.size) * 500).astype(np.float32)
+    out = np.concatenate([heavy, tail])
+    rng.shuffle(out)
+    return out
+
+
+def windows_of(data: np.ndarray, width: int):
+    return [np.sort(data[i:i + width])
+            for i in range(0, data.size - width + 1, width)]
+
+
+class TestEstimatorEquivalence:
+    def build(self, factory, feed):
+        summaries = {}
+        for active in (False, True):
+            tier(active)
+            summary = factory()
+            feed(summary)
+            summaries[active] = summary
+        return summaries
+
+    def test_lossy_counting_identical_answers(self):
+        data = adversarial_stream()
+        eps = 0.01
+        width = LossyCounting(eps).window_size
+
+        def feed(summary):
+            for window in windows_of(data, width):
+                summary.update_batch(window)
+
+        pair = self.build(lambda: LossyCounting(eps), feed)
+        slow, fast = pair[False], pair[True]
+        assert fast.items() == slow.items()
+        assert fast.frequent_items(0.02) == slow.frequent_items(0.02)
+        for value in (0.0, 3.0, 7.0, 123.0, -5.0):
+            assert fast.estimate(value) == slow.estimate(value)
+        assert len(fast) == len(slow)
+        fast.check_invariant()
+
+    def test_lossy_counting_states_interchange(self):
+        data = adversarial_stream(5_000)
+        eps = 0.02
+        width = LossyCounting(eps).window_size
+
+        def feed(summary):
+            for window in windows_of(data, width):
+                summary.update_batch(window)
+
+        pair = self.build(lambda: LossyCounting(eps), feed)
+        state_slow = pair[False].to_state()
+        state_fast = pair[True].to_state()
+        assert state_slow == state_fast
+        # A checkpoint taken on either tier restores on either tier.
+        for active in (False, True):
+            tier(active)
+            restored = LossyCounting.from_state(state_fast)
+            assert restored.items() == pair[False].items()
+
+    def test_lossy_counting_merge_across_tiers(self):
+        data = adversarial_stream(8_000)
+        eps = 0.02
+        width = LossyCounting(eps).window_size
+        half = data.size // 2
+
+        def feeder(part):
+            def feed(summary):
+                for window in windows_of(part, width):
+                    summary.update_batch(window)
+            return feed
+
+        left = self.build(lambda: LossyCounting(eps), feeder(data[:half]))
+        right = self.build(lambda: LossyCounting(eps), feeder(data[half:]))
+        merged_slow = left[False].merge(right[False])
+        merged_fast = left[True].merge(right[True])
+        assert merged_fast.items() == merged_slow.items()
+
+    def test_count_min_identical_tables(self):
+        data = adversarial_stream()
+
+        def feed(sketch):
+            for window in windows_of(data, 256):
+                sketch.update_batch(window)
+
+        pair = self.build(lambda: CountMinSketch(0.01, seed=3), feed)
+        assert np.array_equal(pair[True]._table, pair[False]._table)
+        assert pair[True].count == pair[False].count
+        for value in (0.0, 3.0, 99.0, 1234.0):
+            assert pair[True].estimate(value) == pair[False].estimate(value)
+        merged = pair[True].merge(pair[False])
+        assert merged.count == 2 * pair[False].count
